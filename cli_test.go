@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI integration tests: build every command once, then drive the
+// binaries end to end the way a user would (solve -> eval -> sim).
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "orp-bins-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n", tool, err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// runTool executes a built binary and returns stdout, stderr.
+func runTool(t *testing.T, tool string, stdin []byte, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", tool, args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+func TestCLISolveEvalPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graphFile := filepath.Join(t.TempDir(), "g.hsg")
+	_, stderr := runTool(t, "orpsolve", nil, "-n", "64", "-r", "8", "-iters", "2000", "-o", graphFile)
+	if !strings.Contains(stderr, "h-ASPL") {
+		t.Fatalf("orpsolve stderr missing stats: %s", stderr)
+	}
+	out, _ := runTool(t, "orpeval", nil, "-bandwidth", "-phys", graphFile)
+	for _, want := range []string{"h-ASPL", "theorem2", "partition cuts", "deployment", "m_opt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("orpeval output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLITopoSimPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graphFile := filepath.Join(t.TempDir(), "df.hsg")
+	_, stderr := runTool(t, "orptopo", nil, "-kind", "dragonfly", "-a", "4", "-o", graphFile)
+	if !strings.Contains(stderr, "dragonfly") {
+		t.Fatalf("orptopo stderr: %s", stderr)
+	}
+	out, _ := runTool(t, "orpsim", nil, "-bench", "MG", "-class", "S", "-ranks", "16", graphFile)
+	for _, want := range []string{"simulated time", "Mop/s", "flows"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("orpsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIStdinPipe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	// orptopo writes the graph to stdout; orpeval reads "-" from stdin.
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "fattree", "-k", "4", "-q")
+	out, _ := runTool(t, "orpeval", []byte(graph), "-")
+	if !strings.Contains(out, "order (hosts)     16") {
+		t.Fatalf("piped eval wrong:\n%s", out)
+	}
+}
+
+func TestCLIGolfRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	edges := filepath.Join(t.TempDir(), "g.edges")
+	_, stderr := runTool(t, "orpgolf", nil, "-n", "16", "-d", "3", "-iters", "3000", "-o", edges)
+	if !strings.Contains(stderr, "ASPL") {
+		t.Fatalf("orpgolf stderr: %s", stderr)
+	}
+	_, stderr2 := runTool(t, "orpgolf", nil, "-eval", edges)
+	if !strings.Contains(stderr2, "diameter") {
+		t.Fatalf("orpgolf -eval stderr: %s", stderr2)
+	}
+}
+
+func TestCLITraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "fattree", "-k", "4", "-q")
+	out, _ := runTool(t, "orptraffic", []byte(graph), "-pattern", "transpose", "-rounds", "2", "-")
+	if !strings.Contains(out, "transpose") || !strings.Contains(out, "mean=") {
+		t.Fatalf("orptraffic output wrong:\n%s", out)
+	}
+}
+
+func TestCLIFiguresTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	out, _ := runTool(t, "orpfigures", nil, "-fig", "7", "-n", "128", "-r", "12")
+	if !strings.Contains(out, "continuous-Moore") {
+		t.Fatalf("orpfigures fig 7 output wrong:\n%s", out)
+	}
+	out2, _ := runTool(t, "orpfigures", nil, "-fig", "6", "-n", "96", "-r", "12", "-iters", "1500")
+	if !strings.Contains(out2, "host distribution") {
+		t.Fatalf("orpfigures fig 6 output wrong:\n%s", out2)
+	}
+}
+
+func TestCLIDotOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	graphFile := filepath.Join(dir, "g.hsg")
+	dotFile := filepath.Join(dir, "g.dot")
+	runTool(t, "orptopo", nil, "-kind", "fullmesh", "-m", "4", "-r", "8", "-q", "-o", graphFile)
+	runTool(t, "orpeval", nil, "-dot", dotFile, graphFile)
+	data, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "graph hsgraph {") {
+		t.Fatalf("bad DOT output: %s", data[:40])
+	}
+}
+
+func TestCLIMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	graphFile := filepath.Join(dir, "g.hsg")
+	matrixFile := filepath.Join(dir, "m.traffic")
+	runTool(t, "orptopo", nil, "-kind", "fattree", "-k", "4", "-q", "-o", graphFile)
+	// Ring traffic over 16 ranks.
+	var mb strings.Builder
+	mb.WriteString("traffic 16\n")
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&mb, "%d %d 1000\n", i, (i+1)%16)
+	}
+	if err := os.WriteFile(matrixFile, []byte(mb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, stderr := runTool(t, "orpmap", nil, "-matrix", matrixFile, "-iters", "3000", graphFile)
+	if !strings.Contains(stderr, "traffic-weighted hops") {
+		t.Fatalf("orpmap stderr missing report: %s", stderr)
+	}
+	if !strings.Contains(out, "hsgraph 16 20 4") {
+		t.Fatalf("orpmap did not emit the remapped graph:\n%.120s", out)
+	}
+}

@@ -1,0 +1,117 @@
+// Command orpeval evaluates a host-switch graph file: h-ASPL, diameter,
+// the paper's lower bounds, host distribution, deployment power/cost, and
+// partition-cut bandwidth.
+//
+// Usage:
+//
+//	orpeval [-bandwidth] [-phys] graph.hsg
+//	orpsolve -n 128 -r 24 | orpeval -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/hsgraph"
+	"repro/internal/partition"
+	"repro/internal/phys"
+	"repro/internal/vis"
+)
+
+func main() {
+	var (
+		withBandwidth = flag.Bool("bandwidth", false, "also compute partition cuts for P=2..16")
+		withPhys      = flag.Bool("phys", false, "also compute deployment power and cost")
+		dotOut        = flag.String("dot", "", "write a Graphviz rendering to this file")
+		svgOut        = flag.String("svg", "", "write an SVG rendering to this file")
+		dotHosts      = flag.Bool("dothosts", false, "include host vertices in the DOT output")
+		seed          = flag.Uint64("seed", 1, "partitioner seed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orpeval [-bandwidth] [-phys] <graph.hsg | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := hsgraph.Read(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+		os.Exit(1)
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "orpeval: invalid graph: %v\n", err)
+		os.Exit(1)
+	}
+	n, m, r := g.Order(), g.Switches(), g.Radix()
+	met := g.Evaluate()
+	fmt.Printf("order (hosts)     %d\n", n)
+	fmt.Printf("switches          %d (used on shortest paths: %d)\n", m, g.UsedSwitches())
+	fmt.Printf("radix             %d\n", r)
+	fmt.Printf("switch links      %d\n", g.NumEdges())
+	fmt.Printf("h-ASPL            %.6f\n", met.HASPL)
+	fmt.Printf("diameter          %d\n", met.Diameter)
+	fmt.Printf("theorem1 diam LB  %d\n", bounds.DiameterLowerBound(n, r))
+	fmt.Printf("theorem2 ASPL LB  %.6f\n", bounds.HASPLLowerBound(n, r))
+	mOpt, b := bounds.OptimalSwitchCount(n, r, 0)
+	fmt.Printf("m_opt prediction  %d (continuous Moore bound %.6f)\n", mOpt, b)
+	fmt.Printf("host distribution %v\n", g.HostDistribution())
+
+	if *withBandwidth {
+		pg := partition.FromHostSwitchGraph(g)
+		fmt.Printf("\npartition cuts (METIS-style):\n")
+		for p := 2; p <= 16; p++ {
+			parts, err := partition.KWay(pg, p, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orpeval: partition P=%d: %v\n", p, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  P=%-3d cut=%-6d imbalance=%.3f\n",
+				p, partition.EdgeCut(pg, parts), partition.Imbalance(pg, parts, p))
+		}
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+			os.Exit(1)
+		}
+		if err := hsgraph.WriteDOT(f, g, *dotHosts); err != nil {
+			fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nDOT rendering written to %s\n", *dotOut)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+			os.Exit(1)
+		}
+		if err := vis.WriteSVG(f, g, vis.Options{ShowHosts: *dotHosts, ShowLabels: true}); err != nil {
+			fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nSVG rendering written to %s\n", *svgOut)
+	}
+	if *withPhys {
+		rep := phys.Evaluate(g, phys.NewParams())
+		fmt.Printf("\ndeployment (%d cabinets, %dx%d grid):\n", rep.Cabinets, rep.GridCols, rep.GridRows)
+		fmt.Printf("  cables          %d electrical, %d optical, %.1f m total\n", rep.NumElec, rep.NumOpt, rep.TotalCableM)
+		fmt.Printf("  power           %.1f W switches + %.1f W cables = %.1f W\n", rep.SwitchPowerW, rep.CablePowerW, rep.TotalPowerW())
+		fmt.Printf("  cost            $%.0f switches + $%.0f cables = $%.0f\n", rep.SwitchCost, rep.CableCost, rep.TotalCost())
+	}
+}

@@ -1,0 +1,79 @@
+// Command orpsim runs a NAS Parallel Benchmark communication skeleton on
+// a host-switch graph with the fluid network simulator and reports the
+// simulated runtime and Mop/s.
+//
+// Usage:
+//
+//	orptopo -kind fattree -k 16 -q | orpsim -bench FT -class A -ranks 64 -
+//	orpsim -bench CG -class B -ranks 256 graph.hsg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "EP", "benchmark: EP IS FT CG MG LU BT SP")
+		class = flag.String("class", "S", "NPB class: S, A or B")
+		ranks = flag.Int("ranks", 16, "MPI ranks (power of two; square for BT/SP)")
+		iters = flag.Int("iters", 0, "override iteration count (0 = class default)")
+		flops = flag.Float64("gflops", 100, "host speed in GFlops (paper: 100)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orpsim [flags] <graph.hsg | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := hsgraph.Read(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+		os.Exit(1)
+	}
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+		os.Exit(1)
+	}
+	if len(*class) != 1 {
+		fmt.Fprintf(os.Stderr, "orpsim: bad class %q\n", *class)
+		os.Exit(2)
+	}
+	spec, err := npb.New(*bench, npb.Class((*class)[0]), *ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *iters > 0 {
+		spec.Iterations = *iters
+	}
+	stats, err := mpi.Run(nw, *ranks, mpi.Config{FlopsPerHost: *flops * 1e9}, spec.Program())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark        %s class %s, %d ranks, %d iterations\n", *bench, *class, *ranks, spec.Iterations)
+	fmt.Printf("network          n=%d m=%d r=%d\n", g.Order(), g.Switches(), g.Radix())
+	fmt.Printf("simulated time   %.6f s\n", stats.Elapsed)
+	fmt.Printf("Mop/s            %.1f\n", spec.NominalOps()/stats.Elapsed/1e6)
+	fmt.Printf("flows            %d\n", stats.FlowsCompleted)
+	fmt.Printf("bytes moved      %.3e\n", stats.BytesMoved)
+}

@@ -1,0 +1,124 @@
+// Command orpsolve solves an order/radix problem instance: given order n
+// (hosts) and radix r (ports per switch), it predicts the optimal switch
+// count from the continuous Moore bound and runs simulated annealing with
+// the 2-neighbor swing operation, writing the resulting host-switch graph
+// and its metrics.
+//
+// Usage:
+//
+//	orpsolve -n 1024 -r 15 [-iters 100000] [-restarts 4] [-seed 1]
+//	         [-m 0] [-moves 2ns|swap|swing] [-o graph.hsg] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hsgraph"
+	"repro/internal/opt"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1024, "order: number of hosts")
+		r        = flag.Int("r", 15, "radix: ports per switch")
+		iters    = flag.Int("iters", 100000, "annealing iterations")
+		restarts = flag.Int("restarts", 1, "independent annealing restarts (best wins)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		fixedM   = flag.Int("m", 0, "force the switch count (0 = continuous-Moore prediction)")
+		moves    = flag.String("moves", "2ns", "move set: 2ns, swap or swing")
+		out      = flag.String("o", "", "output file for the graph (default stdout)")
+		dfs      = flag.Bool("dfs", true, "relabel hosts in depth-first order (paper §6.2.1)")
+		verbose  = flag.Bool("v", false, "print annealing progress")
+		repeat   = flag.Int("repeat", 1, "solve with this many consecutive seeds and report h-ASPL statistics")
+	)
+	flag.Parse()
+
+	var moveSet opt.MoveSet
+	switch *moves {
+	case "2ns":
+		moveSet = opt.TwoNeighborSwing
+	case "swap":
+		moveSet = opt.SwapOnly
+	case "swing":
+		moveSet = opt.SwingOnly
+	default:
+		fmt.Fprintf(os.Stderr, "orpsolve: unknown move set %q\n", *moves)
+		os.Exit(2)
+	}
+
+	o := core.Options{
+		Iterations: *iters,
+		Restarts:   *restarts,
+		Seed:       *seed,
+		FixedM:     *fixedM,
+		Moves:      moveSet,
+	}
+	if *verbose && *restarts <= 1 {
+		o.OnProgress = func(iter int, cur, best int64) {
+			fmt.Fprintf(os.Stderr, "iter %8d  current %12d  best %12d\n", iter, cur, best)
+		}
+	}
+	var top *core.Topology
+	if *repeat > 1 {
+		// Multi-seed study: report h-ASPL statistics, keep the best.
+		haspls := make([]float64, 0, *repeat)
+		for i := 0; i < *repeat; i++ {
+			oi := o
+			oi.Seed = o.Seed + uint64(i)
+			oi.OnProgress = nil
+			ti, err := core.Solve(*n, *r, oi)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orpsolve: seed %d: %v\n", oi.Seed, err)
+				os.Exit(1)
+			}
+			haspls = append(haspls, ti.Metrics.HASPL)
+			fmt.Fprintf(os.Stderr, "seed %-6d h-ASPL %.6f\n", oi.Seed, ti.Metrics.HASPL)
+			if top == nil || ti.Metrics.TotalPath < top.Metrics.TotalPath {
+				top = ti
+			}
+		}
+		sum := stats.Summarize(haspls)
+		lo, hi := stats.BootstrapCI(haspls, 0.95, 2000, o.Seed)
+		fmt.Fprintf(os.Stderr, "h-ASPL over %d seeds: %v\n", *repeat, sum)
+		fmt.Fprintf(os.Stderr, "95%% bootstrap CI of the mean: [%.6f, %.6f]\n", lo, hi)
+	} else {
+		var err error
+		top, err = core.Solve(*n, *r, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	g := top.Graph
+	if *dfs {
+		g = topo.RelabelHostsDFS(g)
+	}
+
+	fmt.Fprintf(os.Stderr, "method            %v\n", top.Method)
+	fmt.Fprintf(os.Stderr, "switches          %d (predicted m_opt %d)\n", top.MUsed, top.MPredicted)
+	fmt.Fprintf(os.Stderr, "h-ASPL            %.6f\n", top.Metrics.HASPL)
+	fmt.Fprintf(os.Stderr, "diameter          %d\n", top.Metrics.Diameter)
+	fmt.Fprintf(os.Stderr, "theorem2 bound    %.6f\n", top.LowerBound)
+	fmt.Fprintf(os.Stderr, "continuous Moore  %.6f\n", top.ContinuousMoore)
+	fmt.Fprintf(os.Stderr, "host distribution %v\n", g.HostDistribution())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := hsgraph.Write(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+		os.Exit(1)
+	}
+}

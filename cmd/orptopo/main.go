@@ -1,0 +1,90 @@
+// Command orptopo generates conventional interconnection topologies as
+// host-switch graphs: torus, dragonfly, fat-tree, hypercube and full mesh.
+//
+// Usage:
+//
+//	orptopo -kind torus -dims 5 -base 3 -r 15 -n 1024
+//	orptopo -kind dragonfly -a 8 -n 1024
+//	orptopo -kind fattree -k 16 -n 1024
+//	orptopo -kind hypercube -dims 4 -r 8 -n 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hsgraph"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "torus", "torus | dragonfly | fattree | hypercube | fullmesh")
+		n     = flag.Int("n", 0, "hosts to attach (0 = full capacity)")
+		r     = flag.Int("r", 15, "radix (torus/hypercube/fullmesh)")
+		dims  = flag.Int("dims", 5, "dimensions (torus/hypercube)")
+		base  = flag.Int("base", 3, "base (torus)")
+		a     = flag.Int("a", 8, "group size (dragonfly)")
+		k     = flag.Int("k", 16, "arity (fattree)")
+		m     = flag.Int("m", 8, "switches (fullmesh)")
+		rr    = flag.Bool("roundrobin", false, "attach hosts round-robin instead of sequentially")
+		out   = flag.String("o", "", "output file (default stdout)")
+		quiet = flag.Bool("q", false, "suppress the stats header on stderr")
+	)
+	flag.Parse()
+
+	var spec *topo.Spec
+	var err error
+	switch *kind {
+	case "torus":
+		spec, err = topo.Torus(*dims, *base, *r)
+	case "dragonfly":
+		spec, err = topo.Dragonfly(*a)
+	case "fattree":
+		spec, err = topo.FatTree(*k)
+	case "hypercube":
+		spec, err = topo.Hypercube(*dims, *r)
+	case "fullmesh":
+		spec, err = topo.FullMesh(*m, *r)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
+		os.Exit(2)
+	}
+	hosts := *n
+	if hosts == 0 {
+		hosts = spec.MaxHosts
+	}
+	var g *hsgraph.Graph
+	if *rr {
+		g, err = spec.BuildRoundRobin(hosts)
+	} else {
+		g, err = spec.Build(hosts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		met := g.Evaluate()
+		fmt.Fprintf(os.Stderr, "%s: n=%d m=%d r=%d links=%d h-ASPL=%.4f diameter=%d\n",
+			spec.Name, g.Order(), g.Switches(), g.Radix(), g.NumEdges(), met.HASPL, met.Diameter)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := hsgraph.Write(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
+		os.Exit(1)
+	}
+}

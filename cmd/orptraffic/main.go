@@ -1,0 +1,123 @@
+// Command orptraffic stresses a host-switch graph with synthetic traffic
+// patterns and prints latency/throughput statistics, optionally with
+// per-link hotspot analysis and the packet-level (store-and-forward)
+// model instead of the fluid one.
+//
+// Usage:
+//
+//	orpsolve -n 64 -r 8 | orptraffic -
+//	orptraffic -pattern shift -bytes 1048576 -packet graph.hsg
+//	orptraffic -hotlinks graph.hsg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/hsgraph"
+	"repro/internal/simnet"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		pattern  = flag.String("pattern", "all", "uniform|transpose|bitreverse|bitcomplement|shift|neighbor|hotspot10|all")
+		bytes    = flag.Float64("bytes", 32768, "message size")
+		rounds   = flag.Int("rounds", 4, "messages per source")
+		packet   = flag.Bool("packet", false, "store-and-forward packet model instead of fluid flows")
+		mtu      = flag.Float64("mtu", 0, "packet size for -packet (0 = default)")
+		seed     = flag.Uint64("seed", 1, "seed for randomized patterns")
+		hotlinks = flag.Bool("hotlinks", false, "print the 10 most loaded links under the chosen pattern")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orptraffic [flags] <graph.hsg | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := hsgraph.Read(in)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	opts := traffic.RunOptions{MessageBytes: *bytes, Rounds: *rounds, Packet: *packet, MTU: *mtu}
+
+	var patterns []traffic.Pattern
+	if *pattern == "all" {
+		patterns = traffic.All(*seed)
+	} else {
+		for _, p := range traffic.All(*seed) {
+			if p.Name == *pattern {
+				patterns = []traffic.Pattern{p}
+			}
+		}
+		if len(patterns) == 0 {
+			fmt.Fprintf(os.Stderr, "orptraffic: unknown pattern %q\n", *pattern)
+			os.Exit(2)
+		}
+	}
+	results, err := traffic.Sweep(nw, patterns, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, res := range results {
+		fmt.Println(res)
+	}
+
+	if *hotlinks {
+		p := patterns[0]
+		sim := simnet.NewSim(nw)
+		sim.TrackLinkStats = true
+		n := nw.Hosts()
+		for src := 0; src < n; src++ {
+			src := src
+			sim.Spawn(src, func(proc *simnet.Proc) {
+				dst := p.Dest(src, n)
+				if dst == src {
+					return
+				}
+				sg, err := sim.StartFlow(src, dst, *bytes)
+				if err != nil {
+					return
+				}
+				proc.Wait(sg)
+			})
+		}
+		if err := sim.Run(); err != nil {
+			fatal(err)
+		}
+		loads := sim.LinkLoads()
+		sort.Slice(loads, func(i, j int) bool { return loads[i].Bytes > loads[j].Bytes })
+		fmt.Printf("\nhottest links under %q:\n", p.Name)
+		for i := 0; i < 10 && i < len(loads); i++ {
+			l := loads[i]
+			fmt.Printf("  %s -> %s  %.1f KB\n", nodeName(nw, l.From), nodeName(nw, l.To), l.Bytes/1e3)
+		}
+	}
+}
+
+func nodeName(nw *simnet.Network, id int) string {
+	if id < nw.Hosts() {
+		return fmt.Sprintf("h%d", id)
+	}
+	return fmt.Sprintf("s%d", id-nw.Hosts())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "orptraffic: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Clusterdesign: an end-to-end design study in the style of the paper's
+// §6.3.3 — design a 1024-host cluster with 16-port switches and compare
+// the proposed ORP topology against the 16-ary fat-tree on all four axes:
+// simulated NPB performance, partition-cut bandwidth, power, and cost.
+//
+//	go run ./examples/clusterdesign            (takes a minute or two)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/partition"
+	"repro/internal/phys"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func main() {
+	const n = 1024
+	const ranks = 256 // MPI job size for the performance probe
+
+	// Baseline: the 16-ary three-layer fat-tree (m=320, r=16).
+	ftSpec, err := topo.FatTree(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatTree, err := ftSpec.Build(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Proposed: solve ORP at the same order and radix, then apply the
+	// depth-first host placement.
+	top, err := core.Solve(n, ftSpec.Radix, core.Options{Iterations: 20000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed := topo.RelabelHostsDFS(top.Graph)
+
+	fm, pm := fatTree.Evaluate(), proposed.Evaluate()
+	fmt.Printf("topology        switches  h-ASPL   diameter\n")
+	fmt.Printf("fat-tree        %-9d %-8.4f %d\n", fatTree.Switches(), fm.HASPL, fm.Diameter)
+	fmt.Printf("proposed (ORP)  %-9d %-8.4f %d\n", proposed.Switches(), pm.HASPL, pm.Diameter)
+	fmt.Printf("switch savings: %.0f%%\n\n",
+		100*(1-float64(proposed.Switches())/float64(fatTree.Switches())))
+
+	// Axis 1: simulated NPB performance at class B geometry (CG and MG are
+	// the benchmarks where the paper reports the fat-tree suffering most).
+	fmt.Println("NPB performance (simulated Mop/s, higher is better):")
+	for _, bench := range []string{"CG", "MG", "LU"} {
+		mb := mops(fatTree, bench, ranks)
+		mp := mops(proposed, bench, ranks)
+		fmt.Printf("  %-4s fat-tree %10.0f   proposed %10.0f   (%+.0f%%)\n",
+			bench, mb, mp, 100*(mp/mb-1))
+	}
+
+	// Axis 2: bandwidth via balanced partition cuts.
+	fmt.Println("\npartition-cut bandwidth (higher is better):")
+	gf := partition.FromHostSwitchGraph(fatTree)
+	gp := partition.FromHostSwitchGraph(proposed)
+	for _, p := range []int{2, 8, 16} {
+		cf := cut(gf, p)
+		cp := cut(gp, p)
+		fmt.Printf("  P=%-3d fat-tree %6d   proposed %6d\n", p, cf, cp)
+	}
+
+	// Axes 3+4: deployment power and cost.
+	params := phys.NewParams()
+	rf, rp := phys.Evaluate(fatTree, params), phys.Evaluate(proposed, params)
+	fmt.Printf("\ndeployment:\n")
+	fmt.Printf("  %-10s power %8.0f W   cost $%9.0f (switches $%.0f + cables $%.0f)\n",
+		"fat-tree", rf.TotalPowerW(), rf.TotalCost(), rf.SwitchCost, rf.CableCost)
+	fmt.Printf("  %-10s power %8.0f W   cost $%9.0f (switches $%.0f + cables $%.0f)\n",
+		"proposed", rp.TotalPowerW(), rp.TotalCost(), rp.SwitchCost, rp.CableCost)
+}
+
+func mops(g *hsgraph.Graph, bench string, ranks int) float64 {
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := npb.New(bench, npb.ClassB, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two iterations suffice: simulated time scales linearly with the
+	// iteration count, so topology ratios are iteration-invariant.
+	if spec.Iterations > 2 {
+		spec.Iterations = 2
+	}
+	stats, err := mpi.Run(nw, ranks, mpi.Config{}, spec.Program())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spec.NominalOps() / stats.Elapsed / 1e6
+}
+
+func cut(g *partition.Graph, p int) int64 {
+	parts, err := partition.KWay(g, p, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return partition.EdgeCut(g, parts)
+}

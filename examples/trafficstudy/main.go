@@ -1,0 +1,110 @@
+// Trafficstudy: stress four topologies with the classical synthetic
+// traffic patterns (uniform, transpose, bit-reverse, shift, hotspot, ...)
+// and print a latency/throughput matrix plus link-utilisation hotspots —
+// the microbenchmark-level view that complements the paper's NPB results.
+//
+//	go run ./examples/trafficstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hsgraph"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	const n = 64
+
+	fabrics := []struct {
+		name string
+		g    *hsgraph.Graph
+	}{}
+
+	torus, err := topo.Torus(2, 4, 8) // 16 switches, 4 hosts each
+	must(err)
+	gt, err := torus.Build(n)
+	must(err)
+	fabrics = append(fabrics, struct {
+		name string
+		g    *hsgraph.Graph
+	}{"2D-torus", gt})
+
+	df, err := topo.Dragonfly(4)
+	must(err)
+	gd, err := df.Build(n)
+	must(err)
+	fabrics = append(fabrics, struct {
+		name string
+		g    *hsgraph.Graph
+	}{"dragonfly", gd})
+
+	ft, err := topo.FatTree(8)
+	must(err)
+	gf, err := ft.Build(n)
+	must(err)
+	fabrics = append(fabrics, struct {
+		name string
+		g    *hsgraph.Graph
+	}{"fat-tree", gf})
+
+	top, err := core.Solve(n, 8, core.Options{Iterations: 10000, Seed: 13})
+	must(err)
+	fabrics = append(fabrics, struct {
+		name string
+		g    *hsgraph.Graph
+	}{"proposed", topo.RelabelHostsDFS(top.Graph)})
+
+	patterns := traffic.All(1)
+	opts := traffic.RunOptions{MessageBytes: 32768, Rounds: 4}
+
+	fmt.Printf("mean end-to-end latency (us) per pattern; lower is better\n\n")
+	fmt.Printf("%-12s", "fabric")
+	for _, p := range patterns {
+		fmt.Printf("%-14s", p.Name)
+	}
+	fmt.Println()
+	for _, f := range fabrics {
+		nw, err := simnet.NewNetwork(f.g, simnet.Config{})
+		must(err)
+		fmt.Printf("%-12s", f.name)
+		for _, p := range patterns {
+			res, err := traffic.Run(nw, p, opts)
+			must(err)
+			fmt.Printf("%-14.2f", res.MeanLatSec*1e6)
+		}
+		fmt.Println()
+	}
+
+	// Hotspot analysis on one fabric: which links melt under shift?
+	fmt.Printf("\nlink hotspots under 'shift' on the proposed fabric:\n")
+	nw, err := simnet.NewNetwork(fabrics[3].g, simnet.Config{})
+	must(err)
+	sim := simnet.NewSim(nw)
+	sim.TrackLinkStats = true
+	for src := 0; src < n; src++ {
+		src := src
+		sim.Spawn(src, func(p *simnet.Proc) {
+			dst := traffic.Shift.Dest(src, n)
+			sg, err := sim.StartFlow(src, dst, 1<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.Wait(sg)
+		})
+	}
+	must(sim.Run())
+	maxB, meanB := sim.LinkLoadSummary()
+	fmt.Printf("  max link load %.1f MB, mean (active links) %.1f MB, imbalance %.2fx\n",
+		maxB/1e6, meanB/1e6, maxB/meanB)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

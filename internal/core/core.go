@@ -1,0 +1,172 @@
+// Package core is the top-level API of this repository: it solves the
+// order/radix problem (ORP) end to end the way Section 5.3 of the paper
+// prescribes. Given order n and radix r it
+//
+//  1. returns the trivial single-switch graph when n <= r,
+//  2. returns the Appendix's provably optimal clique construction when
+//     n <= m(r-m+1) for some m, and otherwise
+//  3. predicts the optimal switch count m_opt as the minimiser of the
+//     continuous Moore bound and runs simulated annealing with the
+//     2-neighbor swing operation from a random saturated start.
+//
+// The result is the paper's "proposed topology" for (n, r).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/hsgraph"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// Method records which of the three regimes produced a topology.
+type Method int
+
+const (
+	// SingleSwitch: n <= r, all hosts on one switch (h-ASPL exactly 2).
+	SingleSwitch Method = iota
+	// CliqueOptimal: the Appendix construction, provably optimal.
+	CliqueOptimal
+	// Annealed: m_opt prediction + simulated annealing (the general case).
+	Annealed
+)
+
+func (m Method) String() string {
+	switch m {
+	case SingleSwitch:
+		return "single-switch"
+	case CliqueOptimal:
+		return "clique"
+	case Annealed:
+		return "annealed"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures Solve. The zero value uses the defaults documented
+// on each field.
+type Options struct {
+	// Iterations per annealing run. Default 50000.
+	Iterations int
+	// Restarts is the number of independent annealing runs (the best
+	// wins). Default 1.
+	Restarts int
+	// Seed drives all randomness; equal seeds give equal topologies.
+	Seed uint64
+	// FixedM forces the switch count instead of the m_opt prediction.
+	// Zero means predict. Used by the Fig. 5 sweeps.
+	FixedM int
+	// Moves selects the SA neighbourhood. Default TwoNeighborSwing.
+	Moves opt.MoveSet
+	// OnProgress is forwarded to the annealer (single-restart runs only).
+	OnProgress func(iter int, current, best int64)
+}
+
+// Topology is a solved ORP instance.
+type Topology struct {
+	Graph   *hsgraph.Graph
+	Method  Method
+	Metrics hsgraph.Metrics
+	// MPredicted is the continuous-Moore-bound m_opt for (n, r); MUsed is
+	// the switch count actually used (differs only under Options.FixedM
+	// or in the clique/single-switch regimes).
+	MPredicted int
+	MUsed      int
+	// LowerBound is Theorem 2's h-ASPL lower bound; ContinuousMoore is
+	// the continuous Moore bound at MUsed.
+	LowerBound      float64
+	ContinuousMoore float64
+	// Anneal holds SA statistics when Method == Annealed.
+	Anneal opt.Result
+}
+
+// Solve produces the proposed topology for order n and radix r.
+func Solve(n, r int, o Options) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: order %d < 1", n)
+	}
+	if r < 3 {
+		return nil, fmt.Errorf("core: radix %d < 3", r)
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 50000
+	}
+	if o.Restarts < 1 {
+		o.Restarts = 1
+	}
+
+	mOpt, _ := bounds.OptimalSwitchCount(n, r, 0)
+	top := &Topology{
+		MPredicted: mOpt,
+		LowerBound: bounds.HASPLLowerBound(n, r),
+	}
+
+	if o.FixedM == 0 {
+		// Regime 1: one switch suffices.
+		if n <= r {
+			g := hsgraph.New(n, 1, r)
+			for h := 0; h < n; h++ {
+				if err := g.AttachHost(h, 0); err != nil {
+					return nil, err
+				}
+			}
+			top.Graph, top.Method = g, SingleSwitch
+			return finish(top, n, r)
+		}
+		// Regime 2: clique construction is feasible and optimal (Thm 3).
+		if m := bounds.MinCliqueSwitches(n, r); m > 0 {
+			g, err := opt.Clique(n, r)
+			if err != nil {
+				return nil, err
+			}
+			top.Graph, top.Method = g, CliqueOptimal
+			return finish(top, n, r)
+		}
+	}
+
+	// Regime 3: predict m, anneal.
+	m := o.FixedM
+	if m == 0 {
+		m = mOpt
+	}
+	if !hsgraph.Feasible(n, m, r) {
+		return nil, fmt.Errorf("core: no host-switch graph with n=%d m=%d r=%d exists", n, m, r)
+	}
+	start, err := hsgraph.RandomConnected(n, m, r, rng.New(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	ao := opt.Options{
+		Iterations: o.Iterations,
+		Moves:      o.Moves,
+		Seed:       o.Seed + 1,
+		OnProgress: o.OnProgress,
+	}
+	var g *hsgraph.Graph
+	var res opt.Result
+	if o.Restarts > 1 {
+		g, res, err = opt.ParallelAnneal(start, ao, o.Restarts)
+	} else {
+		g, res, err = opt.Anneal(start, ao)
+	}
+	if err != nil {
+		return nil, err
+	}
+	top.Graph, top.Method, top.Anneal = g, Annealed, res
+	return finish(top, n, r)
+}
+
+func finish(top *Topology, n, r int) (*Topology, error) {
+	top.MUsed = top.Graph.Switches()
+	top.Metrics = top.Graph.Evaluate()
+	top.ContinuousMoore = bounds.ContinuousMooreHASPL(n, top.MUsed, r)
+	if !top.Metrics.Connected {
+		return nil, hsgraph.ErrNotConnected
+	}
+	if err := top.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("core: produced invalid topology: %w", err)
+	}
+	return top, nil
+}

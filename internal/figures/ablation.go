@@ -1,0 +1,243 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Ablations beyond the paper's figures: each isolates one design choice
+// DESIGN.md calls out (move set, host placement, ECMP tie-break,
+// collective algorithm) and quantifies its effect with the same
+// machinery as the main experiments.
+
+// AblationMoves compares the three SA neighbourhoods at fixed (n, m, r):
+// swap-only (regular), swing-only, and the paper's 2-neighbor swing.
+// Returns final h-ASPL per move set.
+func AblationMoves(n, m, r int, o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	out := map[string]float64{}
+	start, err := hsgraph.RandomConnected(n, m, r, rng.New(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, ms := range []opt.MoveSet{opt.SwapOnly, opt.SwingOnly, opt.TwoNeighborSwing} {
+		g, _, err := opt.Anneal(start, opt.Options{
+			Iterations: o.SAIterations,
+			Moves:      ms,
+			Seed:       o.Seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[ms.String()] = g.Evaluate().HASPL
+	}
+	return out, nil
+}
+
+// AblationSchedules compares cooling schedules with the 2-neighbor swing
+// neighbourhood.
+func AblationSchedules(n, m, r int, o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	out := map[string]float64{}
+	start, err := hsgraph.RandomConnected(n, m, r, rng.New(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range []opt.Schedule{opt.Geometric, opt.Linear, opt.HillClimb} {
+		g, _, err := opt.Anneal(start, opt.Options{
+			Iterations: o.SAIterations,
+			Schedule:   sc,
+			Seed:       o.Seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[sc.String()] = g.Evaluate().HASPL
+	}
+	return out, nil
+}
+
+// AblationPlacement measures the paper's §6.2.1 depth-first host
+// relabeling against keeping the raw (arbitrary) host order, by timing
+// one NPB benchmark on both placements of the same solved topology.
+// Returns simulated seconds for {"raw", "dfs"}.
+func AblationPlacement(bench string, o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	raw, err := ProposedTopology(1024, 16, o.SAIterations, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// ProposedTopology already applies DFS; reconstruct a scrambled
+	// placement by reversing host ids (a worst-ish case permutation that
+	// preserves per-switch host counts).
+	scrambled := reverseHosts(raw)
+	out := map[string]float64{}
+	for name, g := range map[string]*hsgraph.Graph{"dfs": raw, "raw": scrambled} {
+		nw, err := simnet.NewNetwork(g, simnet.Config{})
+		if err != nil {
+			return nil, err
+		}
+		spec, err := npb.New(bench, classFor(o, bench), o.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		if o.MaxIters > 0 && spec.Iterations > o.MaxIters {
+			spec.Iterations = o.MaxIters
+		}
+		stats, err := mpi.Run(nw, o.Ranks, mpi.Config{}, spec.Program())
+		if err != nil {
+			return nil, err
+		}
+		out[name] = stats.Elapsed
+	}
+	return out, nil
+}
+
+// reverseHosts returns a copy of g with host ids reversed.
+func reverseHosts(g *hsgraph.Graph) *hsgraph.Graph {
+	n := g.Order()
+	out := hsgraph.New(n, g.Switches(), g.Radix())
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		if err := out.Connect(a, b); err != nil {
+			panic(err)
+		}
+	}
+	for h := 0; h < n; h++ {
+		if err := out.AttachHost(n-1-h, g.SwitchOf(h)); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// AblationTieBreak compares the deterministic lowest-index routing
+// against hash-spread ECMP on one NPB benchmark over the proposed
+// topology. Returns simulated seconds per policy.
+func AblationTieBreak(bench string, o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	g, err := ProposedTopology(1024, 16, o.SAIterations, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for name, tb := range map[string]simnet.TieBreak{"lowest": simnet.LowestIndex, "hash": simnet.HashSpread} {
+		nw, err := simnet.NewNetwork(g, simnet.Config{TieBreak: tb})
+		if err != nil {
+			return nil, err
+		}
+		spec, err := npb.New(bench, classFor(o, bench), o.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		if o.MaxIters > 0 && spec.Iterations > o.MaxIters {
+			spec.Iterations = o.MaxIters
+		}
+		stats, err := mpi.Run(nw, o.Ranks, mpi.Config{}, spec.Program())
+		if err != nil {
+			return nil, err
+		}
+		out[name] = stats.Elapsed
+	}
+	return out, nil
+}
+
+// AblationCollectives compares the short- and long-message collective
+// algorithms on the proposed topology at several sizes, returning the
+// elapsed seconds keyed by "algorithm/bytes".
+func AblationCollectives(o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	g, err := ProposedTopology(1024, 16, o.SAIterations, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	run := func(key string, f func(r *mpi.Rank)) error {
+		stats, err := mpi.Run(nw, o.Ranks, mpi.Config{}, func(r *mpi.Rank) error {
+			f(r)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", key, err)
+		}
+		out[key] = stats.Elapsed
+		return nil
+	}
+	for _, bytes := range []float64{1024, 1 << 20} {
+		b := bytes
+		if err := run(fmt.Sprintf("bcast-binomial/%d", int(b)), func(r *mpi.Rank) { r.Bcast(0, b) }); err != nil {
+			return nil, err
+		}
+		if err := run(fmt.Sprintf("bcast-vandegeijn/%d", int(b)), func(r *mpi.Rank) { r.BcastScatterAllgather(0, b) }); err != nil {
+			return nil, err
+		}
+		if err := run(fmt.Sprintf("allreduce-rd/%d", int(b)), func(r *mpi.Rank) { r.Allreduce(b) }); err != nil {
+			return nil, err
+		}
+		if err := run(fmt.Sprintf("allreduce-rabenseifner/%d", int(b)), func(r *mpi.Rank) { r.AllreduceRabenseifner(b) }); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AblationAttachment compares sequential vs round-robin host attachment
+// for a conventional topology under one benchmark; returns elapsed
+// seconds per policy.
+func AblationAttachment(kind, bench string, o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	var spec *topo.Spec
+	var err error
+	switch kind {
+	case "torus":
+		spec, err = topo.Torus(5, 3, 15)
+	case "dragonfly":
+		spec, err = topo.Dragonfly(8)
+	case "fattree":
+		spec, err = topo.FatTree(16)
+	default:
+		return nil, fmt.Errorf("figures: unknown kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	seq, err := spec.Build(1024)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := spec.BuildRoundRobin(1024)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for name, g := range map[string]*hsgraph.Graph{"sequential": seq, "roundrobin": rr} {
+		nw, err := simnet.NewNetwork(g, simnet.Config{})
+		if err != nil {
+			return nil, err
+		}
+		bspec, err := npb.New(bench, classFor(o, bench), o.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		if o.MaxIters > 0 && bspec.Iterations > o.MaxIters {
+			bspec.Iterations = o.MaxIters
+		}
+		stats, err := mpi.Run(nw, o.Ranks, mpi.Config{}, bspec.Program())
+		if err != nil {
+			return nil, err
+		}
+		out[name] = stats.Elapsed
+	}
+	return out, nil
+}

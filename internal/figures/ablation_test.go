@@ -1,0 +1,92 @@
+package figures
+
+import "testing"
+
+func TestAblationMoves(t *testing.T) {
+	o := testOptions()
+	res, err := AblationMoves(96, 30, 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"swap", "swing", "2-neighbor-swing"} {
+		if res[k] <= 2 {
+			t.Fatalf("%s: implausible h-ASPL %v", k, res[k])
+		}
+	}
+	// The combined operation should be at least as good as swap-only from
+	// the same (non-regular) start; allow a little SA noise.
+	if res["2-neighbor-swing"] > res["swap"]+0.3 {
+		t.Fatalf("2-neighbor swing (%v) much worse than swap (%v)", res["2-neighbor-swing"], res["swap"])
+	}
+}
+
+func TestAblationSchedules(t *testing.T) {
+	o := testOptions()
+	res, err := AblationSchedules(96, 30, 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"geometric", "linear", "hillclimb"} {
+		if res[k] <= 2 {
+			t.Fatalf("%s missing or implausible: %v", k, res[k])
+		}
+	}
+}
+
+func TestAblationPlacement(t *testing.T) {
+	o := testOptions()
+	o.Ranks = 16
+	res, err := AblationPlacement("MG", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["dfs"] <= 0 || res["raw"] <= 0 {
+		t.Fatalf("missing timings: %v", res)
+	}
+}
+
+func TestAblationTieBreak(t *testing.T) {
+	o := testOptions()
+	o.Ranks = 16
+	res, err := AblationTieBreak("CG", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["lowest"] <= 0 || res["hash"] <= 0 {
+		t.Fatalf("missing timings: %v", res)
+	}
+}
+
+func TestAblationCollectives(t *testing.T) {
+	o := testOptions()
+	o.Ranks = 16
+	res, err := AblationCollectives(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("expected 8 entries, got %d: %v", len(res), res)
+	}
+	// At 1 MiB the bandwidth-optimised algorithms must not lose.
+	if res["bcast-vandegeijn/1048576"] > res["bcast-binomial/1048576"] {
+		t.Fatalf("van de Geijn slower at 1 MiB: %v", res)
+	}
+	if res["allreduce-rabenseifner/1048576"] > res["allreduce-rd/1048576"] {
+		t.Fatalf("Rabenseifner slower at 1 MiB: %v", res)
+	}
+}
+
+func TestAblationAttachment(t *testing.T) {
+	o := testOptions()
+	o.Ranks = 16
+	res, err := AblationAttachment("torus", "MG", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["sequential"] <= 0 || res["roundrobin"] <= 0 {
+		t.Fatalf("missing timings: %v", res)
+	}
+	if _, err := AblationAttachment("nosuch", "MG", o); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,344 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/partition"
+	"repro/internal/phys"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Comparison bundles one of the paper's §6.3 head-to-heads: a conventional
+// topology and the proposed topology at the same (n, r).
+type Comparison struct {
+	Kind     string // "torus" | "dragonfly" | "fattree"
+	N        int
+	R        int
+	Baseline *hsgraph.Graph
+	Proposed *hsgraph.Graph
+}
+
+// Kinds lists the supported comparison kinds in paper order
+// (Fig. 9, Fig. 10, Fig. 11).
+var Kinds = []string{"torus", "dragonfly", "fattree"}
+
+// proposals caches solved proposed topologies: SA at n=1024 is the
+// expensive step and Figs. 9 and 10 share the r=15 instance.
+var (
+	proposalMu sync.Mutex
+	proposals  = map[string]*hsgraph.Graph{}
+)
+
+// ProposedTopology solves the ORP instance for (n, r) and applies the
+// paper's depth-first host relabeling (§6.2.1). Results are cached per
+// (n, r, iterations, seed).
+func ProposedTopology(n, r, iterations int, seed uint64) (*hsgraph.Graph, error) {
+	key := fmt.Sprintf("%d/%d/%d/%d", n, r, iterations, seed)
+	proposalMu.Lock()
+	g, ok := proposals[key]
+	proposalMu.Unlock()
+	if ok {
+		return g, nil
+	}
+	top, err := core.Solve(n, r, core.Options{Iterations: iterations, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	g = topo.RelabelHostsDFS(top.Graph)
+	proposalMu.Lock()
+	proposals[key] = g
+	proposalMu.Unlock()
+	return g, nil
+}
+
+// BuildComparison constructs the paper's configuration for a kind:
+// torus    - 5-D base-3 torus, r=15, m=243 (Sequoia-like)
+// dragonfly- a=8, r=15, m=264 (Cori/Piz-Daint-like)
+// fattree  - 16-ary 3-layer fat-tree, r=16, m=320 (Tianhe-2-like)
+// against the proposed topology with n=1024 and the same radix.
+func BuildComparison(kind string, o Options) (*Comparison, error) {
+	o = o.withDefaults()
+	const n = 1024
+	var spec *topo.Spec
+	var err error
+	switch kind {
+	case "torus":
+		spec, err = topo.Torus(5, 3, 15)
+	case "dragonfly":
+		spec, err = topo.Dragonfly(8)
+	case "fattree":
+		spec, err = topo.FatTree(16)
+	default:
+		return nil, fmt.Errorf("figures: unknown comparison %q (have %v)", kind, Kinds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	base, err := spec.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := ProposedTopology(n, spec.Radix, o.SAIterations, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Kind: kind, N: n, R: spec.Radix, Baseline: base, Proposed: prop}, nil
+}
+
+// classFor resolves the per-benchmark NPB class: the paper runs class A
+// for IS and FT and class B for the rest; Options.Class 'P' selects that,
+// any other value applies uniformly.
+func classFor(o Options, bench string) npb.Class {
+	if o.Class == 'P' {
+		if bench == "IS" || bench == "FT" {
+			return npb.ClassA
+		}
+		return npb.ClassB
+	}
+	return npb.Class(o.Class)
+}
+
+// Performance reproduces Figs. 9a/10a/11a: NPB Mop/s on the baseline and
+// the proposed topology.
+func (c *Comparison) Performance(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     fmt.Sprintf("fig-%s-a", c.Kind),
+		Title:  fmt.Sprintf("NPB performance, %s vs proposed (n=%d, ranks=%d)", c.Kind, c.N, o.Ranks),
+		XLabel: "benchmark index (see labels)",
+		YLabel: "Mop/s (simulated)",
+	}
+	baseNet, err := simnet.NewNetwork(c.Baseline, simnet.Config{})
+	if err != nil {
+		return fig, err
+	}
+	propNet, err := simnet.NewNetwork(c.Proposed, simnet.Config{})
+	if err != nil {
+		return fig, err
+	}
+	var sBase, sProp Series
+	sBase.Label = c.Kind
+	sProp.Label = "proposed"
+	for i, bench := range o.Benchmarks {
+		spec, err := npb.New(bench, classFor(o, bench), o.Ranks)
+		if err != nil {
+			return fig, fmt.Errorf("figures: %s: %w", bench, err)
+		}
+		if o.MaxIters > 0 && spec.Iterations > o.MaxIters {
+			spec.Iterations = o.MaxIters
+		}
+		mb, err := runMops(baseNet, spec, o.Ranks)
+		if err != nil {
+			return fig, fmt.Errorf("figures: %s on %s: %w", bench, c.Kind, err)
+		}
+		mp, err := runMops(propNet, spec, o.Ranks)
+		if err != nil {
+			return fig, fmt.Errorf("figures: %s on proposed: %w", bench, err)
+		}
+		sBase.Points = append(sBase.Points, Point{float64(i), mb})
+		sProp.Points = append(sProp.Points, Point{float64(i), mp})
+	}
+	fig.Series = []Series{sBase, sProp}
+	return fig, nil
+}
+
+func runMops(nw *simnet.Network, spec *npb.Spec, ranks int) (float64, error) {
+	stats, err := mpi.Run(nw, ranks, mpi.Config{}, spec.Program())
+	if err != nil {
+		return 0, err
+	}
+	if stats.Elapsed <= 0 {
+		return 0, fmt.Errorf("zero elapsed time")
+	}
+	return spec.NominalOps() / stats.Elapsed / 1e6, nil
+}
+
+// Bandwidth reproduces Figs. 9b/10b/11b: the partition-cut bandwidth for
+// P = 2..16 parts, computed with the multilevel partitioner (METIS's
+// role in the paper).
+func (c *Comparison) Bandwidth(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     fmt.Sprintf("fig-%s-b", c.Kind),
+		Title:  fmt.Sprintf("bandwidth (partition cut), %s vs proposed", c.Kind),
+		XLabel: "partitions P",
+		YLabel: "cut edges",
+	}
+	var sBase, sProp Series
+	sBase.Label = c.Kind
+	sProp.Label = "proposed"
+	gb := partition.FromHostSwitchGraph(c.Baseline)
+	gp := partition.FromHostSwitchGraph(c.Proposed)
+	for p := 2; p <= 16; p++ {
+		pb, err := partition.KWay(gb, p, o.Seed)
+		if err != nil {
+			return fig, err
+		}
+		pp, err := partition.KWay(gp, p, o.Seed)
+		if err != nil {
+			return fig, err
+		}
+		sBase.Points = append(sBase.Points, Point{float64(p), float64(partition.EdgeCut(gb, pb))})
+		sProp.Points = append(sProp.Points, Point{float64(p), float64(partition.EdgeCut(gp, pp))})
+	}
+	fig.Series = []Series{sBase, sProp}
+	return fig, nil
+}
+
+// Power reproduces Figs. 9c/10c/11c: total power versus the number of
+// connectable hosts, sweeping the conventional topology's size parameter
+// and the proposed topology's order. Proposed points use a random
+// saturated graph at m_opt: power depends on m, the edge count and the
+// layout, all of which SA leaves essentially unchanged.
+func (c *Comparison) Power(o Options) (Figure, error) {
+	return c.deploymentSweep(o, "c", "total power (W)", func(rep phys.Report) float64 {
+		return rep.TotalPowerW()
+	})
+}
+
+// Cost reproduces the totals of Figs. 9d/10d/11d (see CostBreakdown for
+// the switch/cable split).
+func (c *Comparison) Cost(o Options) (Figure, error) {
+	return c.deploymentSweep(o, "d", "total cost ($)", func(rep phys.Report) float64 {
+		return rep.TotalCost()
+	})
+}
+
+func (c *Comparison) deploymentSweep(o Options, suffix, ylabel string, metric func(phys.Report) float64) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     fmt.Sprintf("fig-%s-%s", c.Kind, suffix),
+		Title:  fmt.Sprintf("%s vs connectable hosts, %s vs proposed", ylabel, c.Kind),
+		XLabel: "connectable hosts",
+		YLabel: ylabel,
+	}
+	params := phys.NewParams()
+	var sBase, sProp Series
+	sBase.Label = c.Kind
+	sProp.Label = "proposed"
+	specs, err := c.sizeSweep()
+	if err != nil {
+		return fig, err
+	}
+	for _, spec := range specs {
+		g, err := spec.Build(spec.MaxHosts)
+		if err != nil {
+			return fig, err
+		}
+		sBase.Points = append(sBase.Points, Point{float64(spec.MaxHosts), metric(phys.Evaluate(g, params))})
+		// Proposed network with the same host count and this spec's radix.
+		pg, err := proposedPhysical(spec.MaxHosts, spec.Radix, o.Seed)
+		if err != nil {
+			return fig, err
+		}
+		sProp.Points = append(sProp.Points, Point{float64(spec.MaxHosts), metric(phys.Evaluate(pg, params))})
+	}
+	fig.Series = []Series{sBase, sProp}
+	return fig, nil
+}
+
+// sizeSweep returns growing instances of the conventional topology for
+// the deployment sweeps, per the paper: the torus keeps dimension 5 and
+// radix 15 and grows its base; the dragonfly grows a (radix 2a-1); the
+// fat-tree grows K (radix K).
+func (c *Comparison) sizeSweep() ([]*topo.Spec, error) {
+	var out []*topo.Spec
+	switch c.Kind {
+	case "torus":
+		for _, base := range []int{2, 3, 4} {
+			sp, err := topo.Torus(5, base, 15)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sp)
+		}
+	case "dragonfly":
+		for _, a := range []int{4, 6, 8, 10} {
+			sp, err := topo.Dragonfly(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sp)
+		}
+	case "fattree":
+		for _, k := range []int{8, 12, 16, 20} {
+			sp, err := topo.FatTree(k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// proposedPhysical builds a deployment-equivalent proposed network: a
+// random saturated host-switch graph at the m_opt switch count (a
+// one-iteration Solve). Deployment metrics depend on m, the edge count
+// and the floorplan, all of which simulated annealing leaves unchanged,
+// so skipping the SA keeps the sweeps fast without changing the figure.
+func proposedPhysical(n, r int, seed uint64) (*hsgraph.Graph, error) {
+	top, err := core.Solve(n, r, core.Options{Iterations: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return top.Graph, nil
+}
+
+// Breakdown is the switch/cable cost and power split of Figs. 9d-11d.
+type Breakdown struct {
+	ID   string
+	Rows []BreakdownRow
+}
+
+// BreakdownRow is one topology's deployment split.
+type BreakdownRow struct {
+	Name        string
+	Switches    int
+	SwitchCost  float64
+	CableCost   float64
+	SwitchPower float64
+	CablePower  float64
+}
+
+// Format renders the breakdown as an aligned table.
+func (b Breakdown) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", b.ID)
+	fmt.Fprintf(&sb, "%-12s%-10s%-14s%-14s%-14s%-14s\n",
+		"topology", "switches", "switch-cost", "cable-cost", "switch-W", "cable-W")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&sb, "%-12s%-10d%-14.0f%-14.0f%-14.1f%-14.1f\n",
+			r.Name, r.Switches, r.SwitchCost, r.CableCost, r.SwitchPower, r.CablePower)
+	}
+	return sb.String()
+}
+
+// CostBreakdown computes the n=1024 cost/power split for the comparison's
+// two topologies (the bar charts of Figs. 9d/10d/11d).
+func (c *Comparison) CostBreakdown() Breakdown {
+	params := phys.NewParams()
+	rows := []BreakdownRow{}
+	for _, t := range []struct {
+		name string
+		g    *hsgraph.Graph
+	}{{c.Kind, c.Baseline}, {"proposed", c.Proposed}} {
+		rep := phys.Evaluate(t.g, params)
+		rows = append(rows, BreakdownRow{
+			Name:        t.name,
+			Switches:    t.g.Switches(),
+			SwitchCost:  rep.SwitchCost,
+			CableCost:   rep.CableCost,
+			SwitchPower: rep.SwitchPowerW,
+			CablePower:  rep.CablePowerW,
+		})
+	}
+	return Breakdown{ID: fmt.Sprintf("fig-%s-d breakdown (n=%d)", c.Kind, c.N), Rows: rows}
+}

@@ -1,0 +1,155 @@
+// Package figures regenerates the data behind every figure of the paper's
+// evaluation (Figs. 5-11). Each function returns plain data series so that
+// cmd/orpfigures can print them and the repository's benchmarks can check
+// their shape. Options default to scaled-down-but-faithful sizes
+// (documented per figure); PaperScale restores the paper's parameters.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named list of points.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a set of series with axis labels.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Histogram is a host-distribution figure (Figs. 6 and 8).
+type Histogram struct {
+	ID     string
+	Title  string
+	Counts []int // Counts[k] = number of switches with k hosts
+}
+
+// Format renders a figure as an aligned text table, one row per x value.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x = %s, y = %s\n", f.XLabel, f.YLabel)
+	// Collect the union of x values.
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "%-12s", "x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range f.Series {
+			y, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, "%-22.6g", y)
+			} else {
+				fmt.Fprintf(&b, "%-22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Format renders a histogram.
+func (h Histogram) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", h.ID, h.Title)
+	fmt.Fprintf(&b, "%-8s%-10s\n", "hosts", "switches")
+	for k, c := range h.Counts {
+		if c > 0 || k == 0 {
+			fmt.Fprintf(&b, "%-8d%-10d\n", k, c)
+		}
+	}
+	return b.String()
+}
+
+// Options scales the experiments. The zero value is usable (small sizes);
+// PaperScale() reproduces the paper's configuration.
+type Options struct {
+	// SAIterations is the annealing budget per solve. Default 8000.
+	SAIterations int
+	// Ranks is the MPI job size for the NPB comparisons. The paper uses
+	// 1024; the default 256 keeps the fluid simulation tractable while
+	// preserving the class A/B message geometry. Must be a power of four
+	// for BT/SP (the paper notes the same power-of-four restriction).
+	Ranks int
+	// Class is the NPB class: 'P' (default) selects the paper's choice
+	// per benchmark (A for IS and FT, B otherwise); any other value
+	// applies uniformly ('S' in unit tests).
+	Class byte
+	// MaxIters caps each benchmark's iteration count (0 = class default).
+	// Topology comparisons are iteration-invariant because simulated time
+	// scales linearly, so the default 2 loses nothing but wall-clock.
+	MaxIters int
+	// Benchmarks to run in Figs. 9a/10a/11a. Defaults to all eight.
+	Benchmarks []string
+	// Seed drives every randomised component.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SAIterations == 0 {
+		o.SAIterations = 8000
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 256
+	}
+	if o.Class == 0 {
+		o.Class = 'P'
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 2
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = []string{"EP", "IS", "FT", "CG", "MG", "LU", "BT", "SP"}
+	}
+	return o
+}
+
+// PaperScale returns the options matching the paper's §6.2 setup: 1024
+// MPI ranks, full class A/B iteration counts and a 100k-step annealing
+// budget. Expect hours of wall clock for the all-to-all benchmarks.
+func PaperScale() Options {
+	return Options{
+		SAIterations: 100000,
+		Ranks:        1024,
+		Class:        'P',
+		MaxIters:     -1, // class defaults
+		Seed:         1,
+	}
+}

@@ -1,0 +1,420 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Small-but-faithful options for unit tests.
+func testOptions() Options {
+	return Options{SAIterations: 1500, Ranks: 16, Class: 'S', Seed: 5,
+		Benchmarks: []string{"EP", "IS", "FT", "CG", "MG", "LU", "BT", "SP"}}
+}
+
+func TestFig5SmallInstance(t *testing.T) {
+	fig, err := Fig5(96, 8, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swing, swap, thm2, moore *Series
+	for i := range fig.Series {
+		switch fig.Series[i].Label {
+		case "SA-2neighbor-swing":
+			swing = &fig.Series[i]
+		case "SA-swap(regular)":
+			swap = &fig.Series[i]
+		case "theorem2-LB":
+			thm2 = &fig.Series[i]
+		case "continuous-Moore":
+			moore = &fig.Series[i]
+		}
+	}
+	if swing == nil || swap == nil || thm2 == nil || moore == nil {
+		t.Fatalf("missing series in %v", fig.Series)
+	}
+	if len(swing.Points) < 5 {
+		t.Fatalf("too few swing points: %d", len(swing.Points))
+	}
+	// Shape checks from the paper:
+	// 1. The SA results never beat Theorem 2's bound.
+	lb := thm2.Points[0].Y
+	for _, p := range swing.Points {
+		if p.Y < lb-1e-9 {
+			t.Fatalf("swing SA beat Theorem 2 at m=%v: %v < %v", p.X, p.Y, lb)
+		}
+	}
+	// 2. Away from m_opt, the regular (swap) search is no better than the
+	//    unrestricted (swing) search wherever both exist.
+	for _, sp := range swap.Points {
+		if y, ok := lookup(*swing, sp.X); ok && sp.Y < y-0.25 {
+			t.Fatalf("swap SA much better than swing SA at m=%v: %v vs %v", sp.X, sp.Y, y)
+		}
+	}
+	// 3. The minimum of the swing curve sits near the continuous Moore
+	//    bound minimiser (the paper's central observation).
+	bestM, bestY := 0.0, math.Inf(1)
+	for _, p := range swing.Points {
+		if p.Y < bestY {
+			bestM, bestY = p.X, p.Y
+		}
+	}
+	mooreM, mooreY := 0.0, math.Inf(1)
+	for _, p := range moore.Points {
+		if p.Y < mooreY {
+			mooreM, mooreY = p.X, p.Y
+		}
+	}
+	if math.Abs(bestM-mooreM) > 0.5*mooreM+4 {
+		t.Fatalf("SA minimum at m=%v far from Moore minimiser m=%v", bestM, mooreM)
+	}
+	if fig.Format() == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestFig6HostDistribution(t *testing.T) {
+	hist, g, err := Fig6(96, 8, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	hosts := 0
+	for k, c := range hist.Counts {
+		total += c
+		hosts += k * c
+	}
+	if total != g.Switches() || hosts != 96 {
+		t.Fatalf("histogram inconsistent: %d switches, %d hosts", total, hosts)
+	}
+	// The paper's key observation: the optimised graph mixes host counts
+	// (it is neither direct nor indirect). Expect at least two distinct
+	// nonzero host-count bins.
+	distinct := 0
+	for _, c := range hist.Counts {
+		if c > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Fatalf("host distribution degenerate: %v", hist.Counts)
+	}
+	if !strings.Contains(hist.Format(), "hosts") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestFig7BoundsCoincideOnDivisors(t *testing.T) {
+	fig := Fig7(256, 12)
+	var integer, cont *Series
+	for i := range fig.Series {
+		switch fig.Series[i].Label {
+		case "Moore(m|n only)":
+			integer = &fig.Series[i]
+		case "continuous-Moore":
+			cont = &fig.Series[i]
+		}
+	}
+	if integer == nil || cont == nil {
+		t.Fatal("missing series")
+	}
+	if len(cont.Points) <= len(integer.Points) {
+		t.Fatal("continuous bound should be defined at many more m values")
+	}
+	for _, p := range integer.Points {
+		if y, ok := lookup(*cont, p.X); ok && math.Abs(y-p.Y) > 1e-9 {
+			t.Fatalf("bounds disagree at divisor m=%v: %v vs %v", p.X, p.Y, y)
+		}
+	}
+}
+
+func TestFig8UnusedSwitches(t *testing.T) {
+	o := testOptions()
+	hist, g, err := Fig8(128, 12, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Switches() != 128 {
+		t.Fatalf("Fig8 must keep m = n, got %d", g.Switches())
+	}
+	// Paper's Fig. 8: a large share of switches carries no hosts when
+	// m = n >> m_opt. Demand at least 25% empty (paper reports > 70% at
+	// full scale).
+	if hist.Counts[0] < 128/4 {
+		t.Fatalf("only %d/128 switches empty; expected many (got %v)", hist.Counts[0], hist.Counts)
+	}
+}
+
+func TestBuildComparisonConfigs(t *testing.T) {
+	o := testOptions()
+	wantM := map[string][2]int{ // baseline m, radix
+		"torus":     {243, 15},
+		"dragonfly": {264, 15},
+		"fattree":   {320, 16},
+	}
+	for _, kind := range Kinds {
+		c, err := BuildComparison(kind, o)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if c.Baseline.Switches() != wantM[kind][0] || c.R != wantM[kind][1] {
+			t.Fatalf("%s: m=%d r=%d, want %v", kind, c.Baseline.Switches(), c.R, wantM[kind])
+		}
+		if c.Proposed.Order() != 1024 {
+			t.Fatalf("%s: proposed has %d hosts", kind, c.Proposed.Order())
+		}
+		// Headline claim: the proposed topology uses fewer switches
+		// (20%/27%/43% fewer in the paper).
+		if c.Proposed.Switches() >= c.Baseline.Switches() {
+			t.Fatalf("%s: proposed uses %d switches vs baseline %d", kind, c.Proposed.Switches(), c.Baseline.Switches())
+		}
+	}
+	if _, err := BuildComparison("hypertorus", o); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSwitchReductionMatchesPaper(t *testing.T) {
+	// Paper §6.3: proposed m=194 at r=15 (20% under torus's 243, 27%
+	// under dragonfly's 264) and m=183 at r=16 (43% under fat-tree's 320).
+	o := testOptions()
+	c, err := BuildComparison("torus", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Proposed.Switches(); m < 190 || m > 198 {
+		t.Fatalf("proposed r=15 uses m=%d, paper says 194", m)
+	}
+	cf, err := BuildComparison("fattree", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := cf.Proposed.Switches(); m < 179 || m > 187 {
+		t.Fatalf("proposed r=16 uses m=%d, paper says 183", m)
+	}
+}
+
+func TestComparisonBandwidth(t *testing.T) {
+	o := testOptions()
+	c, err := BuildComparison("fattree", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := c.Bandwidth(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatal("want 2 series")
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 15 { // P = 2..16
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("non-positive cut at P=%v", p.X)
+			}
+		}
+	}
+	// Paper Fig. 11b: the fat-tree has the higher bisection bandwidth.
+	ft, _ := lookup(fig.Series[0], 2)
+	prop, _ := lookup(fig.Series[1], 2)
+	if ft <= prop {
+		t.Fatalf("fat-tree bisection %v should exceed proposed %v", ft, prop)
+	}
+}
+
+func TestComparisonPowerAndCost(t *testing.T) {
+	o := testOptions()
+	c, err := BuildComparison("dragonfly", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := c.Power(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := c.Cost(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{pw, ct} {
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s: want 2 series", fig.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s: empty series %s", fig.ID, s.Label)
+			}
+			prev := 0.0
+			for _, p := range s.Points {
+				if p.Y <= 0 {
+					t.Fatalf("%s: non-positive metric", fig.ID)
+				}
+				if p.Y < prev {
+					t.Fatalf("%s: %s not monotone in size", fig.ID, s.Label)
+				}
+				prev = p.Y
+			}
+		}
+	}
+	// Paper Fig. 10c/d: proposed beats dragonfly on power and cost
+	// regardless of size. Check at the largest common x.
+	for _, fig := range []Figure{pw, ct} {
+		base := fig.Series[0]
+		prop := fig.Series[1]
+		for i := range base.Points {
+			if prop.Points[i].Y >= base.Points[i].Y {
+				t.Fatalf("%s: proposed (%v) not below dragonfly (%v) at x=%v",
+					fig.ID, prop.Points[i].Y, base.Points[i].Y, base.Points[i].X)
+			}
+		}
+	}
+}
+
+func TestCostBreakdownSwitchDominant(t *testing.T) {
+	o := testOptions()
+	c, err := BuildComparison("torus", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := c.CostBreakdown()
+	if len(bd.Rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	for _, row := range bd.Rows {
+		if row.SwitchCost <= row.CableCost {
+			t.Fatalf("%s: switch cost should dominate (paper §6.3.1): %+v", row.Name, row)
+		}
+	}
+	if !strings.Contains(bd.Format(), "switch-cost") {
+		t.Fatal("format missing columns")
+	}
+}
+
+func TestComparisonPerformanceSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NPB simulation in -short mode")
+	}
+	o := testOptions()
+	o.Benchmarks = []string{"EP", "IS", "CG"}
+	c, err := BuildComparison("torus", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := c.Performance(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].Points) != 3 {
+		t.Fatalf("unexpected figure shape: %+v", fig)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("non-positive Mop/s in %s", s.Label)
+			}
+		}
+	}
+}
+
+func TestFigureJSONRoundTrip(t *testing.T) {
+	fig := Fig7(128, 12)
+	var buf bytes.Buffer
+	if err := fig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFigureJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != fig.ID || len(back.Series) != len(fig.Series) {
+		t.Fatalf("round trip changed figure: %+v", back)
+	}
+	for i := range fig.Series {
+		if len(back.Series[i].Points) != len(fig.Series[i].Points) {
+			t.Fatalf("series %d length changed", i)
+		}
+	}
+}
+
+func TestHistogramAndBreakdownJSON(t *testing.T) {
+	var buf bytes.Buffer
+	h := Histogram{ID: "x", Title: "t", Counts: []int{1, 2, 3}}
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"Counts\"") {
+		t.Fatalf("histogram JSON missing counts: %s", buf.String())
+	}
+	buf.Reset()
+	b := Breakdown{ID: "y", Rows: []BreakdownRow{{Name: "a", Switches: 3}}}
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"Switches\": 3") {
+		t.Fatalf("breakdown JSON wrong: %s", buf.String())
+	}
+}
+
+func TestFig1MatchesPaperExample(t *testing.T) {
+	g, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Order() != 16 || g.Switches() != 4 || g.Radix() != 6 {
+		t.Fatalf("Fig1 parameters wrong: %v", g)
+	}
+	// The paper's walkthrough: l(h_0, h_15) = 3.
+	if d := g.HostDistance(0, 15); d != 3 {
+		t.Fatalf("l(h0,h15) = %d, want 3", d)
+	}
+}
+
+func TestProposedTopologyCaching(t *testing.T) {
+	a, err := ProposedTopology(96, 8, 400, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProposedTopology(96, 8, 400, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss for identical parameters")
+	}
+	c, err := ProposedTopology(96, 8, 400, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds shared a cache entry")
+	}
+}
+
+func TestClassForSelection(t *testing.T) {
+	o := Options{Class: 'P'}
+	if classFor(o, "IS") != 'A' || classFor(o, "FT") != 'A' || classFor(o, "CG") != 'B' {
+		t.Fatal("paper class selection wrong")
+	}
+	o.Class = 'S'
+	if classFor(o, "IS") != 'S' {
+		t.Fatal("uniform class ignored")
+	}
+}
+
+func TestFormatHandlesDisjointSeries(t *testing.T) {
+	fig := Figure{
+		ID: "x", Title: "t", XLabel: "a", YLabel: "b",
+		Series: []Series{
+			{Label: "s1", Points: []Point{{1, 10}}},
+			{Label: "s2", Points: []Point{{2, 20}}},
+		},
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for absent values:\n%s", out)
+	}
+}

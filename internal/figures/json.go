@@ -1,0 +1,37 @@
+package figures
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export of experiment results, so figure data can be archived and
+// post-processed (plotting, regression tracking) outside the repository.
+
+// WriteJSON writes the figure as indented JSON.
+func (f Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteJSON writes the histogram as indented JSON.
+func (h Histogram) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}
+
+// WriteJSON writes the breakdown as indented JSON.
+func (b Breakdown) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadFigureJSON parses a figure previously written with WriteJSON.
+func ReadFigureJSON(r io.Reader) (Figure, error) {
+	var f Figure
+	err := json.NewDecoder(r).Decode(&f)
+	return f, err
+}

@@ -1,0 +1,232 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bounds"
+	"repro/internal/hsgraph"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// Fig1 builds the paper's Fig. 1 example host-switch graph: n = 16 hosts,
+// m = 4 switches, r = 6 — four hosts per switch with the switches in a
+// ring, so that l(h_0, h_15) = 3 as the paper walks through.
+func Fig1() (*hsgraph.Graph, error) {
+	return hsgraph.Ring(16, 4, 6)
+}
+
+// Fig5 reproduces one panel of the paper's Fig. 5: h-ASPL versus the
+// number of switches m for fixed (n, r), with four series — SA restricted
+// to regular host-switch graphs (swap operation), SA over all host-switch
+// graphs (2-neighbor swing), Theorem 2's lower bound, and the continuous
+// Moore bound. The paper sweeps n in {128, 256, 512, 1024} and r in
+// {12, 24}.
+func Fig5(n, r int, o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     fmt.Sprintf("fig5(n=%d,r=%d)", n, r),
+		Title:  "h-ASPL vs number of switches",
+		XLabel: "m (switches)",
+		YLabel: "h-ASPL",
+	}
+	mOpt, _ := bounds.OptimalSwitchCount(n, r, 0)
+	ms := sweepM(n, r, mOpt)
+
+	var swing, swap, moore Series
+	swing.Label = "SA-2neighbor-swing"
+	swap.Label = "SA-swap(regular)"
+	moore.Label = "continuous-Moore"
+	lb := bounds.HASPLLowerBound(n, r)
+	thm2 := Series{Label: "theorem2-LB"}
+
+	// The SA runs for different m are independent; run them on a bounded
+	// worker pool. Results are deterministic regardless of scheduling
+	// because every run derives its own seed from (o.Seed, m).
+	type mResult struct {
+		swing, swap float64 // NaN when the variant is undefined at this m
+		err         error
+	}
+	results := make([]mResult, len(ms))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for idx, m := range ms {
+		idx, m := idx, m
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res := mResult{swing: math.NaN(), swap: math.NaN()}
+			// General SA (2-neighbor swing) from a random start.
+			if hsgraph.Feasible(n, m, r) {
+				start, err := hsgraph.RandomConnected(n, m, r, rng.New(o.Seed+uint64(m)))
+				if err == nil {
+					g, _, err := opt.Anneal(start, opt.Options{
+						Iterations: o.SAIterations,
+						Seed:       o.Seed + uint64(m),
+						Moves:      opt.TwoNeighborSwing,
+					})
+					if err != nil {
+						res.err = err
+					} else {
+						res.swing = g.Evaluate().HASPL
+					}
+				}
+			}
+			// Regular SA (swap only): needs m | n, k = r - n/m >= 2,
+			// m*k even.
+			if res.err == nil && n%m == 0 {
+				k := r - n/m
+				if k >= 2 && k < m && (m*k)%2 == 0 {
+					startR, err := hsgraph.RandomRegular(n, m, r, k, rng.New(o.Seed+uint64(m)*7))
+					if err == nil {
+						g, _, err := opt.Anneal(startR, opt.Options{
+							Iterations: o.SAIterations,
+							Seed:       o.Seed + uint64(m)*7,
+							Moves:      opt.SwapOnly,
+						})
+						if err != nil {
+							res.err = err
+						} else {
+							res.swap = g.Evaluate().HASPL
+						}
+					}
+				}
+			}
+			results[idx] = res
+		}()
+	}
+	wg.Wait()
+
+	for idx, m := range ms {
+		if b := bounds.ContinuousMooreHASPL(n, m, r); !math.IsInf(b, 1) {
+			moore.Points = append(moore.Points, Point{float64(m), b})
+		}
+		thm2.Points = append(thm2.Points, Point{float64(m), lb})
+		res := results[idx]
+		if res.err != nil {
+			return fig, res.err
+		}
+		if !math.IsNaN(res.swing) {
+			swing.Points = append(swing.Points, Point{float64(m), res.swing})
+		}
+		if !math.IsNaN(res.swap) {
+			swap.Points = append(swap.Points, Point{float64(m), res.swap})
+		}
+	}
+	fig.Series = []Series{swing, swap, thm2, moore}
+	return fig, nil
+}
+
+// sweepM picks the m values for Fig. 5: a dense band around m_opt plus a
+// log-spaced tail out to n.
+func sweepM(n, r, mOpt int) []int {
+	set := map[int]bool{}
+	add := func(m int) {
+		if m >= 1 && m <= n {
+			set[m] = true
+		}
+	}
+	for _, f := range []float64{0.5, 0.7, 0.85, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		add(int(math.Round(float64(mOpt) * f)))
+	}
+	// Divisors of n near the band make the regular series denser.
+	for m := 2; m <= n; m++ {
+		if n%m == 0 && m >= mOpt/3 && m <= mOpt*4 {
+			add(m)
+		}
+	}
+	add(n)
+	ms := make([]int, 0, len(set))
+	for m := range set {
+		ms = append(ms, m)
+	}
+	sortInts(ms)
+	return ms
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Fig6 reproduces the paper's Fig. 6: the host distribution of the
+// optimised host-switch graph at m = m_opt for a given (n, r).
+func Fig6(n, r int, o Options) (Histogram, *hsgraph.Graph, error) {
+	o = o.withDefaults()
+	mOpt, _ := bounds.OptimalSwitchCount(n, r, 0)
+	start, err := hsgraph.RandomConnected(n, mOpt, r, rng.New(o.Seed))
+	if err != nil {
+		return Histogram{}, nil, err
+	}
+	g, _, err := opt.Anneal(start, opt.Options{
+		Iterations: o.SAIterations,
+		Seed:       o.Seed,
+		Moves:      opt.TwoNeighborSwing,
+	})
+	if err != nil {
+		return Histogram{}, nil, err
+	}
+	return Histogram{
+		ID:     fmt.Sprintf("fig6(n=%d,r=%d,m=%d)", n, r, mOpt),
+		Title:  "host distribution at m_opt",
+		Counts: g.HostDistribution(),
+	}, g, nil
+}
+
+// Fig7 reproduces the paper's Fig. 7: the (integer) Moore bound, defined
+// only where m divides n, against the continuous Moore bound, for
+// n = 1024, r = 24 (parameterised here).
+func Fig7(n, r int) Figure {
+	fig := Figure{
+		ID:     fmt.Sprintf("fig7(n=%d,r=%d)", n, r),
+		Title:  "Moore bound vs continuous Moore bound",
+		XLabel: "m (switches)",
+		YLabel: "h-ASPL lower bound",
+	}
+	integer := Series{Label: "Moore(m|n only)"}
+	cont := Series{Label: "continuous-Moore"}
+	for m := 1; m <= n; m++ {
+		if b := bounds.ContinuousMooreHASPL(n, m, r); !math.IsInf(b, 1) {
+			cont.Points = append(cont.Points, Point{float64(m), b})
+		}
+		if n%m == 0 {
+			if b, err := bounds.RegularHASPLBound(n, m, r); err == nil && !math.IsInf(b, 1) {
+				integer.Points = append(integer.Points, Point{float64(m), b})
+			}
+		}
+	}
+	fig.Series = []Series{integer, cont}
+	return fig
+}
+
+// Fig8 reproduces the paper's Fig. 8: the host distribution of an
+// optimised graph with as many switches as hosts ((n, m, r) =
+// (1024, 1024, 24) in the paper), showing that most switches end up with
+// no hosts at all when m far exceeds m_opt.
+func Fig8(n, r int, o Options) (Histogram, *hsgraph.Graph, error) {
+	o = o.withDefaults()
+	start, err := hsgraph.RandomConnected(n, n, r, rng.New(o.Seed))
+	if err != nil {
+		return Histogram{}, nil, err
+	}
+	g, _, err := opt.Anneal(start, opt.Options{
+		Iterations: o.SAIterations,
+		Seed:       o.Seed,
+		Moves:      opt.TwoNeighborSwing,
+	})
+	if err != nil {
+		return Histogram{}, nil, err
+	}
+	return Histogram{
+		ID:     fmt.Sprintf("fig8(n=%d,m=%d,r=%d)", n, n, r),
+		Title:  "host distribution with unused switches",
+		Counts: g.HostDistribution(),
+	}, g, nil
+}

@@ -1,0 +1,134 @@
+package hsgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the host-switch graph in Graphviz DOT format: switches
+// as boxes, hosts as circles (matching the paper's figures). Host nodes
+// can be suppressed for large graphs.
+func WriteDOT(w io.Writer, g *Graph, includeHosts bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph hsgraph {\n")
+	fmt.Fprintf(bw, "  // n=%d m=%d r=%d\n", g.Order(), g.Switches(), g.Radix())
+	fmt.Fprintf(bw, "  node [shape=box, style=filled, fillcolor=lightblue];\n")
+	for s := 0; s < g.Switches(); s++ {
+		fmt.Fprintf(bw, "  s%d [label=\"s%d (%d hosts)\"];\n", s, s, g.HostCount(s))
+	}
+	if includeHosts {
+		fmt.Fprintf(bw, "  node [shape=circle, style=filled, fillcolor=white];\n")
+		for h := 0; h < g.Order(); h++ {
+			if g.SwitchOf(h) >= 0 {
+				fmt.Fprintf(bw, "  h%d;\n  h%d -- s%d;\n", h, h, g.SwitchOf(h))
+			}
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		fmt.Fprintf(bw, "  s%d -- s%d;\n", a, b)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// DegreeStats summarises the switch-port usage of a graph.
+type DegreeStats struct {
+	MinDegree   int // total degree (hosts + links)
+	MaxDegree   int
+	MeanDegree  float64
+	FreePorts   int // unused ports across all switches
+	MinSwitchDg int // switch-link degree only
+	MaxSwitchDg int
+}
+
+// Degrees computes port-usage statistics.
+func (g *Graph) Degrees() DegreeStats {
+	m := g.Switches()
+	st := DegreeStats{MinDegree: g.Radix() + 1, MinSwitchDg: g.Radix() + 1}
+	total := 0
+	for s := 0; s < m; s++ {
+		d := g.Degree(s)
+		sd := g.SwitchDegree(s)
+		total += d
+		st.FreePorts += g.Radix() - d
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+		if sd < st.MinSwitchDg {
+			st.MinSwitchDg = sd
+		}
+		if sd > st.MaxSwitchDg {
+			st.MaxSwitchDg = sd
+		}
+	}
+	if m > 0 {
+		st.MeanDegree = float64(total) / float64(m)
+	}
+	return st
+}
+
+// TrimUnused returns a copy of g without switches that carry no hosts and
+// lie on no host-to-host shortest path (the "otiose" switches of the
+// paper's Fig. 8 discussion). Switch indices are renumbered densely; host
+// ids are preserved.
+func TrimUnused(g *Graph) *Graph {
+	m := g.Switches()
+	used := make([]bool, m)
+	for s := 0; s < m; s++ {
+		if g.HostCount(s) > 0 {
+			used[s] = true
+		}
+	}
+	dist := g.SwitchDistances()
+	var bearing []int
+	for s := 0; s < m; s++ {
+		if used[s] {
+			bearing = append(bearing, s)
+		}
+	}
+	for _, a := range bearing {
+		for _, b := range bearing {
+			if a >= b || dist[a][b] < 0 {
+				continue
+			}
+			for v := 0; v < m; v++ {
+				if !used[v] && dist[a][v] >= 0 && dist[v][b] >= 0 &&
+					dist[a][v]+dist[v][b] == dist[a][b] {
+					used[v] = true
+				}
+			}
+		}
+	}
+	remap := make([]int32, m)
+	kept := 0
+	for s := 0; s < m; s++ {
+		if used[s] {
+			remap[s] = int32(kept)
+			kept++
+		} else {
+			remap[s] = -1
+		}
+	}
+	out := New(g.Order(), kept, g.Radix())
+	for h := 0; h < g.Order(); h++ {
+		if s := g.SwitchOf(h); s >= 0 {
+			if err := out.AttachHost(h, int(remap[s])); err != nil {
+				panic("hsgraph: TrimUnused reattach failed: " + err.Error())
+			}
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		if remap[a] >= 0 && remap[b] >= 0 {
+			if err := out.Connect(int(remap[a]), int(remap[b])); err != nil {
+				panic("hsgraph: TrimUnused reconnect failed: " + err.Error())
+			}
+		}
+	}
+	return out
+}

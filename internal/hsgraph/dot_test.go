@@ -1,0 +1,97 @@
+package hsgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, err := Ring(8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph hsgraph {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT graph")
+	}
+	if strings.Count(out, " -- ") != 8+4 { // 8 host links + 4 ring links
+		t.Fatalf("edge lines = %d, want 12", strings.Count(out, " -- "))
+	}
+	var noHosts bytes.Buffer
+	if err := WriteDOT(&noHosts, g, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(noHosts.String(), " -- ") != 4 {
+		t.Fatal("host suppression failed")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g, err := Star(10, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Degrees()
+	// Hub: 2 hosts + 4 links = 6; leaves: 2 hosts + 1 link = 3.
+	if st.MaxDegree != 6 || st.MinDegree != 3 {
+		t.Fatalf("degree stats %+v", st)
+	}
+	if st.MaxSwitchDg != 4 || st.MinSwitchDg != 1 {
+		t.Fatalf("switch degree stats %+v", st)
+	}
+	wantFree := 5*8 - (6 + 3*4)
+	if st.FreePorts != wantFree {
+		t.Fatalf("free ports %d, want %d", st.FreePorts, wantFree)
+	}
+}
+
+func TestTrimUnused(t *testing.T) {
+	// Path 0-1-2 with hosts at the ends plus a pendant switch 3 off the
+	// middle: 3 is unused and must be removed; 1 (interior) must stay.
+	g := New(2, 4, 3)
+	if err := g.AttachHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachHost(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {1, 3}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := TrimUnused(g)
+	if out.Switches() != 3 {
+		t.Fatalf("trimmed to %d switches, want 3", out.Switches())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluate().TotalPath != g.Evaluate().TotalPath {
+		t.Fatal("trimming changed host metrics")
+	}
+}
+
+func TestTrimUnusedKeepsEverythingWhenAllUsed(t *testing.T) {
+	g, err := RandomConnected(24, 8, 7, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TrimUnused(g)
+	if out.Switches() > g.Switches() {
+		t.Fatal("trim added switches")
+	}
+	if out.Evaluate().TotalPath != g.Evaluate().TotalPath {
+		t.Fatal("metrics changed")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package hsgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	hsgraph <n> <m> <r>
+//	host <h> <s>        (one per host, in any order)
+//	link <s1> <s2>      (one per switch-switch edge)
+//
+// Lines starting with '#' and blank lines are ignored. The format is a
+// host-switch-aware variant of the Graph Golf edge-list files.
+
+// Write serialises g in the text format. Output is canonical: hosts in
+// increasing order, links sorted lexicographically.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "hsgraph %d %d %d\n", g.n, len(g.adj), g.r)
+	for h := 0; h < g.n; h++ {
+		fmt.Fprintf(bw, "host %d %d\n", h, g.hostOf[h])
+	}
+	links := append([][2]int32(nil), g.edges...)
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	for _, e := range links {
+		fmt.Fprintf(bw, "link %d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format. The returned graph has been
+// structurally checked (ports, duplicates) but not connectivity-validated;
+// call Validate for the full check.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "hsgraph":
+			if g != nil {
+				return nil, fmt.Errorf("hsgraph: line %d: duplicate header", lineNo)
+			}
+			var n, m, rr int
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("hsgraph: line %d: malformed header", lineNo)
+			}
+			if _, err := fmt.Sscanf(line, "hsgraph %d %d %d", &n, &m, &rr); err != nil {
+				return nil, fmt.Errorf("hsgraph: line %d: %v", lineNo, err)
+			}
+			if n < 1 || m < 1 || rr < 1 {
+				return nil, fmt.Errorf("hsgraph: line %d: invalid header values n=%d m=%d r=%d", lineNo, n, m, rr)
+			}
+			g = New(n, m, rr)
+		case "host":
+			if g == nil {
+				return nil, fmt.Errorf("hsgraph: line %d: host before header", lineNo)
+			}
+			var h, s int
+			if _, err := fmt.Sscanf(line, "host %d %d", &h, &s); err != nil {
+				return nil, fmt.Errorf("hsgraph: line %d: %v", lineNo, err)
+			}
+			if err := g.AttachHost(h, s); err != nil {
+				return nil, fmt.Errorf("hsgraph: line %d: %v", lineNo, err)
+			}
+		case "link":
+			if g == nil {
+				return nil, fmt.Errorf("hsgraph: line %d: link before header", lineNo)
+			}
+			var a, b int
+			if _, err := fmt.Sscanf(line, "link %d %d", &a, &b); err != nil {
+				return nil, fmt.Errorf("hsgraph: line %d: %v", lineNo, err)
+			}
+			if err := g.Connect(a, b); err != nil {
+				return nil, fmt.Errorf("hsgraph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("hsgraph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("hsgraph: empty input")
+	}
+	return g, nil
+}
+
+// Equal reports whether two graphs are identical as labelled graphs:
+// same parameters, same host attachments, same edge set.
+func Equal(a, b *Graph) bool {
+	if a.n != b.n || a.r != b.r || len(a.adj) != len(b.adj) || len(a.edges) != len(b.edges) {
+		return false
+	}
+	for h := 0; h < a.n; h++ {
+		if a.hostOf[h] != b.hostOf[h] {
+			return false
+		}
+	}
+	for k := range a.posInList {
+		if _, ok := b.posInList[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package hsgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rnd := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rnd.Intn(40)
+		m := 2 + rnd.Intn(10)
+		r := 5 + rnd.Intn(10)
+		if !Feasible(n, m, r) {
+			continue
+		}
+		g, err := RandomConnected(n, m, r, rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v\n", err)
+		}
+		if !Equal(g, got) {
+			t.Fatalf("round trip changed graph (trial %d)", trial)
+		}
+	}
+}
+
+func TestWriteIsCanonical(t *testing.T) {
+	// Two structurally equal graphs built in different edge orders must
+	// serialise identically.
+	build := func(order [][2]int) *Graph {
+		g := New(2, 3, 4)
+		if err := g.AttachHost(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AttachHost(1, 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range order {
+			if err := g.Connect(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	a := build([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	b := build([][2]int{{2, 0}, {2, 1}, {1, 0}})
+	var bufA, bufB bytes.Buffer
+	if err := Write(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatalf("serialisations differ:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      "host 0 0\n",
+		"double header":  "hsgraph 2 2 3\nhsgraph 2 2 3\n",
+		"bad header":     "hsgraph 2 2\n",
+		"negative":       "hsgraph -1 2 3\n",
+		"unknown verb":   "hsgraph 2 2 3\nfrob 1 2\n",
+		"host range":     "hsgraph 2 2 3\nhost 5 0\n",
+		"switch range":   "hsgraph 2 2 3\nhost 0 9\n",
+		"duplicate host": "hsgraph 2 2 3\nhost 0 0\nhost 0 1\n",
+		"self loop":      "hsgraph 2 2 3\nlink 1 1\n",
+		"duplicate link": "hsgraph 2 2 3\nlink 0 1\nlink 1 0\n",
+		"radix overflow": "hsgraph 3 2 2\nhost 0 0\nhost 1 0\nhost 2 1\nlink 0 1\n",
+		"garbage host":   "hsgraph 2 2 3\nhost x 0\n",
+		"garbage link":   "hsgraph 2 2 3\nlink 0 y\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nhsgraph 2 2 3\n  \nhost 0 0\nhost 1 1\n# another\nlink 0 1\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.HostDistance(0, 1) != 3 {
+		t.Fatal("parsed graph has wrong structure")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	g1, err := Ring(8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g1.Clone()
+	if !Equal(g1, g2) {
+		t.Fatal("clones unequal")
+	}
+	if err := g2.Disconnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Connect(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(g1, g2) {
+		t.Fatal("different edge sets reported equal")
+	}
+	g3 := g1.Clone()
+	if err := g3.MoveHost(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(g1, g3) {
+		t.Fatal("different attachments reported equal")
+	}
+}

@@ -1,0 +1,342 @@
+package hsgraph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Metrics holds the evaluation of a host-switch graph.
+type Metrics struct {
+	HASPL     float64 // host-to-host average shortest path length
+	Diameter  int     // host-to-host diameter
+	TotalPath int64   // sum of ell(h_i, h_j) over unordered host pairs
+	Connected bool    // false if some host pair is unreachable
+}
+
+// SwitchDistances returns the all-pairs shortest path matrix of the switch
+// graph via per-source BFS. Unreachable pairs are -1. This is the reference
+// (slow) implementation; Evaluate uses the bit-parallel variant.
+func (g *Graph) SwitchDistances() [][]int32 {
+	m := len(g.adj)
+	dist := make([][]int32, m)
+	queue := make([]int32, 0, m)
+	for s := 0; s < m; s++ {
+		d := make([]int32, m)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if d[u] == -1 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		dist[s] = d
+	}
+	return dist
+}
+
+// bfsFrom fills d (len m, preset to -1) with BFS distances from s and
+// returns the number of vertices reached (including s).
+func (g *Graph) bfsFrom(s int, d []int32, queue []int32) int {
+	for i := range d {
+		d[i] = -1
+	}
+	d[s] = 0
+	queue = append(queue[:0], int32(s))
+	reached := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if d[u] == -1 {
+				d[u] = d[v] + 1
+				reached++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return reached
+}
+
+// EvaluateSlow computes the metrics with per-source BFS. It exists as an
+// independently-coded oracle for property tests of Evaluate.
+func (g *Graph) EvaluateSlow() Metrics {
+	m := len(g.adj)
+	var total int64
+	diam := 0
+	connected := true
+	d := make([]int32, m)
+	queue := make([]int32, 0, m)
+	for a := 0; a < m; a++ {
+		ka := int64(g.hosts[a])
+		if ka == 0 {
+			continue
+		}
+		g.bfsFrom(a, d, queue)
+		// Pairs within the same switch: distance 2.
+		total += ka * (ka - 1) / 2 * 2
+		if ka >= 2 && diam < 2 {
+			diam = 2
+		}
+		for b := a + 1; b < m; b++ {
+			kb := int64(g.hosts[b])
+			if kb == 0 {
+				continue
+			}
+			if d[b] < 0 {
+				connected = false
+				continue
+			}
+			ell := int(d[b]) + 2
+			total += ka * kb * int64(ell)
+			if ell > diam {
+				diam = ell
+			}
+		}
+	}
+	return g.finishMetrics(total, diam, connected)
+}
+
+func (g *Graph) finishMetrics(total int64, diam int, connected bool) Metrics {
+	pairs := int64(g.n) * int64(g.n-1) / 2
+	met := Metrics{TotalPath: total, Diameter: diam, Connected: connected}
+	if pairs > 0 && connected {
+		met.HASPL = float64(total) / float64(pairs)
+	}
+	if !connected {
+		met.HASPL = inf
+		met.Diameter = -1
+	}
+	return met
+}
+
+const inf = 1e30 // sentinel h-ASPL for disconnected graphs
+
+// Evaluate computes the metrics using bit-parallel BFS (64 sources per
+// word). For every host-bearing switch pair (a, b) it accumulates
+// k_a * k_b * (d(a,b) + 2) plus 2 * C(k_a, 2) for intra-switch pairs.
+func (g *Graph) Evaluate() Metrics {
+	m := len(g.adj)
+	// Host-bearing switches are the only BFS sources and targets we weight.
+	srcs := make([]int32, 0, m)
+	var total int64
+	diam := 0
+	for s := 0; s < m; s++ {
+		k := int64(g.hosts[s])
+		if k > 0 {
+			srcs = append(srcs, int32(s))
+			total += k * (k - 1) // 2 * C(k,2)
+			if k >= 2 && diam < 2 {
+				diam = 2
+			}
+		}
+	}
+	if len(srcs) == 0 {
+		return g.finishMetrics(0, 0, g.n <= 1)
+	}
+	if len(srcs) == 1 {
+		// All hosts on one switch.
+		return g.finishMetrics(total, diam, true)
+	}
+
+	visited := make([]uint64, m)
+	front := make([]uint64, m)
+	next := make([]uint64, m)
+	// pairSum accumulates ordered (source, target) weighted distances; we
+	// halve at the end. reachedPairs verifies connectivity.
+	var orderedSum int64
+	var reachablePairs int64
+	wantPairs := int64(len(srcs)) * int64(len(srcs)-1)
+
+	for base := 0; base < len(srcs); base += 64 {
+		batch := srcs[base:min(base+64, len(srcs))]
+		for i := range visited {
+			visited[i] = 0
+			front[i] = 0
+		}
+		for bit, s := range batch {
+			visited[s] |= 1 << uint(bit)
+			front[s] |= 1 << uint(bit)
+		}
+		for level := 1; ; level++ {
+			for i := range next {
+				next[i] = 0
+			}
+			active := false
+			for v := 0; v < m; v++ {
+				fv := front[v]
+				if fv == 0 {
+					continue
+				}
+				for _, u := range g.adj[v] {
+					nu := fv &^ visited[u]
+					if nu != 0 {
+						next[u] |= nu
+					}
+				}
+			}
+			for v := 0; v < m; v++ {
+				nv := next[v] &^ visited[v]
+				if nv == 0 {
+					next[v] = 0
+					continue
+				}
+				next[v] = nv
+				visited[v] |= nv
+				active = true
+				kv := int64(g.hosts[v])
+				if kv > 0 {
+					// Weight by sum of source host counts present in nv.
+					var ks int64
+					cnt := int64(0)
+					for mask := nv; mask != 0; mask &= mask - 1 {
+						bit := trailingZeros(mask)
+						ks += int64(g.hosts[batch[bit]])
+						cnt++
+					}
+					orderedSum += kv * ks * int64(level+2)
+					reachablePairs += cnt
+					if level+2 > diam {
+						diam = level + 2
+					}
+				}
+			}
+			front, next = next, front
+			if !active {
+				break
+			}
+		}
+		// Each source reaches itself at distance 0; exclude self pairs.
+	}
+	// reachablePairs counted ordered (src -> host-bearing target) excluding
+	// targets at distance 0 (the source itself) and excluding co-located
+	// sources? No: every distinct host-bearing pair (a,b) with a path is
+	// counted exactly twice (once per direction), at level d(a,b) >= 1.
+	// Pairs with d(a,b) == 0 cannot occur for distinct switches.
+	connected := reachablePairs == wantPairs
+	total += orderedSum / 2
+	return g.finishMetrics(total, diam, connected)
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// HostDistance returns the number of edges on a shortest path between
+// hosts a and b, or -1 if unreachable. It panics on out-of-range hosts and
+// returns 0 for a == b.
+func (g *Graph) HostDistance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	sa, sb := g.hostOf[a], g.hostOf[b]
+	if sa == -1 || sb == -1 {
+		panic(fmt.Sprintf("hsgraph: HostDistance on unattached host (%d,%d)", a, b))
+	}
+	if sa == sb {
+		return 2
+	}
+	m := len(g.adj)
+	d := make([]int32, m)
+	queue := make([]int32, 0, m)
+	g.bfsFrom(int(sa), d, queue)
+	if d[sb] < 0 {
+		return -1
+	}
+	return int(d[sb]) + 2
+}
+
+// SingleSourceHostMetrics returns the h-ASPL and eccentricity (in edges)
+// from host h to all other hosts. Used by tests of the paper's Lemma 1/2
+// constructions. Returns ok=false on disconnection.
+func (g *Graph) SingleSourceHostMetrics(h int) (aspl float64, ecc int, ok bool) {
+	s := g.hostOf[h]
+	if s == -1 {
+		panic("hsgraph: unattached host")
+	}
+	m := len(g.adj)
+	d := make([]int32, m)
+	queue := make([]int32, 0, m)
+	g.bfsFrom(int(s), d, queue)
+	var total int64
+	count := 0
+	ok = true
+	for t := 0; t < m; t++ {
+		k := int(g.hosts[t])
+		if k == 0 {
+			continue
+		}
+		if d[t] < 0 {
+			ok = false
+			continue
+		}
+		ell := int(d[t]) + 2
+		if t == int(s) {
+			// co-located hosts, excluding h itself
+			total += int64(2 * (k - 1))
+			count += k - 1
+			if k > 1 && ecc < 2 {
+				ecc = 2
+			}
+		} else {
+			total += int64(ell * k)
+			count += k
+			if ell > ecc {
+				ecc = ell
+			}
+		}
+	}
+	if count == 0 {
+		return 0, 0, ok
+	}
+	return float64(total) / float64(count), ecc, ok
+}
+
+// RegularHASPLFromSwitchASPL applies the paper's Equation 1: for a
+// k-regular host-switch graph with n hosts and m switches whose switch
+// graph has ASPL a', the h-ASPL is a'(mn-n)/(mn-m) + 2.
+func RegularHASPLFromSwitchASPL(switchASPL float64, n, m int) float64 {
+	if m <= 1 {
+		return 2
+	}
+	nm := float64(n) * float64(m)
+	return switchASPL*(nm-float64(n))/(nm-float64(m)) + 2
+}
+
+// SwitchASPL returns the ASPL and diameter of the switch graph alone
+// (all switches, not weighted by hosts). ok is false if disconnected.
+func (g *Graph) SwitchASPL() (aspl float64, diameter int, ok bool) {
+	m := len(g.adj)
+	if m < 2 {
+		return 0, 0, true
+	}
+	var total int64
+	var pairs int64
+	diam := 0
+	ok = true
+	d := make([]int32, m)
+	queue := make([]int32, 0, m)
+	for s := 0; s < m; s++ {
+		g.bfsFrom(s, d, queue)
+		for t := s + 1; t < m; t++ {
+			if d[t] < 0 {
+				ok = false
+				continue
+			}
+			total += int64(d[t])
+			pairs++
+			if int(d[t]) > diam {
+				diam = int(d[t])
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0, ok
+	}
+	return float64(total) / float64(pairs), diam, ok
+}

@@ -1,0 +1,142 @@
+package hsgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestPropertyMutationSequences drives a graph through a random sequence
+// of mutations (connect, disconnect, move host) decoded from raw bytes
+// and checks that the structural invariants hold after every step. This
+// is the repository's core data structure; the property is that no legal
+// operation sequence can corrupt it.
+func TestPropertyMutationSequences(t *testing.T) {
+	check := func(seed uint64, ops []byte) bool {
+		rnd := rng.New(seed)
+		g, err := RandomConnected(18, 6, 6, rnd)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			a := rnd.Intn(6)
+			b := rnd.Intn(6)
+			h := rnd.Intn(18)
+			switch op % 3 {
+			case 0:
+				// Connect may legitimately fail; failure must not mutate.
+				before := g.Clone()
+				if err := g.Connect(a, b); err != nil {
+					if !Equal(g, before) {
+						return false
+					}
+				}
+			case 1:
+				before := g.Clone()
+				if err := g.Disconnect(a, b); err != nil {
+					if !Equal(g, before) {
+						return false
+					}
+				}
+			case 2:
+				before := g.Clone()
+				if err := g.MoveHost(h, b); err != nil {
+					if !Equal(g, before) {
+						return false
+					}
+				}
+			}
+			// Structural invariants that must hold regardless of
+			// connectivity: run Validate but accept ErrNotConnected.
+			if err := g.Validate(); err != nil && err != ErrNotConnected {
+				t.Logf("invariant broken after op %d: %v", op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(55))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEvaluateAgreement: the bit-parallel and reference
+// evaluators agree on arbitrary random instances.
+func TestPropertyEvaluateAgreement(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw, rRaw uint8) bool {
+		n := 4 + int(nRaw)%80
+		m := 2 + int(mRaw)%14
+		r := 4 + int(rRaw)%10
+		if !Feasible(n, m, r) {
+			return true
+		}
+		g, err := RandomConnected(n, m, r, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		fast, slow := g.Evaluate(), g.EvaluateSlow()
+		return fast.TotalPath == slow.TotalPath &&
+			fast.Diameter == slow.Diameter &&
+			fast.Connected == slow.Connected
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(66))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySerializationRoundTrip: Write/Read is the identity on
+// arbitrary random instances.
+func TestPropertySerializationRoundTrip(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := 4 + int(nRaw)%40
+		m := 2 + int(mRaw)%10
+		r := 8
+		if !Feasible(n, m, r) {
+			return true
+		}
+		g, err := RandomConnected(n, m, r, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return Equal(g, got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDiameterBoundsHASPL: for every graph, h-ASPL <= diameter
+// and both are at least 2 when n >= 2.
+func TestPropertyDiameterBoundsHASPL(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := 4 + int(nRaw)%60
+		m := 2 + int(mRaw)%12
+		r := 8
+		if !Feasible(n, m, r) {
+			return true
+		}
+		g, err := RandomConnected(n, m, r, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		met := g.Evaluate()
+		if !met.Connected {
+			return false
+		}
+		return met.HASPL >= 2 && met.Diameter >= 2 && met.HASPL <= float64(met.Diameter)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(88))}); err != nil {
+		t.Fatal(err)
+	}
+}

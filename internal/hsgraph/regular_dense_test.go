@@ -1,0 +1,32 @@
+package hsgraph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRandomRegularDense(t *testing.T) {
+	// Dense cases where stub matching alone would essentially never
+	// succeed; the circulant fallback must cover them.
+	cases := []struct{ n, m, r, k int }{
+		{128, 32, 12, 8},
+		{128, 64, 12, 10},
+		{1024, 256, 24, 20},
+		{60, 20, 10, 7}, // odd k, even m
+	}
+	for _, c := range cases {
+		g, err := RandomRegular(c.n, c.m, c.r, c.k, rng.New(9))
+		if err != nil {
+			t.Fatalf("RandomRegular(%+v): %v", c, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		for s := 0; s < c.m; s++ {
+			if g.SwitchDegree(s) != c.k {
+				t.Fatalf("%+v: switch %d degree %d", c, s, g.SwitchDegree(s))
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package mapping
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Matrix text format: a header line "traffic <n>" followed by one
+// "src dst bytes" triple per line. Zero entries are omitted. Lines
+// starting with '#' and blank lines are ignored.
+
+// WriteMatrix serialises m in the text format (entries in row-major
+// order, zeros skipped).
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "traffic %d\n", m.N)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if b := m.At(i, j); b > 0 {
+				fmt.Fprintf(bw, "%d %d %g\n", i, j, b)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix parses the text format.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var m *Matrix
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m == nil {
+			var n int
+			if _, err := fmt.Sscanf(line, "traffic %d", &n); err != nil {
+				return nil, fmt.Errorf("mapping: line %d: expected 'traffic <n>' header: %v", lineNo, err)
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("mapping: line %d: invalid size %d", lineNo, n)
+			}
+			m = NewMatrix(n)
+			continue
+		}
+		var i, j int
+		var b float64
+		if _, err := fmt.Sscanf(line, "%d %d %g", &i, &j, &b); err != nil {
+			return nil, fmt.Errorf("mapping: line %d: %v", lineNo, err)
+		}
+		if i < 0 || i >= m.N || j < 0 || j >= m.N {
+			return nil, fmt.Errorf("mapping: line %d: pair (%d,%d) out of range", lineNo, i, j)
+		}
+		if b < 0 {
+			return nil, fmt.Errorf("mapping: line %d: negative volume", lineNo)
+		}
+		m.Add(i, j, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("mapping: empty input")
+	}
+	return m, nil
+}

@@ -1,0 +1,202 @@
+// Package mapping optimises the placement of application ranks onto the
+// hosts of a host-switch graph. The paper's introduction stresses that
+// the mapping between logical endpoints and physical nodes strongly
+// affects performance; §6.2.1's depth-first placement is one fixed
+// heuristic. This package generalises it: given a rank-to-rank traffic
+// matrix (measured with mpi.Tracer or synthetic), it searches the space
+// of rank->host permutations for one minimising total traffic-weighted
+// hop count, with O(n) delta evaluation per candidate swap.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// Matrix is an n x n traffic matrix: Bytes[i*n+j] is the volume rank i
+// sends to rank j.
+type Matrix struct {
+	N     int
+	Bytes []float64
+}
+
+// NewMatrix returns a zero matrix for n ranks.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Bytes: make([]float64, n*n)}
+}
+
+// At returns the traffic from rank i to rank j.
+func (m *Matrix) At(i, j int) float64 { return m.Bytes[i*m.N+j] }
+
+// Add accumulates traffic from rank i to rank j.
+func (m *Matrix) Add(i, j int, bytes float64) {
+	if i < 0 || i >= m.N || j < 0 || j >= m.N {
+		panic(fmt.Sprintf("mapping: rank pair (%d,%d) out of range for n=%d", i, j, m.N))
+	}
+	m.Bytes[i*m.N+j] += bytes
+}
+
+// Total returns the total traffic volume.
+func (m *Matrix) Total() float64 {
+	var sum float64
+	for _, b := range m.Bytes {
+		sum += b
+	}
+	return sum
+}
+
+// FromTrace builds the matrix from a recorded MPI timeline (isend
+// events).
+func FromTrace(tr *mpi.Tracer, n int) *Matrix {
+	m := NewMatrix(n)
+	for _, e := range tr.Events {
+		if e.Op == "isend" && e.Rank >= 0 && e.Rank < n && e.Peer >= 0 && e.Peer < n {
+			m.Add(e.Rank, e.Peer, e.Bytes)
+		}
+	}
+	return m
+}
+
+// Cost evaluates a placement: perm[i] is the host of rank i; the cost is
+// the sum over rank pairs of traffic times hop count.
+func Cost(m *Matrix, g *hsgraph.Graph, perm []int) (float64, error) {
+	if len(perm) != m.N {
+		return 0, fmt.Errorf("mapping: permutation length %d != n %d", len(perm), m.N)
+	}
+	if m.N > g.Order() {
+		return 0, fmt.Errorf("mapping: %d ranks exceed %d hosts", m.N, g.Order())
+	}
+	hops, err := hopTable(g)
+	if err != nil {
+		return 0, err
+	}
+	var cost float64
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if b := m.At(i, j); b > 0 {
+				cost += b * float64(hops.between(g, perm[i], perm[j]))
+			}
+		}
+	}
+	return cost, nil
+}
+
+// hopTable caches switch distances for host-to-host hop lookups.
+type hopsCache struct {
+	dist [][]int32
+}
+
+func hopTable(g *hsgraph.Graph) (*hopsCache, error) {
+	return &hopsCache{dist: g.SwitchDistances()}, nil
+}
+
+func (h *hopsCache) between(g *hsgraph.Graph, a, b int) int {
+	if a == b {
+		return 0
+	}
+	sa, sb := g.SwitchOf(a), g.SwitchOf(b)
+	if sa == sb {
+		return 2
+	}
+	d := h.dist[sa][sb]
+	if d < 0 {
+		return 1 << 20 // unreachable: effectively infinite
+	}
+	return int(d) + 2
+}
+
+// Optimize searches for a low-cost placement by randomized pairwise
+// swaps with greedy acceptance (hill climbing with O(n) delta
+// evaluation). It returns the permutation and its cost. The identity
+// placement is the starting point.
+func Optimize(m *Matrix, g *hsgraph.Graph, iterations int, seed uint64) ([]int, float64, error) {
+	n := m.N
+	if n > g.Order() {
+		return nil, 0, fmt.Errorf("mapping: %d ranks exceed %d hosts", n, g.Order())
+	}
+	hops, err := hopTable(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	cost, err := Cost(m, g, perm)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n < 2 {
+		return perm, cost, nil
+	}
+	rnd := rng.New(seed)
+	// rankCost(i) = sum_j traffic(i,j)*hops + traffic(j,i)*hops.
+	rowCost := func(i int) float64 {
+		var sum float64
+		hi := perm[i]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			hj := perm[j]
+			d := float64(hops.between(g, hi, hj))
+			sum += m.At(i, j)*d + m.At(j, i)*d
+		}
+		return sum
+	}
+	for it := 0; it < iterations; it++ {
+		a := rnd.Intn(n)
+		b := rnd.Intn(n)
+		if a == b {
+			continue
+		}
+		before := rowCost(a) + rowCost(b)
+		// Swapping a and b double-subtracts/adds the (a,b) term, but it is
+		// identical before and after the swap (distance is symmetric in
+		// the pair), so the deltas cancel exactly.
+		perm[a], perm[b] = perm[b], perm[a]
+		after := rowCost(a) + rowCost(b)
+		if after >= before {
+			perm[a], perm[b] = perm[b], perm[a]
+			continue
+		}
+		cost += after - before
+	}
+	// Recompute exactly to shed accumulated floating-point drift.
+	cost, err = Cost(m, g, perm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return perm, cost, nil
+}
+
+// Apply returns a copy of g with rank i attached where perm[i] pointed:
+// host id i takes the position of host perm[i] in the input graph.
+func Apply(g *hsgraph.Graph, perm []int) (*hsgraph.Graph, error) {
+	if len(perm) != g.Order() {
+		return nil, fmt.Errorf("mapping: permutation length %d != order %d", len(perm), g.Order())
+	}
+	seen := make([]bool, g.Order())
+	for _, h := range perm {
+		if h < 0 || h >= g.Order() || seen[h] {
+			return nil, fmt.Errorf("mapping: not a permutation")
+		}
+		seen[h] = true
+	}
+	out := hsgraph.New(g.Order(), g.Switches(), g.Radix())
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		if err := out.Connect(a, b); err != nil {
+			return nil, err
+		}
+	}
+	for rank, host := range perm {
+		if err := out.AttachHost(rank, g.SwitchOf(host)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,305 @@
+package mapping
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func ringFixture(t *testing.T) *hsgraph.Graph {
+	t.Helper()
+	g, err := hsgraph.Ring(8, 4, 6) // 2 hosts per switch, 4-switch ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(4)
+	m.Add(0, 1, 100)
+	m.Add(0, 1, 50)
+	m.Add(3, 2, 7)
+	if m.At(0, 1) != 150 || m.At(3, 2) != 7 || m.At(1, 0) != 0 {
+		t.Fatalf("matrix contents wrong: %+v", m)
+	}
+	if m.Total() != 157 {
+		t.Fatalf("total = %v", m.Total())
+	}
+}
+
+func TestMatrixAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMatrix(2).Add(0, 5, 1)
+}
+
+func TestFromTrace(t *testing.T) {
+	g := ringFixture(t)
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &mpi.Tracer{}
+	_, err = mpi.Run(nw, 4, mpi.Config{Tracer: tr}, func(r *mpi.Rank) error {
+		if r.ID() == 0 {
+			r.Send(3, 1000, 1)
+			r.Send(3, 500, 1)
+		}
+		if r.ID() == 3 {
+			r.Recv(0, 1)
+			r.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromTrace(tr, 4)
+	if m.At(0, 3) != 1500 || m.Total() != 1500 {
+		t.Fatalf("trace matrix wrong: %v", m.Bytes)
+	}
+}
+
+func TestCostKnownValues(t *testing.T) {
+	g := ringFixture(t)
+	// Hosts 0,1 on switch 0; 2,3 on sw1; 4,5 on sw2; 6,7 on sw3.
+	m := NewMatrix(8)
+	m.Add(0, 1, 10) // same switch: 2 hops
+	m.Add(0, 2, 10) // adjacent switches: 3 hops
+	m.Add(0, 4, 10) // opposite switches: 4 hops
+	id := make([]int, 8)
+	for i := range id {
+		id[i] = i
+	}
+	cost, err := Cost(m, g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10.0*2 + 10*3 + 10*4; cost != want {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestOptimizeImprovesAdversarialMapping(t *testing.T) {
+	g := ringFixture(t)
+	// Ring application pattern: rank i talks to rank (i+1) mod 8 heavily.
+	m := NewMatrix(8)
+	for i := 0; i < 8; i++ {
+		m.Add(i, (i+1)%8, 1000)
+	}
+	// Adversarial start: reverse placement makes neighbours far apart...
+	// Optimize starts from identity, which is already good on a ring, so
+	// first evaluate a scrambled baseline for comparison.
+	scrambled := []int{0, 4, 1, 5, 2, 6, 3, 7}
+	cs, err := Cost(m, g, scrambled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, co, err := Optimize(m, g, 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co > cs {
+		t.Fatalf("optimized cost %v worse than scrambled %v", co, cs)
+	}
+	// Verify the returned cost is consistent.
+	check, err := Cost(m, g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(check-co) > 1e-6 {
+		t.Fatalf("reported cost %v != recomputed %v", co, check)
+	}
+	// A perfect ring embedding costs: per heavy pair, rank i and i+1
+	// ideally co-located (2 hops) or adjacent (3). Lower bound: all pairs
+	// at 2 hops is impossible (2 hosts per switch allows 4 co-located
+	// pairs), so optimum >= 4*2000... just require a sane improvement
+	// over identity? identity: pairs (0,1) colocated (2), (1,2) adjacent
+	// (3), ... cost = 4*2*1000... compute identity cost:
+	id := make([]int, 8)
+	for i := range id {
+		id[i] = i
+	}
+	ci, err := Cost(m, g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co > ci {
+		t.Fatalf("optimizer worse than its identity start: %v > %v", co, ci)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	g := ringFixture(t)
+	m := NewMatrix(8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				m.Add(i, j, float64((i*13+j*7)%19))
+			}
+		}
+	}
+	p1, c1, err := Optimize(m, g, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, c2, err := Optimize(m, g, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("costs differ: %v vs %v", c1, c2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("permutations differ")
+		}
+	}
+}
+
+func TestApplyPreservesStructure(t *testing.T) {
+	g := ringFixture(t)
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	out, err := Apply(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 now sits where host 7 was (switch 3).
+	if out.SwitchOf(0) != g.SwitchOf(7) {
+		t.Fatalf("rank 0 on switch %d, want %d", out.SwitchOf(0), g.SwitchOf(7))
+	}
+	// Global metrics are permutation-invariant.
+	if out.Evaluate().TotalPath != g.Evaluate().TotalPath {
+		t.Fatal("apply changed aggregate metrics")
+	}
+}
+
+func TestApplyRejectsBadPerms(t *testing.T) {
+	g := ringFixture(t)
+	if _, err := Apply(g, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := Apply(g, []int{0, 0, 2, 3, 4, 5, 6, 7}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := Apply(g, []int{0, 1, 2, 3, 4, 5, 6, 99}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestEndToEndMappingSpeedsUpApplication(t *testing.T) {
+	// Measure an actual simulated run before and after mapping: a ring
+	// application on a ring fabric with a scrambled initial placement.
+	g := ringFixture(t)
+	scramble := []int{0, 4, 1, 5, 2, 6, 3, 7}
+	bad, err := Apply(g, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := func(r *mpi.Rank) error {
+		for round := 0; round < 4; round++ {
+			next := (r.ID() + 1) % r.Size()
+			prev := (r.ID() - 1 + r.Size()) % r.Size()
+			rq := r.Irecv(prev, 5)
+			r.Send(next, 1<<17, 5)
+			r.Wait(rq)
+		}
+		return nil
+	}
+	runTime := func(gg *hsgraph.Graph) float64 {
+		nw, err := simnet.NewNetwork(gg, simnet.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := mpi.Run(nw, 8, mpi.Config{}, program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Elapsed
+	}
+	before := runTime(bad)
+
+	// Trace the bad run to get the traffic matrix, optimise, re-run.
+	tr := &mpi.Tracer{}
+	nw, err := simnet.NewNetwork(bad, simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.Run(nw, 8, mpi.Config{Tracer: tr}, program); err != nil {
+		t.Fatal(err)
+	}
+	m := FromTrace(tr, 8)
+	perm, _, err := Optimize(m, bad, 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := Apply(bad, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := runTime(better)
+	if after > before {
+		t.Fatalf("mapping made the application slower: %v -> %v", before, after)
+	}
+}
+
+func TestMatrixIORoundTrip(t *testing.T) {
+	m := NewMatrix(5)
+	m.Add(0, 4, 123.5)
+	m.Add(3, 1, 7)
+	m.Add(2, 2, 9) // self traffic allowed in the format
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 5 || back.At(0, 4) != 123.5 || back.At(3, 1) != 7 || back.At(2, 2) != 9 {
+		t.Fatalf("round trip changed matrix: %+v", back)
+	}
+	if back.Total() != m.Total() {
+		t.Fatal("total changed")
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no header":    "0 1 5\n",
+		"bad header":   "traffic x\n",
+		"zero size":    "traffic 0\n",
+		"out of range": "traffic 2\n0 5 1\n",
+		"negative":     "traffic 2\n0 1 -3\n",
+		"garbage":      "traffic 2\na b c\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrix(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadMatrixComments(t *testing.T) {
+	in := "# generated\ntraffic 3\n\n0 1 10\n# more\n1 2 20\n"
+	m, err := ReadMatrix(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 10 || m.At(1, 2) != 20 {
+		t.Fatalf("parse wrong: %+v", m)
+	}
+}

@@ -1,0 +1,251 @@
+package mpi
+
+import "math/bits"
+
+// Collective algorithms in the style of MVAPICH2/MPICH. Every rank must
+// call the same collectives in the same order; an internal per-rank
+// sequence number keeps the tag spaces of consecutive collectives (and of
+// user point-to-point traffic) disjoint.
+
+// collTagBase starts the internal tag space well away from user tags.
+const collTagBase = 1 << 28
+
+func (r *Rank) collTag() int {
+	r.collSeq++
+	return collTagBase + r.collSeq
+}
+
+// Barrier blocks until all ranks arrive (dissemination algorithm:
+// ceil(log2 p) rounds of 1-byte token exchanges).
+func (r *Rank) Barrier() {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		r.SendRecv(dst, 1, src, 1, tag)
+	}
+}
+
+// Bcast broadcasts bytes from root to every rank (binomial tree).
+func (r *Rank) Bcast(root int, bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	relative := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if relative&mask != 0 {
+			src := (r.id - mask + p) % p
+			r.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relative+mask < p {
+			dst := (r.id + mask) % p
+			r.Send(dst, bytes, tag)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce reduces bytes of data from all ranks onto root (binomial tree;
+// the arithmetic itself is not modelled, only the message traffic).
+func (r *Rank) Reduce(root int, bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	relative := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if relative&mask == 0 {
+			srcRel := relative | mask
+			if srcRel < p {
+				src := (srcRel + root) % p
+				r.Recv(src, tag)
+			}
+		} else {
+			dst := ((relative &^ mask) + root) % p
+			r.Send(dst, bytes, tag)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce performs a reduction whose result lands on every rank,
+// using recursive doubling with the standard fold for non-power-of-two
+// sizes (the MVAPICH2 choice for small/medium messages).
+func (r *Rank) Allreduce(bytes float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	p2 := 1 << uint(bits.Len(uint(p))-1) // largest power of two <= p
+	rem := p - p2
+
+	// Fold phase: the first 2*rem ranks pair up; evens send to odds and
+	// drop out of the doubling phase.
+	inGroup := true
+	groupRank := -1
+	switch {
+	case r.id < 2*rem && r.id%2 == 0:
+		r.Send(r.id+1, bytes, tag)
+		inGroup = false
+	case r.id < 2*rem:
+		r.Recv(r.id-1, tag)
+		groupRank = r.id / 2
+	default:
+		groupRank = r.id - rem
+	}
+
+	if inGroup {
+		for mask := 1; mask < p2; mask <<= 1 {
+			partnerGroup := groupRank ^ mask
+			partner := groupToRank(partnerGroup, rem)
+			r.SendRecv(partner, bytes, partner, bytes, tag+1)
+		}
+	}
+
+	// Unfold: odds return the result to the evens they folded.
+	if r.id < 2*rem {
+		if r.id%2 == 0 {
+			r.Recv(r.id+1, tag+2)
+		} else {
+			r.Send(r.id-1, bytes, tag+2)
+		}
+	}
+	r.collSeq += 2 // account for the tag+1 and tag+2 sub-phases
+}
+
+func groupToRank(g, rem int) int {
+	if g < rem {
+		return 2*g + 1
+	}
+	return g + rem
+}
+
+// Allgather gathers bytesPerRank from every rank onto every rank using
+// the ring algorithm: p-1 steps forwarding one block at a time.
+func (r *Rank) Allgather(bytesPerRank float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		r.SendRecv(right, bytesPerRank, left, bytesPerRank, tag)
+	}
+}
+
+// Alltoall exchanges bytesPerPair between every pair of ranks using the
+// pairwise-exchange algorithm (p-1 balanced steps; works for any p).
+func (r *Rank) Alltoall(bytesPerPair float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		src := (r.id - step + p) % p
+		r.SendRecv(dst, bytesPerPair, src, bytesPerPair, tag)
+	}
+}
+
+// Alltoallv is Alltoall with per-destination sizes; sizes[d] is the
+// number of bytes this rank sends to rank d (sizes[r.id] is ignored).
+func (r *Rank) Alltoallv(sizes []float64) {
+	p := r.Size()
+	if len(sizes) != p {
+		panic("mpi: Alltoallv sizes length mismatch")
+	}
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		src := (r.id - step + p) % p
+		r.SendRecv(dst, sizes[dst], src, 0, tag)
+	}
+}
+
+// Gather collects bytesPerRank from every rank onto root (linear).
+func (r *Rank) Gather(root int, bytesPerRank float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	if r.id == root {
+		reqs := make([]*Request, 0, p-1)
+		for src := 0; src < p; src++ {
+			if src != root {
+				reqs = append(reqs, r.Irecv(src, tag))
+			}
+		}
+		r.WaitAll(reqs...)
+	} else {
+		r.Send(root, bytesPerRank, tag)
+	}
+}
+
+// Scatter distributes bytesPerRank from root to every rank (linear).
+func (r *Rank) Scatter(root int, bytesPerRank float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	if r.id == root {
+		reqs := make([]*Request, 0, p-1)
+		for dst := 0; dst < p; dst++ {
+			if dst != root {
+				reqs = append(reqs, r.Isend(dst, bytesPerRank, tag))
+			}
+		}
+		r.WaitAll(reqs...)
+	} else {
+		r.Recv(root, tag)
+	}
+}
+
+// ReduceScatterBlock reduces and scatters equal blocks: modelled as a
+// pairwise exchange of block-sized messages (p-1 steps), the message
+// pattern of the MPICH pairwise reduce-scatter.
+func (r *Rank) ReduceScatterBlock(blockBytes float64) {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag()
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		src := (r.id - step + p) % p
+		r.SendRecv(dst, blockBytes, src, blockBytes, tag)
+	}
+}

@@ -1,0 +1,138 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLargeCollectivesComplete(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13, 16} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			nw := collectiveWorld(t, p)
+			_, err := Run(nw, p, Config{}, func(r *Rank) error {
+				r.BcastScatterAllgather(0, 1<<20)
+				r.BcastAuto(0, 100)
+				r.BcastAuto(0, 1<<20)
+				r.AllreduceRabenseifner(1 << 20)
+				r.AllreduceAuto(64)
+				r.AllreduceAuto(1 << 20)
+				r.AllgatherRecursiveDoubling(4096)
+				r.AlltoallBruck(64)
+				r.AlltoallAuto(16)
+				r.AlltoallAuto(1 << 18)
+				r.Scan(4096)
+				r.BcastBinomial(0, 2048)
+				r.Barrier()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLargeBcastBeatsBinomialOnBandwidth(t *testing.T) {
+	// For a long message, scatter+allgather should finish no later than
+	// the binomial tree (which sends the full payload log(p) times along
+	// the critical path).
+	nw := collectiveWorld(t, 16)
+	timeOf := func(f func(r *Rank)) float64 {
+		stats, err := Run(nw, 16, Config{}, func(r *Rank) error {
+			f(r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Elapsed
+	}
+	const bytes = 8 << 20
+	binomial := timeOf(func(r *Rank) { r.Bcast(0, bytes) })
+	vdg := timeOf(func(r *Rank) { r.BcastScatterAllgather(0, bytes) })
+	if vdg > binomial {
+		t.Fatalf("scatter+allgather (%v) slower than binomial (%v) at 8 MiB", vdg, binomial)
+	}
+}
+
+func TestRabenseifnerBeatsRecursiveDoublingOnBandwidth(t *testing.T) {
+	nw := collectiveWorld(t, 16)
+	timeOf := func(f func(r *Rank)) float64 {
+		stats, err := Run(nw, 16, Config{}, func(r *Rank) error {
+			f(r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Elapsed
+	}
+	const bytes = 8 << 20
+	rd := timeOf(func(r *Rank) { r.Allreduce(bytes) })
+	rab := timeOf(func(r *Rank) { r.AllreduceRabenseifner(bytes) })
+	if rab > rd {
+		t.Fatalf("Rabenseifner (%v) slower than recursive doubling (%v) at 8 MiB", rab, rd)
+	}
+}
+
+func TestBruckFewerFlowsThanPairwise(t *testing.T) {
+	nw := collectiveWorld(t, 16)
+	flowsOf := func(f func(r *Rank)) int64 {
+		stats, err := Run(nw, 16, Config{}, func(r *Rank) error {
+			f(r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.FlowsCompleted
+	}
+	bruck := flowsOf(func(r *Rank) { r.AlltoallBruck(16) })
+	pair := flowsOf(func(r *Rank) { r.Alltoall(16) })
+	if bruck >= pair {
+		t.Fatalf("Bruck used %d flows, pairwise %d; Bruck must send fewer messages", bruck, pair)
+	}
+}
+
+func TestScanOrdering(t *testing.T) {
+	// Rank p-1 holds the full prefix; its completion cannot precede the
+	// arrival of at least log2(p) message latencies.
+	nw := collectiveWorld(t, 8)
+	var last float64
+	_, err := Run(nw, 8, Config{}, func(r *Rank) error {
+		r.Scan(1024)
+		if r.ID() == 7 {
+			last = r.Time()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last <= 0 {
+		t.Fatal("rank 7 finished scan at t=0")
+	}
+}
+
+func TestAutoSelectionThreshold(t *testing.T) {
+	// The auto entry points must route to different algorithms across the
+	// threshold; observable via flow counts (binomial bcast: p-1 flows;
+	// scatter+allgather: ~p-1 + p*(p-1) flows).
+	nw := collectiveWorld(t, 8)
+	flowsOf := func(bytes float64) int64 {
+		stats, err := Run(nw, 8, Config{}, func(r *Rank) error {
+			r.BcastAuto(0, bytes)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.FlowsCompleted
+	}
+	small := flowsOf(1024)
+	large := flowsOf(1 << 20)
+	if small >= large {
+		t.Fatalf("auto selection did not switch algorithms: %d vs %d flows", small, large)
+	}
+}

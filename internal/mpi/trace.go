@@ -1,0 +1,86 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tracer records the communication timeline of an MPI run: every
+// point-to-point post and completion plus compute phases. Attach one via
+// Config.Tracer; it is filled in during Run (single-threaded scheduler,
+// no locking needed) and can be inspected or dumped afterwards.
+type Tracer struct {
+	Events []TraceEvent
+}
+
+// TraceEvent is one timeline entry.
+type TraceEvent struct {
+	Time  float64 // simulated seconds at which the event was recorded
+	Rank  int
+	Op    string // "isend", "irecv", "send-done", "recv-done", "compute"
+	Peer  int    // peer rank (-1 for compute)
+	Bytes float64
+	Tag   int
+}
+
+func (e TraceEvent) String() string {
+	if e.Op == "compute" {
+		return fmt.Sprintf("%.9f r%d compute %.0f flops", e.Time, e.Rank, e.Bytes)
+	}
+	return fmt.Sprintf("%.9f r%d %s peer=%d bytes=%.0f tag=%d", e.Time, e.Rank, e.Op, e.Peer, e.Bytes, e.Tag)
+}
+
+// record appends an event (no-op on a nil tracer).
+func (tr *Tracer) record(e TraceEvent) {
+	if tr == nil {
+		return
+	}
+	tr.Events = append(tr.Events, e)
+}
+
+// ByRank returns the events of one rank in time order.
+func (tr *Tracer) ByRank(rank int) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range tr.Events {
+		if e.Rank == rank {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// TotalBytes sums the bytes of all "isend" events (each message once).
+func (tr *Tracer) TotalBytes() float64 {
+	var sum float64
+	for _, e := range tr.Events {
+		if e.Op == "isend" {
+			sum += e.Bytes
+		}
+	}
+	return sum
+}
+
+// MessageCount returns the number of point-to-point messages posted.
+func (tr *Tracer) MessageCount() int {
+	n := 0
+	for _, e := range tr.Events {
+		if e.Op == "isend" {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes the full timeline in time order.
+func (tr *Tracer) Dump(w io.Writer) error {
+	events := append([]TraceEvent(nil), tr.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

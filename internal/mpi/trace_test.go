@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsTimeline(t *testing.T) {
+	nw := ringWorld(t, 4)
+	tr := &Tracer{}
+	_, err := Run(nw, 4, Config{Tracer: tr}, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(1e6)
+			r.Send(1, 5000, 42)
+		}
+		if r.ID() == 1 {
+			r.Recv(0, 42)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MessageCount() != 1 {
+		t.Fatalf("messages = %d, want 1", tr.MessageCount())
+	}
+	if tr.TotalBytes() != 5000 {
+		t.Fatalf("bytes = %v, want 5000", tr.TotalBytes())
+	}
+	r0 := tr.ByRank(0)
+	if len(r0) != 2 || r0[0].Op != "compute" || r0[1].Op != "isend" {
+		t.Fatalf("rank 0 timeline wrong: %v", r0)
+	}
+	if r0[1].Time < r0[0].Time {
+		t.Fatal("timeline out of order")
+	}
+	r1 := tr.ByRank(1)
+	if len(r1) != 1 || r1[0].Op != "irecv" || r1[0].Peer != 0 {
+		t.Fatalf("rank 1 timeline wrong: %v", r1)
+	}
+}
+
+func TestTracerCollectiveVolume(t *testing.T) {
+	nw := collectiveWorld(t, 8)
+	tr := &Tracer{}
+	_, err := Run(nw, 8, Config{Tracer: tr}, func(r *Rank) error {
+		r.Alltoall(1000)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise all-to-all: 8 ranks x 7 steps x 1 send of 1000 B.
+	if tr.MessageCount() != 56 {
+		t.Fatalf("messages = %d, want 56", tr.MessageCount())
+	}
+	if tr.TotalBytes() != 56000 {
+		t.Fatalf("bytes = %v, want 56000", tr.TotalBytes())
+	}
+}
+
+func TestTracerDump(t *testing.T) {
+	nw := ringWorld(t, 2)
+	tr := &Tracer{}
+	_, err := Run(nw, 2, Config{Tracer: tr}, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 100, 7)
+		} else {
+			r.Recv(0, 7)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "isend") || !strings.Contains(out, "irecv") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	nw := ringWorld(t, 2)
+	_, err := Run(nw, 2, Config{}, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(100)
+			r.Send(1, 100, 1)
+		} else {
+			r.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

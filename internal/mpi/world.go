@@ -1,0 +1,262 @@
+// Package mpi provides a simulated Message Passing Interface on top of
+// the simnet fluid network simulator: rank processes with blocking and
+// non-blocking point-to-point operations and the collective algorithms of
+// MVAPICH2-era MPI libraries (binomial broadcast/reduce, recursive-doubling
+// allreduce with non-power-of-two folding, ring allgather, pairwise
+// all-to-all, dissemination barrier). It replaces the paper's
+// SimGrid/SMPI + MVAPICH2 stack.
+//
+// Rank i runs on host i of the underlying network, so the MPI rank order
+// is the host numbering — which is exactly what the paper's host
+// attachment policies (§6.2.1) control.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Config tunes the MPI model. Zero values take defaults.
+type Config struct {
+	// FlopsPerHost converts Compute(flops) to seconds. Default 100e9
+	// (the paper's 100 GFlops hosts).
+	FlopsPerHost float64
+	// EagerLimit is the message size (bytes) up to which sends complete
+	// without waiting for the transfer (eager protocol). Default 12288.
+	EagerLimit float64
+	// PacketMode switches transfers from the fluid flow model to
+	// store-and-forward packet simulation (higher fidelity, slower).
+	PacketMode bool
+	// MTU is the packet size for PacketMode; 0 uses simnet.DefaultMTU.
+	MTU float64
+	// Tracer, when non-nil, records the communication timeline.
+	Tracer *Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlopsPerHost == 0 {
+		c.FlopsPerHost = 100e9
+	}
+	if c.EagerLimit == 0 {
+		c.EagerLimit = 12288
+	}
+	return c
+}
+
+// World is one MPI job: size ranks on the first size hosts of a network.
+type World struct {
+	sim   *simnet.Sim
+	cfg   Config
+	size  int
+	ranks []*Rank
+}
+
+// Stats summarises a completed run.
+type Stats struct {
+	Elapsed        float64 // simulated seconds from start to last rank exit
+	FlowsCompleted int64
+	BytesMoved     float64
+}
+
+// Run executes program on every rank of a fresh world and returns run
+// statistics. program must be collective-safe: every rank calls the same
+// collectives in the same order. Errors returned by any rank's program (or
+// deadlock) abort the run.
+func Run(nw *simnet.Network, size int, cfg Config, program func(r *Rank) error) (Stats, error) {
+	if size < 1 || size > nw.Hosts() {
+		return Stats{}, fmt.Errorf("mpi: size %d out of range 1..%d", size, nw.Hosts())
+	}
+	sim := simnet.NewSim(nw)
+	w := &World{sim: sim, cfg: cfg.withDefaults(), size: size}
+	errs := make([]error, size)
+	for i := 0; i < size; i++ {
+		i := i
+		r := &Rank{world: w, id: i}
+		w.ranks = append(w.ranks, r)
+		sim.Spawn(i, func(p *simnet.Proc) {
+			r.proc = p
+			errs[i] = program(r)
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return Stats{}, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return Stats{}, fmt.Errorf("mpi: rank %d: %w", i, err)
+		}
+	}
+	return Stats{
+		Elapsed:        sim.Now(),
+		FlowsCompleted: sim.FlowsCompleted,
+		BytesMoved:     sim.BytesMoved,
+	}, nil
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	world *World
+	proc  *simnet.Proc
+	id    int
+
+	// Mailbox: send envelopes that arrived before a matching receive, and
+	// receives posted before a matching send. Both FIFO.
+	unexpected []*envelope
+	posted     []*recvPost
+
+	collSeq int // per-rank collective sequence number (see collTag)
+}
+
+type envelope struct {
+	src, tag int
+	bytes    float64
+	sendReq  *Request
+}
+
+type recvPost struct {
+	src, tag int
+	recvReq  *Request
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	sig *simnet.Signal
+}
+
+// Done reports whether the operation has completed.
+func (q *Request) Done() bool { return q.sig.Fired() }
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.world.size }
+
+// Time returns the current simulated time in seconds.
+func (r *Rank) Time() float64 { return r.proc.Now() }
+
+// Compute advances this rank by flops/FlopsPerHost seconds.
+func (r *Rank) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	r.world.cfg.Tracer.record(TraceEvent{Time: r.proc.Now(), Rank: r.id, Op: "compute", Peer: -1, Bytes: flops})
+	r.proc.Sleep(flops / r.world.cfg.FlopsPerHost)
+}
+
+// Isend starts a non-blocking send of bytes to rank dst with the given
+// tag. Small messages (<= EagerLimit) complete the send request
+// immediately; larger ones complete when the transfer finishes.
+func (r *Rank) Isend(dst int, bytes float64, tag int) *Request {
+	w := r.world
+	if dst < 0 || dst >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d Isend to invalid rank %d", r.id, dst))
+	}
+	w.cfg.Tracer.record(TraceEvent{Time: w.sim.Now(), Rank: r.id, Op: "isend", Peer: dst, Bytes: bytes, Tag: tag})
+	req := &Request{sig: w.sim.NewSignal()}
+	env := &envelope{src: r.id, tag: tag, bytes: bytes, sendReq: req}
+	peer := w.ranks[dst]
+	// Look for a matching posted receive (FIFO).
+	for i, post := range peer.posted {
+		if matches(post.src, post.tag, env.src, env.tag) {
+			peer.posted = append(peer.posted[:i], peer.posted[i+1:]...)
+			w.startTransfer(env, post, dst)
+			return req
+		}
+	}
+	peer.unexpected = append(peer.unexpected, env)
+	if bytes <= w.cfg.EagerLimit {
+		// Eager: the sender does not wait for the receiver.
+		w.sim.FireAt(req.sig, w.sim.Network().Config().MessageOverhead)
+	}
+	return req
+}
+
+// Irecv posts a non-blocking receive matching rank src and tag. Use
+// AnySource and AnyTag as wildcards.
+func (r *Rank) Irecv(src, tag int) *Request {
+	w := r.world
+	w.cfg.Tracer.record(TraceEvent{Time: w.sim.Now(), Rank: r.id, Op: "irecv", Peer: src, Tag: tag})
+	req := &Request{sig: w.sim.NewSignal()}
+	post := &recvPost{src: src, tag: tag, recvReq: req}
+	for i, env := range r.unexpected {
+		if matches(post.src, post.tag, env.src, env.tag) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			w.startTransfer(env, post, r.id)
+			return req
+		}
+	}
+	r.posted = append(r.posted, post)
+	return req
+}
+
+// Wildcards for Irecv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+func matches(wantSrc, wantTag, src, tag int) bool {
+	return (wantSrc == AnySource || wantSrc == src) &&
+		(wantTag == AnyTag || wantTag == tag)
+}
+
+// startTransfer begins the network flow for a matched pair and wires the
+// completion signal to both requests.
+func (w *World) startTransfer(env *envelope, post *recvPost, dst int) {
+	var sg *simnet.Signal
+	var err error
+	if w.cfg.PacketMode {
+		sg, err = w.sim.StartPacketMessage(env.src, dst, env.bytes, w.cfg.MTU)
+	} else {
+		sg, err = w.sim.StartFlow(env.src, dst, env.bytes)
+	}
+	if err != nil {
+		panic("mpi: " + err.Error())
+	}
+	// The receive always completes with the transfer. The send completes
+	// with the transfer for rendezvous messages; eager sends may have
+	// completed already (double-fire is a no-op). Chaining (rather than
+	// replacing the request's signal) keeps already-blocked waiters safe.
+	w.sim.Chain(sg, post.recvReq.sig)
+	if env.bytes > w.cfg.EagerLimit {
+		w.sim.Chain(sg, env.sendReq.sig)
+	} else {
+		// Eager send whose envelope was matched immediately (receive was
+		// already posted): it still completes after the overhead.
+		if !env.sendReq.sig.Fired() {
+			w.sim.FireAt(env.sendReq.sig, w.sim.Network().Config().MessageOverhead)
+		}
+	}
+}
+
+// Wait blocks until the request completes.
+func (r *Rank) Wait(q *Request) { r.proc.Wait(q.sig) }
+
+// WaitAll blocks until every request completes.
+func (r *Rank) WaitAll(qs ...*Request) {
+	for _, q := range qs {
+		r.Wait(q)
+	}
+}
+
+// Send is a blocking send.
+func (r *Rank) Send(dst int, bytes float64, tag int) {
+	r.Wait(r.Isend(dst, bytes, tag))
+}
+
+// Recv is a blocking receive.
+func (r *Rank) Recv(src, tag int) {
+	r.Wait(r.Irecv(src, tag))
+}
+
+// SendRecv sends to dst and receives from src concurrently, the
+// deadlock-free exchange primitive used by the collectives.
+func (r *Rank) SendRecv(dst int, sendBytes float64, src int, recvBytes float64, tag int) {
+	_ = recvBytes // sizes are carried by the sender in this model
+	rq := r.Irecv(src, tag)
+	sq := r.Isend(dst, sendBytes, tag)
+	r.Wait(rq)
+	r.Wait(sq)
+}

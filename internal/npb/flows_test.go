@@ -1,0 +1,97 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// Flow-count accounting: each benchmark's communication pattern implies a
+// predictable number of network transfers. These tests pin the message
+// structure (not just "it ran"), so pattern regressions are caught.
+
+// flowsFor runs the benchmark and returns completed network flows.
+func flowsFor(t *testing.T, name string, p, iters int) int64 {
+	t.Helper()
+	nw := testNet(t, 16)
+	s, err := New(name, ClassS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Iterations = iters
+	stats, err := mpi.Run(nw, p, mpi.Config{}, s.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.FlowsCompleted
+}
+
+func TestEPFlowCount(t *testing.T) {
+	// EP communicates only via its 3 final allreduces. At p=16 (a power
+	// of two) recursive doubling has no fold phase: log2(16) = 4 SendRecv
+	// rounds, each producing one send (= one flow) per rank, so
+	// 3 * 16 * 4 = 192 flows.
+	got := flowsFor(t, "EP", 16, 1)
+	if want := int64(3 * 16 * 4); got != want {
+		t.Fatalf("EP flows = %d, want %d", got, want)
+	}
+}
+
+func TestAlltoallFlowScaling(t *testing.T) {
+	// IS is dominated by its two all-to-alls per iteration: each
+	// pairwise exchange is (p-1) steps x 1 send per rank. Verify flows
+	// grow linearly with iterations.
+	f1 := flowsFor(t, "IS", 16, 1)
+	f3 := flowsFor(t, "IS", 16, 3)
+	perIter := (f3 - f1) / 2
+	if perIter <= 0 {
+		t.Fatalf("IS flows not increasing: %d vs %d", f1, f3)
+	}
+	// Per iteration: allreduce(64) + alltoall(240) + alltoallv(240)
+	// sends at p=16 = 16*4 + 16*15 + 16*15 = 544.
+	if perIter != 544 {
+		t.Fatalf("IS flows per iteration = %d, want 544", perIter)
+	}
+}
+
+func TestLUFlowCount(t *testing.T) {
+	// LU at p=4 (2x2 grid), nz=12 planes (class S): per iteration each
+	// sweep sends: rank(0,0): 2 sends (south+east) per plane; (1,0):
+	// 1 send; (0,1): 1 send; (1,1): 0 -> 4 sends per plane per sweep,
+	// 2 sweeps x 12 planes x 4 = 96; plus allreduce(40B) at p=4:
+	// 2 rounds x 1 send x 4 ranks = 8. Total 104 per iteration.
+	f1 := flowsFor(t, "LU", 4, 1)
+	if f1 != 104 {
+		t.Fatalf("LU flows = %d, want 104", f1)
+	}
+}
+
+func TestMGFlowScaling(t *testing.T) {
+	// MG flows per V-cycle are constant across iterations.
+	f1 := flowsFor(t, "MG", 8, 1)
+	f2 := flowsFor(t, "MG", 8, 2)
+	if f2 != 2*f1 {
+		t.Fatalf("MG flows not linear in iterations: %d vs %d", f1, f2)
+	}
+}
+
+func TestCGFlowScaling(t *testing.T) {
+	f1 := flowsFor(t, "CG", 16, 1)
+	f2 := flowsFor(t, "CG", 16, 2)
+	if f2 != 2*f1 {
+		t.Fatalf("CG flows not linear in iterations: %d vs %d", f1, f2)
+	}
+	if f1 == 0 {
+		t.Fatal("CG produced no flows")
+	}
+}
+
+func TestBTSPFlowParity(t *testing.T) {
+	// BT and SP share the ADI skeleton: equal flow counts per iteration
+	// at the same p (they differ in sizes and flops, not message counts).
+	bt := flowsFor(t, "BT", 16, 2)
+	sp := flowsFor(t, "SP", 16, 2)
+	if bt != sp {
+		t.Fatalf("BT flows %d != SP flows %d at equal iterations", bt, sp)
+	}
+}

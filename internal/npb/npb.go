@@ -1,0 +1,436 @@
+// Package npb provides communication skeletons of the NAS Parallel
+// Benchmarks (MPI version 3.3.1) for the simulated MPI of package mpi.
+// A skeleton reproduces a benchmark's communication pattern and message
+// volumes plus a flops-based compute model; the numerics themselves are
+// not executed (the network comparison of the paper depends on traffic,
+// not on arithmetic results).
+//
+// Patterns, per the paper's §6.3 discussion:
+//
+//	EP  - embarrassingly parallel, negligible communication
+//	IS  - bucket sort: all-to-all (counts) + all-to-all-v (keys)
+//	FT  - 3-D FFT: large transposes (all-to-all)
+//	CG  - conjugate gradient: row/column exchanges + dot-product reductions
+//	MG  - multigrid: 3-D halo exchanges across all levels (long distance)
+//	LU  - SSOR: 2-D wavefront pipelines of small messages
+//	BT  - block-tridiagonal ADI: face exchanges + line-solve pipelines
+//	SP  - scalar-pentadiagonal ADI: like BT with thinner messages
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Class is an NPB problem class.
+type Class byte
+
+// Supported classes. S is the sample size (used in tests); the paper runs
+// class A for IS and FT and class B for the rest.
+const (
+	ClassS Class = 'S'
+	ClassA Class = 'A'
+	ClassB Class = 'B'
+)
+
+// Spec is a configured benchmark instance. Iterations may be reduced
+// before Build to shorten simulations; reported Mop/s are unaffected in
+// topology comparisons because time scales linearly with iterations.
+type Spec struct {
+	Name       string
+	Class      Class
+	Procs      int
+	Iterations int
+
+	// geometry (per benchmark; zero where unused)
+	nx, ny, nz int     // grid dimensions
+	totalKeys  float64 // IS
+	pairs      float64 // EP: number of random pairs
+	cgN        int     // CG: matrix order
+	cgNonzer   int     // CG: nonzeros parameter
+
+	program func(s *Spec, r *mpi.Rank) error
+	ops     float64 // nominal operation count for Mop/s reporting
+}
+
+// Benchmarks lists the supported benchmark names in canonical order.
+var Benchmarks = []string{"EP", "IS", "FT", "CG", "MG", "LU", "BT", "SP"}
+
+// New returns a configured benchmark. procs must be a power of two
+// (a perfect square additionally for BT and SP, mirroring NPB's own
+// constraints).
+func New(name string, class Class, procs int) (*Spec, error) {
+	if procs < 1 || procs&(procs-1) != 0 {
+		return nil, fmt.Errorf("npb: procs %d must be a power of two", procs)
+	}
+	switch class {
+	case ClassS, ClassA, ClassB:
+	default:
+		return nil, fmt.Errorf("npb: unknown class %q", class)
+	}
+	s := &Spec{Name: name, Class: class, Procs: procs}
+	switch name {
+	case "EP":
+		s.pairs = math.Pow(2, map[Class]float64{ClassS: 24, ClassA: 28, ClassB: 30}[class])
+		s.Iterations = 1
+		s.program = runEP
+		s.ops = s.pairs * 50
+	case "IS":
+		s.totalKeys = math.Pow(2, map[Class]float64{ClassS: 16, ClassA: 23, ClassB: 25}[class])
+		s.Iterations = 10
+		s.program = runIS
+		s.ops = s.totalKeys * float64(s.Iterations) * 25
+	case "FT":
+		dims := map[Class][3]int{ClassS: {64, 64, 64}, ClassA: {256, 256, 128}, ClassB: {512, 256, 256}}[class]
+		s.nx, s.ny, s.nz = dims[0], dims[1], dims[2]
+		s.Iterations = map[Class]int{ClassS: 6, ClassA: 6, ClassB: 20}[class]
+		s.program = runFT
+		total := float64(s.nx) * float64(s.ny) * float64(s.nz)
+		s.ops = float64(s.Iterations) * 5 * total * math.Log2(total)
+	case "CG":
+		s.cgN = map[Class]int{ClassS: 1400, ClassA: 14000, ClassB: 75000}[class]
+		s.cgNonzer = map[Class]int{ClassS: 7, ClassA: 11, ClassB: 13}[class]
+		s.Iterations = map[Class]int{ClassS: 15, ClassA: 15, ClassB: 75}[class]
+		s.program = runCG
+		nnz := float64(s.cgN) * float64(s.cgNonzer) * float64(s.cgNonzer+1)
+		s.ops = float64(s.Iterations) * 25 * 4 * nnz
+	case "MG":
+		n := map[Class]int{ClassS: 32, ClassA: 256, ClassB: 256}[class]
+		s.nx, s.ny, s.nz = n, n, n
+		s.Iterations = map[Class]int{ClassS: 4, ClassA: 4, ClassB: 20}[class]
+		s.program = runMG
+		total := float64(n) * float64(n) * float64(n)
+		s.ops = float64(s.Iterations) * total * 30
+	case "LU":
+		n := map[Class]int{ClassS: 12, ClassA: 64, ClassB: 102}[class]
+		s.nx, s.ny, s.nz = n, n, n
+		s.Iterations = map[Class]int{ClassS: 50, ClassA: 250, ClassB: 250}[class]
+		s.program = runLU
+		total := float64(n) * float64(n) * float64(n)
+		s.ops = float64(s.Iterations) * total * 150
+	case "BT":
+		if !isSquare(procs) {
+			return nil, fmt.Errorf("npb: BT needs a square number of processes, got %d", procs)
+		}
+		n := map[Class]int{ClassS: 12, ClassA: 64, ClassB: 102}[class]
+		s.nx, s.ny, s.nz = n, n, n
+		s.Iterations = map[Class]int{ClassS: 60, ClassA: 200, ClassB: 200}[class]
+		s.program = runBT
+		total := float64(n) * float64(n) * float64(n)
+		s.ops = float64(s.Iterations) * total * 250
+	case "SP":
+		if !isSquare(procs) {
+			return nil, fmt.Errorf("npb: SP needs a square number of processes, got %d", procs)
+		}
+		n := map[Class]int{ClassS: 12, ClassA: 64, ClassB: 102}[class]
+		s.nx, s.ny, s.nz = n, n, n
+		s.Iterations = map[Class]int{ClassS: 100, ClassA: 400, ClassB: 400}[class]
+		s.program = runSP
+		total := float64(n) * float64(n) * float64(n)
+		s.ops = float64(s.Iterations) * total * 120
+	default:
+		return nil, fmt.Errorf("npb: unknown benchmark %q (have %v)", name, Benchmarks)
+	}
+	return s, nil
+}
+
+func isSquare(p int) bool {
+	r := int(math.Round(math.Sqrt(float64(p))))
+	return r*r == p
+}
+
+// NominalOps returns the operation count used for Mop/s reporting.
+func (s *Spec) NominalOps() float64 { return s.ops }
+
+// Program returns the per-rank program for this benchmark.
+func (s *Spec) Program() func(r *mpi.Rank) error {
+	return func(r *mpi.Rank) error { return s.program(s, r) }
+}
+
+// --- EP ---
+
+func runEP(s *Spec, r *mpi.Rank) error {
+	perRank := s.pairs / float64(s.Procs)
+	for it := 0; it < s.Iterations; it++ {
+		r.Compute(perRank * 50)
+	}
+	// Final statistics: three small allreduces (sx, sy, counts).
+	r.Allreduce(8)
+	r.Allreduce(8)
+	r.Allreduce(80)
+	return nil
+}
+
+// --- IS ---
+
+func runIS(s *Spec, r *mpi.Rank) error {
+	p := float64(s.Procs)
+	keysPerRank := s.totalKeys / p
+	const buckets = 1024
+	sizes := make([]float64, s.Procs)
+	for d := range sizes {
+		// Uniform keys: each rank ships ~1/p of its keys to each peer.
+		sizes[d] = 4 * keysPerRank / p
+	}
+	for it := 0; it < s.Iterations; it++ {
+		r.Compute(keysPerRank * 10) // local bucket counting
+		r.Allreduce(4 * buckets)    // global bucket histogram
+		r.Alltoall(4 * buckets / p) // per-destination key counts
+		r.Alltoallv(sizes)          // key redistribution
+		r.Compute(keysPerRank * 15) // local ranking
+	}
+	r.Allreduce(8) // verification
+	return nil
+}
+
+// --- FT ---
+
+func runFT(s *Spec, r *mpi.Rank) error {
+	p := float64(s.Procs)
+	total := float64(s.nx) * float64(s.ny) * float64(s.nz)
+	perRank := total / p
+	fftFlops := 5 * perRank * math.Log2(total)
+	transposeBytes := 16 * perRank / p // complex128 blocks to each peer
+	// Initial forward FFT.
+	r.Compute(fftFlops)
+	r.Alltoall(transposeBytes)
+	for it := 0; it < s.Iterations; it++ {
+		r.Compute(perRank * 8) // evolve
+		r.Compute(fftFlops)    // inverse FFT (local passes)
+		r.Alltoall(transposeBytes)
+		r.Allreduce(16) // checksum
+	}
+	return nil
+}
+
+// --- CG ---
+
+func runCG(s *Spec, r *mpi.Rank) error {
+	// 2-D process grid as in NPB CG: npcols x nprows with
+	// npcols = 2^ceil(log2(p)/2), nprows = p/npcols.
+	p := s.Procs
+	logp := ilog2(p)
+	npcols := 1 << ((logp + 1) / 2)
+	nprows := p / npcols
+	row := r.ID() / npcols
+	col := r.ID() % npcols
+	// Transpose partner (square grids swap (row, col); 2:1 grids pair the
+	// half-planes as NPB's setup does).
+	var transpose int
+	if npcols == nprows {
+		transpose = col*nprows + row
+	} else {
+		// npcols == 2*nprows: pair column blocks.
+		transpose = (col%nprows)*npcols + row + (col/nprows)*nprows
+	}
+	chunk := 8 * float64(s.cgN) / float64(nprows) // vector segment bytes
+	nnzPerRank := float64(s.cgN) * float64(s.cgNonzer) * float64(s.cgNonzer+1) / float64(p)
+	const cgInner = 25
+	tag := 1000
+	for it := 0; it < s.Iterations; it++ {
+		for inner := 0; inner < cgInner; inner++ {
+			r.Compute(2 * nnzPerRank) // sparse matvec
+			// Sum partial results across the row (recursive halving).
+			for k := 1; k < npcols; k <<= 1 {
+				partner := row*npcols + (col ^ k)
+				r.SendRecv(partner, chunk, partner, chunk, tag)
+			}
+			// Transpose exchange to redistribute the vector.
+			if transpose != r.ID() {
+				r.SendRecv(transpose, chunk, transpose, chunk, tag+1)
+			}
+			r.Compute(4 * float64(s.cgN) / float64(p) * 8) // axpy etc.
+			r.Allreduce(8)                                 // dot product
+		}
+		r.Allreduce(8) // residual norm
+	}
+	return nil
+}
+
+func ilog2(p int) int {
+	b := 0
+	for 1<<(b+1) <= p {
+		b++
+	}
+	return b
+}
+
+// --- MG ---
+
+func runMG(s *Spec, r *mpi.Rank) error {
+	px, py, pz := factor3(s.Procs)
+	coords := [3]int{r.ID() % px, (r.ID() / px) % py, r.ID() / (px * py)}
+	dims := [3]int{px, py, pz}
+	// Levels from the finest grid down to 4 points per side.
+	for it := 0; it < s.Iterations; it++ {
+		for n := s.nx; n >= 4; n /= 2 {
+			local := [3]float64{
+				math.Max(1, float64(n)/float64(px)),
+				math.Max(1, float64(n)/float64(py)),
+				math.Max(1, float64(n)/float64(pz)),
+			}
+			// Two stencil sweeps per level per V-cycle leg (down + up).
+			for sweep := 0; sweep < 2; sweep++ {
+				exchangeHalo3D(r, coords, dims, local, 2100+sweep)
+				r.Compute(local[0] * local[1] * local[2] * 15)
+			}
+		}
+		r.Allreduce(8) // norm
+	}
+	return nil
+}
+
+// exchangeHalo3D exchanges the six faces of the local box with the
+// neighbouring ranks on a 3-D torus of processes.
+func exchangeHalo3D(r *mpi.Rank, coords, dims [3]int, local [3]float64, tag int) {
+	px, py := dims[0], dims[1]
+	id := func(c [3]int) int { return c[0] + px*(c[1]+py*c[2]) }
+	faces := [3]float64{
+		8 * local[1] * local[2],
+		8 * local[0] * local[2],
+		8 * local[0] * local[1],
+	}
+	for d := 0; d < 3; d++ {
+		if dims[d] == 1 {
+			continue
+		}
+		up, down := coords, coords
+		up[d] = (coords[d] + 1) % dims[d]
+		down[d] = (coords[d] - 1 + dims[d]) % dims[d]
+		r.SendRecv(id(up), faces[d], id(down), faces[d], tag+10*d)
+		r.SendRecv(id(down), faces[d], id(up), faces[d], tag+10*d+1)
+	}
+}
+
+// factor3 splits p (a power of two) into three factors as equal as
+// possible, largest first on x.
+func factor3(p int) (int, int, int) {
+	f := [3]int{1, 1, 1}
+	i := 0
+	for p > 1 {
+		f[i%3] *= 2
+		p /= 2
+		i++
+	}
+	return f[0], f[1], f[2]
+}
+
+// --- LU ---
+
+func runLU(s *Spec, r *mpi.Rank) error {
+	// 2-D grid px x py; wavefront pipeline over nz planes.
+	px, py := factor2(s.Procs)
+	ix, iy := r.ID()%px, r.ID()/px
+	stripX := 8 * 5 * math.Max(1, float64(s.nx)/float64(px))
+	stripY := 8 * 5 * math.Max(1, float64(s.ny)/float64(py))
+	planeFlops := float64(s.nx) * float64(s.ny) / float64(s.Procs) * 100
+	north, south := r.ID()-px, r.ID()+px
+	west, east := r.ID()-1, r.ID()+1
+	for it := 0; it < s.Iterations; it++ {
+		// Lower-triangular sweep: wavefront from (0,0).
+		for k := 0; k < s.nz; k++ {
+			if iy > 0 {
+				r.Recv(north, 3000+k)
+			}
+			if ix > 0 {
+				r.Recv(west, 3500+k)
+			}
+			r.Compute(planeFlops)
+			if iy < py-1 {
+				r.Send(south, stripX, 3000+k)
+			}
+			if ix < px-1 {
+				r.Send(east, stripY, 3500+k)
+			}
+		}
+		// Upper-triangular sweep: wavefront from (px-1, py-1).
+		for k := 0; k < s.nz; k++ {
+			if iy < py-1 {
+				r.Recv(south, 4000+k)
+			}
+			if ix < px-1 {
+				r.Recv(east, 4500+k)
+			}
+			r.Compute(planeFlops)
+			if iy > 0 {
+				r.Send(north, stripX, 4000+k)
+			}
+			if ix > 0 {
+				r.Send(west, stripY, 4500+k)
+			}
+		}
+		r.Allreduce(40) // residual vector
+	}
+	return nil
+}
+
+func factor2(p int) (int, int) {
+	px := 1
+	for px*px < p {
+		px *= 2
+	}
+	return px, p / px
+}
+
+// --- BT / SP ---
+
+func runBT(s *Spec, r *mpi.Rank) error { return runADI(s, r, 8*5, 250, 1) }
+func runSP(s *Spec, r *mpi.Rank) error { return runADI(s, r, 8*3, 120, 2) }
+
+// runADI models the alternating-direction-implicit pattern shared by BT
+// and SP on a square process grid: per iteration, a face exchange
+// (copy_faces) followed by pipelined line solves along x then y (z is
+// local in this 2-D decomposition).
+func runADI(s *Spec, r *mpi.Rank, wordsPerPoint float64, flopsPerPoint float64, tagBase int) error {
+	q := int(math.Round(math.Sqrt(float64(s.Procs))))
+	ix, iy := r.ID()%q, r.ID()/q
+	cells := float64(s.nx) * float64(s.ny) * float64(s.nz) / float64(s.Procs)
+	face := wordsPerPoint * math.Pow(cells, 2.0/3)
+	lineMsg := wordsPerPoint * math.Max(1, float64(s.ny)/float64(q)) * math.Max(1, float64(s.nz))
+	for it := 0; it < s.Iterations; it++ {
+		// copy_faces: exchange with the four grid neighbours (periodic).
+		east := iy*q + (ix+1)%q
+		west := iy*q + (ix-1+q)%q
+		north := ((iy+1)%q)*q + ix
+		south := ((iy-1+q)%q)*q + ix
+		r.SendRecv(east, face, west, face, 5000+tagBase)
+		r.SendRecv(west, face, east, face, 5010+tagBase)
+		r.SendRecv(north, face, south, face, 5020+tagBase)
+		r.SendRecv(south, face, north, face, 5030+tagBase)
+		// x_solve: pipeline along the row.
+		if ix > 0 {
+			r.Recv(iy*q+ix-1, 5100+tagBase)
+		}
+		r.Compute(cells * flopsPerPoint / 3)
+		if ix < q-1 {
+			r.Send(iy*q+ix+1, lineMsg, 5100+tagBase)
+		}
+		// back substitution sweeps the other way
+		if ix < q-1 {
+			r.Recv(iy*q+ix+1, 5110+tagBase)
+		}
+		if ix > 0 {
+			r.Send(iy*q+ix-1, lineMsg, 5110+tagBase)
+		}
+		// y_solve: pipeline along the column.
+		if iy > 0 {
+			r.Recv((iy-1)*q+ix, 5200+tagBase)
+		}
+		r.Compute(cells * flopsPerPoint / 3)
+		if iy < q-1 {
+			r.Send((iy+1)*q+ix, lineMsg, 5200+tagBase)
+		}
+		if iy < q-1 {
+			r.Recv((iy+1)*q+ix, 5210+tagBase)
+		}
+		if iy > 0 {
+			r.Send((iy-1)*q+ix, lineMsg, 5210+tagBase)
+		}
+		// z_solve is rank-local in this decomposition.
+		r.Compute(cells * flopsPerPoint / 3)
+	}
+	r.Allreduce(40)
+	return nil
+}

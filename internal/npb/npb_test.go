@@ -1,0 +1,175 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func testNet(t testing.TB, hosts int) *simnet.Network {
+	t.Helper()
+	sp, err := topo.FatTree(4) // 16 hosts
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestAllBenchmarksRunClassS(t *testing.T) {
+	nw := testNet(t, 16)
+	for _, name := range Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := New(name, ClassS, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Keep the pipelined benchmarks short in unit tests.
+			if s.Iterations > 5 {
+				s.Iterations = 5
+			}
+			stats, err := mpi.Run(nw, 16, mpi.Config{}, s.Program())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if stats.Elapsed <= 0 {
+				t.Fatalf("%s: zero elapsed time", name)
+			}
+			if s.NominalOps() <= 0 {
+				t.Fatalf("%s: zero nominal ops", name)
+			}
+		})
+	}
+}
+
+func TestBenchmarkDeterminism(t *testing.T) {
+	run := func() float64 {
+		nw := testNet(t, 16)
+		s, err := New("IS", ClassS, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Iterations = 3
+		stats, err := mpi.Run(nw, 16, mpi.Config{}, s.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("IS not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTrafficProfiles(t *testing.T) {
+	// EP must move orders of magnitude fewer bytes than FT at the same
+	// scale; that separation is what drives the paper's per-benchmark
+	// results.
+	nw := testNet(t, 16)
+	bytesOf := func(name string) float64 {
+		s, err := New(name, ClassS, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Iterations > 3 {
+			s.Iterations = 3
+		}
+		stats, err := mpi.Run(nw, 16, mpi.Config{}, s.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.BytesMoved
+	}
+	ep, ft, is := bytesOf("EP"), bytesOf("FT"), bytesOf("IS")
+	if ep*100 > ft {
+		t.Fatalf("EP moved %v bytes vs FT %v; EP should be communication-light", ep, ft)
+	}
+	if ep*10 > is {
+		t.Fatalf("EP moved %v bytes vs IS %v", ep, is)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("EP", ClassA, 3); err == nil {
+		t.Fatal("non-power-of-two procs accepted")
+	}
+	if _, err := New("BT", ClassA, 8); err == nil {
+		t.Fatal("non-square BT accepted")
+	}
+	if _, err := New("SP", ClassA, 32); err == nil {
+		t.Fatal("non-square SP accepted")
+	}
+	if _, err := New("XX", ClassA, 16); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := New("EP", Class('Z'), 16); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := New("BT", ClassA, 16); err != nil {
+		t.Fatalf("square BT rejected: %v", err)
+	}
+}
+
+func TestClassesScaleProblemSize(t *testing.T) {
+	a, err := New("FT", ClassA, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("FT", ClassB, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NominalOps() <= a.NominalOps() {
+		t.Fatal("class B not larger than class A")
+	}
+}
+
+func TestLUWavefrontProgresses(t *testing.T) {
+	// LU's wavefront at 4 ranks (2x2): ensure it completes and takes
+	// longer with more planes.
+	nw := testNet(t, 16)
+	timeFor := func(iters int) float64 {
+		s, err := New("LU", ClassS, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Iterations = iters
+		stats, err := mpi.Run(nw, 4, mpi.Config{}, s.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Elapsed
+	}
+	t1, t3 := timeFor(1), timeFor(3)
+	if t3 < 2*t1 {
+		t.Fatalf("LU time does not scale with iterations: %v vs %v", t1, t3)
+	}
+}
+
+func TestSmallRankCounts(t *testing.T) {
+	nw := testNet(t, 16)
+	for _, p := range []int{1, 4} {
+		for _, name := range []string{"EP", "IS", "FT", "CG", "MG", "LU"} {
+			s, err := New(name, ClassS, p)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if s.Iterations > 2 {
+				s.Iterations = 2
+			}
+			if _, err := mpi.Run(nw, p, mpi.Config{}, s.Program()); err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+		}
+	}
+}

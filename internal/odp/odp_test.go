@@ -1,0 +1,146 @@
+package odp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/opt"
+)
+
+func TestSolveSmall(t *testing.T) {
+	res, err := Solve(16, 3, Options{Iterations: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order != 16 || res.Degree != 3 {
+		t.Fatalf("result header wrong: %+v", res)
+	}
+	if res.ASPL < res.LowerB-1e-9 {
+		t.Fatalf("ASPL %v beats Moore bound %v", res.ASPL, res.LowerB)
+	}
+	if res.ASPLGap > 0.35 {
+		t.Fatalf("SA ended far from the bound: gap %v", res.ASPLGap)
+	}
+	for s := 0; s < 16; s++ {
+		if res.Graph.SwitchDegree(s) != 3 {
+			t.Fatalf("solution not 3-regular at %d", s)
+		}
+	}
+}
+
+func TestSolvePetersenBoundReachable(t *testing.T) {
+	// (n, d) = (10, 3): the Petersen graph attains ASPL 5/3 and diameter
+	// 2; SA should find an optimal graph on this tiny instance.
+	res, err := Solve(10, 3, Options{Iterations: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ASPL-5.0/3) > 1e-9 {
+		t.Fatalf("did not reach the Petersen bound: ASPL %v, want %v", res.ASPL, 5.0/3)
+	}
+	if res.Diameter != 2 {
+		t.Fatalf("diameter %d, want 2", res.Diameter)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cases := []struct{ n, d int }{{1, 2}, {10, 1}, {10, 10}, {9, 3}}
+	for _, c := range cases {
+		if _, err := Solve(c.n, c.d, Options{Iterations: 10}); err == nil {
+			t.Errorf("Solve(%d,%d) accepted", c.n, c.d)
+		}
+	}
+}
+
+func TestSolveHillClimbSchedule(t *testing.T) {
+	res, err := Solve(16, 4, Options{Iterations: 3000, Seed: 5, Schedule: opt.HillClimb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ASPL < res.LowerB-1e-9 {
+		t.Fatal("hill climb beat the bound")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	res, err := Solve(12, 4, Options{Iterations: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, res.Graph); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != res.Graph.NumEdges() {
+		t.Fatalf("wrote %d lines for %d edges", lines, res.Graph.NumEdges())
+	}
+	g, err := ReadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.ASPL-res.ASPL) > 1e-12 || back.Diameter != res.Diameter {
+		t.Fatalf("round trip changed metrics: %+v vs %+v", back, res)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"garbage":   "a b\n",
+		"negative":  "-1 2\n",
+		"self loop": "3 3\n",
+		"duplicate": "0 1\n1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# petersen-ish fragment\n0 1\n1 2\n\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order != 3 || res.ASPL != 1 || res.Diameter != 1 {
+		t.Fatalf("triangle metrics wrong: %+v", res)
+	}
+}
+
+func TestEvaluateDisconnected(t *testing.T) {
+	in := "0 1\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(g); err == nil {
+		t.Fatal("disconnected graph evaluated")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	a, err := Solve(14, 3, Options{Iterations: 1000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(14, 3, Options{Iterations: 1000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ASPL != b.ASPL || a.Diameter != b.Diameter {
+		t.Fatal("ODP solve not deterministic")
+	}
+}

@@ -1,0 +1,286 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// MoveSet selects which neighbourhood the annealer explores.
+type MoveSet int
+
+const (
+	// SwapOnly uses only the swap operation (Section 5.1); it preserves
+	// host attachments and hence explores regular host-switch graphs when
+	// started from one.
+	SwapOnly MoveSet = iota
+	// SwingOnly uses only the swing operation (Section 5.2).
+	SwingOnly
+	// TwoNeighborSwing uses the paper's combined operation (Fig. 4),
+	// which subsumes both swap and swing. This is the recommended set.
+	TwoNeighborSwing
+)
+
+func (m MoveSet) String() string {
+	switch m {
+	case SwapOnly:
+		return "swap"
+	case SwingOnly:
+		return "swing"
+	case TwoNeighborSwing:
+		return "2-neighbor-swing"
+	}
+	return fmt.Sprintf("MoveSet(%d)", int(m))
+}
+
+// Schedule selects the cooling schedule.
+type Schedule int
+
+const (
+	// Geometric cools by a constant factor per iteration (default).
+	Geometric Schedule = iota
+	// Linear cools by a constant decrement per iteration.
+	Linear
+	// HillClimb accepts only improvements (temperature pinned at ~0);
+	// the baseline the SA is meant to beat.
+	HillClimb
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Geometric:
+		return "geometric"
+	case Linear:
+		return "linear"
+	case HillClimb:
+		return "hillclimb"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Options configures Anneal. The zero value is usable: sensible defaults
+// are filled in for every unset field.
+type Options struct {
+	// Iterations is the number of proposed moves. Default 20000.
+	Iterations int
+	// Moves selects the neighbourhood. Default TwoNeighborSwing.
+	Moves MoveSet
+	// Schedule selects the cooling schedule. Default Geometric.
+	Schedule Schedule
+	// InitialTemp and FinalTemp bound the geometric cooling schedule in
+	// units of total path length. If InitialTemp is zero it is calibrated
+	// from a sample of move deltas; FinalTemp defaults to InitialTemp/200.
+	InitialTemp float64
+	FinalTemp   float64
+	// Seed drives all randomness. Two runs with equal inputs and seeds
+	// produce identical outputs.
+	Seed uint64
+	// OnProgress, if non-nil, is called every ReportEvery iterations
+	// (default 1000) with the iteration count and current/best energy.
+	OnProgress  func(iter int, current, best int64)
+	ReportEvery int
+}
+
+// Result summarises an annealing run.
+type Result struct {
+	Best        hsgraph.Metrics // metrics of the returned graph
+	Initial     hsgraph.Metrics // metrics of the input graph
+	Accepted    int             // number of accepted moves
+	Proposed    int             // number of sampled candidate moves
+	Iterations  int             // iterations actually run
+	FinalTemp   float64
+	InitialTemp float64
+}
+
+// Anneal runs simulated annealing from the given starting graph and
+// returns the best graph found. The input graph is not modified.
+func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
+	if start == nil {
+		return nil, Result{}, fmt.Errorf("opt: nil start graph")
+	}
+	if err := start.Validate(); err != nil {
+		return nil, Result{}, fmt.Errorf("opt: invalid start graph: %w", err)
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 20000
+	}
+	if o.ReportEvery <= 0 {
+		o.ReportEvery = 1000
+	}
+	rnd := rng.New(o.Seed)
+
+	g := start.Clone()
+	cur := g.Evaluate()
+	if !cur.Connected {
+		return nil, Result{}, hsgraph.ErrNotConnected
+	}
+	res := Result{Initial: cur}
+
+	energy := cur.TotalPath
+	best := g.Clone()
+	bestEnergy := energy
+
+	if o.Schedule == HillClimb {
+		o.InitialTemp, o.FinalTemp = hillClimbTemp, hillClimbTemp
+	}
+	if o.InitialTemp == 0 {
+		o.InitialTemp = calibrateTemp(g, o.Moves, rnd.Split())
+	}
+	if o.FinalTemp == 0 {
+		o.FinalTemp = o.InitialTemp / 200
+	}
+	if o.FinalTemp > o.InitialTemp {
+		return nil, Result{}, fmt.Errorf("opt: FinalTemp %v exceeds InitialTemp %v", o.FinalTemp, o.InitialTemp)
+	}
+	res.InitialTemp, res.FinalTemp = o.InitialTemp, o.FinalTemp
+	cool := math.Pow(o.FinalTemp/o.InitialTemp, 1/math.Max(1, float64(o.Iterations-1)))
+	linStep := (o.InitialTemp - o.FinalTemp) / math.Max(1, float64(o.Iterations-1))
+
+	temp := o.InitialTemp
+	energyOf := func() int64 {
+		met := g.Evaluate()
+		if !met.Connected {
+			return math.MaxInt64
+		}
+		return met.TotalPath
+	}
+	acceptAt := func(candidate int64, t float64) bool {
+		if candidate == math.MaxInt64 {
+			return false
+		}
+		delta := candidate - energy
+		if delta <= 0 {
+			return true
+		}
+		return rnd.Float64() < math.Exp(-float64(delta)/t)
+	}
+
+	for iter := 0; iter < o.Iterations; iter++ {
+		switch o.Moves {
+		case TwoNeighborSwing:
+			res.Proposed++
+			if e, moved := twoNeighborSwing(g, rnd, energyOf, func(c int64) bool { return acceptAt(c, temp) }); moved {
+				energy = e
+				res.Accepted++
+			}
+		case SwapOnly, SwingOnly:
+			var u undo
+			var ok bool
+			if o.Moves == SwapOnly {
+				u, ok = trySwap(g, rnd)
+			} else {
+				u, ok = trySwing(g, rnd)
+			}
+			if ok {
+				res.Proposed++
+				if e := energyOf(); acceptAt(e, temp) {
+					energy = e
+					res.Accepted++
+				} else {
+					u()
+				}
+			}
+		default:
+			return nil, Result{}, fmt.Errorf("opt: unknown move set %v", o.Moves)
+		}
+		if energy < bestEnergy {
+			bestEnergy = energy
+			best = g.Clone()
+		}
+		if o.OnProgress != nil && (iter+1)%o.ReportEvery == 0 {
+			o.OnProgress(iter+1, energy, bestEnergy)
+		}
+		switch o.Schedule {
+		case Linear:
+			temp -= linStep
+			if temp < o.FinalTemp {
+				temp = o.FinalTemp
+			}
+		case HillClimb:
+			// temperature pinned
+		default:
+			temp *= cool
+		}
+	}
+	res.Iterations = o.Iterations
+	res.Best = best.Evaluate()
+	return best, res, nil
+}
+
+// hillClimbTemp is effectively zero on the integer energy scale: any
+// uphill move has acceptance probability exp(-1/1e-9) == 0.
+const hillClimbTemp = 1e-9
+
+// calibrateTemp estimates a starting temperature as the mean |delta| of a
+// sample of random moves, the classic rule of thumb that yields a high
+// initial acceptance rate. Works on a scratch clone.
+func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand) float64 {
+	scratch := g.Clone()
+	base := scratch.Evaluate().TotalPath
+	var sum float64
+	count := 0
+	for i := 0; i < 40; i++ {
+		var u undo
+		var ok bool
+		if moves == SwapOnly {
+			u, ok = trySwap(scratch, rnd)
+		} else {
+			u, ok = trySwing(scratch, rnd)
+		}
+		if !ok {
+			continue
+		}
+		met := scratch.Evaluate()
+		if met.Connected {
+			sum += math.Abs(float64(met.TotalPath - base))
+			count++
+		}
+		u()
+	}
+	if count == 0 || sum == 0 {
+		// Fall back to a small fraction of the energy scale.
+		return math.Max(1, float64(base)*1e-4)
+	}
+	return sum / float64(count)
+}
+
+// ParallelAnneal runs restarts independent annealing runs with distinct
+// seeds on separate goroutines and returns the best result. Determinism is
+// preserved: the winner depends only on (start, o, restarts).
+func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Graph, Result, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	type outcome struct {
+		g   *hsgraph.Graph
+		res Result
+		err error
+	}
+	outs := make([]outcome, restarts)
+	done := make(chan int)
+	for i := 0; i < restarts; i++ {
+		go func(i int) {
+			oi := o
+			oi.Seed = o.Seed + uint64(i)*0x9e3779b97f4a7c15
+			oi.OnProgress = nil
+			g, res, err := Anneal(start, oi)
+			outs[i] = outcome{g, res, err}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < restarts; i++ {
+		<-done
+	}
+	bestIdx := -1
+	for i, out := range outs {
+		if out.err != nil {
+			return nil, Result{}, out.err
+		}
+		if bestIdx == -1 || out.res.Best.TotalPath < outs[bestIdx].res.Best.TotalPath {
+			bestIdx = i
+		}
+	}
+	return outs[bestIdx].g, outs[bestIdx].res, nil
+}

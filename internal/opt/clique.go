@@ -1,0 +1,39 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/hsgraph"
+)
+
+// Clique builds the Appendix's optimal construction for the regime
+// n <= m(r-m+1): the minimum number of switches forming a complete graph,
+// hosts distributed as evenly as possible. By Theorem 3 this attains the
+// minimum h-ASPL for its (n, r) whenever it is feasible.
+func Clique(n, r int) (*hsgraph.Graph, error) {
+	m := bounds.MinCliqueSwitches(n, r)
+	if m == 0 {
+		return nil, fmt.Errorf("opt: no clique host-switch graph exists for n=%d r=%d", n, r)
+	}
+	return CliqueWith(n, m, r)
+}
+
+// CliqueWith builds an m-switch clique host-switch graph with n hosts.
+func CliqueWith(n, m, r int) (*hsgraph.Graph, error) {
+	if !bounds.CliqueFeasible(n, m, r) {
+		return nil, fmt.Errorf("opt: clique infeasible for n=%d m=%d r=%d", n, m, r)
+	}
+	g := hsgraph.New(n, m, r)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			if err := g.Connect(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := hsgraph.DistributeHostsEvenly(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+)
+
+// ExhaustiveMinimum enumerates every host-switch graph with order n,
+// radix r and 1..maxM switches (all host distributions × all switch-edge
+// subsets, up to host relabeling within a switch) and returns one with
+// the minimum h-ASPL. It is exponential in m and only sensible for tiny
+// instances; the test suite uses it to verify Theorem 2's lower bound and
+// the Appendix's clique-optimality claim (Theorem 3) against ground truth.
+func ExhaustiveMinimum(n, r, maxM int) (*hsgraph.Graph, error) {
+	if maxM < 1 || maxM > 6 {
+		return nil, fmt.Errorf("opt: ExhaustiveMinimum supports maxM in [1,6], got %d", maxM)
+	}
+	var best *hsgraph.Graph
+	var bestTotal int64 = 1 << 62
+	for m := 1; m <= maxM; m++ {
+		pairs := allPairs(m)
+		// Enumerate edge subsets of the complete switch graph.
+		for mask := 0; mask < 1<<len(pairs); mask++ {
+			// Switch degrees under this edge set.
+			deg := make([]int, m)
+			for i, pr := range pairs {
+				if mask&(1<<i) != 0 {
+					deg[pr[0]]++
+					deg[pr[1]]++
+				}
+			}
+			ok := true
+			free := 0
+			for _, d := range deg {
+				if d > r {
+					ok = false
+					break
+				}
+				free += r - d
+			}
+			if !ok || free < n {
+				continue
+			}
+			// Enumerate host distributions k_0..k_{m-1} with sum n and
+			// k_i <= r - deg[i].
+			dist := make([]int, m)
+			var rec func(i, left int)
+			rec = func(i, left int) {
+				if i == m-1 {
+					if left > r-deg[i] {
+						return
+					}
+					dist[i] = left
+					evalCandidate(n, m, r, pairs, mask, dist, &best, &bestTotal)
+					return
+				}
+				max := r - deg[i]
+				if max > left {
+					max = left
+				}
+				for k := 0; k <= max; k++ {
+					dist[i] = k
+					rec(i+1, left-k)
+				}
+			}
+			rec(0, n)
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no connected host-switch graph exists for n=%d r=%d maxM=%d", n, r, maxM)
+	}
+	return best, nil
+}
+
+func allPairs(m int) [][2]int {
+	var out [][2]int
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+func evalCandidate(n, m, r int, pairs [][2]int, mask int, dist []int, best **hsgraph.Graph, bestTotal *int64) {
+	g := hsgraph.New(n, m, r)
+	for i, pr := range pairs {
+		if mask&(1<<i) != 0 {
+			if err := g.Connect(pr[0], pr[1]); err != nil {
+				return
+			}
+		}
+	}
+	h := 0
+	for s, k := range dist {
+		for j := 0; j < k; j++ {
+			if err := g.AttachHost(h, s); err != nil {
+				return
+			}
+			h++
+		}
+	}
+	met := g.Evaluate()
+	if !met.Connected {
+		return
+	}
+	if met.TotalPath < *bestTotal {
+		*bestTotal = met.TotalPath
+		*best = g
+	}
+}

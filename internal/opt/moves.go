@@ -1,0 +1,174 @@
+// Package opt implements the paper's randomized algorithm for the
+// order/radix problem: simulated annealing over host-switch graphs with the
+// swap operation (Section 5.1), the swing operation and the 2-neighbor
+// swing operation (Section 5.2), plus the clique construction of the
+// Appendix for the trivial regime n <= m(r-m+1).
+package opt
+
+import (
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// An undo reverses a successfully applied move.
+type undo func()
+
+// trySwap applies the paper's swap operation (Fig. 2): replace switch-switch
+// edges {a,b}, {c,d} by {a,d}, {b,c}. Host attachments are untouched, so
+// repeated swaps explore k-regular host-switch graphs. Returns ok=false
+// (graph unchanged) when no valid swap could be sampled.
+func trySwap(g *hsgraph.Graph, rnd *rng.Rand) (undo, bool) {
+	ne := g.NumEdges()
+	if ne < 2 {
+		return nil, false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		i := rnd.Intn(ne)
+		j := rnd.Intn(ne)
+		if i == j {
+			continue
+		}
+		a, b := g.Edge(i)
+		c, d := g.Edge(j)
+		// Random orientation: swap the roles of c and d half the time, so
+		// both rewirings {a,d}/{b,c} and {a,c}/{b,d} are reachable.
+		if rnd.Intn(2) == 0 {
+			c, d = d, c
+		}
+		if a == c || a == d || b == c || b == d {
+			continue
+		}
+		if g.HasEdge(a, d) || g.HasEdge(b, c) {
+			continue
+		}
+		mustDo(g.Disconnect(a, b))
+		mustDo(g.Disconnect(c, d))
+		mustDo(g.Connect(a, d))
+		mustDo(g.Connect(b, c))
+		return func() {
+			mustDo(g.Disconnect(a, d))
+			mustDo(g.Disconnect(b, c))
+			mustDo(g.Connect(a, b))
+			mustDo(g.Connect(c, d))
+		}, true
+	}
+	return nil, false
+}
+
+// applySwing performs swing(a, b, c) (Fig. 3): given edge {a,b} and a host
+// h on c, rewire to edge {a,c} with h moved to b. Increments k_b,
+// decrements k_c. Preconditions (checked): {a,b} exists, c has a host,
+// c != a, c != b, and {a,c} does not exist. Degrees are preserved:
+// b swaps a switch link for a host link, c the reverse.
+func applySwing(g *hsgraph.Graph, a, b, c int) (undo, bool) {
+	if c == a || c == b || !g.HasEdge(a, b) || g.HasEdge(a, c) {
+		return nil, false
+	}
+	h := g.AnyHostOn(c)
+	if h < 0 {
+		return nil, false
+	}
+	mustDo(g.Disconnect(a, b))
+	// b now has a free port for the host; c will have one for the edge.
+	mustDo(g.MoveHost(h, b))
+	mustDo(g.Connect(a, c))
+	return func() {
+		mustDo(g.Disconnect(a, c))
+		mustDo(g.MoveHost(h, c))
+		mustDo(g.Connect(a, b))
+	}, true
+}
+
+// trySwing samples a random swing operation.
+func trySwing(g *hsgraph.Graph, rnd *rng.Rand) (undo, bool) {
+	ne := g.NumEdges()
+	m := g.Switches()
+	if ne < 1 || m < 3 {
+		return nil, false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		a, b := g.Edge(rnd.Intn(ne))
+		if rnd.Intn(2) == 0 {
+			a, b = b, a
+		}
+		c := rnd.Intn(m)
+		if u, ok := applySwing(g, a, b, c); ok {
+			return u, true
+		}
+	}
+	return nil, false
+}
+
+// twoNeighborSwing implements the paper's 2-neighbor swing operation
+// (Fig. 4). accept is the annealer's verdict on a candidate energy.
+// The operation:
+//
+//	Step 1: apply swing(a, b, c); if accepted, keep it (1-neighbor).
+//	Step 3: otherwise apply swing(d, c, b) — using the host that step 1
+//	        moved onto b — yielding the swap of {a,b} and {d,c}; if
+//	        accepted, keep it (2-neighbor). Otherwise restore the input.
+//
+// Returns whether a move was kept. energyOf evaluates the current graph.
+func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
+	energyOf func() int64, accept func(candidate int64) bool) (int64, bool) {
+
+	ne := g.NumEdges()
+	m := g.Switches()
+	if ne < 1 || m < 3 {
+		return 0, false
+	}
+	var a, b, c int
+	var undo1 undo
+	found := false
+	for attempt := 0; attempt < 8 && !found; attempt++ {
+		a, b = g.Edge(rnd.Intn(ne))
+		if rnd.Intn(2) == 0 {
+			a, b = b, a
+		}
+		c = rnd.Intn(m)
+		if u, ok := applySwing(g, a, b, c); ok {
+			undo1, found = u, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	e1 := energyOf()
+	if accept(e1) {
+		return e1, true
+	}
+	// Step 3: swing(d, c, b) for a neighbour d of c (d != a, b), moving the
+	// host back from b to c and producing the swap {a,c},{d,b}.
+	// Preconditions of applySwing(d, c, b): edge {d,c} exists, b has a
+	// host (it does: step 1 moved one there), and {d,b} absent.
+	neighbors := g.Neighbors(c)
+	// Deterministic random scan order over c's neighbours.
+	start := 0
+	if len(neighbors) > 0 {
+		start = rnd.Intn(len(neighbors))
+	}
+	for i := 0; i < len(neighbors); i++ {
+		d := int(neighbors[(start+i)%len(neighbors)])
+		if d == a || d == b {
+			continue
+		}
+		undo2, ok := applySwing(g, d, c, b)
+		if !ok {
+			continue
+		}
+		e2 := energyOf()
+		if accept(e2) {
+			return e2, true
+		}
+		undo2()
+		break // paper evaluates a single 2-neighbor candidate
+	}
+	undo1()
+	return 0, false
+}
+
+func mustDo(err error) {
+	if err != nil {
+		panic("opt: move invariant violated: " + err.Error())
+	}
+}

@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+func randomGraph(t *testing.T, n, m, r int, seed uint64) *hsgraph.Graph {
+	t.Helper()
+	g, err := hsgraph.RandomConnected(n, m, r, rng.New(seed))
+	if err != nil {
+		t.Fatalf("RandomConnected(%d,%d,%d): %v", n, m, r, err)
+	}
+	return g
+}
+
+func degreesOf(g *hsgraph.Graph) []int {
+	out := make([]int, g.Switches())
+	for s := range out {
+		out[s] = g.Degree(s)
+	}
+	return out
+}
+
+func TestSwapPreservesStructure(t *testing.T) {
+	g := randomGraph(t, 24, 8, 7, 1)
+	rnd := rng.New(2)
+	for i := 0; i < 200; i++ {
+		before := g.Clone()
+		degs := degreesOf(g)
+		edges := g.NumEdges()
+		u, ok := trySwap(g, rnd)
+		if !ok {
+			continue
+		}
+		if g.NumEdges() != edges {
+			t.Fatal("swap changed edge count")
+		}
+		for s, d := range degreesOf(g) {
+			if d != degs[s] {
+				t.Fatalf("swap changed degree of switch %d: %d -> %d", s, degs[s], d)
+			}
+		}
+		for h := 0; h < g.Order(); h++ {
+			if g.SwitchOf(h) != before.SwitchOf(h) {
+				t.Fatal("swap moved a host")
+			}
+		}
+		if err := g.Validate(); err != nil && err != hsgraph.ErrNotConnected {
+			t.Fatalf("swap broke invariants: %v", err)
+		}
+		// Undo must restore the labelled graph exactly.
+		u()
+		if !hsgraph.Equal(g, before) {
+			t.Fatal("swap undo did not restore graph")
+		}
+	}
+}
+
+func TestSwingMovesOneHost(t *testing.T) {
+	g := randomGraph(t, 24, 8, 7, 3)
+	rnd := rng.New(4)
+	moved := 0
+	for i := 0; i < 200; i++ {
+		before := g.Clone()
+		u, ok := trySwing(g, rnd)
+		if !ok {
+			continue
+		}
+		moved++
+		if g.NumEdges() != before.NumEdges() {
+			t.Fatal("swing changed edge count")
+		}
+		// Exactly one host moved, k changes by +-1 on two switches.
+		changedHosts := 0
+		for h := 0; h < g.Order(); h++ {
+			if g.SwitchOf(h) != before.SwitchOf(h) {
+				changedHosts++
+			}
+		}
+		if changedHosts != 1 {
+			t.Fatalf("swing moved %d hosts, want 1", changedHosts)
+		}
+		plus, minus := 0, 0
+		for s := 0; s < g.Switches(); s++ {
+			switch g.HostCount(s) - before.HostCount(s) {
+			case 1:
+				plus++
+			case -1:
+				minus++
+			case 0:
+			default:
+				t.Fatal("swing changed a host count by more than 1")
+			}
+			if g.Degree(s) != before.Degree(s) {
+				t.Fatalf("swing changed total degree of switch %d", s)
+			}
+		}
+		if plus != 1 || minus != 1 {
+			t.Fatalf("swing host-count delta wrong: +%d/-%d", plus, minus)
+		}
+		u()
+		if !hsgraph.Equal(g, before) {
+			t.Fatal("swing undo did not restore graph")
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no swing move ever applied")
+	}
+}
+
+func TestApplySwingPreconditions(t *testing.T) {
+	// Path 0-1-2, hosts on all switches.
+	g, err := hsgraph.Path(6, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := applySwing(g, 0, 1, 0); ok {
+		t.Fatal("swing with c == a accepted")
+	}
+	if _, ok := applySwing(g, 0, 1, 1); ok {
+		t.Fatal("swing with c == b accepted")
+	}
+	if _, ok := applySwing(g, 0, 2, 1); ok {
+		t.Fatal("swing on missing edge accepted")
+	}
+	// {a,c} already exists: a=1, b=0, c=2 -> new edge {1,2} exists.
+	if _, ok := applySwing(g, 1, 0, 2); ok {
+		t.Fatal("swing creating duplicate edge accepted")
+	}
+	// Valid: edge {0,1}, host on 2, new edge {0,2}.
+	u, ok := applySwing(g, 0, 1, 2)
+	if !ok {
+		t.Fatal("valid swing rejected")
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(0, 1) {
+		t.Fatal("swing edges wrong")
+	}
+	if g.HostCount(1) != 3 || g.HostCount(2) != 1 {
+		t.Fatalf("swing host counts wrong: %d, %d", g.HostCount(1), g.HostCount(2))
+	}
+	u()
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatal("undo failed")
+	}
+}
+
+func TestSwingOnEmptySwitch(t *testing.T) {
+	// Swing must refuse when c has no host.
+	g := hsgraph.New(2, 3, 4)
+	if err := g.AttachHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachHost(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := applySwing(g, 1, 0, 2); ok {
+		t.Fatal("swing with empty c accepted")
+	}
+}
+
+func TestTwoNeighborSwingAlwaysReject(t *testing.T) {
+	g := randomGraph(t, 24, 8, 7, 5)
+	before := g.Clone()
+	rnd := rng.New(6)
+	energyOf := func() int64 { return g.Evaluate().TotalPath }
+	for i := 0; i < 50; i++ {
+		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return false }); moved {
+			t.Fatal("move kept despite rejecting acceptor")
+		}
+		if !hsgraph.Equal(g, before) {
+			t.Fatalf("iteration %d: graph changed after full rejection", i)
+		}
+	}
+}
+
+func TestTwoNeighborSwingAlwaysAccept(t *testing.T) {
+	g := randomGraph(t, 24, 8, 7, 7)
+	rnd := rng.New(8)
+	energyOf := func() int64 { return g.Evaluate().TotalPath }
+	kept := 0
+	for i := 0; i < 50; i++ {
+		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return true }); moved {
+			kept++
+		}
+		if err := g.Validate(); err != nil && err != hsgraph.ErrNotConnected {
+			t.Fatalf("invariants broken: %v", err)
+		}
+	}
+	if kept == 0 {
+		t.Fatal("no 2-neighbor swing ever kept")
+	}
+}
+
+func TestTwoNeighborSwingSecondStepIsSwap(t *testing.T) {
+	// With an acceptor that rejects the first candidate and accepts the
+	// second, the net effect must preserve all host counts (a pure swap).
+	g := randomGraph(t, 24, 8, 7, 9)
+	rnd := rng.New(10)
+	energyOf := func() int64 { return g.Evaluate().TotalPath }
+	for i := 0; i < 100; i++ {
+		before := g.Clone()
+		calls := 0
+		_, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool {
+			calls++
+			return calls == 2
+		})
+		if !moved {
+			continue
+		}
+		if calls != 2 {
+			t.Fatalf("expected two candidates, saw %d", calls)
+		}
+		for s := 0; s < g.Switches(); s++ {
+			if g.HostCount(s) != before.HostCount(s) {
+				t.Fatal("2-neighbor acceptance changed host counts (not a swap)")
+			}
+		}
+		return
+	}
+	t.Skip("never reached a 2-neighbor acceptance in 100 tries")
+}

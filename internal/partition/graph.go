@@ -1,0 +1,166 @@
+// Package partition implements a multilevel k-way graph partitioner in the
+// style of METIS (Karypis & Kumar): heavy-edge-matching coarsening, greedy
+// region-growing initial bisection, Fiduccia-Mattheyses refinement on every
+// level, and k-way partitioning by recursive bisection with proportional
+// target weights. The paper uses METIS to measure the (bisection) bandwidth
+// of host-switch graphs: partition all vertices (hosts and switches) into
+// P equal parts and count cut edges.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+)
+
+// Graph is an undirected graph in CSR form with vertex and edge weights.
+// Each undirected edge appears twice (once per endpoint).
+type Graph struct {
+	XAdj    []int32 // len nv+1: adjacency offsets
+	Adj     []int32 // neighbour lists
+	VWeight []int64 // len nv
+	EWeight []int64 // parallel to Adj
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.VWeight) }
+
+// TotalVWeight returns the sum of vertex weights.
+func (g *Graph) TotalVWeight() int64 {
+	var t int64
+	for _, w := range g.VWeight {
+		t += w
+	}
+	return t
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return int(g.XAdj[v+1] - g.XAdj[v]) }
+
+// Validate checks CSR consistency and symmetry of the edge list.
+func (g *Graph) Validate() error {
+	nv := g.NumVertices()
+	if len(g.XAdj) != nv+1 {
+		return fmt.Errorf("partition: xadj length %d, want %d", len(g.XAdj), nv+1)
+	}
+	if g.XAdj[0] != 0 || int(g.XAdj[nv]) != len(g.Adj) {
+		return fmt.Errorf("partition: xadj endpoints inconsistent")
+	}
+	if len(g.EWeight) != len(g.Adj) {
+		return fmt.Errorf("partition: eweight length %d, want %d", len(g.EWeight), len(g.Adj))
+	}
+	type key struct{ a, b int32 }
+	seen := make(map[key]int64, len(g.Adj))
+	for v := 0; v < nv; v++ {
+		if g.XAdj[v] > g.XAdj[v+1] {
+			return fmt.Errorf("partition: xadj not monotone at %d", v)
+		}
+		for i := g.XAdj[v]; i < g.XAdj[v+1]; i++ {
+			u := g.Adj[i]
+			if int(u) == v {
+				return fmt.Errorf("partition: self loop at %d", v)
+			}
+			if u < 0 || int(u) >= nv {
+				return fmt.Errorf("partition: neighbour %d out of range", u)
+			}
+			seen[key{int32(v), u}] = g.EWeight[i]
+		}
+	}
+	for k, w := range seen {
+		w2, ok := seen[key{k.b, k.a}]
+		if !ok || w2 != w {
+			return fmt.Errorf("partition: edge (%d,%d) not symmetric", k.a, k.b)
+		}
+	}
+	return nil
+}
+
+// FromHostSwitchGraph converts a host-switch graph into a partitioning
+// instance over all vertices: hosts are vertices [0, n) and switch s is
+// vertex n+s, all with unit vertex weight and unit edge weight, matching
+// the paper's METIS usage.
+func FromHostSwitchGraph(g *hsgraph.Graph) *Graph {
+	n, m := g.Order(), g.Switches()
+	nv := n + m
+	deg := make([]int32, nv)
+	for h := 0; h < n; h++ {
+		if g.SwitchOf(h) >= 0 {
+			deg[h]++
+			deg[n+g.SwitchOf(h)]++
+		}
+	}
+	for s := 0; s < m; s++ {
+		deg[n+s] += int32(g.SwitchDegree(s))
+	}
+	xadj := make([]int32, nv+1)
+	for v := 0; v < nv; v++ {
+		xadj[v+1] = xadj[v] + deg[v]
+	}
+	adj := make([]int32, xadj[nv])
+	pos := make([]int32, nv)
+	copy(pos, xadj[:nv])
+	addEdge := func(a, b int32) {
+		adj[pos[a]] = b
+		pos[a]++
+		adj[pos[b]] = a
+		pos[b]++
+	}
+	for h := 0; h < n; h++ {
+		if s := g.SwitchOf(h); s >= 0 {
+			addEdge(int32(h), int32(n+s))
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		addEdge(int32(n+a), int32(n+b))
+	}
+	vw := make([]int64, nv)
+	ew := make([]int64, len(adj))
+	for i := range vw {
+		vw[i] = 1
+	}
+	for i := range ew {
+		ew[i] = 1
+	}
+	return &Graph{XAdj: xadj, Adj: adj, VWeight: vw, EWeight: ew}
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different parts.
+func EdgeCut(g *Graph, parts []int32) int64 {
+	var cut int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for i := g.XAdj[v]; i < g.XAdj[v+1]; i++ {
+			u := g.Adj[i]
+			if parts[v] != parts[u] {
+				cut += g.EWeight[i]
+			}
+		}
+	}
+	return cut / 2
+}
+
+// PartWeights returns the vertex weight of each of the k parts.
+func PartWeights(g *Graph, parts []int32, k int) []int64 {
+	w := make([]int64, k)
+	for v, p := range parts {
+		w[p] += g.VWeight[v]
+	}
+	return w
+}
+
+// Imbalance returns max part weight divided by the ideal (total/k).
+func Imbalance(g *Graph, parts []int32, k int) float64 {
+	w := PartWeights(g, parts, k)
+	var maxW int64
+	for _, x := range w {
+		if x > maxW {
+			maxW = x
+		}
+	}
+	ideal := float64(g.TotalVWeight()) / float64(k)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(maxW) / ideal
+}

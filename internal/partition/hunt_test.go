@@ -1,0 +1,56 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+func TestHuntKWayEdgeCases(t *testing.T) {
+	r := rng.New(999)
+	for trial := 0; trial < 3000; trial++ {
+		seed := r.Uint64()
+		n := 8 + int(r.Uint64()%60)
+		m := 3 + int(r.Uint64()%12)
+		k := 2 + int(r.Uint64()%8)
+		if !hsgraph.Feasible(n, m, 8) {
+			continue
+		}
+		g, err := hsgraph.RandomConnected(n, m, 8, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg := FromHostSwitchGraph(g)
+		parts, err := KWay(pg, k, seed+1)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d m=%d k=%d seed=%d): %v", trial, n, m, k, seed, err)
+		}
+		seen := make([]bool, k)
+		for _, p := range parts {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("trial %d: part out of range", trial)
+			}
+			seen[p] = true
+		}
+		for pi, s := range seen {
+			if !s {
+				t.Fatalf("trial %d (n=%d m=%d k=%d seed=%d): part %d empty", trial, n, m, k, seed, pi)
+			}
+		}
+		ideal := float64(pg.TotalVWeight()) / float64(k)
+		levels := 0
+		for 1<<levels < k {
+			levels++
+		}
+		var maxW int64
+		for _, w := range PartWeights(pg, parts, k) {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if float64(maxW) > ideal+float64(levels)+1 {
+			t.Fatalf("trial %d (n=%d m=%d k=%d seed=%d): maxW %d vs ideal %.2f levels %d", trial, n, m, k, seed, maxW, ideal, levels)
+		}
+	}
+}

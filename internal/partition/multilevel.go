@@ -1,0 +1,467 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// KWay partitions g into k parts of (approximately) equal vertex weight,
+// minimising edge cut, by recursive bisection. The returned slice maps
+// each vertex to its part in [0, k). The allowed imbalance is roughly one
+// maximum-vertex-weight per part, which for unit weights means parts
+// differ by at most one vertex.
+func KWay(g *Graph, k int, seed uint64) ([]int32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k=%d < 1", k)
+	}
+	nv := g.NumVertices()
+	if k > nv {
+		return nil, fmt.Errorf("partition: k=%d exceeds %d vertices", k, nv)
+	}
+	parts := make([]int32, nv)
+	if k == 1 {
+		return parts, nil
+	}
+	rnd := rng.New(seed)
+	ids := make([]int32, nv)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	if err := recursiveBisect(g, ids, parts, 0, k, rnd); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// recursiveBisect assigns parts [base, base+k) to the subgraph of g
+// induced by ids, writing results into parts (indexed by original ids).
+func recursiveBisect(g *Graph, ids []int32, parts []int32, base, k int, rnd *rng.Rand) error {
+	if k == 1 {
+		for _, v := range ids {
+			parts[v] = int32(base)
+		}
+		return nil
+	}
+	kLeft := (k + 1) / 2
+	kRight := k - kLeft
+	sub := induce(g, ids)
+	target0 := sub.TotalVWeight() * int64(kLeft) / int64(k)
+	side := bisect(sub, target0, int64(kLeft), int64(kRight), rnd)
+	fixupCounts(sub, side, kLeft, kRight)
+	var leftIDs, rightIDs []int32
+	for i, v := range ids {
+		if side[i] == 0 {
+			leftIDs = append(leftIDs, v)
+		} else {
+			rightIDs = append(rightIDs, v)
+		}
+	}
+	if len(leftIDs) < kLeft || len(rightIDs) < kRight {
+		return fmt.Errorf("partition: degenerate bisection (%d/%d vertices for %d/%d parts)",
+			len(leftIDs), len(rightIDs), kLeft, kRight)
+	}
+	if err := recursiveBisect(g, leftIDs, parts, base, kLeft, rnd); err != nil {
+		return err
+	}
+	return recursiveBisect(g, rightIDs, parts, base+kLeft, kRight, rnd)
+}
+
+// induce builds the subgraph of g induced by ids (edges to vertices
+// outside ids are dropped).
+func induce(g *Graph, ids []int32) *Graph {
+	local := make(map[int32]int32, len(ids))
+	for i, v := range ids {
+		local[v] = int32(i)
+	}
+	xadj := make([]int32, len(ids)+1)
+	var adj []int32
+	var ew []int64
+	vw := make([]int64, len(ids))
+	for i, v := range ids {
+		vw[i] = g.VWeight[v]
+		for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+			if lu, ok := local[g.Adj[e]]; ok {
+				adj = append(adj, lu)
+				ew = append(ew, g.EWeight[e])
+			}
+		}
+		xadj[i+1] = int32(len(adj))
+	}
+	return &Graph{XAdj: xadj, Adj: adj, VWeight: vw, EWeight: ew}
+}
+
+// bisect splits g into sides 0/1 with side 0 weighing ~target0 (and never
+// below lower0, nor side 1 below lower1), using the multilevel scheme;
+// returns the side of each vertex.
+func bisect(g *Graph, target0, lower0, lower1 int64, rnd *rng.Rand) []int32 {
+	const coarsestSize = 40
+	nv := g.NumVertices()
+	if nv <= coarsestSize {
+		side := initialBisection(g, target0, rnd)
+		refineFM(g, side, target0, maxVWeight(g), lower0, lower1)
+		return side
+	}
+	coarse, mapTo := coarsen(g, rnd)
+	if coarse.NumVertices() >= nv {
+		// Coarsening stalled (e.g. a clique); fall back to direct cut.
+		side := initialBisection(g, target0, rnd)
+		refineFM(g, side, target0, maxVWeight(g), lower0, lower1)
+		return side
+	}
+	coarseSide := bisect(coarse, target0, lower0, lower1, rnd)
+	side := make([]int32, nv)
+	for v := 0; v < nv; v++ {
+		side[v] = coarseSide[mapTo[v]]
+	}
+	refineFM(g, side, target0, maxVWeight(g), lower0, lower1)
+	return side
+}
+
+// fixupCounts guarantees each side has at least the number of vertices of
+// parts it must host, moving lowest-degree vertices when necessary (only
+// ever needed on tiny subgraphs where weight bounds and vertex counts
+// diverge).
+func fixupCounts(g *Graph, side []int32, kLeft, kRight int) {
+	counts := [2]int{}
+	for _, s := range side {
+		counts[s]++
+	}
+	need := [2]int{kLeft, kRight}
+	for deficient := 0; deficient < 2; deficient++ {
+		other := 1 - deficient
+		for counts[deficient] < need[deficient] && counts[other] > need[other] {
+			// Move the lowest-degree vertex from the surplus side.
+			best, bestDeg := -1, 1<<30
+			for v := 0; v < g.NumVertices(); v++ {
+				if int(side[v]) == other && g.Degree(v) < bestDeg {
+					best, bestDeg = v, g.Degree(v)
+				}
+			}
+			if best < 0 {
+				return
+			}
+			side[best] = int32(deficient)
+			counts[deficient]++
+			counts[other]--
+		}
+	}
+}
+
+func maxVWeight(g *Graph) int64 {
+	var mw int64 = 1
+	for _, w := range g.VWeight {
+		if w > mw {
+			mw = w
+		}
+	}
+	return mw
+}
+
+// coarsen performs one level of heavy-edge matching and returns the
+// coarser graph plus the fine-to-coarse vertex map.
+func coarsen(g *Graph, rnd *rng.Rand) (*Graph, []int32) {
+	nv := g.NumVertices()
+	match := make([]int32, nv)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rnd.Perm(nv)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		bestU := int32(-1)
+		var bestW int64 = -1
+		for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+			u := g.Adj[e]
+			if match[u] == -1 && g.EWeight[e] > bestW {
+				bestW = g.EWeight[e]
+				bestU = u
+			}
+		}
+		if bestU >= 0 {
+			match[v] = bestU
+			match[bestU] = int32(v)
+		} else {
+			match[v] = int32(v)
+		}
+	}
+	mapTo := make([]int32, nv)
+	nc := int32(0)
+	for v := 0; v < nv; v++ {
+		u := match[v]
+		if int(u) >= v {
+			mapTo[v] = nc
+			if int(u) != v {
+				mapTo[u] = nc
+			}
+			nc++
+		}
+	}
+	// Build the coarse graph: aggregate multi-edges.
+	cvw := make([]int64, nc)
+	neigh := make([]map[int32]int64, nc)
+	for v := 0; v < nv; v++ {
+		cv := mapTo[v]
+		cvw[cv] += g.VWeight[v]
+		if neigh[cv] == nil {
+			neigh[cv] = make(map[int32]int64)
+		}
+		for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+			cu := mapTo[g.Adj[e]]
+			if cu != cv {
+				neigh[cv][cu] += g.EWeight[e]
+			}
+		}
+	}
+	xadj := make([]int32, nc+1)
+	var adj []int32
+	var ew []int64
+	for cv := int32(0); cv < nc; cv++ {
+		for cu, w := range neigh[cv] {
+			adj = append(adj, cu)
+			ew = append(ew, w)
+		}
+		xadj[cv+1] = int32(len(adj))
+		// Sort each neighbour run for determinism (map iteration order is
+		// random in Go).
+		sortRun(adj, ew, int(xadj[cv]), int(xadj[cv+1]))
+	}
+	return &Graph{XAdj: xadj, Adj: adj, VWeight: cvw, EWeight: ew}, mapTo
+}
+
+func sortRun(adj []int32, ew []int64, lo, hi int) {
+	// Insertion sort: runs are short (bounded by degree).
+	for i := lo + 1; i < hi; i++ {
+		a, w := adj[i], ew[i]
+		j := i - 1
+		for j >= lo && adj[j] > a {
+			adj[j+1], ew[j+1] = adj[j], ew[j]
+			j--
+		}
+		adj[j+1], ew[j+1] = a, w
+	}
+}
+
+// initialBisection grows side 0 greedily from several random seeds via
+// highest-gain expansion (GGGP) and keeps the best cut.
+func initialBisection(g *Graph, target0 int64, rnd *rng.Rand) []int32 {
+	nv := g.NumVertices()
+	const tries = 4
+	var best []int32
+	var bestCut int64 = -1
+	for t := 0; t < tries; t++ {
+		side := growRegion(g, target0, rnd.Intn(nv))
+		cut := cutOf(g, side)
+		if bestCut < 0 || cut < bestCut {
+			best, bestCut = side, cut
+		}
+	}
+	return best
+}
+
+func growRegion(g *Graph, target0 int64, seedV int) []int32 {
+	nv := g.NumVertices()
+	side := make([]int32, nv)
+	for i := range side {
+		side[i] = 1
+	}
+	var w0 int64
+	// Gain of moving v into side 0 = weight of edges to side 0 minus
+	// weight of edges to side 1.
+	inFrontier := make([]bool, nv)
+	frontier := []int32{int32(seedV)}
+	inFrontier[seedV] = true
+	for w0 < target0 && len(frontier) > 0 {
+		// Pick the frontier vertex with the highest gain.
+		bestIdx := 0
+		var bestGain int64 = -1 << 62
+		for i, v := range frontier {
+			var gain int64
+			for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+				if side[g.Adj[e]] == 0 {
+					gain += g.EWeight[e]
+				} else {
+					gain -= g.EWeight[e]
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		v := frontier[bestIdx]
+		frontier[bestIdx] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		side[v] = 0
+		w0 += g.VWeight[v]
+		for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+			u := g.Adj[e]
+			if side[u] == 1 && !inFrontier[u] {
+				inFrontier[u] = true
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	// Disconnected leftovers: if the frontier emptied before reaching the
+	// target, move arbitrary side-1 vertices.
+	for v := 0; v < nv && w0 < target0; v++ {
+		if side[v] == 1 {
+			side[v] = 0
+			w0 += g.VWeight[v]
+		}
+	}
+	return side
+}
+
+func cutOf(g *Graph, side []int32) int64 {
+	var cut int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+			if side[v] != side[g.Adj[e]] {
+				cut += g.EWeight[e]
+			}
+		}
+	}
+	return cut / 2
+}
+
+// refineFM runs Fiduccia-Mattheyses passes on a bisection: repeatedly move
+// the best-gain movable vertex (respecting the balance envelope and the
+// lower0/lower1 weight floors), allowing negative-gain moves within a
+// pass, and roll back to the best prefix. Passes stop when no pass
+// improves the cut.
+func refineFM(g *Graph, side []int32, target0 int64, tol, lower0, lower1 int64) {
+	nv := g.NumVertices()
+	var w0 int64
+	for v := 0; v < nv; v++ {
+		if side[v] == 0 {
+			w0 += g.VWeight[v]
+		}
+	}
+	total := g.TotalVWeight()
+	target1 := total - target0
+	gains := make([]int64, nv)
+	computeGain := func(v int) int64 {
+		var ext, inter int64
+		for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+			if side[g.Adj[e]] == side[v] {
+				inter += g.EWeight[e]
+			} else {
+				ext += g.EWeight[e]
+			}
+		}
+		return ext - inter
+	}
+	// Projection from a coarser level can land outside the balance
+	// envelope (coarse vertices are heavy); greedily restore balance
+	// first, otherwise the envelope check below forbids every move. The
+	// same loop pulls weight into a side that starts below its floor.
+	for guard := 0; (w0 > target0+tol || total-w0 > target1+tol || w0 < lower0 || total-w0 < lower1) && guard < 4*nv+8; guard++ {
+		fromSide := int32(0)
+		if total-w0 > target1+tol || w0 < lower0 {
+			fromSide = 1
+		}
+		bestV := -1
+		var bestGain int64 = -1 << 62
+		for v := 0; v < nv; v++ {
+			if side[v] == fromSide {
+				if gain := computeGain(v); gain > bestGain {
+					bestGain, bestV = gain, v
+				}
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		if side[bestV] == 0 {
+			side[bestV] = 1
+			w0 -= g.VWeight[bestV]
+		} else {
+			side[bestV] = 0
+			w0 += g.VWeight[bestV]
+		}
+	}
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		for v := 0; v < nv; v++ {
+			gains[v] = computeGain(v)
+		}
+		locked := make([]bool, nv)
+		type rec struct {
+			v    int32
+			gain int64
+		}
+		var history []rec
+		var cum, bestCum int64
+		bestLen := 0
+		for moves := 0; moves < nv; moves++ {
+			bestV := -1
+			var bestGain int64 = -1 << 62
+			for v := 0; v < nv; v++ {
+				if locked[v] {
+					continue
+				}
+				// Balance envelope: after moving v, neither side may exceed
+				// its target by more than tol nor fall below its floor.
+				var newW0 int64
+				if side[v] == 0 {
+					newW0 = w0 - g.VWeight[v]
+				} else {
+					newW0 = w0 + g.VWeight[v]
+				}
+				if newW0 > target0+tol || total-newW0 > target1+tol ||
+					newW0 < lower0 || total-newW0 < lower1 {
+					continue
+				}
+				if gains[v] > bestGain {
+					bestGain, bestV = gains[v], v
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			// Apply the move.
+			v := bestV
+			if side[v] == 0 {
+				side[v] = 1
+				w0 -= g.VWeight[v]
+			} else {
+				side[v] = 0
+				w0 += g.VWeight[v]
+			}
+			locked[v] = true
+			cum += bestGain
+			history = append(history, rec{int32(v), bestGain})
+			if cum > bestCum {
+				bestCum = cum
+				bestLen = len(history)
+			}
+			// Update neighbour gains.
+			gains[v] = -gains[v]
+			for e := g.XAdj[v]; e < g.XAdj[v+1]; e++ {
+				u := g.Adj[e]
+				if side[u] == side[v] {
+					gains[u] -= 2 * g.EWeight[e]
+				} else {
+					gains[u] += 2 * g.EWeight[e]
+				}
+			}
+		}
+		// Roll back moves past the best prefix.
+		for i := len(history) - 1; i >= bestLen; i-- {
+			v := history[i].v
+			if side[v] == 0 {
+				side[v] = 1
+				w0 -= g.VWeight[v]
+			} else {
+				side[v] = 0
+				w0 += g.VWeight[v]
+			}
+		}
+		if bestCum <= 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// pathGraph builds a simple path of nv unit-weight vertices.
+func pathGraph(nv int) *Graph {
+	xadj := make([]int32, nv+1)
+	var adj []int32
+	for v := 0; v < nv; v++ {
+		if v > 0 {
+			adj = append(adj, int32(v-1))
+		}
+		if v < nv-1 {
+			adj = append(adj, int32(v+1))
+		}
+		xadj[v+1] = int32(len(adj))
+	}
+	vw := make([]int64, nv)
+	ew := make([]int64, len(adj))
+	for i := range vw {
+		vw[i] = 1
+	}
+	for i := range ew {
+		ew[i] = 1
+	}
+	return &Graph{XAdj: xadj, Adj: adj, VWeight: vw, EWeight: ew}
+}
+
+func TestFromHostSwitchGraph(t *testing.T) {
+	g, err := hsgraph.Ring(8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := FromHostSwitchGraph(g)
+	if err := pg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumVertices() != 12 {
+		t.Fatalf("vertices = %d, want 12", pg.NumVertices())
+	}
+	// Total edges: 8 host links + 4 ring links, each twice in CSR.
+	if len(pg.Adj) != 2*(8+4) {
+		t.Fatalf("adjacency entries = %d, want %d", len(pg.Adj), 24)
+	}
+	// Hosts are degree 1.
+	for h := 0; h < 8; h++ {
+		if pg.Degree(h) != 1 {
+			t.Fatalf("host %d degree = %d", h, pg.Degree(h))
+		}
+	}
+}
+
+func TestBisectPath(t *testing.T) {
+	// The optimal bisection of a path cuts exactly one edge.
+	g := pathGraph(64)
+	parts, err := KWay(g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := EdgeCut(g, parts)
+	if cut != 1 {
+		t.Fatalf("path bisection cut = %d, want 1", cut)
+	}
+	w := PartWeights(g, parts, 2)
+	if w[0] != 32 || w[1] != 32 {
+		t.Fatalf("part weights %v, want [32 32]", w)
+	}
+}
+
+func TestKWayPath(t *testing.T) {
+	// k-way partition of a path cuts k-1 edges at best.
+	g := pathGraph(60)
+	for _, k := range []int{3, 4, 5, 6} {
+		parts, err := KWay(g, k, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := EdgeCut(g, parts)
+		if cut > int64(k) { // allow one extra over optimal k-1
+			t.Fatalf("k=%d: cut = %d, want <= %d", k, cut, k)
+		}
+		if imb := Imbalance(g, parts, k); imb > 1.15 {
+			t.Fatalf("k=%d: imbalance %v too high", k, imb)
+		}
+	}
+}
+
+func TestKWayCoversAllParts(t *testing.T) {
+	g := pathGraph(50)
+	for k := 1; k <= 16; k++ {
+		parts, err := KWay(g, k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, k)
+		for _, p := range parts {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("part %d out of range for k=%d", p, k)
+			}
+			seen[p] = true
+		}
+		for p := 0; p < k; p++ {
+			if !seen[p] {
+				t.Fatalf("part %d empty for k=%d", p, k)
+			}
+		}
+	}
+}
+
+func TestKWayErrors(t *testing.T) {
+	g := pathGraph(4)
+	if _, err := KWay(g, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KWay(g, 5, 1); err == nil {
+		t.Fatal("k > nv accepted")
+	}
+}
+
+func TestKWayDeterministic(t *testing.T) {
+	g, err := hsgraph.RandomConnected(64, 16, 8, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := FromHostSwitchGraph(g)
+	p1, err := KWay(pg, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := KWay(pg, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("KWay not deterministic")
+		}
+	}
+}
+
+func TestBisectTwoCliques(t *testing.T) {
+	// Two 10-cliques joined by a single bridge edge: optimal cut is 1.
+	nv := 20
+	type edge struct{ a, b int32 }
+	var edges []edge
+	for c := 0; c < 2; c++ {
+		off := int32(c * 10)
+		for i := int32(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				edges = append(edges, edge{off + i, off + j})
+			}
+		}
+	}
+	edges = append(edges, edge{0, 10})
+	deg := make([]int32, nv)
+	for _, e := range edges {
+		deg[e.a]++
+		deg[e.b]++
+	}
+	xadj := make([]int32, nv+1)
+	for v := 0; v < nv; v++ {
+		xadj[v+1] = xadj[v] + deg[v]
+	}
+	adj := make([]int32, xadj[nv])
+	pos := append([]int32(nil), xadj[:nv]...)
+	for _, e := range edges {
+		adj[pos[e.a]] = e.b
+		pos[e.a]++
+		adj[pos[e.b]] = e.a
+		pos[e.b]++
+	}
+	vw := make([]int64, nv)
+	ew := make([]int64, len(adj))
+	for i := range vw {
+		vw[i] = 1
+	}
+	for i := range ew {
+		ew[i] = 1
+	}
+	g := &Graph{XAdj: xadj, Adj: adj, VWeight: vw, EWeight: ew}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := KWay(g, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := EdgeCut(g, parts); cut != 1 {
+		t.Fatalf("two-clique cut = %d, want 1", cut)
+	}
+}
+
+func TestFatTreeBisectionFull(t *testing.T) {
+	// A K-ary fat-tree has full bisection bandwidth: splitting its 1024
+	// hosts should cut on the order of n/2 links or more. Mostly a smoke
+	// test that realistic instances behave.
+	sp, err := topo.FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := FromHostSwitchGraph(g)
+	parts, err := KWay(pg, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := EdgeCut(pg, parts)
+	if cut < 16 {
+		t.Fatalf("fat-tree bisection cut %d suspiciously low", cut)
+	}
+	if imb := Imbalance(pg, parts, 2); imb > 1.05 {
+		t.Fatalf("imbalance %v too high", imb)
+	}
+}
+
+func TestImbalanceRange(t *testing.T) {
+	g, err := hsgraph.RandomConnected(100, 25, 8, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := FromHostSwitchGraph(g)
+	for _, k := range []int{2, 3, 5, 7, 11, 16} {
+		parts, err := KWay(pg, k, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imb := Imbalance(pg, parts, k); imb > 1.2 {
+			t.Fatalf("k=%d: imbalance %v exceeds 1.2", k, imb)
+		}
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	g := pathGraph(4)
+	bad := &Graph{XAdj: g.XAdj[:3], Adj: g.Adj, VWeight: g.VWeight, EWeight: g.EWeight}
+	if bad.Validate() == nil {
+		t.Fatal("truncated xadj accepted")
+	}
+	bad2 := pathGraph(4)
+	bad2.Adj[0] = 0 // self loop at vertex 0? adj[0] belongs to vertex 0
+	if bad2.Validate() == nil {
+		t.Fatal("self loop accepted")
+	}
+	bad3 := pathGraph(4)
+	bad3.Adj[0] = 9
+	if bad3.Validate() == nil {
+		t.Fatal("out-of-range neighbour accepted")
+	}
+}
+
+func BenchmarkKWay16Paper(b *testing.B) {
+	sp, err := topo.Torus(5, 3, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := sp.Build(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg := FromHostSwitchGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KWay(pg, 16, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

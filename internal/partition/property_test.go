@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// TestPropertyKWayWellFormed: for arbitrary random instances and k, the
+// partitioner returns a covering, in-range, reasonably balanced
+// assignment whose reported cut matches a recount.
+func TestPropertyKWayWellFormed(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw, kRaw uint8) bool {
+		n := 8 + int(nRaw)%60
+		m := 3 + int(mRaw)%12
+		r := 8
+		k := 2 + int(kRaw)%8
+		if !hsgraph.Feasible(n, m, r) {
+			return true
+		}
+		g, err := hsgraph.RandomConnected(n, m, r, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		pg := FromHostSwitchGraph(g)
+		if pg.Validate() != nil {
+			return false
+		}
+		parts, err := KWay(pg, k, seed+1)
+		if err != nil {
+			return false
+		}
+		if len(parts) != pg.NumVertices() {
+			return false
+		}
+		seen := make([]bool, k)
+		for _, p := range parts {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+			seen[p] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Cut recount from scratch.
+		var cut int64
+		for v := 0; v < pg.NumVertices(); v++ {
+			for e := pg.XAdj[v]; e < pg.XAdj[v+1]; e++ {
+				if parts[v] != parts[pg.Adj[e]] {
+					cut += pg.EWeight[e]
+				}
+			}
+		}
+		if cut/2 != EdgeCut(pg, parts) {
+			return false
+		}
+		// Balance: recursive bisection rounds by at most one vertex per
+		// level, so the largest part is bounded by ideal + log2(k) + 1.
+		ideal := float64(pg.TotalVWeight()) / float64(k)
+		levels := 0
+		for 1<<levels < k {
+			levels++
+		}
+		var maxW int64
+		for _, w := range PartWeights(pg, parts, k) {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		return float64(maxW) <= ideal+float64(levels)+1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(33))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCutNonNegativeMonotone: more parts cannot give a smaller
+// minimum cut than 1 part (which is 0), and the cut never exceeds the
+// edge total.
+func TestPropertyCutBounds(t *testing.T) {
+	check := func(seed uint64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%10
+		g, err := hsgraph.RandomConnected(40, 10, 8, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		pg := FromHostSwitchGraph(g)
+		parts, err := KWay(pg, k, seed)
+		if err != nil {
+			return false
+		}
+		cut := EdgeCut(pg, parts)
+		totalEdges := int64(len(pg.Adj) / 2)
+		if k == 1 && cut != 0 {
+			return false
+		}
+		return cut >= 0 && cut <= totalEdges
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(44))}); err != nil {
+		t.Fatal(err)
+	}
+}

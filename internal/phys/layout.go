@@ -1,0 +1,133 @@
+package phys
+
+import (
+	"math"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// Layout maps switches to cabinets. The default layout used by Evaluate
+// assigns switches to cabinets in index order; OptimizeLayout searches
+// for an assignment with lower total cable cost, following the
+// layout-conscious placement idea of the paper's reference [13]
+// (Koibuchi et al., HPCA 2013).
+type Layout struct {
+	CabinetOf []int32 // switch -> cabinet
+	Cabinets  int
+	Cols      int
+}
+
+// DefaultLayout packs switches into cabinets in index order.
+func DefaultLayout(g *hsgraph.Graph, p Params) *Layout {
+	m := g.Switches()
+	perCab := p.SwitchesPerCabinet
+	if perCab < 1 {
+		perCab = 1
+	}
+	cabinets := (m + perCab - 1) / perCab
+	cols := int(math.Ceil(math.Sqrt(float64(cabinets))))
+	if cols < 1 {
+		cols = 1
+	}
+	l := &Layout{CabinetOf: make([]int32, m), Cabinets: cabinets, Cols: cols}
+	for s := 0; s < m; s++ {
+		l.CabinetOf[s] = int32(s / perCab)
+	}
+	return l
+}
+
+// cabinetDistance returns the Manhattan distance in metres between two
+// cabinets of this layout.
+func (l *Layout) cabinetDistance(p Params, a, b int32) float64 {
+	if a == b {
+		return p.HostCableM
+	}
+	xa, ya := float64(int(a)%l.Cols)*p.CabinetWidthM, float64(int(a)/l.Cols)*p.CabinetDepthM
+	xb, yb := float64(int(b)%l.Cols)*p.CabinetWidthM, float64(int(b)/l.Cols)*p.CabinetDepthM
+	return math.Abs(xa-xb) + math.Abs(ya-yb)
+}
+
+// cableCost prices one cable of the given length.
+func cableCost(p Params, lenM float64) float64 {
+	if lenM <= p.ElectricalMax {
+		return p.ElecCableBase + p.ElecCablePerM*lenM
+	}
+	return p.OptCableBase + p.OptCablePerM*lenM
+}
+
+// EvaluateLayout prices a deployment under an explicit layout.
+func EvaluateLayout(g *hsgraph.Graph, p Params, l *Layout) Report {
+	rep := Report{Cabinets: l.Cabinets, GridCols: l.Cols, GridRows: (l.Cabinets + l.Cols - 1) / l.Cols}
+	addCable := func(lenM float64) {
+		rep.TotalCableM += lenM
+		if lenM <= p.ElectricalMax {
+			rep.NumElec++
+			rep.CablePowerW += p.ElecCablePowerW
+			rep.CableCost += p.ElecCableBase + p.ElecCablePerM*lenM
+		} else {
+			rep.NumOpt++
+			rep.CablePowerW += p.OptCablePowerW
+			rep.CableCost += p.OptCableBase + p.OptCablePerM*lenM
+		}
+	}
+	for h := 0; h < g.Order(); h++ {
+		if g.SwitchOf(h) >= 0 {
+			addCable(p.HostCableM)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		addCable(l.cabinetDistance(p, l.CabinetOf[a], l.CabinetOf[b]))
+	}
+	for s := 0; s < g.Switches(); s++ {
+		ports := float64(g.Degree(s))
+		rep.SwitchPowerW += p.SwitchBasePowerW + p.PortPowerW*ports
+		rep.SwitchCost += p.SwitchBaseCost + p.PortCost*ports
+	}
+	return rep
+}
+
+// OptimizeLayout runs a randomized local search (pairwise swaps of
+// switch-cabinet assignments, accepting non-worsening moves) minimising
+// total cable cost. It returns the improved layout; DefaultLayout is the
+// starting point.
+func OptimizeLayout(g *hsgraph.Graph, p Params, iterations int, seed uint64) *Layout {
+	l := DefaultLayout(g, p)
+	m := g.Switches()
+	if m < 2 || iterations <= 0 {
+		return l
+	}
+	rnd := rng.New(seed)
+	// Incremental objective: the cable cost of all switch-switch edges.
+	edgeCost := func(s int32) float64 {
+		var sum float64
+		for _, u := range g.Neighbors(int(s)) {
+			sum += cableCost(p, l.cabinetDistance(p, l.CabinetOf[s], l.CabinetOf[u]))
+		}
+		return sum
+	}
+	for it := 0; it < iterations; it++ {
+		a := int32(rnd.Intn(m))
+		b := int32(rnd.Intn(m))
+		if a == b || l.CabinetOf[a] == l.CabinetOf[b] {
+			continue
+		}
+		before := edgeCost(a) + edgeCost(b) - pairAdjust(g, p, l, a, b)
+		l.CabinetOf[a], l.CabinetOf[b] = l.CabinetOf[b], l.CabinetOf[a]
+		after := edgeCost(a) + edgeCost(b) - pairAdjust(g, p, l, a, b)
+		if after > before {
+			l.CabinetOf[a], l.CabinetOf[b] = l.CabinetOf[b], l.CabinetOf[a]
+		}
+	}
+	return l
+}
+
+// pairAdjust compensates for the a-b edge being counted twice when a and
+// b are adjacent.
+func pairAdjust(g *hsgraph.Graph, p Params, l *Layout, a, b int32) float64 {
+	if !g.HasEdge(int(a), int(b)) {
+		return 0
+	}
+	return cableCost(p, l.cabinetDistance(p, l.CabinetOf[a], l.CabinetOf[b]))
+}

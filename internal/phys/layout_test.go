@@ -1,0 +1,102 @@
+package phys
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+func TestDefaultLayoutMatchesEvaluate(t *testing.T) {
+	sp, err := topo.Dragonfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	a := Evaluate(g, p)
+	b := EvaluateLayout(g, p, DefaultLayout(g, p))
+	if math.Abs(a.TotalCost()-b.TotalCost()) > 1e-9 ||
+		math.Abs(a.TotalCableM-b.TotalCableM) > 1e-9 ||
+		a.NumElec != b.NumElec || a.NumOpt != b.NumOpt {
+		t.Fatalf("default layout diverges from Evaluate: %+v vs %+v", a, b)
+	}
+}
+
+func TestOptimizeLayoutImproves(t *testing.T) {
+	// A ring of switches laid out in index order on a square grid has
+	// several long wrap cables; local search should shorten the total.
+	g, err := hsgraph.Ring(32, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	before := EvaluateLayout(g, p, DefaultLayout(g, p))
+	l := OptimizeLayout(g, p, 5000, 1)
+	after := EvaluateLayout(g, p, l)
+	if after.CableCost > before.CableCost {
+		t.Fatalf("layout optimisation worsened cable cost: %v -> %v", before.CableCost, after.CableCost)
+	}
+	// Switch cost is layout-invariant.
+	if after.SwitchCost != before.SwitchCost {
+		t.Fatal("layout changed switch cost")
+	}
+}
+
+func TestOptimizeLayoutValidAssignment(t *testing.T) {
+	g, err := hsgraph.RandomConnected(64, 16, 8, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	p.SwitchesPerCabinet = 2
+	l := OptimizeLayout(g, p, 2000, 5)
+	// Every cabinet must hold at most SwitchesPerCabinet switches (swaps
+	// preserve the multiset of cabinet slots).
+	count := map[int32]int{}
+	for _, c := range l.CabinetOf {
+		count[c]++
+		if int(c) < 0 || int(c) >= l.Cabinets {
+			t.Fatalf("cabinet %d out of range", c)
+		}
+	}
+	for cab, n := range count {
+		if n > p.SwitchesPerCabinet {
+			t.Fatalf("cabinet %d holds %d switches", cab, n)
+		}
+	}
+}
+
+func TestOptimizeLayoutDeterministic(t *testing.T) {
+	g, err := hsgraph.RandomConnected(40, 12, 7, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	l1 := OptimizeLayout(g, p, 1000, 7)
+	l2 := OptimizeLayout(g, p, 1000, 7)
+	for s := range l1.CabinetOf {
+		if l1.CabinetOf[s] != l2.CabinetOf[s] {
+			t.Fatal("layout optimisation not deterministic")
+		}
+	}
+}
+
+func TestOptimizeLayoutDegenerate(t *testing.T) {
+	g := hsgraph.New(2, 1, 4)
+	if err := g.AttachHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachHost(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	l := OptimizeLayout(g, NewParams(), 100, 1)
+	if l.Cabinets != 1 || len(l.CabinetOf) != 1 {
+		t.Fatalf("degenerate layout wrong: %+v", l)
+	}
+}

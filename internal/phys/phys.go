@@ -1,0 +1,151 @@
+// Package phys models the physical deployment of a host-switch graph the
+// way §6.2.3 of the paper does: cabinets aligned on a 2-D grid (60 cm wide,
+// 210 cm deep including aisle space), Manhattan cable runs between
+// cabinets, electrical cables up to 100 cm and optical beyond, and a
+// power/cost model in the style of the Mellanox InfiniBand FDR10 catalog
+// (constants are documented approximations; the paper's figures compare
+// topologies under identical constants, so only relative values matter).
+package phys
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hsgraph"
+)
+
+// Params holds the deployment model constants. NewParams returns the
+// defaults; zero values in a hand-built Params are NOT defaulted.
+type Params struct {
+	CabinetWidthM float64 // cabinet pitch along a row
+	CabinetDepthM float64 // row pitch (includes aisle)
+	ElectricalMax float64 // metres up to which a cable is electrical
+	HostCableM    float64 // host-to-switch cable length (intra-cabinet)
+
+	SwitchesPerCabinet int
+
+	// Power (watts)
+	SwitchBasePowerW float64 // per switch chassis
+	PortPowerW       float64 // per connected port
+	ElecCablePowerW  float64 // per electrical cable
+	OptCablePowerW   float64 // per optical cable (both transceivers)
+
+	// Cost (dollars)
+	SwitchBaseCost float64
+	PortCost       float64
+	ElecCableBase  float64
+	ElecCablePerM  float64
+	OptCableBase   float64
+	OptCablePerM   float64
+}
+
+// NewParams returns the default FDR10-flavoured constants.
+func NewParams() Params {
+	return Params{
+		CabinetWidthM:      0.6,
+		CabinetDepthM:      2.1,
+		ElectricalMax:      1.0,
+		HostCableM:         0.5,
+		SwitchesPerCabinet: 1,
+		SwitchBasePowerW:   26,
+		PortPowerW:         3.6, // ~130 W for a loaded 36-port SX6025
+		ElecCablePowerW:    0.2, // passive copper
+		OptCablePowerW:     2.0, // active optical, both ends
+		SwitchBaseCost:     2000,
+		PortCost:           300, // ~$12,800 for a 36-port FDR10 switch
+		ElecCableBase:      45,
+		ElecCablePerM:      1.3,
+		OptCableBase:       150,
+		OptCablePerM:       2.5,
+	}
+}
+
+// Report is the deployment evaluation of one topology.
+type Report struct {
+	Cabinets    int
+	GridCols    int
+	GridRows    int
+	NumElec     int     // electrical cables (host + switch links)
+	NumOpt      int     // optical cables
+	TotalCableM float64 // total cable length
+
+	SwitchPowerW float64
+	CablePowerW  float64
+	SwitchCost   float64
+	CableCost    float64
+}
+
+// TotalPowerW returns switch plus cable power.
+func (r Report) TotalPowerW() float64 { return r.SwitchPowerW + r.CablePowerW }
+
+// TotalCost returns switch plus cable cost.
+func (r Report) TotalCost() float64 { return r.SwitchCost + r.CableCost }
+
+func (r Report) String() string {
+	return fmt.Sprintf("phys(cabinets=%d cables=%d elec/%d opt, %.0fm, %.0fW, $%.0f)",
+		r.Cabinets, r.NumElec, r.NumOpt, r.TotalCableM, r.TotalPowerW(), r.TotalCost())
+}
+
+// Evaluate lays out the graph's switches into cabinets on a near-square
+// grid and prices the deployment.
+func Evaluate(g *hsgraph.Graph, p Params) Report {
+	m := g.Switches()
+	perCab := p.SwitchesPerCabinet
+	if perCab < 1 {
+		perCab = 1
+	}
+	cabinets := (m + perCab - 1) / perCab
+	cols := int(math.Ceil(math.Sqrt(float64(cabinets))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (cabinets + cols - 1) / cols
+
+	cabinetOf := func(s int) int { return s / perCab }
+	pos := func(cab int) (x, y float64) {
+		return float64(cab%cols) * p.CabinetWidthM, float64(cab/cols) * p.CabinetDepthM
+	}
+	cableLen := func(a, b int) float64 {
+		ca, cb := cabinetOf(a), cabinetOf(b)
+		if ca == cb {
+			return p.HostCableM
+		}
+		xa, ya := pos(ca)
+		xb, yb := pos(cb)
+		return math.Abs(xa-xb) + math.Abs(ya-yb)
+	}
+
+	rep := Report{Cabinets: cabinets, GridCols: cols, GridRows: rows}
+	addCable := func(lenM float64) {
+		rep.TotalCableM += lenM
+		if lenM <= p.ElectricalMax {
+			rep.NumElec++
+			rep.CablePowerW += p.ElecCablePowerW
+			rep.CableCost += p.ElecCableBase + p.ElecCablePerM*lenM
+		} else {
+			rep.NumOpt++
+			rep.CablePowerW += p.OptCablePowerW
+			rep.CableCost += p.OptCableBase + p.OptCablePerM*lenM
+		}
+	}
+
+	// Host cables: each host sits in its switch's cabinet.
+	for h := 0; h < g.Order(); h++ {
+		if g.SwitchOf(h) >= 0 {
+			addCable(p.HostCableM)
+		}
+	}
+	// Switch-switch cables.
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		addCable(cableLen(a, b))
+	}
+	// Switch power/cost: chassis plus connected ports (both endpoints of
+	// every cable count, so port count equals total degree).
+	for s := 0; s < m; s++ {
+		ports := float64(g.Degree(s))
+		rep.SwitchPowerW += p.SwitchBasePowerW + p.PortPowerW*ports
+		rep.SwitchCost += p.SwitchBaseCost + p.PortCost*ports
+	}
+	return rep
+}

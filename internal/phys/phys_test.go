@@ -1,0 +1,149 @@
+package phys
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/topo"
+)
+
+func TestEvaluateSingleCabinet(t *testing.T) {
+	// One switch, 4 hosts: 4 electrical host cables, no switch links.
+	g := hsgraph.New(4, 1, 8)
+	for h := 0; h < 4; h++ {
+		if err := g.AttachHost(h, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewParams()
+	rep := Evaluate(g, p)
+	if rep.Cabinets != 1 || rep.NumElec != 4 || rep.NumOpt != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	wantPower := p.SwitchBasePowerW + 4*p.PortPowerW + 4*p.ElecCablePowerW
+	if math.Abs(rep.TotalPowerW()-wantPower) > 1e-9 {
+		t.Fatalf("power %v, want %v", rep.TotalPowerW(), wantPower)
+	}
+	wantCost := p.SwitchBaseCost + 4*p.PortCost + 4*(p.ElecCableBase+p.ElecCablePerM*p.HostCableM)
+	if math.Abs(rep.TotalCost()-wantCost) > 1e-9 {
+		t.Fatalf("cost %v, want %v", rep.TotalCost(), wantCost)
+	}
+}
+
+func TestCableClassification(t *testing.T) {
+	// Two switches in adjacent cabinets: 0.6 m apart -> electrical.
+	g, err := hsgraph.Ring(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	rep := Evaluate(g, p)
+	// 2 host cables + 1 switch cable, all electrical.
+	if rep.NumElec != 3 || rep.NumOpt != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// A long row of cabinets: switch 0 to switch 9 in a 4x3 grid is more
+	// than 1 m away -> optical.
+	g2, err := hsgraph.Path(10, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := Evaluate(g2, p)
+	if rep2.NumOpt == 0 {
+		t.Fatalf("expected some optical cables in a 10-cabinet layout: %+v", rep2)
+	}
+	if rep2.Cabinets != 10 || rep2.GridCols != 4 {
+		t.Fatalf("grid %+v, want 10 cabinets in 4 columns", rep2)
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	// Grid of 4 cabinets (2x2): distance between cabinet 0 and 3 is
+	// width + depth.
+	g := hsgraph.New(2, 4, 4)
+	if err := g.AttachHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachHost(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 3}, {0, 1}, {1, 3}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewParams()
+	rep := Evaluate(g, p)
+	// Cable lengths: host x2 (0.5 each), 0-3 (0.6+2.1), 0-1 (0.6), 1-3 (2.1).
+	want := 0.5 + 0.5 + (0.6 + 2.1) + 0.6 + 2.1
+	if math.Abs(rep.TotalCableM-want) > 1e-9 {
+		t.Fatalf("cable length %v, want %v", rep.TotalCableM, want)
+	}
+}
+
+func TestSwitchesPerCabinet(t *testing.T) {
+	g, err := hsgraph.Ring(8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	p.SwitchesPerCabinet = 2
+	rep := Evaluate(g, p)
+	if rep.Cabinets != 2 {
+		t.Fatalf("cabinets = %d, want 2", rep.Cabinets)
+	}
+	// Links within a shared cabinet are intra-cabinet length.
+	p2 := NewParams()
+	p2.SwitchesPerCabinet = 4
+	rep2 := Evaluate(g, p2)
+	if rep2.Cabinets != 1 || rep2.NumOpt != 0 {
+		t.Fatalf("single-cabinet layout got %+v", rep2)
+	}
+}
+
+func TestPaperScaleComparisons(t *testing.T) {
+	// The 16-ary fat-tree (m=320) must cost more and burn more power than
+	// the 5-D torus (m=243) at n=1024 — the paper's Figs. 9c/11c ordering.
+	ft, err := topo.FatTree(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := ft.Build(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := topo.Torus(5, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := ts.Build(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams()
+	rf, rt := Evaluate(gf, p), Evaluate(gt, p)
+	if rf.TotalPowerW() <= rt.TotalPowerW() {
+		t.Fatalf("fat-tree power %v should exceed torus %v", rf.TotalPowerW(), rt.TotalPowerW())
+	}
+	if rf.TotalCost() <= rt.TotalCost() {
+		t.Fatalf("fat-tree cost %v should exceed torus %v", rf.TotalCost(), rt.TotalCost())
+	}
+	// Switch cost dominates cable cost for both (paper: "the switch cost
+	// is dominant").
+	for _, rep := range []Report{rf, rt} {
+		if rep.SwitchCost < rep.CableCost {
+			t.Fatalf("switch cost should dominate: %+v", rep)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	g, err := hsgraph.Ring(4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Evaluate(g, NewParams()).String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

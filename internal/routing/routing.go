@@ -1,0 +1,337 @@
+// Package routing provides topology-agnostic deterministic routing
+// algorithms for host-switch graphs and the channel-dependency-graph
+// (CDG) analysis that decides whether a routing function is deadlock-free
+// (Dally & Seitz). The paper's related work (its reference [14], a survey
+// of topology-agnostic deterministic routing) motivates this: irregular
+// low-h-ASPL topologies need such algorithms in practice because pure
+// shortest-path routing can deadlock wormhole/virtual-cut-through
+// networks without extra virtual channels.
+//
+// Two routing functions are provided:
+//
+//   - ShortestPath: minimal routing with deterministic lowest-index
+//     tie-break (what the simulator uses); may contain CDG cycles.
+//   - UpDown: the classic up*/down* routing over a BFS spanning tree:
+//     provably deadlock-free, possibly non-minimal.
+//
+// Stretch reports how much path length up*/down* sacrifices for
+// deadlock freedom on a given topology.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hsgraph"
+)
+
+// sortedNeighbors returns the neighbours of s in ascending order, making
+// every BFS in this package fully deterministic with lowest-index
+// preference.
+func sortedNeighbors(g *hsgraph.Graph, s int) []int32 {
+	ns := append([]int32(nil), g.Neighbors(s)...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// Table is a per-pair next-hop routing table over switches: Next[s][d] is
+// the neighbour of switch s on the route towards switch d (or -1 when
+// s == d or unreachable).
+type Table struct {
+	Next [][]int32
+}
+
+// PathLen returns the number of switch-switch hops from s to d following
+// the table, or -1 on a routing loop / unreachable pair.
+func (t *Table) PathLen(s, d int) int {
+	if s == d {
+		return 0
+	}
+	hops := 0
+	cur := s
+	limit := len(t.Next) + 1
+	for cur != d {
+		next := t.Next[cur][d]
+		if next < 0 || hops > limit {
+			return -1
+		}
+		cur = int(next)
+		hops++
+	}
+	return hops
+}
+
+// Path returns the switch sequence from s to d (inclusive), or nil on
+// failure.
+func (t *Table) Path(s, d int) []int {
+	if s == d {
+		return []int{s}
+	}
+	out := []int{s}
+	cur := s
+	limit := len(t.Next) + 1
+	for cur != d {
+		next := t.Next[cur][d]
+		if next < 0 || len(out) > limit {
+			return nil
+		}
+		cur = int(next)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ShortestPath builds a minimal routing table with lowest-index next-hop
+// tie-breaks.
+func ShortestPath(g *hsgraph.Graph) (*Table, error) {
+	m := g.Switches()
+	dist := g.SwitchDistances()
+	t := &Table{Next: make([][]int32, m)}
+	for s := 0; s < m; s++ {
+		t.Next[s] = make([]int32, m)
+		for d := 0; d < m; d++ {
+			t.Next[s][d] = -1
+			if s == d || dist[s][d] < 0 {
+				continue
+			}
+			best := int32(-1)
+			for _, u := range g.Neighbors(s) {
+				if dist[u][d] == dist[s][d]-1 && (best == -1 || u < best) {
+					best = u
+				}
+			}
+			t.Next[s][d] = best
+		}
+	}
+	return t, nil
+}
+
+// UpDown builds up*/down* routing: a BFS spanning tree is rooted at the
+// switch of lowest index with maximal degree; every link gets an
+// orientation ("up" towards the root: lower BFS level, ties by lower
+// index). A legal path uses zero or more up links followed by zero or
+// more down links, which provably breaks all CDG cycles. Among legal
+// paths the shortest is chosen (lowest-index tie-break).
+func UpDown(g *hsgraph.Graph) (*Table, error) {
+	m := g.Switches()
+	root := 0
+	for s := 1; s < m; s++ {
+		if g.Degree(s) > g.Degree(root) {
+			root = s
+		}
+	}
+	level := make([]int32, m)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	queue := []int32{int32(root)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range sortedNeighbors(g, int(v)) {
+			if level[u] == -1 {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for s := 0; s < m; s++ {
+		if level[s] == -1 && (g.HostCount(s) > 0 || g.SwitchDegree(s) > 0) {
+			return nil, fmt.Errorf("routing: switch %d unreachable from root %d", s, root)
+		}
+	}
+	// isUp(a, b): does a -> b traverse an up link?
+	isUp := func(a, b int32) bool {
+		if level[a] != level[b] {
+			return level[b] < level[a]
+		}
+		return b < a
+	}
+	// Distances under the up*/down* constraint via BFS per destination on
+	// the state graph (switch, phase) where phase 0 = still going up,
+	// phase 1 = going down. We BFS *backwards* from each destination d:
+	// easier forwards per source? m BFS runs forwards per source over 2m
+	// states gives next hops directly.
+	t := &Table{Next: make([][]int32, m)}
+	for s := 0; s < m; s++ {
+		t.Next[s] = make([]int32, m)
+		for d := 0; d < m; d++ {
+			t.Next[s][d] = -1
+		}
+	}
+	type state struct {
+		sw    int32
+		phase int8
+	}
+	for src := 0; src < m; src++ {
+		// BFS over states from (src, up-phase).
+		dist := make([]int32, 2*m)
+		parentFirst := make([]int32, 2*m) // first hop switch from src, -1 unset
+		for i := range dist {
+			dist[i] = -1
+			parentFirst[i] = -1
+		}
+		idx := func(st state) int { return int(st.sw)*2 + int(st.phase) }
+		start := state{int32(src), 0}
+		dist[idx(start)] = 0
+		q := []state{start}
+		for len(q) > 0 {
+			cur := q[0]
+			q = q[1:]
+			for _, u := range sortedNeighbors(g, int(cur.sw)) {
+				up := isUp(cur.sw, u)
+				var nxt state
+				switch {
+				case cur.phase == 0 && up:
+					nxt = state{u, 0}
+				case cur.phase == 0 && !up:
+					nxt = state{u, 1}
+				case cur.phase == 1 && !up:
+					nxt = state{u, 1}
+				default:
+					continue // down then up: illegal
+				}
+				if dist[idx(nxt)] != -1 {
+					continue
+				}
+				dist[idx(nxt)] = dist[idx(cur)] + 1
+				if cur.sw == int32(src) {
+					parentFirst[idx(nxt)] = u
+				} else {
+					parentFirst[idx(nxt)] = parentFirst[idx(cur)]
+				}
+				q = append(q, nxt)
+			}
+		}
+		for d := 0; d < m; d++ {
+			if d == src {
+				continue
+			}
+			// Best of the two phases at destination d.
+			du, dd := dist[d*2], dist[d*2+1]
+			var first int32 = -1
+			switch {
+			case du >= 0 && (dd < 0 || du <= dd):
+				first = parentFirst[d*2]
+			case dd >= 0:
+				first = parentFirst[d*2+1]
+			}
+			t.Next[src][d] = first
+		}
+	}
+	return t, nil
+}
+
+// Stretch compares a routing table's path lengths with minimal distances:
+// it returns the mean and maximum ratio over host-bearing switch pairs.
+func Stretch(g *hsgraph.Graph, t *Table) (mean, max float64, err error) {
+	dist := g.SwitchDistances()
+	m := g.Switches()
+	var sum float64
+	count := 0
+	for s := 0; s < m; s++ {
+		if g.HostCount(s) == 0 {
+			continue
+		}
+		for d := 0; d < m; d++ {
+			if d == s || g.HostCount(d) == 0 {
+				continue
+			}
+			if dist[s][d] <= 0 {
+				continue
+			}
+			pl := t.PathLen(s, d)
+			if pl < 0 {
+				return 0, 0, fmt.Errorf("routing: table cannot route %d -> %d", s, d)
+			}
+			ratio := float64(pl) / float64(dist[s][d])
+			sum += ratio
+			if ratio > max {
+				max = ratio
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return 1, 1, nil
+	}
+	return sum / float64(count), max, nil
+}
+
+// DeadlockFree reports whether the routing function induces an acyclic
+// channel dependency graph. Channels are directed switch-switch links;
+// routing path (a, b, c) adds the dependency (a->b) => (b->c). Cycle
+// detection is a DFS three-colouring.
+func DeadlockFree(g *hsgraph.Graph, t *Table) (bool, error) {
+	m := g.Switches()
+	chanID := map[[2]int32]int32{}
+	var chans [][2]int32
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		for _, dir := range [][2]int32{{int32(a), int32(b)}, {int32(b), int32(a)}} {
+			chanID[dir] = int32(len(chans))
+			chans = append(chans, dir)
+		}
+	}
+	adj := make([][]int32, len(chans))
+	seen := make(map[[2]int32]bool)
+	addDep := func(c1, c2 int32) {
+		key := [2]int32{c1, c2}
+		if !seen[key] {
+			seen[key] = true
+			adj[c1] = append(adj[c1], c2)
+		}
+	}
+	for s := 0; s < m; s++ {
+		for d := 0; d < m; d++ {
+			if s == d || t.Next[s][d] < 0 {
+				continue
+			}
+			path := t.Path(s, d)
+			if path == nil {
+				return false, fmt.Errorf("routing: loop on pair (%d,%d)", s, d)
+			}
+			for i := 0; i+2 < len(path); i++ {
+				c1, ok1 := chanID[[2]int32{int32(path[i]), int32(path[i+1])}]
+				c2, ok2 := chanID[[2]int32{int32(path[i+1]), int32(path[i+2])}]
+				if !ok1 || !ok2 {
+					return false, fmt.Errorf("routing: path uses nonexistent link")
+				}
+				addDep(c1, c2)
+			}
+		}
+	}
+	// DFS cycle detection.
+	color := make([]int8, len(chans)) // 0 white, 1 grey, 2 black
+	for start := range chans {
+		if color[start] != 0 {
+			continue
+		}
+		// Iterative DFS with explicit post-processing.
+		type frame struct {
+			node int32
+			next int
+		}
+		frames := []frame{{int32(start), 0}}
+		color[start] = 1
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(adj[f.node]) {
+				u := adj[f.node][f.next]
+				f.next++
+				switch color[u] {
+				case 1:
+					return false, nil // grey edge: cycle
+				case 0:
+					color[u] = 1
+					frames = append(frames, frame{u, 0})
+				}
+			} else {
+				color[f.node] = 2
+				frames = frames[:len(frames)-1]
+			}
+		}
+	}
+	return true, nil
+}

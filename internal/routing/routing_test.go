@@ -1,0 +1,226 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+func TestShortestPathTableMinimal(t *testing.T) {
+	g, err := hsgraph.RandomConnected(24, 8, 7, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.SwitchDistances()
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			if pl := tab.PathLen(s, d); pl != int(dist[s][d]) {
+				t.Fatalf("shortest-path table gives %d hops for (%d,%d), want %d", pl, s, d, dist[s][d])
+			}
+		}
+	}
+	mean, max, err := Stretch(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 1 || max != 1 {
+		t.Fatalf("minimal routing has stretch %v/%v", mean, max)
+	}
+}
+
+func TestUpDownRoutesEverything(t *testing.T) {
+	g, err := hsgraph.RandomConnected(40, 12, 7, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := UpDown(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 12; s++ {
+		for d := 0; d < 12; d++ {
+			if s == d {
+				continue
+			}
+			if tab.PathLen(s, d) < 0 {
+				t.Fatalf("up*/down* cannot route (%d,%d)", s, d)
+			}
+		}
+	}
+}
+
+func TestUpDownIsDeadlockFree(t *testing.T) {
+	fixtures := []*hsgraph.Graph{}
+	g1, err := hsgraph.Ring(12, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, g1)
+	g2, err := hsgraph.RandomConnected(40, 12, 7, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, g2)
+	sp, err := topo.Dragonfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := sp.Build(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, g3)
+	for i, g := range fixtures {
+		tab, err := UpDown(g)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		free, err := DeadlockFree(g, tab)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		if !free {
+			t.Fatalf("fixture %d: up*/down* produced a cyclic CDG", i)
+		}
+	}
+}
+
+func TestShortestPathRingHasCycle(t *testing.T) {
+	// Minimal routing on a 6-ring creates a cyclic channel dependency
+	// (each switch forwards two hops around the ring).
+	g, err := hsgraph.Ring(12, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := DeadlockFree(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free {
+		t.Fatal("minimal routing on a ring reported deadlock-free")
+	}
+}
+
+func TestShortestPathTreeIsDeadlockFree(t *testing.T) {
+	// Trees have no cycles at all, so even minimal routing is safe.
+	g, err := hsgraph.Path(12, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := DeadlockFree(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free {
+		t.Fatal("tree routing reported deadlocking")
+	}
+}
+
+func TestUpDownStretchBounded(t *testing.T) {
+	g, err := hsgraph.RandomConnected(64, 16, 8, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := UpDown(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, max, err := Stretch(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 1 || max < mean {
+		t.Fatalf("implausible stretch: mean %v max %v", mean, max)
+	}
+	if mean > 2.5 {
+		t.Fatalf("up*/down* stretch too high on a small graph: %v", mean)
+	}
+}
+
+func TestUpDownOnFatTreeIsMinimal(t *testing.T) {
+	// A fat-tree is itself an up/down structure: up*/down* routing over
+	// it should be (close to) minimal.
+	sp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := UpDown(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := Stretch(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean > 1.35 {
+		t.Fatalf("up*/down* mean stretch on fat-tree = %v, expected near 1", mean)
+	}
+	free, err := DeadlockFree(g, tab)
+	if err != nil || !free {
+		t.Fatalf("fat-tree up*/down* not deadlock-free: %v %v", free, err)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g, err := hsgraph.Path(6, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tab.Path(0, 2)
+	if len(p) != 3 || p[0] != 0 || p[2] != 2 {
+		t.Fatalf("Path(0,2) = %v", p)
+	}
+	if q := tab.Path(1, 1); len(q) != 1 {
+		t.Fatalf("self path = %v", q)
+	}
+	if tab.PathLen(2, 2) != 0 {
+		t.Fatal("self path length nonzero")
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	g, err := hsgraph.RandomConnected(40, 12, 7, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := UpDown(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := UpDown(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range t1.Next {
+		for d := range t1.Next[s] {
+			if t1.Next[s][d] != t2.Next[s][d] {
+				t.Fatal("UpDown table not deterministic")
+			}
+		}
+	}
+}

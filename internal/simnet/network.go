@@ -1,0 +1,222 @@
+// Package simnet is a deterministic discrete-event, flow-level network
+// simulator in the tradition of SimGrid's fluid model: messages are flows
+// that share link bandwidth max-min fairly, recomputed on every flow
+// arrival and departure. It provides the substrate for the repository's
+// simulated MPI (package mpi), replacing the paper's SimGrid v3.15.
+//
+// A Network is built from a host-switch graph: hosts are nodes [0, n) and
+// switch s is node n+s. Every physical link is modelled as two directed
+// channels of the configured bandwidth. Routing is single shortest path
+// with a deterministic tie-break.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+)
+
+// Config holds link and protocol parameters. Zero values are replaced by
+// defaults matching FDR10-era InfiniBand hardware.
+type Config struct {
+	// BandwidthBps is per-direction link bandwidth in bytes per second.
+	// Default 5e9 (40 Gb/s, InfiniBand FDR10).
+	BandwidthBps float64
+	// LatencyPerHop is the switching plus propagation latency of one hop
+	// in seconds. Default 500e-9 (FDR-era switch traversal including
+	// SerDes and cable, the system-level figure SimGrid platform files
+	// of the period use).
+	LatencyPerHop float64
+	// MessageOverhead is a fixed per-message software overhead in seconds
+	// (SimGrid's "os" parameter). Default 250e-9.
+	MessageOverhead float64
+	// TieBreak selects among equal-cost shortest paths.
+	TieBreak TieBreak
+}
+
+// TieBreak selects the next-hop policy among equal-distance neighbours.
+type TieBreak int
+
+const (
+	// LowestIndex always picks the lowest-numbered neighbour: fully
+	// deterministic, matches single-shortest-path routing tables.
+	LowestIndex TieBreak = iota
+	// HashSpread spreads flows over equal-cost next hops by a hash of
+	// (src, dst), a deterministic stand-in for ECMP.
+	HashSpread
+)
+
+func (c Config) withDefaults() Config {
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 5e9
+	}
+	if c.LatencyPerHop == 0 {
+		c.LatencyPerHop = 500e-9
+	}
+	if c.MessageOverhead == 0 {
+		c.MessageOverhead = 250e-9
+	}
+	return c
+}
+
+// Network is an immutable routed network. Safe for concurrent reads.
+type Network struct {
+	cfg      Config
+	hosts    int
+	switches int
+
+	// Directed links: link 2i is edges[i] forward, 2i+1 backward.
+	// Links [0, 2*numHostLinks) are host<->switch, the rest switch<->switch.
+	linkFrom []int32
+	linkTo   []int32
+
+	// outLink[u] maps neighbour node -> directed link id.
+	outLink []map[int32]int32
+
+	hostSwitch []int32   // switch node of each host (graph switch index)
+	swAdj      [][]int32 // switch graph adjacency (switch indices)
+	dist       [][]int16 // switch-to-switch distances
+}
+
+// NewNetwork builds the routed network for a validated host-switch graph.
+func NewNetwork(g *hsgraph.Graph, cfg Config) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	n, m := g.Order(), g.Switches()
+	nw := &Network{
+		cfg:        cfg.withDefaults(),
+		hosts:      n,
+		switches:   m,
+		outLink:    make([]map[int32]int32, n+m),
+		hostSwitch: make([]int32, n),
+		swAdj:      make([][]int32, m),
+	}
+	for v := range nw.outLink {
+		nw.outLink[v] = make(map[int32]int32)
+	}
+	addLink := func(u, v int32) {
+		id := int32(len(nw.linkFrom))
+		nw.linkFrom = append(nw.linkFrom, u, v)
+		nw.linkTo = append(nw.linkTo, v, u)
+		nw.outLink[u][v] = id
+		nw.outLink[v][u] = id + 1
+	}
+	for h := 0; h < n; h++ {
+		s := g.SwitchOf(h)
+		nw.hostSwitch[h] = int32(s)
+		addLink(int32(h), int32(n+s))
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		addLink(int32(n+a), int32(n+b))
+	}
+	for s := 0; s < m; s++ {
+		nw.swAdj[s] = append([]int32(nil), g.Neighbors(s)...)
+	}
+	// All-pairs switch distances by BFS.
+	nw.dist = make([][]int16, m)
+	queue := make([]int32, 0, m)
+	for s := 0; s < m; s++ {
+		d := make([]int16, m)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range nw.swAdj[v] {
+				if d[u] == -1 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		nw.dist[s] = d
+	}
+	return nw, nil
+}
+
+// Hosts returns the number of hosts.
+func (nw *Network) Hosts() int { return nw.hosts }
+
+// Switches returns the number of switches.
+func (nw *Network) Switches() int { return nw.switches }
+
+// NumLinks returns the number of directed links.
+func (nw *Network) NumLinks() int { return len(nw.linkFrom) }
+
+// Config returns the effective (defaulted) configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Route returns the directed link ids of the path from host src to host
+// dst. It returns nil for src == dst and an error when unreachable.
+func (nw *Network) Route(src, dst int) ([]int32, error) {
+	if src < 0 || src >= nw.hosts || dst < 0 || dst >= nw.hosts {
+		return nil, fmt.Errorf("simnet: host pair (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	s1, s2 := nw.hostSwitch[src], nw.hostSwitch[dst]
+	n := nw.hosts
+	path := make([]int32, 0, 8)
+	path = append(path, nw.outLink[src][int32(n)+s1])
+	cur := s1
+	for cur != s2 {
+		next, err := nw.nextHop(cur, s2, src, dst)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, nw.outLink[int32(n)+cur][int32(n)+next])
+		cur = next
+	}
+	path = append(path, nw.outLink[int32(n)+s2][int32(dst)])
+	return path, nil
+}
+
+// nextHop picks the neighbour of cur one step closer to goal.
+func (nw *Network) nextHop(cur, goal int32, src, dst int) (int32, error) {
+	d := nw.dist[goal]
+	if d[cur] <= 0 {
+		return 0, fmt.Errorf("simnet: no route from switch %d to switch %d", cur, goal)
+	}
+	want := d[cur] - 1
+	switch nw.cfg.TieBreak {
+	case HashSpread:
+		var candidates []int32
+		for _, u := range nw.swAdj[cur] {
+			if d[u] == want {
+				candidates = append(candidates, u)
+			}
+		}
+		if len(candidates) == 0 {
+			return 0, fmt.Errorf("simnet: routing table hole at switch %d", cur)
+		}
+		h := uint32(src)*2654435761 ^ uint32(dst)*40503 ^ uint32(cur)*97
+		return candidates[h%uint32(len(candidates))], nil
+	default: // LowestIndex
+		best := int32(-1)
+		for _, u := range nw.swAdj[cur] {
+			if d[u] == want && (best == -1 || u < best) {
+				best = u
+			}
+		}
+		if best == -1 {
+			return 0, fmt.Errorf("simnet: routing table hole at switch %d", cur)
+		}
+		return best, nil
+	}
+}
+
+// Hops returns the number of links on the route between two hosts
+// (0 for src == dst).
+func (nw *Network) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	s1, s2 := nw.hostSwitch[src], nw.hostSwitch[dst]
+	return int(nw.dist[s1][s2]) + 2
+}

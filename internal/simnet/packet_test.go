@@ -1,0 +1,168 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPacketSingleMessageTiming(t *testing.T) {
+	// One 4-hop message of exactly 2 packets: store-and-forward time is
+	// overhead + first packet pipeline (hops*(tx+lat)) + one extra tx
+	// for the trailing packet on the last link... with equal-size packets
+	// the last packet arrives one tx after the first on every link, so
+	// total = overhead + hops*(tx+lat) + tx.
+	cfg := Config{BandwidthBps: 1e9, LatencyPerHop: 1e-6, MessageOverhead: 5e-6}
+	nw := testNetwork(t, cfg)
+	s := NewSim(nw)
+	var finish float64
+	s.Spawn(0, func(p *Proc) {
+		sg, err := s.StartPacketMessage(0, 5, 8192, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg)
+		finish = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tx := 4096.0 / 1e9
+	want := 5e-6 + 4*(tx+1e-6) + tx
+	if math.Abs(finish-want) > 1e-12 {
+		t.Fatalf("finish = %v, want %v", finish, want)
+	}
+}
+
+func TestPacketSelfAndZero(t *testing.T) {
+	cfg := Config{BandwidthBps: 1e9, LatencyPerHop: 1e-6, MessageOverhead: 5e-6}
+	nw := testNetwork(t, cfg)
+	s := NewSim(nw)
+	var tSelf, tZero float64
+	s.Spawn(0, func(p *Proc) {
+		sg, err := s.StartPacketMessage(0, 0, 999, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg)
+		tSelf = p.Now()
+		sg2, err := s.StartPacketMessage(0, 5, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg2)
+		tZero = p.Now() - tSelf
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tSelf-5e-6) > 1e-12 {
+		t.Fatalf("self = %v", tSelf)
+	}
+	if math.Abs(tZero-(5e-6+4e-6)) > 1e-12 {
+		t.Fatalf("zero-byte = %v", tZero)
+	}
+}
+
+func TestPacketSerialisationUnderContention(t *testing.T) {
+	// Two simultaneous messages share the sw0->sw1->sw2 path: the second
+	// message's packets queue behind the first's, roughly doubling the
+	// completion time of the later one.
+	cfg := Config{BandwidthBps: 1e9, LatencyPerHop: 1e-9, MessageOverhead: 1e-9}
+	nw := testNetwork(t, cfg)
+	s := NewSim(nw)
+	finish := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn(i, func(p *Proc) {
+			sg, err := s.StartPacketMessage(i, 4+i, 1e6, 4096)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(sg)
+			finish[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	serial := 1e6 / 1e9
+	later := math.Max(finish[0], finish[1])
+	if later < 1.8*serial || later > 2.4*serial {
+		t.Fatalf("contended completion %v, want ~%v (2x serial)", later, 2*serial)
+	}
+}
+
+func TestPacketVsFluidAgreeOnIsolatedTransfer(t *testing.T) {
+	// With no contention the two models should agree within the
+	// pipelining slack (hops * packet tx).
+	cfg := Config{BandwidthBps: 1e9, LatencyPerHop: 1e-7, MessageOverhead: 1e-7}
+	nw := testNetwork(t, cfg)
+	timeOf := func(packet bool) float64 {
+		s := NewSim(nw)
+		var finish float64
+		s.Spawn(0, func(p *Proc) {
+			var sg *Signal
+			var err error
+			if packet {
+				sg, err = s.StartPacketMessage(0, 5, 1e6, 4096)
+			} else {
+				sg, err = s.StartFlow(0, 5, 1e6)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(sg)
+			finish = p.Now()
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	fluid, packet := timeOf(false), timeOf(true)
+	if packet < fluid {
+		t.Fatalf("packet model faster than fluid: %v < %v", packet, fluid)
+	}
+	if packet > fluid*1.1 {
+		t.Fatalf("models diverge too much on an isolated transfer: %v vs %v", packet, fluid)
+	}
+}
+
+func TestPacketDeterministic(t *testing.T) {
+	cfg := Config{}
+	nw := testNetwork(t, cfg)
+	run := func() float64 {
+		s := NewSim(nw)
+		for i := 0; i < 4; i++ {
+			i := i
+			s.Spawn(i, func(p *Proc) {
+				sg, err := s.StartPacketMessage(i, 5-i, float64(10000*(i+1)), 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Wait(sg)
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("packet runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestPacketNegativeRejected(t *testing.T) {
+	nw := testNetwork(t, Config{})
+	s := NewSim(nw)
+	if _, err := s.StartPacketMessage(0, 1, -1, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

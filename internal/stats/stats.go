@@ -1,0 +1,111 @@
+// Package stats provides the small descriptive-statistics toolkit used by
+// the repository's multi-seed experiment studies: summary statistics and
+// deterministic bootstrap confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = percentileSorted(sorted, 50)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.3g min=%.6g median=%.6g max=%.6g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// percentileSorted returns the p-th percentile (0..100) of a sorted
+// sample by linear interpolation.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile returns the p-th percentile of the sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// BootstrapCI returns a deterministic percentile-bootstrap confidence
+// interval for the mean at the given confidence level (e.g. 0.95), using
+// resamples draws seeded by seed.
+func BootstrapCI(xs []float64, confidence float64, resamples int, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: confidence must be in (0,1)")
+	}
+	if resamples < 1 {
+		resamples = 1000
+	}
+	r := rng.New(seed)
+	means := make([]float64, resamples)
+	for i := range means {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	return percentileSorted(means, alpha*100), percentileSorted(means, (1-alpha)*100)
+}

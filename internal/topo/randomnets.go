@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// Related-work network models from the paper's §2.1: a cycle plus a
+// random matching (Bollobás & Chung, the paper's [6]) and Watts-Strogatz
+// small-world rewiring ([8]). Both are switch-graph constructions wrapped
+// as host-switch graphs with an even host distribution, giving the
+// random-shortcut baselines that ORP graphs are meant to beat.
+
+// CyclePlusMatching builds m switches on a cycle plus a random perfect
+// matching (m even): the classic low-diameter 3-regular random model.
+// Hosts are spread evenly; radix must fit n/m (rounded up) + 3 ports.
+func CyclePlusMatching(n, m, r int, seed uint64) (*hsgraph.Graph, error) {
+	if m < 4 || m%2 != 0 {
+		return nil, fmt.Errorf("topo: cycle+matching needs even m >= 4, got %d", m)
+	}
+	perSwitch := (n + m - 1) / m
+	if perSwitch+3 > r {
+		return nil, fmt.Errorf("topo: radix %d too small for %d hosts/switch plus 3 links", r, perSwitch)
+	}
+	rnd := rng.New(seed)
+	const maxAttempts = 500
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g := hsgraph.New(n, m, r)
+		if err := hsgraph.DistributeHostsEvenly(g); err != nil {
+			return nil, err
+		}
+		for s := 0; s < m; s++ {
+			if err := g.Connect(s, (s+1)%m); err != nil {
+				return nil, err
+			}
+		}
+		perm := rnd.Perm(m)
+		ok := true
+		for i := 0; i < m && ok; i += 2 {
+			a, b := perm[i], perm[i+1]
+			if a == b || g.HasEdge(a, b) {
+				ok = false
+				break
+			}
+			if err := g.Connect(a, b); err != nil {
+				ok = false
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topo: failed to sample a cycle+matching on m=%d", m)
+}
+
+// WattsStrogatz builds the small-world model: a ring lattice where every
+// switch links to its k nearest neighbours on each side, then each
+// lattice edge is rewired to a random endpoint with probability beta
+// (in [0, 1]). Degree bounds are enforced; rewirings that would violate
+// them are skipped (keeping the original edge), as in common
+// implementations.
+func WattsStrogatz(n, m, r, k int, beta float64, seed uint64) (*hsgraph.Graph, error) {
+	if m < 2*k+2 {
+		return nil, fmt.Errorf("topo: Watts-Strogatz needs m > 2k+1 (m=%d, k=%d)", m, k)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("topo: k must be >= 1")
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("topo: beta %v out of [0,1]", beta)
+	}
+	perSwitch := (n + m - 1) / m
+	if perSwitch+2*k > r {
+		return nil, fmt.Errorf("topo: radix %d too small for %d hosts plus 2k=%d links", r, perSwitch, 2*k)
+	}
+	rnd := rng.New(seed)
+	g := hsgraph.New(n, m, r)
+	if err := hsgraph.DistributeHostsEvenly(g); err != nil {
+		return nil, err
+	}
+	// Ring lattice.
+	for s := 0; s < m; s++ {
+		for d := 1; d <= k; d++ {
+			t := (s + d) % m
+			if !g.HasEdge(s, t) {
+				if err := g.Connect(s, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Rewire pass: for each lattice edge (s, s+d), with probability beta
+	// replace it by (s, random) when legal.
+	for s := 0; s < m; s++ {
+		for d := 1; d <= k; d++ {
+			if rnd.Float64() >= beta {
+				continue
+			}
+			t := (s + d) % m
+			if !g.HasEdge(s, t) {
+				continue // already rewired away by an earlier step
+			}
+			u := rnd.Intn(m)
+			if u == s || g.HasEdge(s, u) {
+				continue
+			}
+			if err := g.Disconnect(s, t); err != nil {
+				return nil, err
+			}
+			if err := g.Connect(s, u); err != nil {
+				// Port budget hit on u: restore the lattice edge.
+				if err2 := g.Connect(s, t); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+	if !g.HostsConnected() {
+		// Rare at sensible beta; retry with a derived seed.
+		return WattsStrogatz(n, m, r, k, beta, seed+0x9e3779b97f4a7c15)
+	}
+	return g, nil
+}

@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+)
+
+func TestCyclePlusMatching(t *testing.T) {
+	g, err := CyclePlusMatching(64, 32, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every switch: 2 cycle links + 1 matching link = 3.
+	for s := 0; s < 32; s++ {
+		if g.SwitchDegree(s) != 3 {
+			t.Fatalf("switch %d degree %d, want 3", s, g.SwitchDegree(s))
+		}
+	}
+	// Small-world effect: ASPL well below the plain cycle's m/4 = 8.
+	aspl, _, ok := g.SwitchASPL()
+	if !ok {
+		t.Fatal("disconnected")
+	}
+	if aspl > 5 {
+		t.Fatalf("cycle+matching ASPL %v suspiciously high", aspl)
+	}
+}
+
+func TestCyclePlusMatchingErrors(t *testing.T) {
+	if _, err := CyclePlusMatching(10, 5, 8, 1); err == nil {
+		t.Fatal("odd m accepted")
+	}
+	if _, err := CyclePlusMatching(64, 32, 4, 1); err == nil {
+		t.Fatal("radix too small accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta = 0: pure ring lattice, deterministic diameter.
+	g0, err := WattsStrogatz(64, 32, 8, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g0.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	aspl0, _, _ := g0.SwitchASPL()
+	// beta = 0.3: rewiring shortens paths (the small-world transition).
+	g3, err := WattsStrogatz(64, 32, 8, 2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	aspl3, _, _ := g3.SwitchASPL()
+	if aspl3 >= aspl0 {
+		t.Fatalf("rewiring did not shorten paths: %v vs %v", aspl3, aspl0)
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	if _, err := WattsStrogatz(10, 5, 8, 2, 0.1, 1); err == nil {
+		t.Fatal("m <= 2k+1 accepted")
+	}
+	if _, err := WattsStrogatz(64, 32, 8, 0, 0.1, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := WattsStrogatz(64, 32, 8, 2, 1.5, 1); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+	if _, err := WattsStrogatz(64, 32, 5, 2, 0.1, 1); err == nil {
+		t.Fatal("radix too small accepted")
+	}
+}
+
+func TestRandomModelsDeterministic(t *testing.T) {
+	a, err := CyclePlusMatching(48, 24, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CyclePlusMatching(48, 24, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hsgraph.Equal(a, b) {
+		t.Fatal("cycle+matching not deterministic")
+	}
+	c, err := WattsStrogatz(48, 24, 8, 2, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := WattsStrogatz(48, 24, 8, 2, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hsgraph.Equal(c, d) {
+		t.Fatal("Watts-Strogatz not deterministic")
+	}
+}

@@ -1,0 +1,50 @@
+package topo
+
+import (
+	"sort"
+
+	"repro/internal/hsgraph"
+)
+
+// RelabelHostsDFS returns a copy of g whose host identifiers are
+// renumbered in depth-first order over the switch graph: switch 0 first,
+// then recursively its neighbours (lowest index first), assigning
+// consecutive host IDs to each visited switch's hosts. This is the paper's
+// §6.2.1 placement for the proposed topology ("sequentially connect hosts
+// to switches in depth-first order by using backtracking"): consecutive
+// MPI ranks land on topologically nearby switches.
+func RelabelHostsDFS(g *hsgraph.Graph) *hsgraph.Graph {
+	m := g.Switches()
+	out := hsgraph.New(g.Order(), m, g.Radix())
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		if err := out.Connect(a, b); err != nil {
+			panic("topo: relabel could not copy edge: " + err.Error())
+		}
+	}
+	visited := make([]bool, m)
+	next := 0
+	var dfs func(s int)
+	dfs = func(s int) {
+		visited[s] = true
+		for i := 0; i < g.HostCount(s); i++ {
+			if err := out.AttachHost(next, s); err != nil {
+				panic("topo: relabel could not attach host: " + err.Error())
+			}
+			next++
+		}
+		ns := append([]int32(nil), g.Neighbors(s)...)
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		for _, u := range ns {
+			if !visited[u] {
+				dfs(int(u))
+			}
+		}
+	}
+	for s := 0; s < m; s++ {
+		if !visited[s] {
+			dfs(s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+// Package topo builds the conventional interconnection topologies of the
+// paper's Section 6 as host-switch graphs: the K-ary N-torus (direct), the
+// dragonfly (direct, a = 2h = 2p, g = ah+1), and the K-ary three-layer
+// fat-tree (indirect), plus a hypercube and a full mesh as extras. Every
+// builder returns a Spec describing the switch fabric; Build attaches a
+// requested number of hosts with the paper's sequential policy.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+)
+
+// Spec describes a switch fabric before hosts are attached.
+type Spec struct {
+	Name     string
+	Switches int
+	Radix    int
+	MaxHosts int // total host capacity over all switches
+
+	// hostCap returns the host capacity of switch s.
+	hostCap func(s int) int
+	// connect adds all switch-switch edges to g.
+	connect func(g *hsgraph.Graph) error
+}
+
+// Build constructs the host-switch graph with n hosts attached
+// sequentially: switches are visited in index order and each is filled to
+// its capacity before the next (the paper's §6.2.1 policy for
+// conventional topologies).
+func (sp *Spec) Build(n int) (*hsgraph.Graph, error) {
+	if n < 1 || n > sp.MaxHosts {
+		return nil, fmt.Errorf("topo: %s supports 1..%d hosts, requested %d", sp.Name, sp.MaxHosts, n)
+	}
+	g := hsgraph.New(n, sp.Switches, sp.Radix)
+	if err := sp.connect(g); err != nil {
+		return nil, fmt.Errorf("topo: wiring %s: %w", sp.Name, err)
+	}
+	h := 0
+	for s := 0; s < sp.Switches && h < n; s++ {
+		for i := 0; i < sp.hostCap(s) && h < n; i++ {
+			if err := g.AttachHost(h, s); err != nil {
+				return nil, fmt.Errorf("topo: attaching host %d to %s switch %d: %w", h, sp.Name, s, err)
+			}
+			h++
+		}
+	}
+	if h != n {
+		return nil, fmt.Errorf("topo: %s placed only %d of %d hosts", sp.Name, h, n)
+	}
+	return g, nil
+}
+
+// BuildRoundRobin attaches n hosts one per switch per pass instead of
+// filling each switch; an ablation of the sequential policy.
+func (sp *Spec) BuildRoundRobin(n int) (*hsgraph.Graph, error) {
+	if n < 1 || n > sp.MaxHosts {
+		return nil, fmt.Errorf("topo: %s supports 1..%d hosts, requested %d", sp.Name, sp.MaxHosts, n)
+	}
+	g := hsgraph.New(n, sp.Switches, sp.Radix)
+	if err := sp.connect(g); err != nil {
+		return nil, err
+	}
+	placed := make([]int, sp.Switches)
+	h := 0
+	for h < n {
+		progress := false
+		for s := 0; s < sp.Switches && h < n; s++ {
+			if placed[s] < sp.hostCap(s) {
+				if err := g.AttachHost(h, s); err != nil {
+					return nil, err
+				}
+				placed[s]++
+				h++
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("topo: %s ran out of capacity at host %d", sp.Name, h)
+		}
+	}
+	return g, nil
+}
+
+// Torus returns the K-ary N-torus spec of §6.1.1: dims (the paper's K)
+// dimensions of base (the paper's N) switches each, so base^dims switches
+// of which each has 2*dims switch links (base >= 3; base == 2 collapses
+// the +/-1 neighbours into one link). Each switch can host r - 2*dims
+// hosts.
+func Torus(dims, base, r int) (*Spec, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("topo: torus dimension %d < 1", dims)
+	}
+	if base < 2 {
+		return nil, fmt.Errorf("topo: torus base %d < 2", base)
+	}
+	linksPer := 2 * dims
+	if base == 2 {
+		linksPer = dims
+	}
+	if r <= linksPer {
+		return nil, fmt.Errorf("topo: radix %d leaves no host ports on a %d-D base-%d torus (needs > %d)", r, dims, base, linksPer)
+	}
+	m := 1
+	for i := 0; i < dims; i++ {
+		m *= base
+	}
+	cap_ := r - linksPer
+	return &Spec{
+		Name:     fmt.Sprintf("torus-%dD-base%d", dims, base),
+		Switches: m,
+		Radix:    r,
+		MaxHosts: m * cap_,
+		hostCap:  func(int) int { return cap_ },
+		connect: func(g *hsgraph.Graph) error {
+			for s := 0; s < m; s++ {
+				// Decode the base-ary address of s and connect to the +1
+				// neighbour in each dimension (the -1 edge is added by the
+				// neighbour itself).
+				digitStride := 1
+				for d := 0; d < dims; d++ {
+					digit := (s / digitStride) % base
+					up := s + ((digit+1)%base-digit)*digitStride
+					if up != s && !g.HasEdge(s, up) {
+						if err := g.Connect(s, up); err != nil {
+							return err
+						}
+					}
+					digitStride *= base
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// Dragonfly returns the dragonfly spec of §6.1.2 for group size a (even):
+// h = p = a/2, g = a*h + 1 groups, radix 2a-1, one global link between
+// every pair of groups, switches within a group fully connected.
+func Dragonfly(a int) (*Spec, error) {
+	if a < 2 || a%2 != 0 {
+		return nil, fmt.Errorf("topo: dragonfly group size a=%d must be even and >= 2", a)
+	}
+	h := a / 2
+	p := a / 2
+	groups := a*h + 1
+	m := a * groups
+	r := (a - 1) + h + p
+	return &Spec{
+		Name:     fmt.Sprintf("dragonfly-a%d", a),
+		Switches: m,
+		Radix:    r,
+		MaxHosts: p * m,
+		hostCap:  func(int) int { return p },
+		connect: func(g *hsgraph.Graph) error {
+			// Intra-group cliques. Switch j of group u has index u*a + j.
+			for u := 0; u < groups; u++ {
+				for j := 0; j < a; j++ {
+					for k := j + 1; k < a; k++ {
+						if err := g.Connect(u*a+j, u*a+k); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			// Global links: group u's global port t (t in [0, a*h)) goes to
+			// group (u+t+1) mod groups, attached to switch t/h of u. The
+			// peer uses its port t' = groups-2-t, an involutive pairing
+			// that realises exactly one link per group pair.
+			for u := 0; u < groups; u++ {
+				for t := 0; t < a*h; t++ {
+					v := (u + t + 1) % groups
+					if u < v {
+						t2 := groups - 2 - t
+						su := u*a + t/h
+						sv := v*a + t2/h
+						if err := g.Connect(su, sv); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// FatTree returns the K-ary three-layer fat-tree spec of §6.1.3 (K even):
+// K pods of K/2 edge and K/2 aggregation switches plus (K/2)^2 core
+// switches; hosts attach only to edge switches (K/2 each).
+//
+// Switch numbering: edge switches first (pod-major), then aggregation
+// (pod-major), then core.
+func FatTree(k int) (*Spec, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity K=%d must be even and >= 2", k)
+	}
+	half := k / 2
+	numEdge := k * half
+	numAgg := k * half
+	numCore := half * half
+	m := numEdge + numAgg + numCore
+	edgeID := func(pod, i int) int { return pod*half + i }
+	aggID := func(pod, i int) int { return numEdge + pod*half + i }
+	coreID := func(x, y int) int { return numEdge + numAgg + x*half + y }
+	return &Spec{
+		Name:     fmt.Sprintf("fattree-%dary", k),
+		Switches: m,
+		Radix:    k,
+		MaxHosts: k * half * half, // K^3/4
+		hostCap: func(s int) int {
+			if s < numEdge {
+				return half
+			}
+			return 0
+		},
+		connect: func(g *hsgraph.Graph) error {
+			for pod := 0; pod < k; pod++ {
+				// Edge <-> aggregation: complete bipartite within the pod.
+				for e := 0; e < half; e++ {
+					for a := 0; a < half; a++ {
+						if err := g.Connect(edgeID(pod, e), aggID(pod, a)); err != nil {
+							return err
+						}
+					}
+				}
+				// Aggregation a of every pod connects to core row a.
+				for a := 0; a < half; a++ {
+					for y := 0; y < half; y++ {
+						if err := g.Connect(aggID(pod, a), coreID(a, y)); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// Hypercube returns a dims-dimensional binary hypercube spec (an extra
+// baseline beyond the paper's three).
+func Hypercube(dims, r int) (*Spec, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("topo: hypercube dimension %d < 1", dims)
+	}
+	if r <= dims {
+		return nil, fmt.Errorf("topo: radix %d leaves no host ports on a %d-cube", r, dims)
+	}
+	m := 1 << uint(dims)
+	cap_ := r - dims
+	return &Spec{
+		Name:     fmt.Sprintf("hypercube-%d", dims),
+		Switches: m,
+		Radix:    r,
+		MaxHosts: m * cap_,
+		hostCap:  func(int) int { return cap_ },
+		connect: func(g *hsgraph.Graph) error {
+			for s := 0; s < m; s++ {
+				for d := 0; d < dims; d++ {
+					u := s ^ (1 << uint(d))
+					if s < u {
+						if err := g.Connect(s, u); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// FullMesh returns an m-switch complete graph spec.
+func FullMesh(m, r int) (*Spec, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topo: mesh size %d < 1", m)
+	}
+	if r < m-1 {
+		return nil, fmt.Errorf("topo: radix %d below clique degree %d", r, m-1)
+	}
+	cap_ := r - (m - 1)
+	return &Spec{
+		Name:     fmt.Sprintf("fullmesh-%d", m),
+		Switches: m,
+		Radix:    r,
+		MaxHosts: m * cap_,
+		hostCap:  func(int) int { return cap_ },
+		connect: func(g *hsgraph.Graph) error {
+			for a := 0; a < m; a++ {
+				for b := a + 1; b < m; b++ {
+					if err := g.Connect(a, b); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,425 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+)
+
+func TestTorusPaperConfiguration(t *testing.T) {
+	// §6.3.1: 5-D base-3 torus with r=15: m=243, n <= 1215.
+	sp, err := Torus(5, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Switches != 243 || sp.MaxHosts != 1215 || sp.Radix != 15 {
+		t.Fatalf("spec = %+v, want m=243 cap=1215 r=15", sp)
+	}
+	g, err := sp.Build(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every switch has exactly 10 switch links in a 5-D torus.
+	for s := 0; s < 243; s++ {
+		if g.SwitchDegree(s) != 10 {
+			t.Fatalf("switch %d has %d links, want 10", s, g.SwitchDegree(s))
+		}
+	}
+	// Edge count: m * 2K / 2 = 243*5.
+	if g.NumEdges() != 243*5 {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), 243*5)
+	}
+}
+
+func TestTorusDistances(t *testing.T) {
+	// 2-D base-4 torus: switch diameter is 2+2 = 4.
+	sp, err := Torus(2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, diam, ok := g.SwitchASPL()
+	if !ok || diam != 4 {
+		t.Fatalf("2-D base-4 torus switch diameter = %d (ok=%v), want 4", diam, ok)
+	}
+}
+
+func TestTorusBase2(t *testing.T) {
+	// Base 2 collapses +/-1 neighbours: a 3-D base-2 torus is a 3-cube.
+	sp, err := Torus(3, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if g.SwitchDegree(s) != 3 {
+			t.Fatalf("base-2 torus switch %d degree = %d, want 3", s, g.SwitchDegree(s))
+		}
+	}
+	hc, err := Hypercube(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, err := hc.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.Evaluate().TotalPath != g.Evaluate().TotalPath {
+		t.Fatal("3-D base-2 torus and 3-cube metrics differ")
+	}
+}
+
+func TestTorusErrors(t *testing.T) {
+	if _, err := Torus(0, 3, 15); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := Torus(5, 1, 15); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+	if _, err := Torus(5, 3, 10); err == nil {
+		t.Fatal("radix 10 on 5-D torus accepted (needs > 10)")
+	}
+}
+
+func TestDragonflyPaperConfiguration(t *testing.T) {
+	// §6.3.2: a=8 -> h=p=4, g=33 groups, m=264, r=15, n <= 1056.
+	sp, err := Dragonfly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Switches != 264 || sp.Radix != 15 || sp.MaxHosts != 1056 {
+		t.Fatalf("spec = %+v, want m=264 r=15 cap=1056", sp)
+	}
+	g, err := sp.Build(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every switch: 7 intra-group + 4 global = 11 switch links.
+	for s := 0; s < sp.Switches; s++ {
+		if g.SwitchDegree(s) != 11 {
+			t.Fatalf("switch %d has %d links, want 11", s, g.SwitchDegree(s))
+		}
+	}
+	// Group graph diameter: intra 1, inter via exactly one global link:
+	// switch diameter at most 3 (local, global, local).
+	_, diam, ok := g.SwitchASPL()
+	if !ok {
+		t.Fatal("dragonfly disconnected")
+	}
+	if diam > 3 {
+		t.Fatalf("dragonfly switch diameter = %d, want <= 3", diam)
+	}
+}
+
+func TestDragonflyGroupPairsSingleLink(t *testing.T) {
+	sp, err := Dragonfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(sp.MaxHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := 4
+	groups := sp.Switches / a
+	links := make(map[[2]int]int)
+	for i := 0; i < g.NumEdges(); i++ {
+		x, y := g.Edge(i)
+		gx, gy := x/a, y/a
+		if gx == gy {
+			continue
+		}
+		if gx > gy {
+			gx, gy = gy, gx
+		}
+		links[[2]int{gx, gy}]++
+	}
+	wantPairs := groups * (groups - 1) / 2
+	if len(links) != wantPairs {
+		t.Fatalf("%d group pairs linked, want %d", len(links), wantPairs)
+	}
+	for pair, c := range links {
+		if c != 1 {
+			t.Fatalf("group pair %v has %d links, want 1", pair, c)
+		}
+	}
+}
+
+func TestDragonflyErrors(t *testing.T) {
+	if _, err := Dragonfly(3); err == nil {
+		t.Fatal("odd a accepted")
+	}
+	if _, err := Dragonfly(0); err == nil {
+		t.Fatal("a=0 accepted")
+	}
+}
+
+func TestFatTreePaperConfiguration(t *testing.T) {
+	// §6.3.3: 16-ary fat-tree: m=320, r=16, n=1024.
+	sp, err := FatTree(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Switches != 320 || sp.Radix != 16 || sp.MaxHosts != 1024 {
+		t.Fatalf("spec = %+v, want m=320 r=16 cap=1024", sp)
+	}
+	g, err := sp.Build(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Hosts only on the 128 edge switches, 8 each.
+	for s := 0; s < sp.Switches; s++ {
+		want := 0
+		if s < 128 {
+			want = 8
+		}
+		if g.HostCount(s) != want {
+			t.Fatalf("switch %d has %d hosts, want %d", s, g.HostCount(s), want)
+		}
+	}
+	// All ports used on edge and aggregation layers; core uses K.
+	met := g.Evaluate()
+	if !met.Connected {
+		t.Fatal("fat-tree disconnected")
+	}
+	// Host diameter of a 3-layer fat-tree: up 3, down 3 => 6 hops between
+	// switches in different pods + 2 host links... host-to-host path:
+	// h-edge-agg-core-agg-edge-h = 6 edges.
+	if met.Diameter != 6 {
+		t.Fatalf("fat-tree host diameter = %d, want 6", met.Diameter)
+	}
+}
+
+func TestFatTreeSmall(t *testing.T) {
+	sp, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Switches != 20 || sp.MaxHosts != 16 {
+		t.Fatalf("4-ary fat-tree spec = %+v", sp)
+	}
+	g, err := sp.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Within one pod: host on edge 0 to host on edge 1: h-e0-a-e1-h = 4.
+	if d := g.HostDistance(0, 2); d != 4 {
+		t.Fatalf("intra-pod distance = %d, want 4", d)
+	}
+	if d := g.HostDistance(0, 15); d != 6 {
+		t.Fatalf("inter-pod distance = %d, want 6", d)
+	}
+}
+
+func TestFatTreeErrors(t *testing.T) {
+	if _, err := FatTree(5); err == nil {
+		t.Fatal("odd K accepted")
+	}
+	if _, err := FatTree(0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	sp, err := Torus(2, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Build(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := sp.Build(sp.MaxHosts + 1); err == nil {
+		t.Fatal("over-capacity build accepted")
+	}
+}
+
+func TestBuildRoundRobinSpreadsHosts(t *testing.T) {
+	sp, err := Torus(2, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.BuildRoundRobin(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 9; s++ {
+		if g.HostCount(s) != 1 {
+			t.Fatalf("round robin put %d hosts on switch %d", g.HostCount(s), s)
+		}
+	}
+	gSeq, err := sp.Build(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential fills the first 5 switches (capacity 2 each, 4 full + 1).
+	if gSeq.HostCount(0) != 2 || gSeq.HostCount(8) != 0 {
+		t.Fatal("sequential policy did not fill in order")
+	}
+}
+
+func TestHypercubeAndFullMesh(t *testing.T) {
+	hc, err := Hypercube(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hc.Build(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, diam, _ := g.SwitchASPL()
+	if diam != 4 {
+		t.Fatalf("4-cube diameter = %d, want 4", diam)
+	}
+	fm, err := FullMesh(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := fm.Build(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Evaluate().Diameter != 3 {
+		t.Fatalf("full mesh host diameter = %d, want 3", gm.Evaluate().Diameter)
+	}
+	if _, err := FullMesh(6, 4); err == nil {
+		t.Fatal("radix below clique degree accepted")
+	}
+	if _, err := Hypercube(4, 4); err == nil {
+		t.Fatal("hypercube with no host ports accepted")
+	}
+}
+
+func TestRelabelHostsDFS(t *testing.T) {
+	// Path 0-1-2 with 2 hosts each: DFS order equals switch order here,
+	// so relabeling is the identity on this fixture.
+	g, err := hsgraph.Path(6, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RelabelHostsDFS(g)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !hsgraph.Equal(g, out) {
+		t.Fatal("DFS relabel of a path fixture should be the identity")
+	}
+	// A graph where switch order != DFS order: star with hosts everywhere.
+	// DFS from hub visits hub, then leaf 1, 2, ... — identity again; use a
+	// custom wiring: 0-2, 2-1 (so DFS is 0,2,1).
+	g2 := hsgraph.New(6, 3, 5)
+	for h, s := range []int{0, 0, 1, 1, 2, 2} {
+		if err := g2.AttachHost(h, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g2.Connect(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Connect(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	out2 := RelabelHostsDFS(g2)
+	if err := out2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// DFS visits 0 (hosts 0,1), 2 (hosts 2,3), 1 (hosts 4,5).
+	wantSwitch := []int{0, 0, 2, 2, 1, 1}
+	for h, s := range wantSwitch {
+		if out2.SwitchOf(h) != s {
+			t.Fatalf("host %d on switch %d, want %d", h, out2.SwitchOf(h), s)
+		}
+	}
+	// Metrics are invariant under host relabeling.
+	if g2.Evaluate().TotalPath != out2.Evaluate().TotalPath {
+		t.Fatal("relabeling changed metrics")
+	}
+}
+
+func TestRelabelPreservesCounts(t *testing.T) {
+	sp, err := Dragonfly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RelabelHostsDFS(g)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.Switches(); s++ {
+		if g.HostCount(s) != out.HostCount(s) {
+			t.Fatalf("relabel changed host count on switch %d", s)
+		}
+	}
+}
+
+func TestBuildRoundRobinErrors(t *testing.T) {
+	sp, err := Torus(2, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.BuildRoundRobin(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := sp.BuildRoundRobin(sp.MaxHosts + 1); err == nil {
+		t.Fatal("over capacity accepted")
+	}
+}
+
+func TestHypercubeCapacity(t *testing.T) {
+	sp, err := Hypercube(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.MaxHosts != 16*4 {
+		t.Fatalf("capacity = %d, want 64", sp.MaxHosts)
+	}
+	if _, err := Hypercube(0, 8); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+}
+
+func TestFullMeshErrors(t *testing.T) {
+	if _, err := FullMesh(0, 8); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestTorusHostCapacityRespected(t *testing.T) {
+	sp, err := Torus(2, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(sp.MaxHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.Switches(); s++ {
+		if g.Degree(s) > g.Radix() {
+			t.Fatalf("switch %d over radix", s)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package traffic provides the synthetic traffic patterns classically
+// used to evaluate interconnection networks (uniform random, permutation
+// patterns like transpose / bit-reverse / bit-complement, hotspot,
+// nearest-neighbour shift) plus a harness that measures end-to-end
+// latency and aggregate throughput of a host-switch graph under each
+// pattern. This extends the paper's NPB evaluation with the
+// pattern-level microbenchmarks common in the interconnect literature
+// (e.g. Dally & Towles), exercising the same simulator substrate.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// Pattern maps a source host to its destination host for a given host
+// count. Destinations equal to the source are skipped by the harness.
+type Pattern struct {
+	Name string
+	Dest func(src, n int) int
+}
+
+// Uniform returns a pattern where each source draws a fresh uniformly
+// random destination (per round, seeded deterministically).
+func Uniform(seed uint64) Pattern {
+	return Pattern{
+		Name: "uniform",
+		Dest: func(src, n int) int {
+			// Per-source deterministic stream so rounds differ but runs
+			// reproduce.
+			r := rng.New(seed ^ (uint64(src)+1)*0x9e3779b97f4a7c15)
+			return r.Intn(n)
+		},
+	}
+}
+
+// Transpose is the matrix-transpose permutation: on n = k*k hosts,
+// (i, j) -> (j, i). Hosts beyond the largest square talk to themselves
+// (skipped).
+var Transpose = Pattern{
+	Name: "transpose",
+	Dest: func(src, n int) int {
+		k := int(math.Sqrt(float64(n)))
+		if k < 1 || src >= k*k {
+			return src
+		}
+		i, j := src/k, src%k
+		return j*k + i
+	},
+}
+
+// BitReverse reverses the bits of the source address (within the width
+// of n rounded down to a power of two).
+var BitReverse = Pattern{
+	Name: "bitreverse",
+	Dest: func(src, n int) int {
+		w := 0
+		for 1<<(w+1) <= n {
+			w++
+		}
+		if src >= 1<<w {
+			return src
+		}
+		out := 0
+		for b := 0; b < w; b++ {
+			if src&(1<<b) != 0 {
+				out |= 1 << (w - 1 - b)
+			}
+		}
+		return out
+	},
+}
+
+// BitComplement sends to the bitwise complement of the source.
+var BitComplement = Pattern{
+	Name: "bitcomplement",
+	Dest: func(src, n int) int {
+		w := 0
+		for 1<<(w+1) <= n {
+			w++
+		}
+		if src >= 1<<w {
+			return src
+		}
+		return (1<<w - 1) ^ src
+	},
+}
+
+// Shift sends to (src + n/2) mod n — the worst case for many low-radix
+// topologies.
+var Shift = Pattern{
+	Name: "shift",
+	Dest: func(src, n int) int { return (src + n/2) % n },
+}
+
+// Neighbor sends to (src + 1) mod n, the friendliest pattern.
+var Neighbor = Pattern{
+	Name: "neighbor",
+	Dest: func(src, n int) int { return (src + 1) % n },
+}
+
+// Hotspot sends a fraction of sources to host 0 and the rest uniformly.
+func Hotspot(seed uint64, percent int) Pattern {
+	u := Uniform(seed)
+	return Pattern{
+		Name: fmt.Sprintf("hotspot%d", percent),
+		Dest: func(src, n int) int {
+			r := rng.New(seed*31 ^ uint64(src))
+			if r.Intn(100) < percent {
+				return 0
+			}
+			return u.Dest(src, n)
+		},
+	}
+}
+
+// All returns the standard pattern set.
+func All(seed uint64) []Pattern {
+	return []Pattern{
+		Uniform(seed), Transpose, BitReverse, BitComplement, Shift, Neighbor, Hotspot(seed, 10),
+	}
+}
+
+// Result summarises one pattern run.
+type Result struct {
+	Pattern    string
+	Hosts      int
+	Messages   int64
+	MeanLatSec float64 // mean end-to-end message latency
+	P99LatSec  float64 // 99th percentile latency
+	MaxLatSec  float64
+	Elapsed    float64 // makespan of the whole run
+	Throughput float64 // delivered bytes/sec aggregate
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-14s msgs=%-7d mean=%.2fus p99=%.2fus max=%.2fus makespan=%.2fus agg=%.2fGB/s",
+		r.Pattern, r.Messages, r.MeanLatSec*1e6, r.P99LatSec*1e6, r.MaxLatSec*1e6,
+		r.Elapsed*1e6, r.Throughput/1e9)
+}
+
+// RunOptions configures a pattern run.
+type RunOptions struct {
+	MessageBytes float64 // per message; default 4096
+	Rounds       int     // messages per source; default 4
+	Hosts        int     // participating hosts; default all
+	Packet       bool    // use store-and-forward packets instead of flows
+	MTU          float64 // packet size for Packet mode (0 = default)
+}
+
+func (o RunOptions) withDefaults(n int) RunOptions {
+	if o.MessageBytes == 0 {
+		o.MessageBytes = 4096
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 4
+	}
+	if o.Hosts == 0 || o.Hosts > n {
+		o.Hosts = n
+	}
+	return o
+}
+
+// Run injects Rounds messages per source according to the pattern (all
+// sources start simultaneously; each source sends its rounds back to
+// back) and reports latency and throughput statistics.
+func Run(nw *simnet.Network, p Pattern, o RunOptions) (Result, error) {
+	o = o.withDefaults(nw.Hosts())
+	n := o.Hosts
+	sim := simnet.NewSim(nw)
+	latencies := make([][]float64, n)
+	var sendErr error
+	for src := 0; src < n; src++ {
+		src := src
+		sim.Spawn(src, func(proc *simnet.Proc) {
+			for round := 0; round < o.Rounds; round++ {
+				dst := p.Dest(src, n)
+				if dst == src || dst < 0 || dst >= n {
+					continue
+				}
+				start := proc.Now()
+				var sg *simnet.Signal
+				var err error
+				if o.Packet {
+					sg, err = sim.StartPacketMessage(src, dst, o.MessageBytes, o.MTU)
+				} else {
+					sg, err = sim.StartFlow(src, dst, o.MessageBytes)
+				}
+				if err != nil {
+					sendErr = err
+					return
+				}
+				proc.Wait(sg)
+				latencies[src] = append(latencies[src], proc.Now()-start)
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return Result{}, err
+	}
+	if sendErr != nil {
+		return Result{}, sendErr
+	}
+	var all []float64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	res := Result{Pattern: p.Name, Hosts: n, Messages: int64(len(all)), Elapsed: sim.Now()}
+	if len(all) == 0 {
+		return res, nil
+	}
+	sort.Float64s(all)
+	var sum float64
+	for _, l := range all {
+		sum += l
+	}
+	res.MeanLatSec = sum / float64(len(all))
+	p99 := len(all) * 99 / 100
+	if p99 >= len(all) {
+		p99 = len(all) - 1
+	}
+	res.P99LatSec = all[p99]
+	res.MaxLatSec = all[len(all)-1]
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Messages) * o.MessageBytes / res.Elapsed
+	}
+	return res, nil
+}
+
+// Sweep runs every pattern in ps and returns results in order.
+func Sweep(nw *simnet.Network, ps []Pattern, o RunOptions) ([]Result, error) {
+	out := make([]Result, 0, len(ps))
+	for _, p := range ps {
+		res, err := Run(nw, p, o)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: %s: %w", p.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func fabric(t testing.TB, hosts int) *simnet.Network {
+	t.Helper()
+	sp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.Build(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestPatternsAreValidDestinations(t *testing.T) {
+	for _, p := range All(7) {
+		for _, n := range []int{4, 16, 17, 64, 100} {
+			for src := 0; src < n; src++ {
+				d := p.Dest(src, n)
+				if d < 0 || d >= n {
+					t.Fatalf("%s: Dest(%d, %d) = %d out of range", p.Name, src, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPermutationPatternsAreBijective(t *testing.T) {
+	// Transpose, bit-reverse and bit-complement must be permutations on
+	// their natural domain (square / power-of-two host counts).
+	cases := []struct {
+		p Pattern
+		n int
+	}{
+		{Transpose, 16}, {Transpose, 64},
+		{BitReverse, 16}, {BitReverse, 32},
+		{BitComplement, 16}, {BitComplement, 64},
+		{Shift, 10}, {Neighbor, 7},
+	}
+	for _, c := range cases {
+		seen := make([]bool, c.n)
+		for src := 0; src < c.n; src++ {
+			d := c.p.Dest(src, c.n)
+			if seen[d] {
+				t.Fatalf("%s on n=%d: destination %d repeated", c.p.Name, c.n, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	for src := 0; src < 64; src++ {
+		d := Transpose.Dest(src, 64)
+		if Transpose.Dest(d, 64) != src {
+			t.Fatalf("transpose not an involution at %d", src)
+		}
+	}
+}
+
+func TestBitComplementSelfInverse(t *testing.T) {
+	for src := 0; src < 32; src++ {
+		d := BitComplement.Dest(src, 32)
+		if BitComplement.Dest(d, 32) != src {
+			t.Fatalf("bitcomplement not self-inverse at %d", src)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := Uniform(5), Uniform(5)
+	for src := 0; src < 50; src++ {
+		if a.Dest(src, 64) != b.Dest(src, 64) {
+			t.Fatal("uniform pattern not deterministic for equal seeds")
+		}
+	}
+	c := Uniform(6)
+	same := 0
+	for src := 0; src < 50; src++ {
+		if a.Dest(src, 64) == c.Dest(src, 64) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical uniform pattern")
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	p := Hotspot(3, 50)
+	hits := 0
+	const n = 200
+	for src := 1; src < n; src++ {
+		if p.Dest(src, n) == 0 {
+			hits++
+		}
+	}
+	if hits < n/4 {
+		t.Fatalf("hotspot sent only %d/%d to host 0", hits, n)
+	}
+}
+
+func TestRunProducesStats(t *testing.T) {
+	nw := fabric(t, 16)
+	res, err := Run(nw, Neighbor, RunOptions{MessageBytes: 8192, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 16*3 {
+		t.Fatalf("messages = %d, want 48", res.Messages)
+	}
+	if res.MeanLatSec <= 0 || res.MaxLatSec < res.P99LatSec || res.P99LatSec < res.MeanLatSec*0.5 {
+		t.Fatalf("implausible stats: %+v", res)
+	}
+	if res.Throughput <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("missing aggregate stats: %+v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestNeighborFasterThanShift(t *testing.T) {
+	// On a ring fabric, neighbour traffic is strictly more local than
+	// half-shift traffic.
+	g, err := hsgraph.Ring(16, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := RunOptions{MessageBytes: 1 << 16, Rounds: 2}
+	near, err := Run(nw, Neighbor, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Run(nw, Shift, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.MeanLatSec >= far.MeanLatSec {
+		t.Fatalf("neighbour latency %v not below shift latency %v on a ring", near.MeanLatSec, far.MeanLatSec)
+	}
+}
+
+func TestSweepAllPatterns(t *testing.T) {
+	nw := fabric(t, 16)
+	results, err := Sweep(nw, All(1), RunOptions{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Pattern == "" || (r.Messages > 0 && r.MeanLatSec <= 0) {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	nw := fabric(t, 16)
+	a, err := Run(nw, Uniform(9), RunOptions{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(nw, Uniform(9), RunOptions{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatSec != b.MeanLatSec || a.Elapsed != b.Elapsed {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestHostSubset(t *testing.T) {
+	nw := fabric(t, 16)
+	res, err := Run(nw, Neighbor, RunOptions{Rounds: 1, Hosts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 8 || res.Messages != 8 {
+		t.Fatalf("subset run wrong: %+v", res)
+	}
+}
+
+func TestProposedBeatsPathUnderUniform(t *testing.T) {
+	// A path of switches has terrible uniform latency compared to a
+	// saturated random graph with the same port budget — the core premise
+	// of low-h-ASPL design, visible at the traffic level.
+	path, err := hsgraph.Path(24, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := hsgraph.RandomConnected(24, 12, 5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := RunOptions{Rounds: 2}
+	lp := mustRun(t, path, o)
+	lb := mustRun(t, better, o)
+	if lb.MeanLatSec >= lp.MeanLatSec {
+		t.Fatalf("random graph latency %v not below path latency %v", lb.MeanLatSec, lp.MeanLatSec)
+	}
+	if math.IsNaN(lb.MeanLatSec) {
+		t.Fatal("NaN latency")
+	}
+}
+
+func mustRun(t *testing.T, g *hsgraph.Graph, o RunOptions) Result {
+	t.Helper()
+	nw, err := simnet.NewNetwork(g, simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(nw, Uniform(5), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPacketModeRun(t *testing.T) {
+	nw := fabric(t, 16)
+	fluid, err := Run(nw, Transpose, RunOptions{MessageBytes: 65536, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packet, err := Run(nw, Transpose, RunOptions{MessageBytes: 65536, Rounds: 2, Packet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packet.Messages != fluid.Messages {
+		t.Fatalf("message counts differ: %d vs %d", packet.Messages, fluid.Messages)
+	}
+	if packet.MeanLatSec < fluid.MeanLatSec/4 || packet.MeanLatSec > fluid.MeanLatSec*4 {
+		t.Fatalf("fidelity levels diverge: %v vs %v", fluid.MeanLatSec, packet.MeanLatSec)
+	}
+}

@@ -1,0 +1,94 @@
+// Package vis renders host-switch graphs as standalone SVG documents:
+// switches on a circle (or on the cabinet grid of a physical layout),
+// hosts as small satellites of their switch, edges as lines. The output
+// opens in any browser — no external tooling needed, unlike the DOT
+// export.
+package vis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/hsgraph"
+)
+
+// Options controls rendering. Zero values take the documented defaults.
+type Options struct {
+	Size       int  // canvas is Size x Size pixels; default 800
+	ShowHosts  bool // draw host satellites
+	ShowLabels bool // draw switch indices
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size == 0 {
+		o.Size = 800
+	}
+	return o
+}
+
+type point struct{ x, y float64 }
+
+// WriteSVG renders g with switches evenly spaced on a circle. Edge
+// colour encodes nothing; host counts are visible as satellite fans.
+func WriteSVG(w io.Writer, g *hsgraph.Graph, o Options) error {
+	o = o.withDefaults()
+	bw := bufio.NewWriter(w)
+	size := float64(o.Size)
+	cx, cy := size/2, size/2
+	radius := size * 0.38
+	m := g.Switches()
+
+	pos := make([]point, m)
+	for s := 0; s < m; s++ {
+		angle := 2 * math.Pi * float64(s) / float64(m)
+		pos[s] = point{cx + radius*math.Cos(angle), cy + radius*math.Sin(angle)}
+	}
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Size, o.Size, o.Size, o.Size)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(bw, "<!-- hsgraph n=%d m=%d r=%d -->\n", g.Order(), m, g.Radix())
+
+	// Switch-switch edges.
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#5577aa" stroke-width="1.2" stroke-opacity="0.7"/>`+"\n",
+			pos[a].x, pos[a].y, pos[b].x, pos[b].y)
+	}
+	// Hosts: small fans outside the ring.
+	if o.ShowHosts {
+		for s := 0; s < m; s++ {
+			k := g.HostCount(s)
+			if k == 0 {
+				continue
+			}
+			baseAngle := math.Atan2(pos[s].y-cy, pos[s].x-cx)
+			for i := 0; i < k; i++ {
+				// Place hosts along a short arc outside the switch ring.
+				ang := baseAngle + (float64(i)-float64(k-1)/2)*0.05
+				hx := cx + (radius+28)*math.Cos(ang)
+				hy := cy + (radius+28)*math.Sin(ang)
+				fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999999" stroke-width="0.6"/>`+"\n",
+					pos[s].x, pos[s].y, hx, hy)
+				fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="#ffffff" stroke="#666666" stroke-width="0.8"/>`+"\n", hx, hy)
+			}
+		}
+	}
+	// Switches on top.
+	for s := 0; s < m; s++ {
+		fill := "#88bbee"
+		if g.HostCount(s) == 0 {
+			fill = "#dddddd" // host-less switches stand out (Fig. 8 effect)
+		}
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s" stroke="#224466" stroke-width="1"/>`+"\n",
+			pos[s].x-6, pos[s].y-6, fill)
+		if o.ShowLabels {
+			fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" fill="#112233">%d</text>`+"\n",
+				pos[s].x, pos[s].y+3, s)
+		}
+	}
+	fmt.Fprintf(bw, "</svg>\n")
+	return bw.Flush()
+}

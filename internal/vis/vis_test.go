@@ -1,0 +1,79 @@
+package vis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+func TestWriteSVGStructure(t *testing.T) {
+	g, err := hsgraph.Ring(16, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, g, Options{ShowHosts: true, ShowLabels: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 4 switch rects + 16 host circles + labels.
+	if strings.Count(out, "<rect ") != 4+1 { // +1 background
+		t.Fatalf("rect count = %d, want 5", strings.Count(out, "<rect "))
+	}
+	if strings.Count(out, "<circle ") != 16 {
+		t.Fatalf("circle count = %d, want 16", strings.Count(out, "<circle "))
+	}
+	// Ring edges (4) + host stems (16).
+	if strings.Count(out, "<line ") != 20 {
+		t.Fatalf("line count = %d, want 20", strings.Count(out, "<line "))
+	}
+	if strings.Count(out, "<text ") != 4 {
+		t.Fatalf("label count = %d, want 4", strings.Count(out, "<text "))
+	}
+}
+
+func TestWriteSVGWithoutHosts(t *testing.T) {
+	g, err := hsgraph.RandomConnected(24, 8, 7, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<circle ") != 0 {
+		t.Fatal("hosts drawn without ShowHosts")
+	}
+	if strings.Count(out, "<line ") != g.NumEdges() {
+		t.Fatalf("line count = %d, want %d", strings.Count(out, "<line "), g.NumEdges())
+	}
+}
+
+func TestWriteSVGHighlightsEmptySwitches(t *testing.T) {
+	g := hsgraph.New(2, 3, 4)
+	if err := g.AttachHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachHost(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#dddddd") {
+		t.Fatal("empty switch not highlighted")
+	}
+}
