@@ -38,6 +38,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		benches = flag.String("benchmarks", "", "comma-separated NPB subset for the performance panels")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of text tables (figs 5 and 7)")
+		workers = flag.Int("workers", 0, "h-ASPL evaluation shard workers per SA run (0 = serial; figures already parallelise across runs)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,9 @@ func main() {
 	}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *workers > 0 {
+		o.Workers = *workers
 	}
 
 	run := func(id string, f func() error) {

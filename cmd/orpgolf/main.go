@@ -24,6 +24,7 @@ func main() {
 		d        = flag.Int("d", 4, "degree")
 		iters    = flag.Int("iters", 50000, "annealing iterations")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "evaluation shard workers (0 = GOMAXPROCS)")
 		schedule = flag.String("schedule", "geometric", "geometric | linear | hillclimb")
 		out      = flag.String("o", "", "write the edge list here (default stdout)")
 		evalFile = flag.String("eval", "", "evaluate an existing edge-list file instead of solving")
@@ -60,7 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orpgolf: unknown schedule %q\n", *schedule)
 		os.Exit(2)
 	}
-	res, err := odp.Solve(*n, *d, odp.Options{Iterations: *iters, Seed: *seed, Schedule: sched})
+	res, err := odp.Solve(*n, *d, odp.Options{Iterations: *iters, Seed: *seed, Schedule: sched, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	orpsolve -n 1024 -r 15 [-iters 100000] [-restarts 4] [-seed 1]
-//	         [-m 0] [-moves 2ns|swap|swing] [-o graph.hsg] [-v]
+//	orpsolve -n 1024 -r 15 [-iters 100000] [-restarts 4] [-workers 0]
+//	         [-seed 1] [-m 0] [-moves 2ns|swap|swing] [-o graph.hsg] [-v]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		r        = flag.Int("r", 15, "radix: ports per switch")
 		iters    = flag.Int("iters", 100000, "annealing iterations")
 		restarts = flag.Int("restarts", 1, "independent annealing restarts (best wins)")
+		workers  = flag.Int("workers", 0, "evaluation shard workers per run (0 = auto: split GOMAXPROCS over restarts)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		fixedM   = flag.Int("m", 0, "force the switch count (0 = continuous-Moore prediction)")
 		moves    = flag.String("moves", "2ns", "move set: 2ns, swap or swing")
@@ -57,6 +58,7 @@ func main() {
 		Seed:       *seed,
 		FixedM:     *fixedM,
 		Moves:      moveSet,
+		Workers:    *workers,
 	}
 	if *verbose && *restarts <= 1 {
 		o.OnProgress = func(iter int, cur, best int64) {

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/bounds"
 	"repro/internal/hsgraph"
@@ -60,6 +61,11 @@ type Options struct {
 	FixedM int
 	// Moves selects the SA neighbourhood. Default TwoNeighborSwing.
 	Moves opt.MoveSet
+	// Workers is the number of evaluation shard workers per annealing run
+	// (hsgraph.Evaluator). Zero means auto: single-restart runs use
+	// GOMAXPROCS, multi-restart runs let opt.ParallelAnneal split the
+	// cores between restarts and shards. Results are worker-invariant.
+	Workers int
 	// OnProgress is forwarded to the annealer (single-restart runs only).
 	OnProgress func(iter int, current, best int64)
 }
@@ -142,7 +148,11 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		Iterations: o.Iterations,
 		Moves:      o.Moves,
 		Seed:       o.Seed + 1,
+		Workers:    o.Workers,
 		OnProgress: o.OnProgress,
+	}
+	if ao.Workers == 0 && o.Restarts == 1 {
+		ao.Workers = runtime.GOMAXPROCS(0)
 	}
 	var g *hsgraph.Graph
 	var res opt.Result

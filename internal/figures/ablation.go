@@ -30,6 +30,7 @@ func AblationMoves(n, m, r int, o Options) (map[string]float64, error) {
 	for _, ms := range []opt.MoveSet{opt.SwapOnly, opt.SwingOnly, opt.TwoNeighborSwing} {
 		g, _, err := opt.Anneal(start, opt.Options{
 			Iterations: o.SAIterations,
+			Workers:    o.Workers,
 			Moves:      ms,
 			Seed:       o.Seed + 1,
 		})
@@ -53,6 +54,7 @@ func AblationSchedules(n, m, r int, o Options) (map[string]float64, error) {
 	for _, sc := range []opt.Schedule{opt.Geometric, opt.Linear, opt.HillClimb} {
 		g, _, err := opt.Anneal(start, opt.Options{
 			Iterations: o.SAIterations,
+			Workers:    o.Workers,
 			Schedule:   sc,
 			Seed:       o.Seed + 1,
 		})

@@ -120,6 +120,11 @@ type Options struct {
 	Benchmarks []string
 	// Seed drives every randomised component.
 	Seed uint64
+	// Workers is the number of h-ASPL evaluation shard workers per SA run
+	// (hsgraph.Evaluator). Zero keeps each run serial, which is the right
+	// default here because the figure harness already fans independent
+	// runs out across cores. Every figure is worker-invariant.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

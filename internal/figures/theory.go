@@ -66,6 +66,7 @@ func Fig5(n, r int, o Options) (Figure, error) {
 				if err == nil {
 					g, _, err := opt.Anneal(start, opt.Options{
 						Iterations: o.SAIterations,
+						Workers:    o.Workers,
 						Seed:       o.Seed + uint64(m),
 						Moves:      opt.TwoNeighborSwing,
 					})
@@ -85,6 +86,7 @@ func Fig5(n, r int, o Options) (Figure, error) {
 					if err == nil {
 						g, _, err := opt.Anneal(startR, opt.Options{
 							Iterations: o.SAIterations,
+							Workers:    o.Workers,
 							Seed:       o.Seed + uint64(m)*7,
 							Moves:      opt.SwapOnly,
 						})
@@ -167,6 +169,7 @@ func Fig6(n, r int, o Options) (Histogram, *hsgraph.Graph, error) {
 	}
 	g, _, err := opt.Anneal(start, opt.Options{
 		Iterations: o.SAIterations,
+		Workers:    o.Workers,
 		Seed:       o.Seed,
 		Moves:      opt.TwoNeighborSwing,
 	})
@@ -218,6 +221,7 @@ func Fig8(n, r int, o Options) (Histogram, *hsgraph.Graph, error) {
 	}
 	g, _, err := opt.Anneal(start, opt.Options{
 		Iterations: o.SAIterations,
+		Workers:    o.Workers,
 		Seed:       o.Seed,
 		Moves:      opt.TwoNeighborSwing,
 	})

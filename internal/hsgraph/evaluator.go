@@ -1,0 +1,329 @@
+package hsgraph
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Evaluator computes graph metrics with reusable scratch buffers and an
+// optional pool of shard workers, so that the millions of evaluations an
+// annealing run performs amortize all setup: after the first call on a
+// given switch-count, the steady state is allocation-free.
+//
+// The bit-parallel BFS runs 64 sources per machine word; the Evaluator
+// splits the source words into shards and distributes them over a pool of
+// persistent worker goroutines. Each worker owns private scratch words and
+// accumulates a private partial (path sum, reachable pairs, diameter);
+// partials are merged with integer addition and max, so the result is
+// bit-for-bit identical to the serial Evaluate for every worker count and
+// every scheduling of the shards.
+//
+// An Evaluator is not safe for concurrent use by multiple goroutines; give
+// each searcher its own (the pool inside is private to it). It is not tied
+// to one Graph — any graph may be passed, and buffers grow to the largest
+// switch count seen. Call Close when done to release the pool goroutines.
+type Evaluator struct {
+	workers int
+
+	// Connectivity pre-check scratch (Energy fast path).
+	dist  []int32
+	queue []int32
+
+	srcs   []int32 // host-bearing switches, gathered per call
+	shards []evalShard
+
+	// Per-round job state: written by the caller before waking the pool,
+	// read-only by workers during the round (the channel operations order
+	// the accesses).
+	g          *Graph
+	chunk      int
+	shardCount int
+	cursor     atomic.Int64 // next shard index to claim
+
+	wake   chan struct{} // one token per pooled worker per round
+	done   chan struct{}
+	closed bool
+}
+
+// evalShard is one worker's private scratch and partial accumulators.
+type evalShard struct {
+	visited []uint64
+	front   []uint64
+	next    []uint64
+	total   int64 // ordered weighted path sum over this worker's shards
+	reached int64 // ordered reachable (source, target) pairs
+	diam    int
+	_       [24]byte // separate hot accumulators of adjacent workers
+}
+
+// NewEvaluator returns an Evaluator with the given number of shard
+// workers. Values below 1 are treated as 1 (fully serial, no pool
+// goroutines). Callers wanting hardware-sized pools typically pass
+// runtime.GOMAXPROCS(0); larger explicit counts are honoured, which lets
+// tests exercise the concurrent merge paths on any machine.
+func NewEvaluator(workers int) *Evaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Evaluator{
+		workers: workers,
+		shards:  make([]evalShard, workers),
+	}
+	if workers > 1 {
+		e.wake = make(chan struct{}, workers-1)
+		e.done = make(chan struct{}, workers-1)
+		for i := 1; i < workers; i++ {
+			go e.worker(i)
+		}
+	}
+	return e
+}
+
+// Workers returns the configured shard worker count.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// Close releases the pool goroutines. The Evaluator must not be used
+// afterwards. Close is idempotent.
+func (e *Evaluator) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.wake != nil {
+		close(e.wake)
+	}
+}
+
+func (e *Evaluator) worker(id int) {
+	for range e.wake {
+		e.runShards(&e.shards[id])
+		e.done <- struct{}{}
+	}
+}
+
+// Evaluate computes the same Metrics as Graph.Evaluate, sharded over the
+// pool. Results are exactly equal (including the partial TotalPath of
+// disconnected graphs) for every worker count.
+func (e *Evaluator) Evaluate(g *Graph) Metrics {
+	total, diam, trivial := e.gather(g)
+	if trivial {
+		return g.finishMetrics(total, diam, len(e.srcs) > 0 || g.n <= 1)
+	}
+	return e.apsp(g, total, diam)
+}
+
+// Energy is the annealing hot path: it returns the total host-pair path
+// length and whether all hosts are connected. A single plain BFS checks
+// connectivity first, so moves that disconnect the switch graph fail in
+// O(edges) instead of paying the full all-pairs sweep.
+func (e *Evaluator) Energy(g *Graph) (int64, bool) {
+	total, diam, trivial := e.gather(g)
+	if trivial {
+		return total, len(e.srcs) > 0 || g.n <= 1
+	}
+	if !e.connectedQuick(g) {
+		return 0, false
+	}
+	met := e.apsp(g, total, diam)
+	return met.TotalPath, met.Connected
+}
+
+// gather collects the host-bearing switches into e.srcs and returns the
+// intra-switch contribution. trivial is true when no all-pairs sweep is
+// needed (zero or one host-bearing switch).
+func (e *Evaluator) gather(g *Graph) (total int64, diam int, trivial bool) {
+	e.srcs = e.srcs[:0]
+	for s := range g.adj {
+		k := int64(g.hosts[s])
+		if k > 0 {
+			e.srcs = append(e.srcs, int32(s))
+			total += k * (k - 1) // 2 * C(k,2)
+			if k >= 2 && diam < 2 {
+				diam = 2
+			}
+		}
+	}
+	return total, diam, len(e.srcs) <= 1
+}
+
+// connectedQuick reports whether every host-bearing switch is reachable
+// from the first one, with a single serial BFS over reused scratch.
+func (e *Evaluator) connectedQuick(g *Graph) bool {
+	m := len(g.adj)
+	if cap(e.dist) < m {
+		e.dist = make([]int32, m)
+		e.queue = make([]int32, 0, m)
+	}
+	seen := e.dist[:m]
+	for i := range seen {
+		seen[i] = 0
+	}
+	queue := e.queue[:0]
+	start := e.srcs[0]
+	seen[start] = 1
+	queue = append(queue, start)
+	bearing := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.adj[v] {
+			if seen[u] == 0 {
+				seen[u] = 1
+				if g.hosts[u] > 0 {
+					bearing++
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	e.queue = queue[:0]
+	return bearing == len(e.srcs)
+}
+
+// apsp runs the sharded bit-parallel all-pairs sweep and finishes the
+// metrics. total and diam carry the intra-switch contribution from gather.
+func (e *Evaluator) apsp(g *Graph, total int64, diam int) Metrics {
+	n := len(e.srcs)
+	// Chunks hold at most 64 sources (one machine word); when the pool is
+	// wider than the word count, shrink chunks so every worker gets a shard.
+	chunk := (n + e.workers - 1) / e.workers
+	if chunk > 64 {
+		chunk = 64
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	e.g = g
+	e.chunk = chunk
+	e.shardCount = (n + chunk - 1) / chunk
+	e.cursor.Store(0)
+	for i := range e.shards {
+		e.shards[i].total = 0
+		e.shards[i].reached = 0
+		e.shards[i].diam = 0
+	}
+	if e.workers == 1 || e.shardCount == 1 {
+		e.runShards(&e.shards[0])
+	} else {
+		for i := 1; i < e.workers; i++ {
+			e.wake <- struct{}{}
+		}
+		e.runShards(&e.shards[0])
+		for i := 1; i < e.workers; i++ {
+			<-e.done
+		}
+	}
+	e.g = nil
+	var orderedSum, reachablePairs int64
+	for i := range e.shards {
+		orderedSum += e.shards[i].total
+		reachablePairs += e.shards[i].reached
+		if e.shards[i].diam > diam {
+			diam = e.shards[i].diam
+		}
+	}
+	// Every distinct reachable host-bearing pair is counted once per
+	// direction across all shards; halve the ordered sum and compare the
+	// ordered pair count against n(n-1).
+	connected := reachablePairs == int64(n)*int64(n-1)
+	total += orderedSum / 2
+	return g.finishMetrics(total, diam, connected)
+}
+
+// runShards claims shards off the shared cursor until none remain,
+// accumulating into sh only.
+func (e *Evaluator) runShards(sh *evalShard) {
+	g := e.g
+	m := len(g.adj)
+	if cap(sh.visited) < m {
+		sh.visited = make([]uint64, m)
+		sh.front = make([]uint64, m)
+		sh.next = make([]uint64, m)
+	}
+	for {
+		idx := int(e.cursor.Add(1)) - 1
+		if idx >= e.shardCount {
+			return
+		}
+		lo := idx * e.chunk
+		hi := lo + e.chunk
+		if hi > len(e.srcs) {
+			hi = len(e.srcs)
+		}
+		e.sweepBatch(sh, e.srcs[lo:hi])
+	}
+}
+
+// sweepBatch runs one bit-parallel BFS with the batch sources in the word
+// lanes, weighting every newly reached host-bearing switch by the host
+// counts of the sources that reached it (the same recurrence as
+// Graph.Evaluate, over private scratch).
+func (e *Evaluator) sweepBatch(sh *evalShard, batch []int32) {
+	g := e.g
+	m := len(g.adj)
+	visited := sh.visited[:m]
+	front := sh.front[:m]
+	next := sh.next[:m]
+	for i := range visited {
+		visited[i] = 0
+		front[i] = 0
+	}
+	for bit, s := range batch {
+		visited[s] |= 1 << uint(bit)
+		front[s] |= 1 << uint(bit)
+	}
+	for level := 1; ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		active := false
+		for v := 0; v < m; v++ {
+			fv := front[v]
+			if fv == 0 {
+				continue
+			}
+			for _, u := range g.adj[v] {
+				nu := fv &^ visited[u]
+				if nu != 0 {
+					next[u] |= nu
+				}
+			}
+		}
+		for v := 0; v < m; v++ {
+			nv := next[v] &^ visited[v]
+			if nv == 0 {
+				next[v] = 0
+				continue
+			}
+			next[v] = nv
+			visited[v] |= nv
+			active = true
+			kv := int64(g.hosts[v])
+			if kv > 0 {
+				var ks, cnt int64
+				for mask := nv; mask != 0; mask &= mask - 1 {
+					ks += int64(g.hosts[batch[bits.TrailingZeros64(mask)]])
+					cnt++
+				}
+				sh.total += kv * ks * int64(level+2)
+				sh.reached += cnt
+				if level+2 > sh.diam {
+					sh.diam = level + 2
+				}
+			}
+		}
+		front, next = next, front
+		if !active {
+			break
+		}
+	}
+}
+
+// EvaluateParallel computes the metrics with the given number of shard
+// workers. It is the one-shot convenience over Evaluator: the pool is
+// built and torn down per call, so callers on a hot path should hold an
+// Evaluator instead. The result is exactly Evaluate's for any workers.
+func (g *Graph) EvaluateParallel(workers int) Metrics {
+	e := NewEvaluator(workers)
+	defer e.Close()
+	return e.Evaluate(g)
+}

@@ -38,6 +38,13 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// MaxReadDim caps the host and switch counts Read accepts. A one-line
+// header sizes every per-host and per-switch array, so without a cap a
+// hostile (or fuzzed) input of a few bytes could demand gigabytes before
+// any structural check runs. 2^20 comfortably covers Graph Golf-scale
+// instances (the competition tops out at 10^6 vertices).
+const MaxReadDim = 1 << 20
+
 // Read parses a graph in the text format. The returned graph has been
 // structurally checked (ports, duplicates) but not connectivity-validated;
 // call Validate for the full check.
@@ -67,6 +74,9 @@ func Read(r io.Reader) (*Graph, error) {
 			}
 			if n < 1 || m < 1 || rr < 1 {
 				return nil, fmt.Errorf("hsgraph: line %d: invalid header values n=%d m=%d r=%d", lineNo, n, m, rr)
+			}
+			if n > MaxReadDim || m > MaxReadDim {
+				return nil, fmt.Errorf("hsgraph: line %d: header n=%d m=%d exceeds limit %d", lineNo, n, m, MaxReadDim)
 			}
 			g = New(n, m, rr)
 		case "host":

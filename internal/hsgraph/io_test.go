@@ -131,3 +131,68 @@ func TestEqualDetectsDifferences(t *testing.T) {
 		t.Fatal("different attachments reported equal")
 	}
 }
+
+// FuzzReadEdgeList fuzzes the Graph Golf-style edge-list parser (the
+// repository's host-switch-aware text format) against two failure modes:
+// crashes (panics, unbounded allocation from hostile headers) and silent
+// acceptance of invalid graphs — anything the parser lets through must
+// either satisfy the full structural Validate or be flagged by it, and
+// every accepted-and-valid graph must round-trip through the canonical
+// writer unchanged.
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"hsgraph 2 2 3\nhost 0 0\nhost 1 1\nlink 0 1\n",
+		"# comment\n\nhsgraph 4 2 5\nhost 0 0\nhost 1 0\nhost 2 1\nhost 3 1\nlink 0 1\n",
+		"hsgraph 1 1 1\nhost 0 0\n",
+		"hsgraph 3 3 4\nhost 0 0\nhost 1 1\nhost 2 2\n", // disconnected
+		"hsgraph 2 2 3\nhost 0 0\n",                     // host 1 unattached
+		"hsgraph 999999999 999999999 5\n",               // hostile header
+		"host 0 0\n",
+		"hsgraph 2 2 3\nhsgraph 2 2 3\n",
+		"hsgraph 2 2\n",
+		"hsgraph -1 2 3\n",
+		"hsgraph 2 2 3\nfrob 1 2\n",
+		"hsgraph 2 2 3\nhost 5 0\n",
+		"hsgraph 2 2 3\nlink 1 1\n",
+		"hsgraph 2 2 3\nlink 0 1\nlink 1 0\n",
+		"hsgraph 3 2 2\nhost 0 0\nhost 1 0\nhost 2 1\nlink 0 1\n",
+		"hsgraph 2 2 3\nhost x 0\n",
+		"hsgraph 2 2 3\nlink 0 y\n",
+		"hsgraph 2 2 3\nhost 0 0 trailing\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		if g.Order() < 1 || g.Switches() < 1 || g.Radix() < 1 {
+			t.Fatalf("Read accepted a graph with senseless parameters: %v", g)
+		}
+		if g.Order() > MaxReadDim || g.Switches() > MaxReadDim {
+			t.Fatalf("Read accepted dimensions beyond MaxReadDim: %v", g)
+		}
+		// Validate must catch whatever the parser let through; if it
+		// passes, the graph really is structurally sound and must survive
+		// a canonical write/read round trip and a metrics evaluation.
+		if err := g.Validate(); err != nil {
+			return // flagged: the parser's leniency was caught downstream
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write failed on validated graph: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse of canonical output failed: %v", err)
+		}
+		if !Equal(g, g2) {
+			t.Fatal("write/read round trip changed the graph")
+		}
+		if fast, slow := g.Evaluate(), g.EvaluateSlow(); fast != slow {
+			t.Fatalf("parsed graph evaluates inconsistently: %+v vs %+v", fast, slow)
+		}
+	})
+}

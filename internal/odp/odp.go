@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"repro/internal/bounds"
@@ -32,6 +33,9 @@ type Options struct {
 	Seed uint64
 	// Schedule forwards to the annealer (Geometric by default).
 	Schedule opt.Schedule
+	// Workers is the number of evaluation shard workers (hsgraph.Evaluator);
+	// zero means GOMAXPROCS. Results are identical for any worker count.
+	Workers int
 }
 
 // Result is a solved ODP instance.
@@ -60,6 +64,9 @@ func Solve(n, d int, o Options) (*Result, error) {
 	if o.Iterations == 0 {
 		o.Iterations = 20000
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	// One host per vertex; radix d+1 leaves exactly d switch ports.
 	start, err := hsgraph.RandomRegular(n, n, d+1, d, rng.New(o.Seed))
 	if err != nil {
@@ -70,6 +77,7 @@ func Solve(n, d int, o Options) (*Result, error) {
 		Moves:      opt.SwapOnly,
 		Schedule:   o.Schedule,
 		Seed:       o.Seed + 1,
+		Workers:    o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -149,6 +157,9 @@ func ReadEdgeList(r io.Reader, maxDegree int) (*hsgraph.Graph, error) {
 		}
 		if a < 0 || b < 0 {
 			return nil, fmt.Errorf("odp: line %d: negative vertex", lineNo)
+		}
+		if a > hsgraph.MaxReadDim || b > hsgraph.MaxReadDim {
+			return nil, fmt.Errorf("odp: line %d: vertex id exceeds limit %d", lineNo, hsgraph.MaxReadDim)
 		}
 		if a > maxV {
 			maxV = a

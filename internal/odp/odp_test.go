@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/hsgraph"
 	"repro/internal/opt"
 )
 
@@ -143,4 +144,45 @@ func TestSolveDeterministic(t *testing.T) {
 	if a.ASPL != b.ASPL || a.Diameter != b.Diameter {
 		t.Fatal("ODP solve not deterministic")
 	}
+}
+
+// FuzzGolfEdgeList fuzzes the raw Graph Golf "u v" edge-list parser: no
+// panics or hostile allocations, and every accepted graph must be
+// structurally valid (one host per vertex by construction) up to
+// connectivity, evaluate cleanly, and round-trip through WriteEdgeList.
+func FuzzGolfEdgeList(f *testing.F) {
+	seeds := []string{
+		"0 1\n1 2\n2 0\n",
+		"# ring\n0 1\n\n1 2\n2 3\n3 0\n",
+		"0 1\n",
+		"0 1\n5 6\n", // disconnected, gap in ids
+		"1000000000 0\n",
+		"0 -1\n",
+		"x y\n",
+		"0 0\n",
+		"0 1\n0 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in), 0)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil && verr != hsgraph.ErrNotConnected {
+			t.Fatalf("ReadEdgeList accepted a structurally invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("WriteEdgeList failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf, 0)
+		if err != nil {
+			t.Fatalf("reparse of canonical edge list failed: %v", err)
+		}
+		if !hsgraph.Equal(g, g2) {
+			t.Fatal("edge-list round trip changed the graph")
+		}
+	})
 }

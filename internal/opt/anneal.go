@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/hsgraph"
 	"repro/internal/rng"
@@ -81,6 +82,11 @@ type Options struct {
 	// (default 1000) with the iteration count and current/best energy.
 	OnProgress  func(iter int, current, best int64)
 	ReportEvery int
+	// Workers is the number of shard workers each h-ASPL evaluation is
+	// split over (see hsgraph.Evaluator). Values <= 1 evaluate serially.
+	// The result is identical for every worker count; only throughput
+	// changes. ParallelAnneal resolves 0 to a share of GOMAXPROCS.
+	Workers int
 }
 
 // Result summarises an annealing run.
@@ -110,9 +116,11 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 		o.ReportEvery = 1000
 	}
 	rnd := rng.New(o.Seed)
+	ev := hsgraph.NewEvaluator(o.Workers)
+	defer ev.Close()
 
 	g := start.Clone()
-	cur := g.Evaluate()
+	cur := ev.Evaluate(g)
 	if !cur.Connected {
 		return nil, Result{}, hsgraph.ErrNotConnected
 	}
@@ -126,7 +134,7 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 		o.InitialTemp, o.FinalTemp = hillClimbTemp, hillClimbTemp
 	}
 	if o.InitialTemp == 0 {
-		o.InitialTemp = calibrateTemp(g, o.Moves, rnd.Split())
+		o.InitialTemp = calibrateTemp(g, o.Moves, rnd.Split(), ev)
 	}
 	if o.FinalTemp == 0 {
 		o.FinalTemp = o.InitialTemp / 200
@@ -140,11 +148,11 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 
 	temp := o.InitialTemp
 	energyOf := func() int64 {
-		met := g.Evaluate()
-		if !met.Connected {
+		e, connected := ev.Energy(g)
+		if !connected {
 			return math.MaxInt64
 		}
-		return met.TotalPath
+		return e
 	}
 	acceptAt := func(candidate int64, t float64) bool {
 		if candidate == math.MaxInt64 {
@@ -205,7 +213,7 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 		}
 	}
 	res.Iterations = o.Iterations
-	res.Best = best.Evaluate()
+	res.Best = ev.Evaluate(best)
 	return best, res, nil
 }
 
@@ -215,10 +223,11 @@ const hillClimbTemp = 1e-9
 
 // calibrateTemp estimates a starting temperature as the mean |delta| of a
 // sample of random moves, the classic rule of thumb that yields a high
-// initial acceptance rate. Works on a scratch clone.
-func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand) float64 {
+// initial acceptance rate. Works on a scratch clone, evaluated through
+// the annealer's evaluator.
+func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand, ev *hsgraph.Evaluator) float64 {
 	scratch := g.Clone()
-	base := scratch.Evaluate().TotalPath
+	base, _ := ev.Energy(scratch)
 	var sum float64
 	count := 0
 	for i := 0; i < 40; i++ {
@@ -232,9 +241,8 @@ func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand) float64 {
 		if !ok {
 			continue
 		}
-		met := scratch.Evaluate()
-		if met.Connected {
-			sum += math.Abs(float64(met.TotalPath - base))
+		if e, connected := ev.Energy(scratch); connected {
+			sum += math.Abs(float64(e - base))
 			count++
 		}
 		u()
@@ -249,9 +257,21 @@ func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand) float64 {
 // ParallelAnneal runs restarts independent annealing runs with distinct
 // seeds on separate goroutines and returns the best result. Determinism is
 // preserved: the winner depends only on (start, o, restarts).
+//
+// When o.Workers is zero the available cores are split between the two
+// levels of parallelism: each restart gets GOMAXPROCS/restarts evaluation
+// shard workers (at least one), so a 2-restart run on 8 cores uses 2x4
+// goroutines instead of leaving 6 cores idle.
 func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Graph, Result, error) {
 	if restarts < 1 {
 		restarts = 1
+	}
+	if o.Workers == 0 {
+		if w := runtime.GOMAXPROCS(0) / restarts; w > 1 {
+			o.Workers = w
+		} else {
+			o.Workers = 1
+		}
 	}
 	type outcome struct {
 		g   *hsgraph.Graph

@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// TestAnnealWorkerInvariance is the determinism guarantee of the sharded
+// evaluation engine at the SA level: with a fixed seed, the accepted-move
+// sequence — and hence the final graph, the acceptance counters and the
+// final h-ASPL — must be identical whether each energy evaluation runs
+// serially or sharded over any number of workers.
+func TestAnnealWorkerInvariance(t *testing.T) {
+	start := randomGraph(t, 96, 24, 8, 77)
+	type outcome struct {
+		g   *hsgraph.Graph
+		res Result
+	}
+	var ref *outcome
+	for _, workers := range []int{1, 4, 8} {
+		g, res, err := Anneal(start, Options{Iterations: 1200, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = &outcome{g, res}
+			continue
+		}
+		if !hsgraph.Equal(g, ref.g) {
+			t.Fatalf("workers=%d produced a different graph than workers=1", workers)
+		}
+		if res.Accepted != ref.res.Accepted || res.Proposed != ref.res.Proposed {
+			t.Fatalf("workers=%d accepted/proposed %d/%d, workers=1 %d/%d",
+				workers, res.Accepted, res.Proposed, ref.res.Accepted, ref.res.Proposed)
+		}
+		if res.Best != ref.res.Best || res.Initial != ref.res.Initial {
+			t.Fatalf("workers=%d metrics %+v diverged from %+v", workers, res.Best, ref.res.Best)
+		}
+	}
+}
+
+// TestParallelAnnealSeedSplitting guards the seed-splitting contract: a
+// k-restart ParallelAnneal must return exactly the best of k independent
+// Anneal runs with the derived seeds, and the winning graph must be the
+// first run attaining that energy.
+func TestParallelAnnealSeedSplitting(t *testing.T) {
+	check := func(seed uint64) bool {
+		start, err := hsgraph.RandomConnected(32, 9, 7, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		o := Options{Iterations: 250, Seed: seed}
+		const restarts = 3
+		pg, pres, err := ParallelAnneal(start, o, restarts)
+		if err != nil {
+			return false
+		}
+		bestIdx, bestEnergy := -1, int64(0)
+		var bestGraph *hsgraph.Graph
+		for i := 0; i < restarts; i++ {
+			oi := o
+			oi.Seed = o.Seed + uint64(i)*0x9e3779b97f4a7c15
+			g, res, err := Anneal(start, oi)
+			if err != nil {
+				return false
+			}
+			if bestIdx == -1 || res.Best.TotalPath < bestEnergy {
+				bestIdx, bestEnergy, bestGraph = i, res.Best.TotalPath, g
+			}
+		}
+		// No worse than the best independent run, and in fact identical
+		// to it (same winner, same graph).
+		if pres.Best.TotalPath > bestEnergy {
+			return false
+		}
+		return pres.Best.TotalPath == bestEnergy && hsgraph.Equal(pg, bestGraph)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6, Rand: rand.New(rand.NewSource(4212))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelAnnealSplitsWorkers sanity-checks the auto split: explicit
+// worker counts pass through Anneal unchanged and still give the serial
+// result (worker-invariance at the multi-start level).
+func TestParallelAnnealSplitsWorkers(t *testing.T) {
+	start := randomGraph(t, 40, 10, 8, 88)
+	g1, r1, err := ParallelAnneal(start, Options{Iterations: 400, Seed: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, r2, err := ParallelAnneal(start, Options{Iterations: 400, Seed: 5, Workers: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hsgraph.Equal(g1, g2) || r1.Best != r2.Best {
+		t.Fatal("ParallelAnneal result depends on the worker split")
+	}
+}
