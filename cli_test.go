@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -23,7 +24,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap"} {
+	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap", "orpfault"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -177,5 +178,88 @@ func TestCLIMap(t *testing.T) {
 	}
 	if !strings.Contains(out, "hsgraph 16 20 4") {
 		t.Fatalf("orpmap did not emit the remapped graph:\n%.120s", out)
+	}
+}
+
+func TestCLIEvalJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "fattree", "-k", "4", "-q")
+	out, _ := runTool(t, "orpeval", []byte(graph), "-json", "-workers", "2", "-")
+	var rep struct {
+		Order     int     `json:"order"`
+		HASPL     float64 `json:"haspl"`
+		Connected bool    `json:"connected"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("orpeval -json not parseable: %v\n%s", err, out)
+	}
+	if rep.Order != 16 || !rep.Connected || rep.HASPL <= 0 {
+		t.Fatalf("orpeval -json wrong content: %+v", rep)
+	}
+}
+
+func TestCLIFaultScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "hypercube", "-dims", "5", "-n", "64", "-q")
+
+	// Text mode reports the degradation.
+	out, _ := runTool(t, "orpfault", []byte(graph), "-model", "links", "-frac", "0.05", "-seed", "7", "-")
+	for _, want := range []string{"failure scenario", "pristine h-ASPL", "stretch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("orpfault output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON mode emits the shared GraphReport schema for both graphs, and
+	// the run is deterministic: same seed, same bytes.
+	js1, _ := runTool(t, "orpfault", []byte(graph), "-json", "-frac", "0.05", "-seed", "7", "-")
+	js2, _ := runTool(t, "orpfault", []byte(graph), "-json", "-frac", "0.05", "-seed", "7", "-")
+	if js1 != js2 {
+		t.Fatal("orpfault -json not deterministic for a fixed seed")
+	}
+	var rep struct {
+		Pristine struct {
+			HASPL float64 `json:"haspl"`
+		} `json:"pristine"`
+		Degraded struct {
+			SurvivingHASPL float64 `json:"survivingHASPL"`
+		} `json:"degraded"`
+		FailedLinks int `json:"failedLinks"`
+	}
+	if err := json.Unmarshal([]byte(js1), &rep); err != nil {
+		t.Fatalf("orpfault -json not parseable: %v\n%s", err, js1)
+	}
+	if rep.FailedLinks != 4 || rep.Degraded.SurvivingHASPL < rep.Pristine.HASPL {
+		t.Fatalf("orpfault -json wrong content: %+v", rep)
+	}
+}
+
+func TestCLIFaultSweepAndRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "hypercube", "-dims", "5", "-n", "64", "-q")
+	out, _ := runTool(t, "orpfault", []byte(graph), "-sweep", "-trials", "4", "-fracs", "0,0.1", "-")
+	if !strings.Contains(out, "resilience sweep") || !strings.Contains(out, "pristine h-ASPL") {
+		t.Fatalf("orpfault -sweep output wrong:\n%s", out)
+	}
+
+	dir := t.TempDir()
+	svgFile := filepath.Join(dir, "deg.svg")
+	out2, _ := runTool(t, "orpfault", []byte(graph),
+		"-model", "links", "-frac", "0.08", "-repair", "-svg", svgFile, "-")
+	if !strings.Contains(out2, "repaired h-ASPL") {
+		t.Fatalf("orpfault -repair output wrong:\n%s", out2)
+	}
+	svg, err := os.ReadFile(svgFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "stroke-dasharray") {
+		t.Fatal("degraded SVG does not highlight failed links")
 	}
 }

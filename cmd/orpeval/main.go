@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	orpeval [-bandwidth] [-phys] graph.hsg
+//	orpeval [-bandwidth] [-phys] [-json] [-workers N] graph.hsg
 //	orpsolve -n 128 -r 24 | orpeval -
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/bounds"
+	"repro/internal/fault"
 	"repro/internal/hsgraph"
 	"repro/internal/partition"
 	"repro/internal/phys"
@@ -29,6 +31,8 @@ func main() {
 		svgOut        = flag.String("svg", "", "write an SVG rendering to this file")
 		dotHosts      = flag.Bool("dothosts", false, "include host vertices in the DOT output")
 		seed          = flag.Uint64("seed", 1, "partitioner seed")
+		workers       = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
+		jsonOut       = flag.Bool("json", false, "emit the fault.GraphReport JSON schema instead of text")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,7 +59,16 @@ func main() {
 		os.Exit(1)
 	}
 	n, m, r := g.Order(), g.Switches(), g.Radix()
-	met := g.Evaluate()
+	met := g.EvaluateParallel(*workers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fault.NewGraphReport(g, met)); err != nil {
+			fmt.Fprintf(os.Stderr, "orpeval: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("order (hosts)     %d\n", n)
 	fmt.Printf("switches          %d (used on shortest paths: %d)\n", m, g.UsedSwitches())
 	fmt.Printf("radix             %d\n", r)

@@ -10,6 +10,7 @@
 //	orpfigures -fig 9                     # torus comparison (a-d)
 //	orpfigures -fig 10                    # dragonfly comparison (a-d)
 //	orpfigures -fig 11                    # fat-tree comparison (a-d)
+//	orpfigures -fig resilience            # degradation under random failures
 //	orpfigures -fig all
 //
 // By default the experiments run at a reduced scale so a full regeneration
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11 or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, ablation, resilience or all")
 		n       = flag.Int("n", 0, "order override for figs 5-8")
 		r       = flag.Int("r", 0, "radix override for figs 5-8")
 		paper   = flag.Bool("paper", false, "paper-scale parameters (slow)")
@@ -165,6 +166,23 @@ func main() {
 		run(id, func() error { return comparison(kind, o) })
 	}
 	run("ablation", func() error { return ablations(o) })
+	run("resilience", func() error { return resilience(o) })
+}
+
+// resilience prints the beyond-the-paper degradation sweep: proposed vs
+// the paper's conventional baselines under random link failures.
+func resilience(o figures.Options) error {
+	ro := figures.ResilienceOptions{}
+	if o.SAIterations < 100000 { // reduced scale: fewer trials per point
+		ro.Trials = 8
+	}
+	stretch, reach, err := figures.Resilience(ro, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stretch.Format())
+	fmt.Println(reach.Format())
+	return nil
 }
 
 // ablations prints the beyond-the-paper design-choice studies.

@@ -25,6 +25,7 @@ func main() {
 		iters      = flag.Int("iters", 20000, "local search iterations")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		dry        = flag.Bool("dry", false, "only report costs; do not write the remapped graph")
+		workers    = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
 	)
 	flag.Parse()
 	if *matrixFile == "" || flag.NArg() != 1 {
@@ -65,6 +66,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	met := g.EvaluateParallel(*workers)
+	fmt.Fprintf(os.Stderr, "graph h-ASPL: %.6f (diameter %d)\n", met.HASPL, met.Diameter)
 	fmt.Fprintf(os.Stderr, "traffic-weighted hops: %.4g -> %.4g (%.1f%% saved)\n",
 		before, after, 100*(1-after/before))
 	if *dry {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/hsgraph"
 	"repro/internal/mpi"
@@ -22,11 +24,13 @@ import (
 
 func main() {
 	var (
-		bench = flag.String("bench", "EP", "benchmark: EP IS FT CG MG LU BT SP")
-		class = flag.String("class", "S", "NPB class: S, A or B")
-		ranks = flag.Int("ranks", 16, "MPI ranks (power of two; square for BT/SP)")
-		iters = flag.Int("iters", 0, "override iteration count (0 = class default)")
-		flops = flag.Float64("gflops", 100, "host speed in GFlops (paper: 100)")
+		bench    = flag.String("bench", "EP", "benchmark: EP IS FT CG MG LU BT SP")
+		class    = flag.String("class", "S", "NPB class: S, A or B")
+		ranks    = flag.Int("ranks", 16, "MPI ranks (power of two; square for BT/SP)")
+		iters    = flag.Int("iters", 0, "override iteration count (0 = class default)")
+		flops    = flag.Float64("gflops", 100, "host speed in GFlops (paper: 100)")
+		workers  = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
+		linkdown = flag.String("linkdown", "", "mid-run link failures, e.g. '0.001:3-7,0.002:1-2' (time:switchA-switchB)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,15 +69,58 @@ func main() {
 	if *iters > 0 {
 		spec.Iterations = *iters
 	}
-	stats, err := mpi.Run(nw, *ranks, mpi.Config{FlopsPerHost: *flops * 1e9}, spec.Program())
+	cfg := mpi.Config{FlopsPerHost: *flops * 1e9}
+	if *linkdown != "" {
+		downs, err := parseLinkDowns(*linkdown)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.LinkDowns = downs
+	}
+	stats, err := mpi.Run(nw, *ranks, cfg, spec.Program())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
 		os.Exit(1)
 	}
+	met := g.EvaluateParallel(*workers)
 	fmt.Printf("benchmark        %s class %s, %d ranks, %d iterations\n", *bench, *class, *ranks, spec.Iterations)
 	fmt.Printf("network          n=%d m=%d r=%d\n", g.Order(), g.Switches(), g.Radix())
+	fmt.Printf("h-ASPL           %.6f (diameter %d)\n", met.HASPL, met.Diameter)
 	fmt.Printf("simulated time   %.6f s\n", stats.Elapsed)
 	fmt.Printf("Mop/s            %.1f\n", spec.NominalOps()/stats.Elapsed/1e6)
 	fmt.Printf("flows            %d\n", stats.FlowsCompleted)
+	if stats.FlowsFailed > 0 {
+		fmt.Printf("flows failed     %d (link failures cut their routes)\n", stats.FlowsFailed)
+	}
 	fmt.Printf("bytes moved      %.3e\n", stats.BytesMoved)
+}
+
+// parseLinkDowns parses "time:a-b,time:a-b" link-failure schedules.
+func parseLinkDowns(spec string) ([]mpi.LinkDown, error) {
+	var out []mpi.LinkDown
+	for _, part := range strings.Split(spec, ",") {
+		at, pair, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -linkdown entry %q (want time:a-b)", part)
+		}
+		sa, sb, ok := strings.Cut(pair, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad -linkdown entry %q (want time:a-b)", part)
+		}
+		t, err := strconv.ParseFloat(at, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -linkdown time %q: %v", at, err)
+		}
+		a, err := strconv.Atoi(sa)
+		if err != nil {
+			return nil, fmt.Errorf("bad -linkdown switch %q: %v", sa, err)
+		}
+		b, err := strconv.Atoi(sb)
+		if err != nil {
+			return nil, fmt.Errorf("bad -linkdown switch %q: %v", sb, err)
+		}
+		out = append(out, mpi.LinkDown{At: t, A: a, B: b})
+	}
+	return out, nil
 }

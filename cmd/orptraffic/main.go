@@ -31,6 +31,7 @@ func main() {
 		mtu      = flag.Float64("mtu", 0, "packet size for -packet (0 = default)")
 		seed     = flag.Uint64("seed", 1, "seed for randomized patterns")
 		hotlinks = flag.Bool("hotlinks", false, "print the 10 most loaded links under the chosen pattern")
+		workers  = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,6 +55,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	met := g.EvaluateParallel(*workers)
+	fmt.Printf("graph: n=%d m=%d r=%d h-ASPL=%.6f diameter=%d\n",
+		g.Order(), g.Switches(), g.Radix(), met.HASPL, met.Diameter)
 	opts := traffic.RunOptions{MessageBytes: *bytes, Rounds: *rounds, Packet: *packet, MTU: *mtu}
 
 	var patterns []traffic.Pattern

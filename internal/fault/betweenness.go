@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/hsgraph"
+)
+
+// EdgeBetweenness ranks the switch-switch edges of g by descending edge
+// betweenness centrality (Brandes 2001), computed on the unweighted switch
+// graph with every switch as a source. Ties break on the canonical edge
+// order so the ranking is fully deterministic. The returned pairs are
+// normalised a <= b.
+func EdgeBetweenness(g *hsgraph.Graph) [][2]int32 {
+	m := g.Switches()
+	score := make(map[[2]int32]float64, g.NumEdges())
+	edges := sortedEdges(g)
+	for _, e := range edges {
+		score[e] = 0
+	}
+
+	dist := make([]int32, m)
+	sigma := make([]float64, m) // shortest-path counts
+	delta := make([]float64, m) // dependency accumulators
+	order := make([]int32, 0, m)
+	queue := make([]int32, 0, m)
+
+	for s := 0; s < m; s++ {
+		for i := 0; i < m; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		order = order[:0]
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, u := range g.Neighbors(int(v)) {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+				if dist[u] == dist[v]+1 {
+					sigma[u] += sigma[v]
+				}
+			}
+		}
+		// Walk vertices in reverse BFS order, pushing dependencies down
+		// the shortest-path DAG and charging each DAG edge.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range g.Neighbors(int(w)) {
+				if dist[v] != dist[w]-1 {
+					continue
+				}
+				c := sigma[v] / sigma[w] * (1 + delta[w])
+				delta[v] += c
+				key := [2]int32{v, w}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				score[key] += c
+			}
+		}
+	}
+
+	sort.SliceStable(edges, func(i, j int) bool {
+		si, sj := score[edges[i]], score[edges[j]]
+		if si != sj {
+			return si > sj
+		}
+		return edges[i][0] < edges[j][0] ||
+			(edges[i][0] == edges[j][0] && edges[i][1] < edges[j][1])
+	})
+	return edges
+}

@@ -1,0 +1,299 @@
+// Package fault injects component failures into host-switch graphs and
+// measures the resulting degradation. It provides deterministic failure
+// models (uniform random link/switch failures, correlated cable-bundle
+// failures driven by the phys floorplan, and targeted highest-betweenness
+// attacks), derives a degraded hsgraph.Graph from a pristine one, and runs
+// Monte-Carlo resilience sweeps over failure fractions with bootstrap
+// confidence intervals. Resilience is a first-class evaluation axis for
+// low-diameter topologies (Besta & Hoefler, SC'14); this package adds that
+// axis to the ORP reproduction.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hsgraph"
+	"repro/internal/phys"
+	"repro/internal/rng"
+)
+
+// Scenario is a set of component failures to apply to a graph. Switch
+// failures subsume the links incident to the switch; listing such a link
+// explicitly is allowed and has no extra effect.
+type Scenario struct {
+	Links    [][2]int32 // failed switch-switch edges (unordered pairs)
+	Switches []int32    // failed switches (all their ports go down)
+}
+
+// Empty reports whether the scenario fails nothing.
+func (sc Scenario) Empty() bool { return len(sc.Links) == 0 && len(sc.Switches) == 0 }
+
+// Model selects a failure-sampling strategy.
+type Model int
+
+const (
+	// UniformLinks fails a fraction of switch-switch edges uniformly at
+	// random — the classic random-cable-cut model.
+	UniformLinks Model = iota
+	// UniformSwitches fails a fraction of switches uniformly at random;
+	// every port of a failed switch goes down and its hosts detach.
+	UniformSwitches
+	// Bundles fails correlated cable bundles: inter-cabinet edges are
+	// grouped by cabinet pair under the phys default floorplan, and whole
+	// bundles fail together until the requested link fraction is reached.
+	// This models a severed conduit taking out every cable routed
+	// through it.
+	Bundles
+	// Targeted fails the links of highest edge betweenness (an informed
+	// adversary, or equivalently the most-loaded cables wearing out
+	// first). Deterministic given the graph; the seed only breaks ties.
+	Targeted
+)
+
+// String returns the CLI name of the model.
+func (m Model) String() string {
+	switch m {
+	case UniformLinks:
+		return "links"
+	case UniformSwitches:
+		return "switches"
+	case Bundles:
+		return "bundles"
+	case Targeted:
+		return "targeted"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel maps a CLI name to a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "links":
+		return UniformLinks, nil
+	case "switches":
+		return UniformSwitches, nil
+	case "bundles":
+		return Bundles, nil
+	case "targeted":
+		return Targeted, nil
+	}
+	return 0, fmt.Errorf("fault: unknown model %q (want links|switches|bundles|targeted)", s)
+}
+
+// Sample draws a failure scenario from the model. fraction is the share of
+// the model's component population to fail (links for UniformLinks,
+// Bundles and Targeted; switches for UniformSwitches), clamped to [0, 1].
+// The count is rounded to the nearest integer so a sweep over fractions
+// hits every population size. Sampling is a pure function of (g, fraction,
+// seed): the same inputs always yield the same scenario.
+func Sample(g *hsgraph.Graph, m Model, fraction float64, seed uint64) (Scenario, error) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	switch m {
+	case UniformLinks:
+		return sampleLinks(g, fraction, seed), nil
+	case UniformSwitches:
+		return sampleSwitches(g, fraction, seed), nil
+	case Bundles:
+		return sampleBundles(g, fraction, seed), nil
+	case Targeted:
+		return targetBetweenness(g, fraction, seed), nil
+	}
+	return Scenario{}, fmt.Errorf("fault: unknown model %v", m)
+}
+
+// round half-up; count of components to fail.
+func failCount(population int, fraction float64) int {
+	k := int(fraction*float64(population) + 0.5)
+	if k > population {
+		k = population
+	}
+	return k
+}
+
+func sampleLinks(g *hsgraph.Graph, fraction float64, seed uint64) Scenario {
+	edges := sortedEdges(g)
+	k := failCount(len(edges), fraction)
+	rnd := rng.New(seed)
+	rnd.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return Scenario{Links: canonLinks(edges[:k])}
+}
+
+func sampleSwitches(g *hsgraph.Graph, fraction float64, seed uint64) Scenario {
+	m := g.Switches()
+	k := failCount(m, fraction)
+	perm := rng.New(seed).Perm(m)
+	sw := make([]int32, k)
+	for i := 0; i < k; i++ {
+		sw[i] = int32(perm[i])
+	}
+	sort.Slice(sw, func(i, j int) bool { return sw[i] < sw[j] })
+	return Scenario{Switches: sw}
+}
+
+// sampleBundles groups inter-cabinet edges into bundles by (cabinet,
+// cabinet) pair under the phys default layout, shuffles the bundles, and
+// fails whole bundles until at least failCount links are down.
+// Intra-cabinet edges are short independent cables and never join a
+// bundle; they fill the tail only if every bundle is already failed.
+func sampleBundles(g *hsgraph.Graph, fraction float64, seed uint64) Scenario {
+	layout := phys.DefaultLayout(g, phys.NewParams())
+	type bundle struct {
+		key   [2]int32
+		edges [][2]int32
+	}
+	byPair := make(map[[2]int32]*bundle)
+	var keys [][2]int32
+	var intra [][2]int32
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i)
+		ca, cb := layout.CabinetOf[a], layout.CabinetOf[b]
+		if ca == cb {
+			intra = append(intra, [2]int32{int32(a), int32(b)})
+			continue
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		key := [2]int32{ca, cb}
+		bu := byPair[key]
+		if bu == nil {
+			bu = &bundle{key: key}
+			byPair[key] = bu
+			keys = append(keys, key)
+		}
+		bu.edges = append(bu.edges, [2]int32{int32(a), int32(b)})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	rnd := rng.New(seed)
+	rnd.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	want := failCount(g.NumEdges(), fraction)
+	var failed [][2]int32
+	for _, key := range keys {
+		if len(failed) >= want {
+			break
+		}
+		failed = append(failed, byPair[key].edges...)
+	}
+	// All bundles down but quota unmet: fall back to random intra-cabinet
+	// cables so fraction=1 still fails everything.
+	if len(failed) < want {
+		rnd.Shuffle(len(intra), func(i, j int) { intra[i], intra[j] = intra[j], intra[i] })
+		failed = append(failed, intra[:want-len(failed)]...)
+	}
+	return Scenario{Links: canonLinks(failed)}
+}
+
+// targetBetweenness fails the failCount links of highest edge betweenness
+// in the pristine graph (single shot, not recomputed between removals).
+// Ties break on the canonical edge order, so the result is deterministic;
+// the seed is unused but kept for signature symmetry.
+func targetBetweenness(g *hsgraph.Graph, fraction float64, _ uint64) Scenario {
+	k := failCount(g.NumEdges(), fraction)
+	if k == 0 {
+		return Scenario{}
+	}
+	ranked := EdgeBetweenness(g)
+	return Scenario{Links: canonLinks(ranked[:k])}
+}
+
+// sortedEdges returns the edge list in canonical (a, b) ascending order,
+// independent of the graph's mutation history.
+func sortedEdges(g *hsgraph.Graph) [][2]int32 {
+	edges := make([][2]int32, g.NumEdges())
+	for i := range edges {
+		a, b := g.Edge(i)
+		edges[i] = [2]int32{int32(a), int32(b)}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return edges[i][0] < edges[j][0] || (edges[i][0] == edges[j][0] && edges[i][1] < edges[j][1])
+	})
+	return edges
+}
+
+// canonLinks normalises each pair to a <= b and sorts the list.
+func canonLinks(links [][2]int32) [][2]int32 {
+	out := make([][2]int32, len(links))
+	for i, e := range links {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		out[i] = e
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i][0] < out[j][0] || (out[i][0] == out[j][0] && out[i][1] < out[j][1])
+	})
+	return out
+}
+
+// Degraded is the result of applying a Scenario to a graph.
+type Degraded struct {
+	Graph         *hsgraph.Graph // the surviving fabric (failed edges removed, hosts of failed switches detached)
+	Scenario      Scenario       // the applied failures (normalised)
+	FailedLinks   int            // distinct links removed, including those lost to switch failures
+	DetachedHosts []int          // hosts whose switch failed; they reach nothing
+}
+
+// Apply clones g and removes the scenario's components. Failed switches
+// stay as vertices (so indices keep their meaning for vis and routing) but
+// lose every link and host. Links already listed under a failed switch are
+// counted once. Apply never mutates g.
+func Apply(g *hsgraph.Graph, sc Scenario) (*Degraded, error) {
+	d := &Degraded{Graph: g.Clone()}
+	dg := d.Graph
+	m := g.Switches()
+	downSwitch := make([]bool, m)
+	for _, s := range sc.Switches {
+		if s < 0 || int(s) >= m {
+			return nil, fmt.Errorf("fault: switch %d out of range [0,%d)", s, m)
+		}
+		if downSwitch[s] {
+			continue
+		}
+		downSwitch[s] = true
+		for dg.SwitchDegree(int(s)) > 0 {
+			nb := int(dg.Neighbors(int(s))[0])
+			if err := dg.Disconnect(int(s), nb); err != nil {
+				return nil, err
+			}
+			d.FailedLinks++
+		}
+		for dg.HostCount(int(s)) > 0 {
+			h := dg.AnyHostOn(int(s))
+			if err := dg.DetachHost(h); err != nil {
+				return nil, err
+			}
+			d.DetachedHosts = append(d.DetachedHosts, h)
+		}
+	}
+	for _, e := range sc.Links {
+		a, b := int(e[0]), int(e[1])
+		if a < 0 || a >= m || b < 0 || b >= m {
+			return nil, fmt.Errorf("fault: link {%d,%d} out of range [0,%d)", a, b, m)
+		}
+		if !dg.HasEdge(a, b) {
+			if g.HasEdge(a, b) {
+				continue // already removed by a failed endpoint switch
+			}
+			return nil, fmt.Errorf("fault: link {%d,%d} does not exist", a, b)
+		}
+		if err := dg.Disconnect(a, b); err != nil {
+			return nil, err
+		}
+		d.FailedLinks++
+	}
+	sort.Ints(d.DetachedHosts)
+	d.Scenario = Scenario{Links: canonLinks(sc.Links), Switches: append([]int32(nil), sc.Switches...)}
+	sort.Slice(d.Scenario.Switches, func(i, j int) bool {
+		return d.Scenario.Switches[i] < d.Scenario.Switches[j]
+	})
+	return d, nil
+}

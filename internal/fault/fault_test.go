@@ -1,0 +1,326 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+func testGraph(t *testing.T, seed uint64, n, m, r int) *hsgraph.Graph {
+	t.Helper()
+	g, err := hsgraph.RandomConnected(n, m, r, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestZeroFailureIdentity: a 0%-failure scenario must be metric-identical
+// to the pristine graph under every model, and Apply must not mutate the
+// input.
+func TestZeroFailureIdentity(t *testing.T) {
+	g := testGraph(t, 11, 96, 24, 8)
+	pristine := g.Evaluate()
+	for _, model := range []Model{UniformLinks, UniformSwitches, Bundles, Targeted} {
+		sc, err := Sample(g, model, 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Empty() {
+			t.Fatalf("%v: 0%% fraction sampled non-empty scenario %+v", model, sc)
+		}
+		d, err := Apply(g, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Graph.Evaluate(); got != pristine {
+			t.Fatalf("%v: degraded metrics %+v != pristine %+v", model, got, pristine)
+		}
+		if d.FailedLinks != 0 || len(d.DetachedHosts) != 0 {
+			t.Fatalf("%v: zero scenario reported failures: %+v", model, d)
+		}
+	}
+	if again := g.Evaluate(); again != pristine {
+		t.Fatal("Apply mutated the input graph")
+	}
+}
+
+// TestDegradedAgreesWithScratch: metrics of the degraded graph reported
+// through fault.Measure must agree with recomputing hsgraph metrics from
+// scratch on an independently mutated copy.
+func TestDegradedAgreesWithScratch(t *testing.T) {
+	rnd := rng.New(77)
+	ev := hsgraph.NewEvaluator(3)
+	defer ev.Close()
+	for trial := 0; trial < 30; trial++ {
+		var n, m, r int
+		for {
+			n, m, r = 40+rnd.Intn(120), 10+rnd.Intn(30), 6+rnd.Intn(6)
+			if hsgraph.Feasible(n, m, r) {
+				break
+			}
+		}
+		g := testGraph(t, uint64(1000+trial), n, m, r)
+		model := []Model{UniformLinks, UniformSwitches, Bundles, Targeted}[trial%4]
+		frac := []float64{0.02, 0.05, 0.1, 0.2}[rnd.Intn(4)]
+		sc, err := Sample(g, model, frac, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Apply(g, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Rebuild the mutation independently of Apply's bookkeeping.
+		scratch := g.Clone()
+		for _, s := range sc.Switches {
+			for scratch.SwitchDegree(int(s)) > 0 {
+				nb := int(scratch.Neighbors(int(s))[0])
+				if err := scratch.Disconnect(int(s), nb); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for scratch.HostCount(int(s)) > 0 {
+				if err := scratch.DetachHost(scratch.AnyHostOn(int(s))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, e := range sc.Links {
+			if scratch.HasEdge(int(e[0]), int(e[1])) {
+				if err := scratch.Disconnect(int(e[0]), int(e[1])); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := scratch.EvaluateSlow()
+		res := Measure(g.Evaluate(), d, ev)
+		if res.Degraded != want {
+			t.Fatalf("trial %d %v f=%.2f: Measure degraded %+v != scratch %+v",
+				trial, model, frac, res.Degraded, want)
+		}
+		if got := d.Graph.EvaluateSlow(); got != want {
+			t.Fatalf("trial %d: Apply graph %+v != scratch graph %+v", trial, got, want)
+		}
+		if want.ReachablePairs > 0 {
+			scratchHASPL := float64(want.TotalPath) / float64(want.ReachablePairs)
+			if res.SurvivingHASPL != scratchHASPL {
+				t.Fatalf("trial %d: SurvivingHASPL %v != %v", trial, res.SurvivingHASPL, scratchHASPL)
+			}
+		}
+	}
+}
+
+// TestSampleDeterministic pins that sampling is a pure function of
+// (graph, fraction, seed) and that different seeds move the scenario.
+func TestSampleDeterministic(t *testing.T) {
+	g := testGraph(t, 5, 128, 32, 10)
+	for _, model := range []Model{UniformLinks, UniformSwitches, Bundles, Targeted} {
+		a, err := Sample(g, model, 0.1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Sample(g, model, 0.1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Links) != len(b.Links) || len(a.Switches) != len(b.Switches) {
+			t.Fatalf("%v: same seed, different scenario sizes", model)
+		}
+		for i := range a.Links {
+			if a.Links[i] != b.Links[i] {
+				t.Fatalf("%v: same seed, different links", model)
+			}
+		}
+		for i := range a.Switches {
+			if a.Switches[i] != b.Switches[i] {
+				t.Fatalf("%v: same seed, different switches", model)
+			}
+		}
+	}
+}
+
+// TestSampleFractions checks the failed-component counts track the
+// requested fraction for the link-population models.
+func TestSampleFractions(t *testing.T) {
+	g := testGraph(t, 3, 256, 64, 12)
+	e := g.NumEdges()
+	for _, frac := range []float64{0.05, 0.10, 0.20} {
+		want := int(frac*float64(e) + 0.5)
+		for _, model := range []Model{UniformLinks, Targeted} {
+			sc, err := Sample(g, model, frac, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sc.Links) != want {
+				t.Fatalf("%v f=%.2f: %d links failed, want %d", model, frac, len(sc.Links), want)
+			}
+		}
+		// Bundles fail in whole groups: at least the quota, never more
+		// than quota + the largest bundle could overshoot by.
+		sc, err := Sample(g, Bundles, frac, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Links) < want {
+			t.Fatalf("bundles f=%.2f: %d links failed, want >= %d", frac, len(sc.Links), want)
+		}
+	}
+	// Full failure takes everything down in every link model.
+	for _, model := range []Model{UniformLinks, Bundles, Targeted} {
+		sc, err := Sample(g, model, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Links) != e {
+			t.Fatalf("%v f=1: %d links failed, want all %d", model, len(sc.Links), e)
+		}
+	}
+}
+
+// TestSwitchFailureDetachesHosts checks switch failures remove the
+// switch's links and hosts, and that degraded metrics count the detached
+// hosts as unreachable.
+func TestSwitchFailureDetachesHosts(t *testing.T) {
+	g := testGraph(t, 9, 64, 16, 8)
+	sc := Scenario{Switches: []int32{3}}
+	d, err := Apply(g, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.SwitchDegree(3) != 0 || d.Graph.HostCount(3) != 0 {
+		t.Fatal("failed switch kept links or hosts")
+	}
+	if len(d.DetachedHosts) != g.HostCount(3) {
+		t.Fatalf("detached %d hosts, switch carried %d", len(d.DetachedHosts), g.HostCount(3))
+	}
+	met := d.Graph.Evaluate()
+	if met.Connected && g.HostCount(3) > 0 {
+		t.Fatal("graph with detached hosts reported connected")
+	}
+	if DisconnectedHosts(d.Graph) < len(d.DetachedHosts) {
+		t.Fatal("DisconnectedHosts missed the detached hosts")
+	}
+}
+
+// TestEdgeBetweennessBridge: on a barbell (two cliques joined by one
+// bridge) the bridge must rank first.
+func TestEdgeBetweennessBridge(t *testing.T) {
+	// Two K4s on switches 0-3 and 4-7, bridge 3-4. Radix 8 leaves room.
+	g := hsgraph.New(8, 8, 8)
+	for h := 0; h < 8; h++ {
+		if err := g.AttachHost(h, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clique := func(lo int) {
+		for a := lo; a < lo+4; a++ {
+			for b := a + 1; b < lo+4; b++ {
+				if err := g.Connect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	clique(0)
+	clique(4)
+	if err := g.Connect(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	ranked := EdgeBetweenness(g)
+	if ranked[0] != [2]int32{3, 4} {
+		t.Fatalf("bridge not ranked first: %v", ranked[0])
+	}
+	// Targeted attack at minimal fraction must cut exactly the bridge.
+	sc, err := Sample(g, Targeted, 1.0/float64(g.NumEdges()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Links) != 1 || sc.Links[0] != [2]int32{3, 4} {
+		t.Fatalf("targeted attack missed the bridge: %+v", sc)
+	}
+	d, err := Apply(g, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DisconnectedHosts(d.Graph) != 4 {
+		t.Fatalf("bridge cut should strand 4 hosts, got %d", DisconnectedHosts(d.Graph))
+	}
+}
+
+// TestSweepDeterministicAndMonotone: the sweep is reproducible and the
+// zero point matches the pristine metrics exactly.
+func TestSweepDeterministicAndMonotone(t *testing.T) {
+	g := testGraph(t, 21, 128, 32, 10)
+	o := SweepOptions{
+		Model:     UniformLinks,
+		Fractions: []float64{0, 0.05, 0.15},
+		Trials:    8,
+		Seed:      7,
+		Resamples: 200,
+	}
+	a, err := Sweep(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 2 // different parallelism must not change the numbers
+	b, err := Sweep(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across worker counts:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	pristine := g.Evaluate()
+	p0 := a[0]
+	if p0.SurvivingHASPL.Mean != pristine.HASPL || p0.ConnectedTrials != o.Trials {
+		t.Fatalf("zero point %+v does not match pristine %+v", p0, pristine)
+	}
+	if p0.HASPLLo != pristine.HASPL || p0.HASPLHi != pristine.HASPL {
+		t.Fatalf("zero point CI [%v,%v] should collapse to %v", p0.HASPLLo, p0.HASPLHi, pristine.HASPL)
+	}
+	// More failures cannot shrink the surviving h-ASPL on average here.
+	if a[1].SurvivingHASPL.Mean < pristine.HASPL {
+		t.Fatalf("5%% failures improved h-ASPL: %v < %v", a[1].SurvivingHASPL.Mean, pristine.HASPL)
+	}
+	if a[2].HASPLLo > a[2].HASPLHi {
+		t.Fatal("bootstrap CI inverted")
+	}
+}
+
+// TestGraphReportSchema pins the shared JSON field values on a degraded
+// graph.
+func TestGraphReportSchema(t *testing.T) {
+	g := testGraph(t, 2, 32, 8, 6)
+	met := g.Evaluate()
+	rep := NewGraphReport(g, met)
+	if rep.Order != 32 || rep.Switches != 8 || rep.Radix != 6 || rep.Links != g.NumEdges() {
+		t.Fatalf("bad shape fields: %+v", rep)
+	}
+	if !rep.Connected || rep.HASPL != met.HASPL || rep.SurvivingHASPL != met.HASPL || rep.ReachableFrac != 1 {
+		t.Fatalf("connected report inconsistent: %+v", rep)
+	}
+	sc, err := Sample(g, UniformSwitches, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Apply(g, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmet := d.Graph.Evaluate()
+	drep := NewGraphReport(d.Graph, dmet)
+	if dmet.Connected {
+		t.Skip("scenario did not disconnect the graph")
+	}
+	if drep.HASPL != -1 || drep.Connected {
+		t.Fatalf("disconnected report should flag HASPL=-1: %+v", drep)
+	}
+	if drep.ReachableFrac >= 1 || drep.SurvivingHASPL <= 0 {
+		t.Fatalf("degraded report fields unset: %+v", drep)
+	}
+}

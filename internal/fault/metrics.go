@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"repro/internal/hsgraph"
+)
+
+// Result compares a degraded graph against its pristine baseline.
+type Result struct {
+	Pristine hsgraph.Metrics
+	Degraded hsgraph.Metrics
+
+	FailedLinks       int // links removed (incl. those of failed switches)
+	FailedSwitches    int
+	DetachedHosts     int // hosts whose switch failed
+	DisconnectedHosts int // hosts outside the largest surviving component
+
+	// SurvivingHASPL is TotalPath / ReachablePairs on the degraded graph:
+	// the h-ASPL over host pairs that can still communicate. On a
+	// connected degraded graph it equals Degraded.HASPL.
+	SurvivingHASPL float64
+	// ReachableFrac is the share of the pristine C(n,2) host pairs that
+	// remain mutually reachable.
+	ReachableFrac float64
+	// Stretch is SurvivingHASPL / Pristine.HASPL: the relative latency
+	// penalty paid by the pairs that survive.
+	Stretch float64
+}
+
+// Measure evaluates the degradation of d against the pristine metrics.
+// ev may be shared across calls (it is only used for the degraded graph);
+// pass the pristine metrics from one up-front evaluation so sweeps do not
+// re-evaluate the baseline per trial.
+func Measure(pristine hsgraph.Metrics, d *Degraded, ev *hsgraph.Evaluator) Result {
+	met := ev.Evaluate(d.Graph)
+	res := Result{
+		Pristine:          pristine,
+		Degraded:          met,
+		FailedLinks:       d.FailedLinks,
+		FailedSwitches:    len(d.Scenario.Switches),
+		DetachedHosts:     len(d.DetachedHosts),
+		DisconnectedHosts: DisconnectedHosts(d.Graph),
+	}
+	if met.ReachablePairs > 0 {
+		res.SurvivingHASPL = float64(met.TotalPath) / float64(met.ReachablePairs)
+	}
+	n := int64(d.Graph.Order())
+	if pairs := n * (n - 1) / 2; pairs > 0 {
+		res.ReachableFrac = float64(met.ReachablePairs) / float64(pairs)
+	} else {
+		res.ReachableFrac = 1
+	}
+	if pristine.HASPL > 0 && res.SurvivingHASPL > 0 {
+		res.Stretch = res.SurvivingHASPL / pristine.HASPL
+	}
+	return res
+}
+
+// DisconnectedHosts returns the number of hosts outside the largest
+// surviving component (by host population). Detached hosts count as
+// disconnected. On a connected graph it is zero.
+func DisconnectedHosts(g *hsgraph.Graph) int {
+	m := g.Switches()
+	comp := make([]int32, m)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, m)
+	best := 0
+	attached := 0
+	var nc int32
+	for s := 0; s < m; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = nc
+		queue = append(queue[:0], int32(s))
+		hostsIn := 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			hostsIn += g.HostCount(int(v))
+			for _, u := range g.Neighbors(int(v)) {
+				if comp[u] == -1 {
+					comp[u] = nc
+					queue = append(queue, u)
+				}
+			}
+		}
+		attached += hostsIn
+		if hostsIn > best {
+			best = hostsIn
+		}
+		nc++
+	}
+	// Unattached hosts are not in any component.
+	return g.Order() - best
+}

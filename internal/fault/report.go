@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"repro/internal/hsgraph"
+)
+
+// GraphReport is the machine-readable evaluation of one graph. It is the
+// single JSON schema shared by `orpeval -json` and `orpfault -json`, so
+// scripted sweeps can consume either tool's output with one parser.
+type GraphReport struct {
+	Order    int `json:"order"`
+	Switches int `json:"switches"`
+	Radix    int `json:"radix"`
+	Links    int `json:"links"`
+
+	HASPL          float64 `json:"haspl"` // -1 when disconnected
+	Diameter       int     `json:"diameter"`
+	Connected      bool    `json:"connected"`
+	TotalPath      int64   `json:"totalPath"`
+	ReachablePairs int64   `json:"reachablePairs"`
+
+	// SurvivingHASPL averages over reachable pairs only; it equals HASPL
+	// on connected graphs and stays finite on degraded ones.
+	SurvivingHASPL float64 `json:"survivingHASPL"`
+	ReachableFrac  float64 `json:"reachableFrac"`
+}
+
+// NewGraphReport packages a graph and its metrics for JSON output.
+func NewGraphReport(g *hsgraph.Graph, met hsgraph.Metrics) GraphReport {
+	rep := GraphReport{
+		Order:          g.Order(),
+		Switches:       g.Switches(),
+		Radix:          g.Radix(),
+		Links:          g.NumEdges(),
+		HASPL:          met.HASPL,
+		Diameter:       met.Diameter,
+		Connected:      met.Connected,
+		TotalPath:      met.TotalPath,
+		ReachablePairs: met.ReachablePairs,
+	}
+	if !met.Connected {
+		rep.HASPL = -1
+	}
+	if met.ReachablePairs > 0 {
+		rep.SurvivingHASPL = float64(met.TotalPath) / float64(met.ReachablePairs)
+	}
+	n := int64(g.Order())
+	if pairs := n * (n - 1) / 2; pairs > 0 {
+		rep.ReachableFrac = float64(met.ReachablePairs) / float64(pairs)
+	} else {
+		rep.ReachableFrac = 1
+	}
+	return rep
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// SweepOptions configures a Monte-Carlo resilience sweep.
+type SweepOptions struct {
+	Model     Model
+	Fractions []float64 // failure fractions to probe, e.g. 0, 0.05, ..., 0.20
+	Trials    int       // independent scenarios per fraction (default 20)
+	Seed      uint64    // base seed; every (fraction, trial) seed derives from it
+	Workers   int       // total goroutine budget (0 = GOMAXPROCS), split between trials and evaluator shards
+
+	Confidence float64 // bootstrap CI level (default 0.95)
+	Resamples  int     // bootstrap resamples (default 1000)
+}
+
+// SweepPoint aggregates the trials at one failure fraction.
+type SweepPoint struct {
+	Fraction float64
+	Trials   int
+
+	// SurvivingHASPL is the distribution of per-trial h-ASPL over still-
+	// reachable host pairs, with a bootstrap CI for its mean.
+	SurvivingHASPL         stats.Summary
+	HASPLLo, HASPLHi       float64
+	Stretch                stats.Summary // SurvivingHASPL / pristine h-ASPL
+	DisconnectedHosts      stats.Summary
+	ReachableFrac          stats.Summary
+	ConnectedTrials        int // trials where every host pair stayed reachable
+	WorstDegradedDiameter  int // max finite diameter seen across trials
+	MeanFailedLinks        float64
+	MeanFailedSwitches     float64
+	MeanDetachedHostsCount float64
+}
+
+// TrialSeed returns the deterministic seed of trial t at fraction index
+// fi for a sweep with the given base seed. Exposed so CLIs can replay a
+// single trial out of a sweep.
+func TrialSeed(base uint64, fi, t int) uint64 {
+	s := base ^ 0x5851f42d4c957f2d*uint64(fi+1) ^ 0x14057b7ef767814f*uint64(t+1)
+	return rng.SplitMix64(&s)
+}
+
+// Sweep runs Trials scenarios at every fraction and aggregates degradation
+// statistics. Trials are independent and run on a worker pool; each worker
+// owns an hsgraph.Evaluator whose shard count is the remaining share of
+// the goroutine budget, so small sweeps on large graphs still saturate the
+// machine. The output is a pure function of (g, o): scheduling never
+// changes the numbers, only the wall-clock.
+func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
+	if len(o.Fractions) == 0 {
+		return nil, fmt.Errorf("fault: sweep needs at least one fraction")
+	}
+	if o.Trials <= 0 {
+		o.Trials = 20
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.Resamples == 0 {
+		o.Resamples = 1000
+	}
+	pristine := g.EvaluateParallel(o.Workers)
+	if !pristine.Connected {
+		return nil, fmt.Errorf("fault: pristine graph is disconnected; refusing to sweep")
+	}
+
+	type job struct{ fi, t int }
+	jobs := make([]job, 0, len(o.Fractions)*o.Trials)
+	for fi := range o.Fractions {
+		for t := 0; t < o.Trials; t++ {
+			jobs = append(jobs, job{fi, t})
+		}
+	}
+	trialWorkers := o.Workers
+	if trialWorkers > len(jobs) {
+		trialWorkers = len(jobs)
+	}
+	evWorkers := o.Workers / trialWorkers
+	if evWorkers < 1 {
+		evWorkers = 1
+	}
+
+	results := make([]Result, len(jobs))
+	errs := make([]error, trialWorkers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < trialWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := hsgraph.NewEvaluator(evWorkers)
+			defer ev.Close()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jb := jobs[i]
+				sc, err := Sample(g, o.Model, o.Fractions[jb.fi], TrialSeed(o.Seed, jb.fi, jb.t))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				d, err := Apply(g, sc)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[i] = Measure(pristine, d, ev)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	points := make([]SweepPoint, len(o.Fractions))
+	for fi, frac := range o.Fractions {
+		pt := SweepPoint{Fraction: frac, Trials: o.Trials}
+		haspl := make([]float64, 0, o.Trials)
+		stretch := make([]float64, 0, o.Trials)
+		disc := make([]float64, 0, o.Trials)
+		reach := make([]float64, 0, o.Trials)
+		for t := 0; t < o.Trials; t++ {
+			r := results[fi*o.Trials+t]
+			haspl = append(haspl, r.SurvivingHASPL)
+			stretch = append(stretch, r.Stretch)
+			disc = append(disc, float64(r.DisconnectedHosts))
+			reach = append(reach, r.ReachableFrac)
+			if r.Degraded.Connected {
+				pt.ConnectedTrials++
+			}
+			if r.Degraded.Diameter > pt.WorstDegradedDiameter {
+				pt.WorstDegradedDiameter = r.Degraded.Diameter
+			}
+			pt.MeanFailedLinks += float64(r.FailedLinks)
+			pt.MeanFailedSwitches += float64(r.FailedSwitches)
+			pt.MeanDetachedHostsCount += float64(r.DetachedHosts)
+		}
+		nt := float64(o.Trials)
+		pt.MeanFailedLinks /= nt
+		pt.MeanFailedSwitches /= nt
+		pt.MeanDetachedHostsCount /= nt
+		pt.SurvivingHASPL = stats.Summarize(haspl)
+		pt.Stretch = stats.Summarize(stretch)
+		pt.DisconnectedHosts = stats.Summarize(disc)
+		pt.ReachableFrac = stats.Summarize(reach)
+		ciSeed := TrialSeed(o.Seed, fi, -7) // distinct from every trial seed
+		pt.HASPLLo, pt.HASPLHi = stats.BootstrapCI(haspl, o.Confidence, o.Resamples, ciSeed)
+		points[fi] = pt
+	}
+	return points, nil
+}
+
+// DefaultFractions is the 0-20% failure-fraction grid used by orpfault
+// -sweep and the resilience figure.
+func DefaultFractions() []float64 {
+	return []float64{0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20}
+}

@@ -1,0 +1,100 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/hsgraph"
+)
+
+// ResilienceOptions configures the beyond-the-paper resilience figure: a
+// Monte-Carlo degradation sweep of the proposed topology against the
+// conventional baselines at matched (n, r).
+type ResilienceOptions struct {
+	// Kinds are the baselines to degrade alongside the proposed topology.
+	// Default: torus, dragonfly, fattree (the paper's §6.3 head-to-heads).
+	Kinds []string
+	// Model is the failure model (default fault.UniformLinks).
+	Model fault.Model
+	// Fractions are the failure fractions (default fault.DefaultFractions).
+	Fractions []float64
+	// Trials per fraction (default 20).
+	Trials int
+}
+
+func (ro ResilienceOptions) withDefaults() ResilienceOptions {
+	if len(ro.Kinds) == 0 {
+		ro.Kinds = Kinds
+	}
+	if len(ro.Fractions) == 0 {
+		ro.Fractions = fault.DefaultFractions()
+	}
+	if ro.Trials == 0 {
+		ro.Trials = 20
+	}
+	return ro
+}
+
+// Resilience sweeps random failures over the proposed topology and the
+// conventional baselines and reports the mean relative h-ASPL stretch
+// (surviving h-ASPL / pristine h-ASPL) per failure fraction. A second
+// figure reports the mean fraction of host pairs still mutually
+// reachable. Each topology's proposed counterpart shares the SA budget of
+// the §6.3 comparisons, so the sweep degrades exactly the graphs the
+// performance figures evaluate.
+func Resilience(ro ResilienceOptions, o Options) (stretch, reach Figure, err error) {
+	ro = ro.withDefaults()
+	o = o.withDefaults()
+	stretch = Figure{
+		ID:     "fig-resilience-stretch",
+		Title:  fmt.Sprintf("h-ASPL stretch under %s failures (%d trials/point)", ro.Model, ro.Trials),
+		XLabel: "failure fraction",
+		YLabel: "surviving h-ASPL / pristine h-ASPL (mean)",
+	}
+	reach = Figure{
+		ID:     "fig-resilience-reach",
+		Title:  fmt.Sprintf("host-pair reachability under %s failures (%d trials/point)", ro.Model, ro.Trials),
+		XLabel: "failure fraction",
+		YLabel: "fraction of host pairs still connected (mean)",
+	}
+
+	type entry struct {
+		label string
+		g     *hsgraph.Graph
+	}
+	var entries []entry
+	seenProposed := map[int]bool{} // torus and dragonfly share r=15
+	for _, kind := range ro.Kinds {
+		c, err := BuildComparison(kind, o)
+		if err != nil {
+			return stretch, reach, err
+		}
+		entries = append(entries, entry{kind, c.Baseline})
+		if !seenProposed[c.R] {
+			seenProposed[c.R] = true
+			entries = append(entries, entry{fmt.Sprintf("proposed-r%d", c.R), c.Proposed})
+		}
+	}
+
+	for _, e := range entries {
+		points, err := fault.Sweep(e.g, fault.SweepOptions{
+			Model:     ro.Model,
+			Fractions: ro.Fractions,
+			Trials:    ro.Trials,
+			Seed:      o.Seed,
+			Workers:   o.Workers,
+		})
+		if err != nil {
+			return stretch, reach, fmt.Errorf("figures: resilience sweep of %s: %w", e.label, err)
+		}
+		sSt := Series{Label: e.label}
+		sRe := Series{Label: e.label}
+		for _, p := range points {
+			sSt.Points = append(sSt.Points, Point{X: p.Fraction, Y: p.Stretch.Mean})
+			sRe.Points = append(sRe.Points, Point{X: p.Fraction, Y: p.ReachableFrac.Mean})
+		}
+		stretch.Series = append(stretch.Series, sSt)
+		reach.Series = append(reach.Series, sRe)
+	}
+	return stretch, reach, nil
+}

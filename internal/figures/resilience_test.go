@@ -1,0 +1,49 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestResilienceFigure: a tiny sweep over one comparison kind produces
+// both figures, the zero-failure point is exactly 1.0 on every series,
+// and stretch grows (weakly) with the failure fraction.
+func TestResilienceFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resilience sweep in -short mode")
+	}
+	ro := ResilienceOptions{
+		Kinds:     []string{"fattree"},
+		Model:     fault.UniformLinks,
+		Fractions: []float64{0, 0.05},
+		Trials:    3,
+	}
+	stretch, reach, err := Resilience(ro, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fattree baseline + its proposed counterpart.
+	if len(stretch.Series) != 2 || len(reach.Series) != 2 {
+		t.Fatalf("want 2 series each, got %d and %d", len(stretch.Series), len(reach.Series))
+	}
+	for _, s := range stretch.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points, want 2", s.Label, len(s.Points))
+		}
+		if s.Points[0].X != 0 || s.Points[0].Y != 1 {
+			t.Fatalf("series %s zero-failure stretch = %v, want 1", s.Label, s.Points[0])
+		}
+		if s.Points[1].Y < 1 {
+			t.Fatalf("series %s stretch at 5%% failures is %v < 1", s.Label, s.Points[1].Y)
+		}
+	}
+	for _, s := range reach.Series {
+		if s.Points[0].Y != 1 {
+			t.Fatalf("series %s zero-failure reachability = %v, want 1", s.Label, s.Points[0].Y)
+		}
+		if y := s.Points[1].Y; y <= 0 || y > 1 {
+			t.Fatalf("series %s reachability at 5%% failures out of range: %v", s.Label, y)
+		}
+	}
+}

@@ -52,8 +52,9 @@ type evalShard struct {
 	next    []uint64
 	total   int64 // ordered weighted path sum over this worker's shards
 	reached int64 // ordered reachable (source, target) pairs
+	wpairs  int64 // ordered reachable host pairs (weighted by host counts)
 	diam    int
-	_       [24]byte // separate hot accumulators of adjacent workers
+	_       [16]byte // separate hot accumulators of adjacent workers
 }
 
 // NewEvaluator returns an Evaluator with the given number of shard
@@ -105,11 +106,14 @@ func (e *Evaluator) worker(id int) {
 // pool. Results are exactly equal (including the partial TotalPath of
 // disconnected graphs) for every worker count.
 func (e *Evaluator) Evaluate(g *Graph) Metrics {
-	total, diam, trivial := e.gather(g)
+	total, pairs, diam, allAttached, trivial := e.gather(g)
 	if trivial {
-		return g.finishMetrics(total, diam, len(e.srcs) > 0 || g.n <= 1)
+		if len(e.srcs) == 0 {
+			return g.finishMetrics(0, 0, 0, allAttached && g.n <= 1)
+		}
+		return g.finishMetrics(total, pairs, diam, allAttached)
 	}
-	return e.apsp(g, total, diam)
+	return e.apsp(g, total, pairs, diam, allAttached)
 }
 
 // Energy is the annealing hot path: it returns the total host-pair path
@@ -117,33 +121,40 @@ func (e *Evaluator) Evaluate(g *Graph) Metrics {
 // connectivity first, so moves that disconnect the switch graph fail in
 // O(edges) instead of paying the full all-pairs sweep.
 func (e *Evaluator) Energy(g *Graph) (int64, bool) {
-	total, diam, trivial := e.gather(g)
+	total, pairs, diam, allAttached, trivial := e.gather(g)
 	if trivial {
-		return total, len(e.srcs) > 0 || g.n <= 1
+		if len(e.srcs) == 0 {
+			return 0, allAttached && g.n <= 1
+		}
+		return total, allAttached
 	}
-	if !e.connectedQuick(g) {
+	if !allAttached || !e.connectedQuick(g) {
 		return 0, false
 	}
-	met := e.apsp(g, total, diam)
+	met := e.apsp(g, total, pairs, diam, allAttached)
 	return met.TotalPath, met.Connected
 }
 
 // gather collects the host-bearing switches into e.srcs and returns the
 // intra-switch contribution. trivial is true when no all-pairs sweep is
-// needed (zero or one host-bearing switch).
-func (e *Evaluator) gather(g *Graph) (total int64, diam int, trivial bool) {
+// needed (zero or one host-bearing switch). allAttached is false when
+// some host has no switch (which disconnects the graph).
+func (e *Evaluator) gather(g *Graph) (total, pairs int64, diam int, allAttached, trivial bool) {
 	e.srcs = e.srcs[:0]
+	var attached int64
 	for s := range g.adj {
 		k := int64(g.hosts[s])
 		if k > 0 {
 			e.srcs = append(e.srcs, int32(s))
+			attached += k
 			total += k * (k - 1) // 2 * C(k,2)
+			pairs += k * (k - 1) / 2
 			if k >= 2 && diam < 2 {
 				diam = 2
 			}
 		}
 	}
-	return total, diam, len(e.srcs) <= 1
+	return total, pairs, diam, attached == int64(g.n), len(e.srcs) <= 1
 }
 
 // connectedQuick reports whether every host-bearing switch is reachable
@@ -180,8 +191,9 @@ func (e *Evaluator) connectedQuick(g *Graph) bool {
 }
 
 // apsp runs the sharded bit-parallel all-pairs sweep and finishes the
-// metrics. total and diam carry the intra-switch contribution from gather.
-func (e *Evaluator) apsp(g *Graph, total int64, diam int) Metrics {
+// metrics. total, pairs and diam carry the intra-switch contribution from
+// gather.
+func (e *Evaluator) apsp(g *Graph, total, pairs int64, diam int, allAttached bool) Metrics {
 	n := len(e.srcs)
 	// Chunks hold at most 64 sources (one machine word); when the pool is
 	// wider than the word count, shrink chunks so every worker gets a shard.
@@ -199,6 +211,7 @@ func (e *Evaluator) apsp(g *Graph, total int64, diam int) Metrics {
 	for i := range e.shards {
 		e.shards[i].total = 0
 		e.shards[i].reached = 0
+		e.shards[i].wpairs = 0
 		e.shards[i].diam = 0
 	}
 	if e.workers == 1 || e.shardCount == 1 {
@@ -213,20 +226,22 @@ func (e *Evaluator) apsp(g *Graph, total int64, diam int) Metrics {
 		}
 	}
 	e.g = nil
-	var orderedSum, reachablePairs int64
+	var orderedSum, reachablePairs, orderedWeighted int64
 	for i := range e.shards {
 		orderedSum += e.shards[i].total
 		reachablePairs += e.shards[i].reached
+		orderedWeighted += e.shards[i].wpairs
 		if e.shards[i].diam > diam {
 			diam = e.shards[i].diam
 		}
 	}
 	// Every distinct reachable host-bearing pair is counted once per
-	// direction across all shards; halve the ordered sum and compare the
+	// direction across all shards; halve the ordered sums and compare the
 	// ordered pair count against n(n-1).
-	connected := reachablePairs == int64(n)*int64(n-1)
+	connected := reachablePairs == int64(n)*int64(n-1) && allAttached
 	total += orderedSum / 2
-	return g.finishMetrics(total, diam, connected)
+	pairs += orderedWeighted / 2
+	return g.finishMetrics(total, pairs, diam, connected)
 }
 
 // runShards claims shards off the shared cursor until none remain,
@@ -306,6 +321,7 @@ func (e *Evaluator) sweepBatch(sh *evalShard, batch []int32) {
 				}
 				sh.total += kv * ks * int64(level+2)
 				sh.reached += cnt
+				sh.wpairs += kv * ks
 				if level+2 > sh.diam {
 					sh.diam = level + 2
 				}

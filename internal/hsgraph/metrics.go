@@ -9,8 +9,14 @@ import (
 type Metrics struct {
 	HASPL     float64 // host-to-host average shortest path length
 	Diameter  int     // host-to-host diameter
-	TotalPath int64   // sum of ell(h_i, h_j) over unordered host pairs
+	TotalPath int64   // sum of ell(h_i, h_j) over connected unordered host pairs
 	Connected bool    // false if some host pair is unreachable
+
+	// ReachablePairs is the number of unordered host pairs joined by a
+	// path. It equals C(n, 2) on connected graphs; on degraded graphs
+	// (package fault) TotalPath/ReachablePairs is the h-ASPL over the
+	// pairs that can still communicate. Unattached hosts reach nothing.
+	ReachablePairs int64
 }
 
 // SwitchDistances returns the all-pairs shortest path matrix of the switch
@@ -69,9 +75,14 @@ func (g *Graph) bfsFrom(s int, d []int32, queue []int32) int {
 // independently-coded oracle for property tests of Evaluate.
 func (g *Graph) EvaluateSlow() Metrics {
 	m := len(g.adj)
-	var total int64
+	var total, pairs int64
 	diam := 0
 	connected := true
+	for _, s := range g.hostOf {
+		if s == -1 {
+			connected = false
+		}
+	}
 	d := make([]int32, m)
 	queue := make([]int32, 0, m)
 	for a := 0; a < m; a++ {
@@ -82,6 +93,7 @@ func (g *Graph) EvaluateSlow() Metrics {
 		g.bfsFrom(a, d, queue)
 		// Pairs within the same switch: distance 2.
 		total += ka * (ka - 1) / 2 * 2
+		pairs += ka * (ka - 1) / 2
 		if ka >= 2 && diam < 2 {
 			diam = 2
 		}
@@ -96,17 +108,18 @@ func (g *Graph) EvaluateSlow() Metrics {
 			}
 			ell := int(d[b]) + 2
 			total += ka * kb * int64(ell)
+			pairs += ka * kb
 			if ell > diam {
 				diam = ell
 			}
 		}
 	}
-	return g.finishMetrics(total, diam, connected)
+	return g.finishMetrics(total, pairs, diam, connected)
 }
 
-func (g *Graph) finishMetrics(total int64, diam int, connected bool) Metrics {
+func (g *Graph) finishMetrics(total, reachable int64, diam int, connected bool) Metrics {
 	pairs := int64(g.n) * int64(g.n-1) / 2
-	met := Metrics{TotalPath: total, Diameter: diam, Connected: connected}
+	met := Metrics{TotalPath: total, Diameter: diam, Connected: connected, ReachablePairs: reachable}
 	if pairs > 0 && connected {
 		met.HASPL = float64(total) / float64(pairs)
 	}
@@ -126,33 +139,37 @@ func (g *Graph) Evaluate() Metrics {
 	m := len(g.adj)
 	// Host-bearing switches are the only BFS sources and targets we weight.
 	srcs := make([]int32, 0, m)
-	var total int64
+	var total, pairs, attached int64
 	diam := 0
 	for s := 0; s < m; s++ {
 		k := int64(g.hosts[s])
 		if k > 0 {
 			srcs = append(srcs, int32(s))
+			attached += k
 			total += k * (k - 1) // 2 * C(k,2)
+			pairs += k * (k - 1) / 2
 			if k >= 2 && diam < 2 {
 				diam = 2
 			}
 		}
 	}
+	allAttached := attached == int64(g.n)
 	if len(srcs) == 0 {
-		return g.finishMetrics(0, 0, g.n <= 1)
+		return g.finishMetrics(0, 0, 0, allAttached && g.n <= 1)
 	}
 	if len(srcs) == 1 {
-		// All hosts on one switch.
-		return g.finishMetrics(total, diam, true)
+		// All attached hosts on one switch.
+		return g.finishMetrics(total, pairs, diam, allAttached)
 	}
 
 	visited := make([]uint64, m)
 	front := make([]uint64, m)
 	next := make([]uint64, m)
 	// pairSum accumulates ordered (source, target) weighted distances; we
-	// halve at the end. reachedPairs verifies connectivity.
+	// halve at the end. reachedPairs verifies connectivity;
+	// orderedWeighted counts ordered host pairs for ReachablePairs.
 	var orderedSum int64
-	var reachablePairs int64
+	var reachablePairs, orderedWeighted int64
 	wantPairs := int64(len(srcs)) * int64(len(srcs)-1)
 
 	for base := 0; base < len(srcs); base += 64 {
@@ -203,6 +220,7 @@ func (g *Graph) Evaluate() Metrics {
 					}
 					orderedSum += kv * ks * int64(level+2)
 					reachablePairs += cnt
+					orderedWeighted += kv * ks
 					if level+2 > diam {
 						diam = level + 2
 					}
@@ -220,9 +238,10 @@ func (g *Graph) Evaluate() Metrics {
 	// sources? No: every distinct host-bearing pair (a,b) with a path is
 	// counted exactly twice (once per direction), at level d(a,b) >= 1.
 	// Pairs with d(a,b) == 0 cannot occur for distinct switches.
-	connected := reachablePairs == wantPairs
+	connected := reachablePairs == wantPairs && allAttached
 	total += orderedSum / 2
-	return g.finishMetrics(total, diam, connected)
+	pairs += orderedWeighted / 2
+	return g.finishMetrics(total, pairs, diam, connected)
 }
 
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -32,6 +32,17 @@ type Config struct {
 	MTU float64
 	// Tracer, when non-nil, records the communication timeline.
 	Tracer *Tracer
+	// LinkDowns schedules switch-switch link failures before the run, so
+	// NPB skeletons can be timed on a fabric that degrades mid-run (see
+	// simnet.Sim.ScheduleLinkDown for the failure semantics).
+	LinkDowns []LinkDown
+}
+
+// LinkDown is one scheduled link failure: the link between switches A and
+// B fails at absolute simulated time At.
+type LinkDown struct {
+	At   float64
+	A, B int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +67,7 @@ type World struct {
 type Stats struct {
 	Elapsed        float64 // simulated seconds from start to last rank exit
 	FlowsCompleted int64
+	FlowsFailed    int64 // transfers lost to link failures (see simnet)
 	BytesMoved     float64
 }
 
@@ -69,6 +81,11 @@ func Run(nw *simnet.Network, size int, cfg Config, program func(r *Rank) error) 
 	}
 	sim := simnet.NewSim(nw)
 	w := &World{sim: sim, cfg: cfg.withDefaults(), size: size}
+	for _, ld := range cfg.LinkDowns {
+		if err := sim.ScheduleLinkDown(ld.At, ld.A, ld.B); err != nil {
+			return Stats{}, fmt.Errorf("mpi: %w", err)
+		}
+	}
 	errs := make([]error, size)
 	for i := 0; i < size; i++ {
 		i := i
@@ -90,6 +107,7 @@ func Run(nw *simnet.Network, size int, cfg Config, program func(r *Rank) error) 
 	return Stats{
 		Elapsed:        sim.Now(),
 		FlowsCompleted: sim.FlowsCompleted,
+		FlowsFailed:    sim.FlowsFailed,
 		BytesMoved:     sim.BytesMoved,
 	}, nil
 }

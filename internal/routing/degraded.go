@@ -1,0 +1,96 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+)
+
+// FailoverReport compares routing on a degraded graph against minimal
+// routing on the pristine graph it was derived from: how many host-bearing
+// pairs survive, how many are lost, and how much longer the surviving
+// routes got (path stretch after failure, measured against the pristine
+// minimal distance — so it folds together the topological detour and any
+// non-minimality of the routing function itself).
+type FailoverReport struct {
+	RoutedPairs   int     // ordered host-bearing switch pairs routable after the failure
+	LostPairs     int     // pairs routable before but not after (detached or unreachable)
+	ChangedRoutes int     // surviving pairs whose switch path changed
+	MeanStretch   float64 // mean degraded-path-len / pristine-distance over surviving pairs
+	MaxStretch    float64
+}
+
+// Failover recomputes a routing table on the degraded graph with the given
+// builder (ShortestPath or UpDown) and measures path stretch after failure
+// relative to the pristine graph. The two graphs must have the same switch
+// count — degraded is expected to come from package fault, which preserves
+// switch indices. Builders that cannot tolerate disconnection (UpDown)
+// propagate their error.
+func Failover(pristine, degraded *hsgraph.Graph,
+	build func(*hsgraph.Graph) (*Table, error)) (*Table, FailoverReport, error) {
+
+	if pristine.Switches() != degraded.Switches() {
+		return nil, FailoverReport{}, fmt.Errorf(
+			"routing: switch count mismatch %d vs %d", pristine.Switches(), degraded.Switches())
+	}
+	table, err := build(degraded)
+	if err != nil {
+		return nil, FailoverReport{}, err
+	}
+	base, err := ShortestPath(pristine)
+	if err != nil {
+		return nil, FailoverReport{}, err
+	}
+	rep := FailoverReport{}
+	distBefore := pristine.SwitchDistances()
+	m := pristine.Switches()
+	var sum float64
+	for s := 0; s < m; s++ {
+		if pristine.HostCount(s) == 0 {
+			continue
+		}
+		for d := 0; d < m; d++ {
+			if d == s || pristine.HostCount(d) == 0 || distBefore[s][d] <= 0 {
+				continue
+			}
+			// The pair existed before the failure; does it survive?
+			if degraded.HostCount(s) == 0 || degraded.HostCount(d) == 0 {
+				rep.LostPairs++ // an endpoint switch lost its hosts
+				continue
+			}
+			pl := table.PathLen(s, d)
+			if pl < 0 {
+				rep.LostPairs++
+				continue
+			}
+			rep.RoutedPairs++
+			ratio := float64(pl) / float64(distBefore[s][d])
+			sum += ratio
+			if ratio > rep.MaxStretch {
+				rep.MaxStretch = ratio
+			}
+			if !samePath(base, table, s, d) {
+				rep.ChangedRoutes++
+			}
+		}
+	}
+	if rep.RoutedPairs > 0 {
+		rep.MeanStretch = sum / float64(rep.RoutedPairs)
+	}
+	return table, rep, nil
+}
+
+// samePath reports whether two tables route s -> d over the same switch
+// sequence.
+func samePath(a, b *Table, s, d int) bool {
+	pa, pb := a.Path(s, d), b.Path(s, d)
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}

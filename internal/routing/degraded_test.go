@@ -1,0 +1,133 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// TestFailoverShortestPath: after link failures that keep the graph
+// connected, every pair stays routable, stretch is >= 1, and the degraded
+// table is minimal on the degraded graph.
+func TestFailoverShortestPath(t *testing.T) {
+	g, err := hsgraph.RandomConnected(64, 16, 8, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.Sample(g, fault.UniformLinks, 0.1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fault.Apply(g, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Graph.Evaluate().Connected {
+		t.Skip("scenario disconnected the graph; covered by TestFailoverLostPairs")
+	}
+	table, rep, err := Failover(g, d.Graph, ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostPairs != 0 {
+		t.Fatalf("connected degraded graph lost %d pairs", rep.LostPairs)
+	}
+	if rep.MeanStretch < 1 || rep.MaxStretch < rep.MeanStretch {
+		t.Fatalf("implausible stretch: %+v", rep)
+	}
+	ddist := d.Graph.SwitchDistances()
+	for s := 0; s < d.Graph.Switches(); s++ {
+		for dd := 0; dd < d.Graph.Switches(); dd++ {
+			if s == dd || ddist[s][dd] < 0 {
+				continue
+			}
+			if pl := table.PathLen(s, dd); pl != int(ddist[s][dd]) {
+				t.Fatalf("degraded table not minimal on %d->%d: %d vs %d", s, dd, pl, ddist[s][dd])
+			}
+		}
+	}
+	// Zero-failure failover must be stretch-1 with no changed routes.
+	_, rep0, err := Failover(g, g, ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep0.MeanStretch != 1 || rep0.MaxStretch != 1 || rep0.ChangedRoutes != 0 || rep0.LostPairs != 0 {
+		t.Fatalf("identity failover not a no-op: %+v", rep0)
+	}
+}
+
+// TestFailoverLostPairs: cutting a bridge strands pairs and the report
+// counts them.
+func TestFailoverLostPairs(t *testing.T) {
+	// Path of 4 switches, one host each: cutting the middle edge loses
+	// the 4 ordered cross pairs (2 hosts each side).
+	g := hsgraph.New(4, 4, 4)
+	for h := 0; h < 4; h++ {
+		if err := g.AttachHost(h, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if err := g.Connect(s, s+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := fault.Apply(g, fault.Scenario{Links: [][2]int32{{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Failover(g, d.Graph, ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered host-bearing pairs across the cut: 2x2 each direction = 8.
+	if rep.LostPairs != 8 {
+		t.Fatalf("lost %d pairs, want 8", rep.LostPairs)
+	}
+	if rep.RoutedPairs != 4 { // (0,1) and (2,3) in both directions
+		t.Fatalf("routed %d pairs, want 4", rep.RoutedPairs)
+	}
+}
+
+// TestFailoverUpDown: up*/down* recomputation on a connected degraded
+// graph stays deadlock-free.
+func TestFailoverUpDown(t *testing.T) {
+	g, err := hsgraph.RandomConnected(48, 12, 8, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *fault.Degraded
+	for seed := uint64(0); ; seed++ {
+		sc, err := fault.Sample(g, fault.UniformLinks, 0.08, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd, err := fault.Apply(g, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dd.Graph.Evaluate().Connected {
+			d = dd
+			break
+		}
+		if seed > 50 {
+			t.Fatal("no connected degradation found")
+		}
+	}
+	table, rep, err := Failover(g, d.Graph, UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostPairs != 0 {
+		t.Fatalf("up*/down* lost %d pairs on a connected graph", rep.LostPairs)
+	}
+	free, err := DeadlockFree(d.Graph, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free {
+		t.Fatal("recomputed up*/down* table not deadlock-free")
+	}
+}

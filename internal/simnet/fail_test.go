@@ -1,0 +1,186 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hsgraph"
+)
+
+// ringNet builds a 4-switch ring with one host per switch.
+func ringNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	g := hsgraph.New(4, 4, 4)
+	for h := 0; h < 4; h++ {
+		if err := g.AttachHost(h, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if err := g.Connect(s, (s+1)%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestLinkDownReroutesFlow: a flow crossing a failed link moves its
+// remaining bytes over the longer surviving path, visible in the per-link
+// byte accounting.
+func TestLinkDownReroutesFlow(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	sim.TrackLinkStats = true
+	if err := sim.ScheduleLinkDown(0.1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sim.Spawn(0, func(p *Proc) {
+		sg, err := sim.StartFlow(0, 1, 1e9) // 0.2 s at 5 GB/s
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.FlowsFailed != 0 {
+		t.Fatalf("flow reported failed: %d", sim.FlowsFailed)
+	}
+	if math.IsInf(sim.Now(), 1) || sim.Now() <= 0 {
+		t.Fatal("rerouted transfer never completed")
+	}
+	// Hosts are nodes 0..3, switch s is node 4+s. Roughly half the bytes
+	// cross switch0->switch1 before the failure; the rest detour via
+	// switch3->switch2 (route 0 -> sw0 -> sw3 -> sw2 -> sw1 -> 1).
+	load := func(from, to int) float64 {
+		for _, l := range sim.LinkLoads() {
+			if l.From == from && l.To == to {
+				return l.Bytes
+			}
+		}
+		t.Fatalf("no link %d->%d", from, to)
+		return 0
+	}
+	direct := load(4, 5)
+	detour := load(7, 6)
+	if direct <= 0.4e9 || direct >= 0.6e9 {
+		t.Fatalf("pre-failure leg carried %.3g bytes, want ~0.5e9", direct)
+	}
+	if detour <= 0.4e9 || detour >= 0.6e9 {
+		t.Fatalf("detour leg carried %.3g bytes, want ~0.5e9", detour)
+	}
+	if got := direct + detour; got <= 0.9e9 || got >= 1.1e9 {
+		t.Fatalf("legs carried %.3g bytes total, want ~1e9", got)
+	}
+}
+
+// TestLinkDownUnreachableFails: cutting both paths strands the flow, the
+// signal still fires, and FlowsFailed counts it.
+func TestLinkDownUnreachableFails(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	if err := sim.ScheduleLinkDown(0.05, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.ScheduleLinkDown(0.1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	completed := false
+	sim.Spawn(0, func(p *Proc) {
+		sg, err := sim.StartFlow(0, 2, 1e9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg) // must not deadlock
+		completed = true
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed {
+		t.Fatal("waiter never resumed")
+	}
+	if sim.FlowsFailed != 1 {
+		t.Fatalf("FlowsFailed = %d, want 1", sim.FlowsFailed)
+	}
+	if !sim.LinkIsDown(0, 1) || !sim.LinkIsDown(1, 0) || sim.LinkIsDown(1, 2) {
+		t.Fatal("LinkIsDown inconsistent")
+	}
+}
+
+// TestLinkDownValidation: bad schedules are rejected; the Network stays
+// pristine for other Sims sharing it.
+func TestLinkDownValidation(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	if err := sim.ScheduleLinkDown(0, 0, 2); err == nil {
+		t.Fatal("accepted nonexistent link")
+	}
+	if err := sim.ScheduleLinkDown(0, 0, 9); err == nil {
+		t.Fatal("accepted out-of-range switch")
+	}
+	if err := sim.ScheduleLinkDown(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sim.Spawn(0, func(p *Proc) { p.Sleep(1) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Sim over the same Network must see the pristine topology.
+	other := NewSim(nw)
+	done := false
+	other.Spawn(0, func(p *Proc) {
+		sg, err := other.StartFlow(0, 1, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg)
+		done = true
+	})
+	if err := other.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Direct route 0->1 is 3 hops (host,switch,host links); with the
+	// pristine network the transfer is fast and unfailed.
+	if !done || other.FlowsFailed != 0 {
+		t.Fatal("shared Network polluted by another Sim's failures")
+	}
+}
+
+// TestLinkDownPacketMode: packets launched after the failure use the
+// surviving path.
+func TestLinkDownPacketMode(t *testing.T) {
+	nw := ringNet(t, Config{})
+	run := func(fail bool) float64 {
+		sim := NewSim(nw)
+		if fail {
+			if err := sim.ScheduleLinkDown(0, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim.Spawn(0, func(p *Proc) {
+			p.Sleep(0.001) // let the failure event land first
+			sg, err := sim.StartPacketMessage(0, 1, 64*1024, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(sg)
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Now()
+	}
+	if failTime, cleanTime := run(true), run(false); failTime <= cleanTime {
+		t.Fatalf("packet message ignored failure: %.9f vs %.9f", failTime, cleanTime)
+	}
+}

@@ -154,6 +154,13 @@ func (nw *Network) Config() Config { return nw.cfg }
 // Route returns the directed link ids of the path from host src to host
 // dst. It returns nil for src == dst and an error when unreachable.
 func (nw *Network) Route(src, dst int) ([]int32, error) {
+	return nw.routeOn(src, dst, nw.swAdj, nw.dist)
+}
+
+// routeOn routes over an explicit switch adjacency and distance matrix, so
+// a Sim carrying private failure state (see fail.go) can reroute without
+// touching the shared immutable Network.
+func (nw *Network) routeOn(src, dst int, adj [][]int32, dist [][]int16) ([]int32, error) {
 	if src < 0 || src >= nw.hosts || dst < 0 || dst >= nw.hosts {
 		return nil, fmt.Errorf("simnet: host pair (%d,%d) out of range", src, dst)
 	}
@@ -166,7 +173,7 @@ func (nw *Network) Route(src, dst int) ([]int32, error) {
 	path = append(path, nw.outLink[src][int32(n)+s1])
 	cur := s1
 	for cur != s2 {
-		next, err := nw.nextHop(cur, s2, src, dst)
+		next, err := nw.nextHopOn(cur, s2, src, dst, adj, dist)
 		if err != nil {
 			return nil, err
 		}
@@ -177,9 +184,10 @@ func (nw *Network) Route(src, dst int) ([]int32, error) {
 	return path, nil
 }
 
-// nextHop picks the neighbour of cur one step closer to goal.
-func (nw *Network) nextHop(cur, goal int32, src, dst int) (int32, error) {
-	d := nw.dist[goal]
+// nextHopOn picks the neighbour of cur one step closer to goal under the
+// given adjacency and distances.
+func (nw *Network) nextHopOn(cur, goal int32, src, dst int, adj [][]int32, dist [][]int16) (int32, error) {
+	d := dist[goal]
 	if d[cur] <= 0 {
 		return 0, fmt.Errorf("simnet: no route from switch %d to switch %d", cur, goal)
 	}
@@ -187,7 +195,7 @@ func (nw *Network) nextHop(cur, goal int32, src, dst int) (int32, error) {
 	switch nw.cfg.TieBreak {
 	case HashSpread:
 		var candidates []int32
-		for _, u := range nw.swAdj[cur] {
+		for _, u := range adj[cur] {
 			if d[u] == want {
 				candidates = append(candidates, u)
 			}
@@ -199,7 +207,7 @@ func (nw *Network) nextHop(cur, goal int32, src, dst int) (int32, error) {
 		return candidates[h%uint32(len(candidates))], nil
 	default: // LowestIndex
 		best := int32(-1)
-		for _, u := range nw.swAdj[cur] {
+		for _, u := range adj[cur] {
 			if d[u] == want && (best == -1 || u < best) {
 				best = u
 			}

@@ -28,7 +28,7 @@ func (s *Sim) StartPacketMessage(src, dst int, bytes, mtu float64) (*Signal, err
 	if src == dst || bytes == 0 {
 		delay := cfg.MessageOverhead
 		if src != dst {
-			links, err := s.net.Route(src, dst)
+			links, err := s.route(src, dst)
 			if err != nil {
 				return nil, err
 			}
@@ -37,7 +37,7 @@ func (s *Sim) StartPacketMessage(src, dst int, bytes, mtu float64) (*Signal, err
 		s.FireAt(sg, delay)
 		return sg, nil
 	}
-	links, err := s.net.Route(src, dst)
+	links, err := s.route(src, dst)
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,13 @@ type Sim struct {
 
 	// Stats
 	FlowsCompleted int64
-	BytesMoved     float64
+	// FlowsFailed counts flows terminated because a link failure made
+	// their destination unreachable (see fail.go). Their completion
+	// signals still fire so waiting processes do not deadlock.
+	FlowsFailed int64
+	BytesMoved  float64
+
+	fail *failState // private link-failure view; nil while nothing failed
 
 	// TrackLinkStats enables per-link byte accounting (off by default:
 	// it adds O(path length) work to every drain step). Set before Run.
@@ -55,6 +61,7 @@ func (sg *Signal) Fired() bool { return sg.fired }
 
 type flow struct {
 	id        int64
+	src, dst  int
 	links     []int32
 	remaining float64
 	rate      float64
@@ -451,7 +458,7 @@ func (s *Sim) StartFlow(src, dst int, bytes float64) (*Signal, error) {
 		s.FireAt(sg, cfg.MessageOverhead)
 		return sg, nil
 	}
-	links, err := s.net.Route(src, dst)
+	links, err := s.route(src, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -461,8 +468,25 @@ func (s *Sim) StartFlow(src, dst int, bytes float64) (*Signal, error) {
 			s.fire(sg)
 			return
 		}
+		// A link may have failed during the latency window; re-resolve
+		// before the flow starts carrying bytes.
+		if s.fail != nil {
+			for _, l := range links {
+				if !s.fail.down[l] {
+					continue
+				}
+				fresh, err := s.route(src, dst)
+				if err != nil {
+					s.FlowsFailed++
+					s.fire(sg)
+					return
+				}
+				links = fresh
+				break
+			}
+		}
 		s.nextFlowID++
-		f := &flow{id: s.nextFlowID, links: links, remaining: bytes, done: sg}
+		f := &flow{id: s.nextFlowID, src: src, dst: dst, links: links, remaining: bytes, done: sg}
 		s.flows[f.id] = f
 		s.ratesDirty = true
 	})

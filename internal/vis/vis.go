@@ -19,6 +19,14 @@ type Options struct {
 	Size       int  // canvas is Size x Size pixels; default 800
 	ShowHosts  bool // draw host satellites
 	ShowLabels bool // draw switch indices
+
+	// FailedLinks are switch pairs drawn as dashed red lines — typically
+	// the links a fault.Scenario removed, which no longer exist as edges
+	// of the (degraded) graph being rendered.
+	FailedLinks [][2]int
+	// FailedSwitches are drawn in red, the failure analogue of the
+	// grey empty-switch highlighting below.
+	FailedSwitches []int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +65,15 @@ func WriteSVG(w io.Writer, g *hsgraph.Graph, o Options) error {
 		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#5577aa" stroke-width="1.2" stroke-opacity="0.7"/>`+"\n",
 			pos[a].x, pos[a].y, pos[b].x, pos[b].y)
 	}
+	// Failed links: dashed red ghosts of the removed cables.
+	for _, e := range o.FailedLinks {
+		a, b := e[0], e[1]
+		if a < 0 || a >= m || b < 0 || b >= m {
+			return fmt.Errorf("vis: failed link {%d,%d} out of range", a, b)
+		}
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cc2222" stroke-width="1.4" stroke-dasharray="5,4" stroke-opacity="0.85"/>`+"\n",
+			pos[a].x, pos[a].y, pos[b].x, pos[b].y)
+	}
 	// Hosts: small fans outside the ring.
 	if o.ShowHosts {
 		for s := 0; s < m; s++ {
@@ -76,14 +93,24 @@ func WriteSVG(w io.Writer, g *hsgraph.Graph, o Options) error {
 			}
 		}
 	}
+	failed := make(map[int]bool, len(o.FailedSwitches))
+	for _, s := range o.FailedSwitches {
+		if s < 0 || s >= m {
+			return fmt.Errorf("vis: failed switch %d out of range", s)
+		}
+		failed[s] = true
+	}
 	// Switches on top.
 	for s := 0; s < m; s++ {
-		fill := "#88bbee"
+		fill, stroke := "#88bbee", "#224466"
 		if g.HostCount(s) == 0 {
 			fill = "#dddddd" // host-less switches stand out (Fig. 8 effect)
 		}
-		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s" stroke="#224466" stroke-width="1"/>`+"\n",
-			pos[s].x-6, pos[s].y-6, fill)
+		if failed[s] {
+			fill, stroke = "#cc2222", "#661111" // dead switch
+		}
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s" stroke="%s" stroke-width="1"/>`+"\n",
+			pos[s].x-6, pos[s].y-6, fill, stroke)
 		if o.ShowLabels {
 			fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" fill="#112233">%d</text>`+"\n",
 				pos[s].x, pos[s].y+3, s)

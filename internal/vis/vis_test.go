@@ -77,3 +77,40 @@ func TestWriteSVGHighlightsEmptySwitches(t *testing.T) {
 		t.Fatal("empty switch not highlighted")
 	}
 }
+
+func TestWriteSVGFailedElements(t *testing.T) {
+	g, err := hsgraph.Ring(16, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade: drop the 1-2 cable the way package fault would.
+	if err := g.Disconnect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	o := Options{FailedLinks: [][2]int{{1, 2}}, FailedSwitches: []int{3}}
+	if err := WriteSVG(&buf, g, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 3 surviving ring edges plus one dashed ghost.
+	if strings.Count(out, "<line ") != 4 {
+		t.Fatalf("line count = %d, want 4", strings.Count(out, "<line "))
+	}
+	if strings.Count(out, "stroke-dasharray") != 1 {
+		t.Fatalf("dashed failed link missing: %d", strings.Count(out, "stroke-dasharray"))
+	}
+	if strings.Count(out, `fill="#cc2222"`) != 1 {
+		t.Fatalf("failed switch not drawn red: %d", strings.Count(out, `fill="#cc2222"`))
+	}
+	if strings.Count(out, `stroke="#cc2222"`) != 1 {
+		t.Fatalf("failed link not drawn red: %d", strings.Count(out, `stroke="#cc2222"`))
+	}
+	// Out-of-range failures are rejected.
+	if err := WriteSVG(&buf, g, Options{FailedSwitches: []int{99}}); err == nil {
+		t.Fatal("accepted out-of-range failed switch")
+	}
+	if err := WriteSVG(&buf, g, Options{FailedLinks: [][2]int{{0, 42}}}); err == nil {
+		t.Fatal("accepted out-of-range failed link")
+	}
+}
