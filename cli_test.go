@@ -1,14 +1,18 @@
 package repro
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // CLI integration tests: build every command once, then drive the
@@ -24,7 +28,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap", "orpfault"} {
+	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap", "orpfault", "orptrace"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -235,6 +239,140 @@ func TestCLIFaultScenario(t *testing.T) {
 	}
 	if rep.FailedLinks != 4 || rep.Degraded.SurvivingHASPL < rep.Pristine.HASPL {
 		t.Fatalf("orpfault -json wrong content: %+v", rep)
+	}
+}
+
+func TestCLITelemetryPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+
+	// Anneal telemetry: orpsolve -trace-out emits JSONL that orptrace
+	// renders as a convergence table.
+	annealJSONL := filepath.Join(dir, "anneal.jsonl")
+	graphFile := filepath.Join(dir, "g.hsg")
+	runTool(t, "orpsolve", nil, "-n", "64", "-r", "6", "-iters", "3000",
+		"-trace-out", annealJSONL, "-o", graphFile)
+	out, _ := runTool(t, "orptrace", nil, annealJSONL)
+	for _, want := range []string{"iter", "temp", "best", "accept", "anneal done"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("orptrace anneal summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Flow telemetry: orpsim -trace-out writes a chrome://tracing JSON
+	// array; orptrace reports latency percentiles and hot links from it.
+	traceFile := filepath.Join(dir, "t.json")
+	runTool(t, "orpsim", nil, "-bench", "FT", "-class", "S", "-ranks", "16",
+		"-trace-out", traceFile, graphFile)
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	out2, _ := runTool(t, "orptrace", nil, traceFile)
+	for _, want := range []string{"p50", "p95", "p99", "hot links", "flows"} {
+		if !strings.Contains(out2, want) {
+			t.Fatalf("orptrace chrome summary missing %q:\n%s", want, out2)
+		}
+	}
+
+	// Sweep telemetry: orpfault -sweep -trace-out, summarised by orptrace.
+	sweepJSONL := filepath.Join(dir, "sweep.jsonl")
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "hypercube", "-dims", "5", "-n", "64", "-q")
+	runTool(t, "orpfault", []byte(graph), "-sweep", "-trials", "3", "-fracs", "0.02,0.05",
+		"-trace-out", sweepJSONL, "-")
+	out3, _ := runTool(t, "orptrace", nil, sweepJSONL)
+	if !strings.Contains(out3, "sweep: 6 trials over 2 fractions") || !strings.Contains(out3, "sweep done") {
+		t.Fatalf("orptrace sweep summary wrong:\n%s", out3)
+	}
+}
+
+func TestCLIMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	// A long anneal keeps the process alive while we scrape it.
+	cmd := exec.Command(filepath.Join(binDir, "orpsolve"),
+		"-n", "256", "-r", "10", "-iters", "50000000", "-metrics-addr", "127.0.0.1:0", "-o", os.DevNull)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "http://"); ok {
+			addr = strings.TrimSuffix(rest, "/metrics")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("orpsolve never announced its metrics address (scan err %v)", sc.Err())
+	}
+	var body string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = string(b)
+		// The anneal gauges appear after the first ReportEvery interval.
+		if strings.Contains(body, "anneal_best_energy") {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(body, "anneal_best_energy") || !strings.Contains(body, "# TYPE anneal_temperature gauge") {
+		t.Fatalf("metrics exposition missing anneal gauges:\n%.500s", body)
+	}
+}
+
+func TestCLIWorkersValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	// Negative -workers must be rejected uniformly, with a usage-style exit.
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "fattree", "-k", "4", "-q")
+	for _, tc := range []struct {
+		tool string
+		args []string
+	}{
+		{"orpsim", []string{"-workers", "-1", "-bench", "EP", "-class", "S", "-ranks", "16", "-"}},
+		{"orpfault", []string{"-workers", "-2", "-frac", "0.05", "-"}},
+		{"orpsolve", []string{"-workers", "-3", "-n", "32", "-r", "6"}},
+	} {
+		cmd := exec.Command(filepath.Join(binDir, tc.tool), tc.args...)
+		cmd.Stdin = strings.NewReader(graph)
+		var errb bytes.Buffer
+		cmd.Stderr = &errb
+		err := cmd.Run()
+		if err == nil {
+			t.Fatalf("%s accepted a negative -workers", tc.tool)
+		}
+		if !strings.Contains(errb.String(), "-workers must be >= 0") {
+			t.Fatalf("%s error message wrong: %s", tc.tool, errb.String())
+		}
 	}
 }
 

@@ -21,9 +21,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/hsgraph"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/vis"
 )
@@ -45,10 +48,18 @@ func main() {
 
 		svgOut = flag.String("svg", "", "write an SVG of the degraded topology (failures highlighted)")
 		out    = flag.String("o", "", "write the degraded (or repaired, with -repair) graph to this file")
+
+		progress    = flag.Bool("progress", false, "print per-trial sweep progress to stderr (-sweep only)")
+		traceOut    = flag.String("trace-out", "", "write per-trial sweep telemetry as JSONL events to this file (-sweep only)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while sweeping (e.g. 127.0.0.1:0)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orpfault [flags] <graph.hsg | ->")
+		os.Exit(2)
+	}
+	if _, err := cliutil.Workers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "orpfault: %v\n", err)
 		os.Exit(2)
 	}
 	m, err := fault.ParseModel(*model)
@@ -73,14 +84,16 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(g, m, *fracs, *trials, *seed, *workers, *jsonOut)
+		runSweep(g, m, *fracs, *trials, *seed, *workers, *jsonOut,
+			*progress, *traceOut, *metricsAddr)
 		return
 	}
 	runScenario(g, m, *frac, *seed, *workers, *jsonOut, *repair, *repairIters, *svgOut, *out)
 }
 
 // runSweep prints the Monte-Carlo degradation curve.
-func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed uint64, workers int, jsonOut bool) {
+func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed uint64, workers int, jsonOut bool,
+	progress bool, traceOut, metricsAddr string) {
 	fractions := fault.DefaultFractions()
 	if fracSpec != "" {
 		fractions = fractions[:0]
@@ -92,16 +105,56 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 			fractions = append(fractions, f)
 		}
 	}
-	points, err := fault.Sweep(g, fault.SweepOptions{
+	so := fault.SweepOptions{
 		Model:     m,
 		Fractions: fractions,
 		Trials:    trials,
 		Seed:      seed,
 		Workers:   workers,
-	})
+	}
+	if metricsAddr != "" {
+		reg := obs.NewRegistry()
+		so.Metrics = fault.NewSweepMetrics(reg)
+		srv, err := cliutil.StartMetrics(metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+	}
+	sink, err := cliutil.OpenSink(traceOut)
 	if err != nil {
 		fatal(err)
 	}
+	defer sink.Close()
+	if progress || sink != nil {
+		so.OnTrial = func(p fault.TrialProgress) {
+			if progress {
+				fmt.Fprintf(os.Stderr, "trial %3d/%d  frac %.3g #%d  %.3fs  surviving h-ASPL %.6f\n",
+					p.Done, p.Total, p.Fraction, p.Trial, p.Seconds, p.Result.SurvivingHASPL)
+			}
+			sink.Emit(obs.Event{T: p.Seconds, Kind: obs.KindSweepTrial, F: map[string]float64{
+				"fraction":       p.Fraction,
+				"trial":          float64(p.Trial),
+				"done":           float64(p.Done),
+				"total":          float64(p.Total),
+				"seconds":        p.Seconds,
+				"survivingHASPL": p.Result.SurvivingHASPL,
+				"stretch":        p.Result.Stretch,
+				"reachableFrac":  p.Result.ReachableFrac,
+				"failedLinks":    float64(p.Result.FailedLinks),
+				"failedSwitches": float64(p.Result.FailedSwitches),
+			}})
+		}
+	}
+	sweepStart := time.Now()
+	points, err := fault.Sweep(g, so)
+	if err != nil {
+		fatal(err)
+	}
+	sink.Emit(obs.Event{T: time.Since(sweepStart).Seconds(), Kind: obs.KindSweepDone, F: map[string]float64{
+		"trials":  float64(len(fractions) * so.Trials),
+		"seconds": time.Since(sweepStart).Seconds(),
+	}})
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

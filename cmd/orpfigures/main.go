@@ -11,6 +11,7 @@
 //	orpfigures -fig 10                    # dragonfly comparison (a-d)
 //	orpfigures -fig 11                    # fat-tree comparison (a-d)
 //	orpfigures -fig resilience            # degradation under random failures
+//	orpfigures -fig convergence           # SA convergence by move set
 //	orpfigures -fig all
 //
 // By default the experiments run at a reduced scale so a full regeneration
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, ablation, resilience or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, 11, ablation, resilience, convergence or all")
 		n       = flag.Int("n", 0, "order override for figs 5-8")
 		r       = flag.Int("r", 0, "radix override for figs 5-8")
 		paper   = flag.Bool("paper", false, "paper-scale parameters (slow)")
@@ -167,6 +168,19 @@ func main() {
 	}
 	run("ablation", func() error { return ablations(o) })
 	run("resilience", func() error { return resilience(o) })
+	run("convergence", func() error {
+		// Same (n, m, r) grid as the move-set ablation; the figure shows how
+		// fast each neighbourhood converges rather than only where it lands.
+		f, err := figures.Convergence(128, 30, 12, o)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return f.WriteJSON(os.Stdout)
+		}
+		fmt.Println(f.Format())
+		return nil
+	})
 }
 
 // resilience prints the beyond-the-paper degradation sweep: proposed vs

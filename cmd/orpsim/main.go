@@ -15,10 +15,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/hsgraph"
 	"repro/internal/mpi"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -31,10 +34,18 @@ func main() {
 		flops    = flag.Float64("gflops", 100, "host speed in GFlops (paper: 100)")
 		workers  = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
 		linkdown = flag.String("linkdown", "", "mid-run link failures, e.g. '0.001:3-7,0.002:1-2' (time:switchA-switchB)")
+
+		progress    = flag.Bool("progress", false, "print live simulation progress (flows, simulated time) to stderr")
+		traceOut    = flag.String("trace-out", "", "write a chrome://tracing trace of flows and MPI ranks to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while simulating (e.g. 127.0.0.1:0)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orpsim [flags] <graph.hsg | ->")
+		os.Exit(2)
+	}
+	if _, err := cliutil.Workers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin
@@ -78,10 +89,67 @@ func main() {
 		}
 		cfg.LinkDowns = downs
 	}
+	if *metricsAddr != "" || *progress {
+		// The live gauges back both the scrape endpoint and -progress.
+		reg := obs.NewRegistry()
+		cfg.Metrics = simnet.NewSimMetrics(reg)
+		if *metricsAddr != "" {
+			srv, err := cliutil.StartMetrics(*metricsAddr, reg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+		}
+	}
+	var ftr *simnet.FlowTracer
+	var mtr *mpi.Tracer
+	if *traceOut != "" {
+		ftr = &simnet.FlowTracer{}
+		mtr = &mpi.Tracer{}
+		cfg.FlowTracer = ftr
+		cfg.Tracer = mtr
+	}
+	if *progress {
+		// The simulator is single-threaded in simulated time; a wall-clock
+		// ticker reads the (atomic) live gauges from outside.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					m := cfg.Metrics
+					fmt.Fprintf(os.Stderr, "t=%.6fs  flows %d done / %d failed / %.0f active  %.3e bytes\n",
+						m.SimTime.Value(), m.FlowsCompleted.Value(), m.FlowsFailed.Value(),
+						m.ActiveFlows.Value(), m.BytesMoved.Value())
+				}
+			}
+		}()
+	}
 	stats, err := mpi.Run(nw, *ranks, cfg, spec.Program())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		// One trace file, two processes: fabric flows (pid 0) + MPI ranks
+		// (pid 1), loadable in chrome://tracing or Perfetto.
+		evs := append(ftr.ChromeEvents(nw), mtr.ChromeEvents(cfg.FlopsPerHost)...)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, evs); err != nil {
+			fmt.Fprintf(os.Stderr, "orpsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	met := g.EvaluateParallel(*workers)
 	fmt.Printf("benchmark        %s class %s, %d ranks, %d iterations\n", *bench, *class, *ranks, spec.Iterations)

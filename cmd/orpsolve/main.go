@@ -8,15 +8,19 @@
 //
 //	orpsolve -n 1024 -r 15 [-iters 100000] [-restarts 4] [-workers 0]
 //	         [-seed 1] [-m 0] [-moves 2ns|swap|swing] [-o graph.hsg] [-v]
+//	         [-progress] [-trace-out anneal.jsonl] [-metrics-addr 127.0.0.1:0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hsgraph"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -36,8 +40,16 @@ func main() {
 		dfs      = flag.Bool("dfs", true, "relabel hosts in depth-first order (paper §6.2.1)")
 		verbose  = flag.Bool("v", false, "print annealing progress")
 		repeat   = flag.Int("repeat", 1, "solve with this many consecutive seeds and report h-ASPL statistics")
+
+		progress    = flag.Bool("progress", false, "print per-interval anneal telemetry (temperature, accept rate, moves/s) to stderr")
+		traceOut    = flag.String("trace-out", "", "write anneal telemetry as JSONL events to this file (obs schema)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while solving (e.g. 127.0.0.1:0)")
 	)
 	flag.Parse()
+	if _, err := cliutil.Workers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+		os.Exit(2)
+	}
 
 	var moveSet opt.MoveSet
 	switch *moves {
@@ -52,6 +64,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := cliutil.StartMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+	sink, err := cliutil.OpenSink(*traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+		os.Exit(1)
+	}
+	defer sink.Close()
+
 	o := core.Options{
 		Iterations: *iters,
 		Restarts:   *restarts,
@@ -60,11 +89,15 @@ func main() {
 		Moves:      moveSet,
 		Workers:    *workers,
 	}
+	if obsv := cliutil.NewAnnealObserver(reg, sink, *progress); obsv != nil {
+		o.Observer = obsv
+	}
 	if *verbose && *restarts <= 1 {
 		o.OnProgress = func(iter int, cur, best int64) {
 			fmt.Fprintf(os.Stderr, "iter %8d  current %12d  best %12d\n", iter, cur, best)
 		}
 	}
+	solveStart := time.Now()
 	var top *core.Topology
 	if *repeat > 1 {
 		// Multi-seed study: report h-ASPL statistics, keep the best.
@@ -95,6 +128,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if sink != nil && top.Method == core.Annealed {
+		res := top.Anneal
+		rate := 0.0
+		if res.Proposed > 0 {
+			rate = float64(res.Accepted) / float64(res.Proposed)
+		}
+		secs := time.Since(solveStart).Seconds()
+		sink.Emit(obs.Event{T: secs, Kind: obs.KindAnnealDone, F: map[string]float64{
+			"iters":         float64(res.Iterations),
+			"bestTotalPath": float64(res.Best.TotalPath),
+			"bestHASPL":     res.Best.HASPL,
+			"acceptRate":    rate,
+			"seconds":       secs,
+		}})
 	}
 	g := top.Graph
 	if *dfs {

@@ -1,0 +1,283 @@
+// Command orptrace summarises telemetry files produced by the other orp*
+// tools: Chrome trace_event JSON from orpsim -trace-out (flow latency
+// percentiles, hot links, rank activity) and obs JSONL event streams from
+// orpsolve/orpfault -trace-out (anneal convergence, sweep progress).
+// The format is auto-detected.
+//
+// Usage:
+//
+//	orpsim -bench FT -class S -ranks 16 -trace-out t.json graph.hsg
+//	orptrace t.json
+//	orpsolve -n 256 -r 10 -trace-out anneal.jsonl >/dev/null
+//	orptrace -top 5 anneal.jsonl
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	top := flag.Int("top", 10, "number of hot links / slowest flows to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orptrace [-top 10] <trace.json | events.jsonl | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	if isChrome(data) {
+		evs, err := obs.ReadChromeTrace(bytes.NewReader(data))
+		if err != nil {
+			fatal(err)
+		}
+		summarizeChrome(evs, *top)
+		return
+	}
+	evs, err := obs.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		fatal(err)
+	}
+	summarizeJSONL(evs, *top)
+}
+
+// isChrome detects the Chrome trace_event flavours (a JSON array, or an
+// object with a traceEvents key) against the JSONL event stream, whose
+// first line is the obs.header object.
+func isChrome(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return false
+	}
+	if trimmed[0] == '[' {
+		return true
+	}
+	if trimmed[0] == '{' {
+		// JSONL streams start with {"t":...,"kind":"obs.header",...}.
+		line := trimmed
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		return !bytes.Contains(line, []byte(`"obs.header"`))
+	}
+	return false
+}
+
+// summarizeChrome reports flow latency percentiles, the hottest links and
+// the failure count out of a Chrome trace written by orpsim/simnet.
+func summarizeChrome(evs []obs.TraceEvent, top int) {
+	type span struct {
+		name string
+		dur  float64 // seconds
+	}
+	var flows []span
+	var lats []float64
+	linkBytes := make(map[string]float64)
+	failed := 0
+	computeSpans, p2pPosts := 0, 0
+	for _, e := range evs {
+		switch {
+		case e.Ph == "X" && e.Cat == "flow":
+			if strings.HasPrefix(e.Name, "FAILED") {
+				failed++
+				continue
+			}
+			d := e.Dur / 1e6
+			flows = append(flows, span{e.Name, d})
+			lats = append(lats, d)
+			b, _ := e.Args["bytes"].(float64)
+			if route, ok := e.Args["route"].([]any); ok {
+				for _, hop := range route {
+					if s, ok := hop.(string); ok {
+						linkBytes[s] += b
+					}
+				}
+			}
+		case e.Ph == "i" && e.Cat == "flow" && strings.HasPrefix(e.Name, "FAILED"):
+			failed++
+		case e.Ph == "X" && e.Cat == "compute":
+			computeSpans++
+		case e.Ph == "i" && e.Cat == "p2p":
+			p2pPosts++
+		}
+	}
+	fmt.Printf("flows            %d completed, %d failed\n", len(flows), failed)
+	if computeSpans+p2pPosts > 0 {
+		fmt.Printf("mpi activity     %d compute spans, %d p2p posts\n", computeSpans, p2pPosts)
+	}
+	if len(lats) > 0 {
+		fmt.Printf("flow latency     p50 %.6es  p95 %.6es  p99 %.6es  max %.6es\n",
+			stats.Percentile(lats, 50), stats.Percentile(lats, 95),
+			stats.Percentile(lats, 99), stats.Percentile(lats, 100))
+		sort.Slice(flows, func(i, j int) bool { return flows[i].dur > flows[j].dur })
+		n := top
+		if n > len(flows) {
+			n = len(flows)
+		}
+		fmt.Printf("slowest flows\n")
+		for _, f := range flows[:n] {
+			fmt.Printf("  %-28s %.6es\n", f.name, f.dur)
+		}
+	}
+	if len(linkBytes) > 0 {
+		type load struct {
+			link  string
+			bytes float64
+		}
+		loads := make([]load, 0, len(linkBytes))
+		for l, b := range linkBytes {
+			loads = append(loads, load{l, b})
+		}
+		sort.Slice(loads, func(i, j int) bool {
+			if loads[i].bytes != loads[j].bytes {
+				return loads[i].bytes > loads[j].bytes
+			}
+			return loads[i].link < loads[j].link
+		})
+		n := top
+		if n > len(loads) {
+			n = len(loads)
+		}
+		fmt.Printf("hot links (top %d of %d by bytes)\n", n, len(loads))
+		for _, l := range loads[:n] {
+			fmt.Printf("  %-12s %.3e bytes\n", l.link, l.bytes)
+		}
+	}
+}
+
+// summarizeJSONL reports anneal convergence and sweep progress out of an
+// obs JSONL event stream.
+func summarizeJSONL(evs []obs.Event, top int) {
+	var samples, trials []obs.Event
+	var annealDone, sweepDone *obs.Event
+	for i, e := range evs {
+		switch e.Kind {
+		case obs.KindHeader:
+			if v := e.F["version"]; v > obs.SchemaVersion {
+				fmt.Fprintf(os.Stderr, "orptrace: note: file schema v%g is newer than this tool (v%d)\n", v, obs.SchemaVersion)
+			}
+		case obs.KindAnnealSample:
+			samples = append(samples, e)
+		case obs.KindAnnealDone:
+			annealDone = &evs[i]
+		case obs.KindSweepTrial:
+			trials = append(trials, e)
+		case obs.KindSweepDone:
+			sweepDone = &evs[i]
+		}
+	}
+	if len(samples) > 0 {
+		printAnneal(samples, annealDone)
+	}
+	if len(trials) > 0 {
+		printSweep(trials, sweepDone, top)
+	}
+	if len(samples) == 0 && len(trials) == 0 {
+		fmt.Printf("no anneal or sweep events (%d records)\n", len(evs))
+	}
+}
+
+// printAnneal renders the convergence table, one row per sample, grouped
+// by restart.
+func printAnneal(samples []obs.Event, done *obs.Event) {
+	byRestart := make(map[int][]obs.Event)
+	var restarts []int
+	for _, e := range samples {
+		r := int(e.F["restart"])
+		if _, ok := byRestart[r]; !ok {
+			restarts = append(restarts, r)
+		}
+		byRestart[r] = append(byRestart[r], e)
+	}
+	sort.Ints(restarts)
+	for _, r := range restarts {
+		rs := byRestart[r]
+		if len(restarts) > 1 {
+			fmt.Printf("restart %d\n", r)
+		}
+		fmt.Printf("%10s  %14s  %12s  %12s  %7s  %12s\n",
+			"iter", "temp", "current", "best", "accept", "moves/s")
+		for _, e := range rs {
+			rate := 0.0
+			if p := e.F["proposed"]; p > 0 {
+				rate = e.F["accepted"] / p
+			}
+			fmt.Printf("%10.0f  %14.3f  %12.0f  %12.0f  %7.3f  %12.0f\n",
+				e.F["iter"], e.F["temp"], e.F["current"], e.F["best"], rate, e.F["movesPerSec"])
+		}
+	}
+	if done != nil {
+		fmt.Printf("anneal done      %.0f iters, best h-ASPL %.6f (total path %.0f), accept %.3f, %.2fs\n",
+			done.F["iters"], done.F["bestHASPL"], done.F["bestTotalPath"],
+			done.F["acceptRate"], done.F["seconds"])
+	}
+}
+
+// printSweep aggregates per-trial sweep events by fraction.
+func printSweep(trials []obs.Event, done *obs.Event, top int) {
+	type agg struct {
+		n                    int
+		haspl, secs, stretch float64
+	}
+	byFrac := make(map[float64]*agg)
+	var fracs []float64
+	var slow []obs.Event
+	for _, e := range trials {
+		f := e.F["fraction"]
+		a := byFrac[f]
+		if a == nil {
+			a = &agg{}
+			byFrac[f] = a
+			fracs = append(fracs, f)
+		}
+		a.n++
+		a.haspl += e.F["survivingHASPL"]
+		a.stretch += e.F["stretch"]
+		a.secs += e.F["seconds"]
+		slow = append(slow, e)
+	}
+	sort.Float64s(fracs)
+	fmt.Printf("sweep: %d trials over %d fractions\n", len(trials), len(fracs))
+	fmt.Printf("%8s  %7s  %16s  %9s  %12s\n", "frac", "trials", "mean surv hASPL", "stretch", "mean trial s")
+	for _, f := range fracs {
+		a := byFrac[f]
+		n := float64(a.n)
+		fmt.Printf("%8.3g  %7d  %16.6f  %9.4f  %12.4f\n", f, a.n, a.haspl/n, a.stretch/n, a.secs/n)
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].F["seconds"] > slow[j].F["seconds"] })
+	n := top
+	if n > len(slow) {
+		n = len(slow)
+	}
+	fmt.Printf("slowest trials\n")
+	for _, e := range slow[:n] {
+		fmt.Printf("  frac %-6.3g trial %-4.0f %.4fs\n", e.F["fraction"], e.F["trial"], e.F["seconds"])
+	}
+	if done != nil {
+		fmt.Printf("sweep done       %.0f trials in %.2fs\n", done.F["trials"], done.F["seconds"])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "orptrace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+// Package cliutil holds the small pieces shared by the orp* commands:
+// uniform -workers validation, the -metrics-addr endpoint bring-up, and
+// the -progress / -trace-out anneal observer. It keeps the CLIs thin and
+// the telemetry wiring identical across tools.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/opt"
+)
+
+// Workers validates a -workers flag value: negatives are rejected, zero
+// means "auto" (the engines resolve it to GOMAXPROCS or a share of it),
+// positives pass through.
+func Workers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0 (0 = auto), got %d", n)
+	}
+	return n, nil
+}
+
+// StartMetrics brings up the telemetry HTTP endpoint when addr is
+// non-empty and announces the bound address on stderr (addr may end in
+// ":0"; the printed address carries the chosen port). Returns nil when
+// addr is empty. Callers should defer srv.Close().
+func StartMetrics(addr string, r *obs.Registry) (*obs.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv, err := obs.Serve(addr, r)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr)
+	return srv, nil
+}
+
+// OpenSink creates path and wraps it in a JSONL event sink. Returns nil
+// when path is empty. Close flushes and closes the file.
+func OpenSink(path string) (*SinkFile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &SinkFile{Sink: obs.NewJSONLSink(f), f: f}, nil
+}
+
+// SinkFile is a JSONLSink bound to a file it owns.
+type SinkFile struct {
+	Sink *obs.JSONLSink
+	f    *os.File
+}
+
+// Close flushes the sink and closes the file.
+func (s *SinkFile) Close() error {
+	if s == nil {
+		return nil
+	}
+	if err := s.Sink.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Emit writes one event (no-op on a nil SinkFile).
+func (s *SinkFile) Emit(e obs.Event) error {
+	if s == nil {
+		return nil
+	}
+	return s.Sink.Emit(e)
+}
+
+// AnnealObserver adapts anneal telemetry to the CLI surfaces: optional
+// progress lines on stderr, optional JSONL anneal.sample events, and
+// optional live gauges in an obs.Registry. Safe for concurrent use, so it
+// can be shared by ParallelAnneal restarts; nil-field surfaces cost
+// nothing.
+type AnnealObserver struct {
+	mu sync.Mutex
+
+	// Progress prints one line per sample to stderr.
+	Progress bool
+	// Sink receives anneal.sample events (schema.go field keys).
+	Sink *SinkFile
+
+	// Registry gauges (nil unless built by NewAnnealObserver with one).
+	iter, temp, current, best, acceptRate, movesPerSec *obs.Gauge
+}
+
+// NewAnnealObserver wires the requested surfaces. reg and sink may each
+// be nil; progress controls stderr lines. Returns nil when every surface
+// is off, which keeps the annealer on its zero-cost nil-observer path.
+func NewAnnealObserver(reg *obs.Registry, sink *SinkFile, progress bool) *AnnealObserver {
+	if reg == nil && sink == nil && !progress {
+		return nil
+	}
+	ao := &AnnealObserver{Progress: progress, Sink: sink}
+	if reg != nil {
+		ao.iter = reg.Gauge("anneal_iterations", "Iterations completed (latest restart to report).")
+		ao.temp = reg.Gauge("anneal_temperature", "Current annealing temperature.")
+		ao.current = reg.Gauge("anneal_current_energy", "Current total path length.")
+		ao.best = reg.Gauge("anneal_best_energy", "Best total path length so far.")
+		ao.acceptRate = reg.Gauge("anneal_accept_rate", "Cumulative accepted/proposed moves.")
+		ao.movesPerSec = reg.Gauge("anneal_moves_per_sec", "Iteration rate over the last interval.")
+	}
+	return ao
+}
+
+// ObserveAnneal implements opt.Observer.
+func (ao *AnnealObserver) ObserveAnneal(s opt.AnnealSample) {
+	if ao.iter != nil {
+		ao.iter.Set(float64(s.Iter))
+		ao.temp.Set(s.Temp)
+		ao.current.Set(float64(s.Current))
+		ao.best.Set(float64(s.Best))
+		ao.acceptRate.Set(s.AcceptRate())
+		ao.movesPerSec.Set(s.MovesPerSec)
+	}
+	if ao.Sink == nil && !ao.Progress {
+		return
+	}
+	ao.mu.Lock()
+	defer ao.mu.Unlock()
+	if ao.Progress {
+		fmt.Fprintf(os.Stderr, "iter %8d/%d  current %12d  best %12d  accept %.3f  %.0f moves/s\n",
+			s.Iter, s.Iterations, s.Current, s.Best, s.AcceptRate(), s.MovesPerSec)
+	}
+	if ao.Sink != nil {
+		ao.Sink.Emit(obs.Event{
+			T:    s.Elapsed,
+			Kind: obs.KindAnnealSample,
+			F: map[string]float64{
+				"iter":            float64(s.Iter),
+				"temp":            s.Temp,
+				"current":         float64(s.Current),
+				"best":            float64(s.Best),
+				"accepted":        float64(s.Accepted),
+				"proposed":        float64(s.Proposed),
+				"swapAttempts":    float64(s.Moves.SwapAttempts),
+				"swapAccepts":     float64(s.Moves.SwapAccepts),
+				"swingAttempts":   float64(s.Moves.SwingAttempts),
+				"swingAccepts":    float64(s.Moves.SwingAccepts),
+				"counterAttempts": float64(s.Moves.CounterAttempts),
+				"counterAccepts":  float64(s.Moves.CounterAccepts),
+				"movesPerSec":     s.MovesPerSec,
+				"restart":         float64(s.Restart),
+			},
+		})
+	}
+}

@@ -68,6 +68,17 @@ type Options struct {
 	Workers int
 	// OnProgress is forwarded to the annealer (single-restart runs only).
 	OnProgress func(iter int, current, best int64)
+	// Observer receives per-interval anneal telemetry (every ReportEvery
+	// iterations; see opt.Observer). With Restarts > 1 every restart
+	// samples into it, tagged by AnnealSample.Restart, so implementations
+	// must be concurrency-safe.
+	Observer opt.Observer
+	// ReportEvery is the sampling interval for Observer/OnProgress in
+	// iterations (0 = the annealer's default, 1000).
+	ReportEvery int
+	// TraceEnergy records a bounded best-energy convergence trace into
+	// Topology.Anneal.EnergyTrace (see opt.Options.TraceEnergy).
+	TraceEnergy bool
 }
 
 // Topology is a solved ORP instance.
@@ -145,11 +156,14 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		return nil, err
 	}
 	ao := opt.Options{
-		Iterations: o.Iterations,
-		Moves:      o.Moves,
-		Seed:       o.Seed + 1,
-		Workers:    o.Workers,
-		OnProgress: o.OnProgress,
+		Iterations:  o.Iterations,
+		Moves:       o.Moves,
+		Seed:        o.Seed + 1,
+		Workers:     o.Workers,
+		OnProgress:  o.OnProgress,
+		Observer:    o.Observer,
+		ReportEvery: o.ReportEvery,
+		TraceEnergy: o.TraceEnergy,
 	}
 	if ao.Workers == 0 && o.Restarts == 1 {
 		ao.Workers = runtime.GOMAXPROCS(0)

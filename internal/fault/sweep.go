@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hsgraph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -21,6 +23,45 @@ type SweepOptions struct {
 
 	Confidence float64 // bootstrap CI level (default 0.95)
 	Resamples  int     // bootstrap resamples (default 1000)
+
+	// OnTrial, when non-nil, is called after every completed trial with
+	// cumulative progress. Calls are serialized but may come from any
+	// worker goroutine and in any trial order; keep the callback fast — it
+	// sits on the sweep's critical path. Progress reporting never changes
+	// the sweep's numbers, only its wall-clock.
+	OnTrial func(p TrialProgress)
+	// Metrics, when non-nil, receives live per-trial counters and a
+	// wall-clock timing histogram (see SweepMetrics).
+	Metrics *SweepMetrics
+}
+
+// TrialProgress is the per-trial report handed to SweepOptions.OnTrial.
+type TrialProgress struct {
+	FracIndex int     // index into SweepOptions.Fractions
+	Fraction  float64 // the fraction being probed
+	Trial     int     // trial number within the fraction, 0-based
+	Done      int     // trials completed so far, across all fractions
+	Total     int     // len(Fractions) * Trials
+	Seconds   float64 // wall-clock duration of this trial
+	Result    Result  // the trial's measurements
+}
+
+// SweepMetrics publishes live sweep state into an obs.Registry.
+type SweepMetrics struct {
+	TrialsCompleted *obs.Counter
+	Progress        *obs.Gauge // completed fraction of the sweep, 0..1
+	// TrialSeconds is the wall-clock duration of individual trials
+	// (100µs .. ~50s exponential buckets).
+	TrialSeconds *obs.Histogram
+}
+
+// NewSweepMetrics registers the fault-sweep instrument set in r.
+func NewSweepMetrics(r *obs.Registry) *SweepMetrics {
+	return &SweepMetrics{
+		TrialsCompleted: r.Counter("fault_trials_completed_total", "Monte-Carlo trials finished."),
+		Progress:        r.Gauge("fault_sweep_progress", "Completed fraction of the sweep (0..1)."),
+		TrialSeconds:    r.Histogram("fault_trial_seconds", "Wall-clock duration of one trial.", obs.ExpBuckets(1e-4, 2, 20)),
+	}
 }
 
 // SweepPoint aggregates the trials at one failure fraction.
@@ -95,7 +136,9 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 
 	results := make([]Result, len(jobs))
 	errs := make([]error, trialWorkers)
-	var cursor atomic.Int64
+	var cursor, doneCount atomic.Int64
+	var progressMu sync.Mutex
+	reporting := o.OnTrial != nil || o.Metrics != nil
 	var wg sync.WaitGroup
 	for w := 0; w < trialWorkers; w++ {
 		wg.Add(1)
@@ -109,6 +152,10 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 					return
 				}
 				jb := jobs[i]
+				var trialStart time.Time
+				if reporting {
+					trialStart = time.Now()
+				}
 				sc, err := Sample(g, o.Model, o.Fractions[jb.fi], TrialSeed(o.Seed, jb.fi, jb.t))
 				if err != nil {
 					errs[w] = err
@@ -120,6 +167,28 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 					return
 				}
 				results[i] = Measure(pristine, d, ev)
+				if reporting {
+					secs := time.Since(trialStart).Seconds()
+					done := int(doneCount.Add(1))
+					if m := o.Metrics; m != nil {
+						m.TrialsCompleted.Inc()
+						m.TrialSeconds.Observe(secs)
+						m.Progress.Set(float64(done) / float64(len(jobs)))
+					}
+					if o.OnTrial != nil {
+						progressMu.Lock()
+						o.OnTrial(TrialProgress{
+							FracIndex: jb.fi,
+							Fraction:  o.Fractions[jb.fi],
+							Trial:     jb.t,
+							Done:      done,
+							Total:     len(jobs),
+							Seconds:   secs,
+							Result:    results[i],
+						})
+						progressMu.Unlock()
+					}
+				}
 			}
 		}(w)
 	}

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSweepProgressReporting: OnTrial fires once per trial with coherent
+// cumulative counts, the obs instruments agree, and reporting does not
+// change the sweep's numbers.
+func TestSweepProgressReporting(t *testing.T) {
+	g := testGraph(t, 21, 96, 24, 8)
+	o := SweepOptions{
+		Model:     UniformLinks,
+		Fractions: []float64{0, 0.1},
+		Trials:    4,
+		Seed:      7,
+		Workers:   2,
+		Resamples: 100,
+	}
+	plain, err := Sweep(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var updates []TrialProgress
+	reg := obs.NewRegistry()
+	o.Metrics = NewSweepMetrics(reg)
+	o.OnTrial = func(p TrialProgress) {
+		mu.Lock()
+		updates = append(updates, p)
+		mu.Unlock()
+	}
+	observed, err := Sweep(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("progress reporting changed point %d:\n%+v\n%+v", i, plain[i], observed[i])
+		}
+	}
+
+	total := len(o.Fractions) * o.Trials
+	if len(updates) != total {
+		t.Fatalf("OnTrial fired %d times, want %d", len(updates), total)
+	}
+	seen := make(map[[2]int]bool)
+	maxDone := 0
+	for _, p := range updates {
+		if p.Total != total {
+			t.Errorf("update total %d, want %d", p.Total, total)
+		}
+		if p.Fraction != o.Fractions[p.FracIndex] {
+			t.Errorf("fraction %v at index %d", p.Fraction, p.FracIndex)
+		}
+		if p.Seconds < 0 {
+			t.Errorf("negative trial duration %v", p.Seconds)
+		}
+		if p.Result.SurvivingHASPL <= 0 {
+			t.Errorf("update carries empty result: %+v", p.Result)
+		}
+		key := [2]int{p.FracIndex, p.Trial}
+		if seen[key] {
+			t.Errorf("trial %v reported twice", key)
+		}
+		seen[key] = true
+		if p.Done > maxDone {
+			maxDone = p.Done
+		}
+	}
+	if maxDone != total {
+		t.Errorf("max Done %d, want %d", maxDone, total)
+	}
+
+	m := o.Metrics
+	if m.TrialsCompleted.Value() != int64(total) {
+		t.Errorf("trials counter %d, want %d", m.TrialsCompleted.Value(), total)
+	}
+	if m.Progress.Value() != 1 {
+		t.Errorf("progress gauge %v, want 1", m.Progress.Value())
+	}
+	if h := m.TrialSeconds.Snapshot(); h.Count != int64(total) {
+		t.Errorf("timing histogram count %d, want %d", h.Count, total)
+	}
+}

@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/hsgraph"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// Convergence plots best h-ASPL against annealing iteration for each SA
+// neighbourhood at fixed (n, m, r), from one shared random start. It is
+// the convergence companion to AblationMoves: instead of the final value
+// it shows how fast each move set gets there, using the annealer's
+// bounded EnergyTrace rather than repeated re-runs.
+func Convergence(n, m, r int, o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{
+		ID:     "convergence",
+		Title:  fmt.Sprintf("SA convergence by move set (n=%d m=%d r=%d)", n, m, r),
+		XLabel: "iteration",
+		YLabel: "best h-ASPL",
+	}
+	start, err := hsgraph.RandomConnected(n, m, r, rng.New(o.Seed))
+	if err != nil {
+		return Figure{}, err
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	for _, ms := range []opt.MoveSet{opt.SwapOnly, opt.SwingOnly, opt.TwoNeighborSwing} {
+		_, res, err := opt.Anneal(start, opt.Options{
+			Iterations:  o.SAIterations,
+			Workers:     o.Workers,
+			Moves:       ms,
+			Seed:        o.Seed + 1,
+			TraceEnergy: true,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: ms.String()}
+		for i, e := range res.EnergyTrace {
+			s.Points = append(s.Points, Point{
+				X: float64((i + 1) * res.EnergyTraceStride),
+				Y: e / pairs, // total path length -> h-ASPL
+			})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Tracer records the communication timeline of an MPI run: every
@@ -71,6 +73,50 @@ func (tr *Tracer) MessageCount() int {
 		}
 	}
 	return n
+}
+
+// ChromeEvents converts the timeline to Chrome trace_event records: one
+// thread row per rank, compute phases as complete spans (their duration
+// reconstructed from the recorded flops and flopsPerHost; pass the
+// Config.FlopsPerHost of the run, or <= 0 for the 100 GFlops default) and
+// message posts as instants. Timestamps are microseconds of simulated
+// time.
+func (tr *Tracer) ChromeEvents(flopsPerHost float64) []obs.TraceEvent {
+	if flopsPerHost <= 0 {
+		flopsPerHost = 100e9
+	}
+	const pid = 1
+	evs := []obs.TraceEvent{obs.MetadataEvent("process_name", pid, 0, "mpi ranks")}
+	ranksSeen := make(map[int]bool)
+	row := func(rank int) int {
+		if !ranksSeen[rank] {
+			ranksSeen[rank] = true
+			evs = append(evs, obs.MetadataEvent("thread_name", pid, rank, fmt.Sprintf("rank %d", rank)))
+		}
+		return rank
+	}
+	for _, e := range tr.Events {
+		ts := e.Time * 1e6
+		if e.Op == "compute" {
+			evs = append(evs, obs.TraceEvent{
+				Name: "compute", Cat: "compute", Ph: "X",
+				Ts: ts, Dur: e.Bytes / flopsPerHost * 1e6, Pid: pid, Tid: row(e.Rank),
+				Args: map[string]any{"flops": e.Bytes},
+			})
+			continue
+		}
+		evs = append(evs, obs.TraceEvent{
+			Name: e.Op, Cat: "p2p", Ph: "i", Ts: ts, Pid: pid, Tid: row(e.Rank), S: "t",
+			Args: map[string]any{"peer": e.Peer, "bytes": e.Bytes, "tag": e.Tag},
+		})
+	}
+	return evs
+}
+
+// WriteChromeTrace writes the timeline as a chrome://tracing-loadable
+// trace_event JSON array.
+func (tr *Tracer) WriteChromeTrace(w io.Writer, flopsPerHost float64) error {
+	return obs.WriteChromeTrace(w, tr.ChromeEvents(flopsPerHost))
 }
 
 // Dump writes the full timeline in time order.

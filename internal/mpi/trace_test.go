@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
 )
 
 func TestTracerRecordsTimeline(t *testing.T) {
@@ -97,5 +100,60 @@ func TestNilTracerIsSafe(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTracerChromeExport(t *testing.T) {
+	nw := ringWorld(t, 4)
+	tr := &Tracer{}
+	ftr := &simnet.FlowTracer{}
+	st, err := Run(nw, 4, Config{Tracer: tr, FlowTracer: ftr, TrackLinkStats: true, LinkSeriesBucket: 1e-4},
+		func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Compute(1e6)
+				r.Send(1, 1e6, 7) // rendezvous-sized: becomes a network flow
+			}
+			if r.ID() == 1 {
+				r.Recv(0, 7)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, instants := 0, 0
+	for _, e := range evs {
+		switch e.Ph {
+		case "X":
+			spans++
+			// 1e6 flops at the default 100 GFlops = 10 µs.
+			if e.Name == "compute" && e.Dur != 10 {
+				t.Errorf("compute span dur %v µs, want 10", e.Dur)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if spans != 1 || instants != 2 {
+		t.Errorf("spans=%d instants=%d, want 1 compute span + isend/irecv instants", spans, instants)
+	}
+
+	// The rendezvous message shows up in the flow-level trace too.
+	if n := len(ftr.Latencies()); n != 1 {
+		t.Errorf("flow latencies = %d, want 1", n)
+	}
+	if st.Links == nil {
+		t.Error("Stats.Links empty with TrackLinkStats")
+	}
+	if len(st.LinkSeries) == 0 {
+		t.Error("Stats.LinkSeries empty with LinkSeriesBucket set")
 	}
 }

@@ -32,6 +32,20 @@ type Config struct {
 	MTU float64
 	// Tracer, when non-nil, records the communication timeline.
 	Tracer *Tracer
+	// FlowTracer, when non-nil, records the lifecycle of every underlying
+	// network flow (see simnet.FlowTracer); together with Tracer this gives
+	// the full rank-level and fabric-level picture of a run.
+	FlowTracer *simnet.FlowTracer
+	// Metrics, when non-nil, receives live simulator updates so a metrics
+	// endpoint can be scraped mid-run (see simnet.SimMetrics).
+	Metrics *simnet.SimMetrics
+	// TrackLinkStats enables cumulative per-link byte accounting;
+	// Stats.Links is filled when set.
+	TrackLinkStats bool
+	// LinkSeriesBucket, when positive, enables time-bucketed per-link byte
+	// accounting with the given bucket width in simulated seconds;
+	// Stats.LinkSeries is filled when set.
+	LinkSeriesBucket float64
 	// LinkDowns schedules switch-switch link failures before the run, so
 	// NPB skeletons can be timed on a fabric that degrades mid-run (see
 	// simnet.Sim.ScheduleLinkDown for the failure semantics).
@@ -69,6 +83,13 @@ type Stats struct {
 	FlowsCompleted int64
 	FlowsFailed    int64 // transfers lost to link failures (see simnet)
 	BytesMoved     float64
+	// Links is the cumulative per-directed-link byte count (only with
+	// Config.TrackLinkStats).
+	Links []simnet.LinkLoad
+	// LinkSeries is the time-bucketed per-link byte series (only with
+	// Config.LinkSeriesBucket > 0): LinkSeries[b][l] is the bytes link l
+	// carried in bucket b. Idle buckets have nil rows.
+	LinkSeries [][]float64
 }
 
 // Run executes program on every rank of a fresh world and returns run
@@ -80,6 +101,12 @@ func Run(nw *simnet.Network, size int, cfg Config, program func(r *Rank) error) 
 		return Stats{}, fmt.Errorf("mpi: size %d out of range 1..%d", size, nw.Hosts())
 	}
 	sim := simnet.NewSim(nw)
+	sim.Tracer = cfg.FlowTracer
+	sim.Metrics = cfg.Metrics
+	sim.TrackLinkStats = cfg.TrackLinkStats
+	if cfg.LinkSeriesBucket > 0 {
+		sim.EnableLinkSeries(cfg.LinkSeriesBucket)
+	}
 	w := &World{sim: sim, cfg: cfg.withDefaults(), size: size}
 	for _, ld := range cfg.LinkDowns {
 		if err := sim.ScheduleLinkDown(ld.At, ld.A, ld.B); err != nil {
@@ -104,12 +131,17 @@ func Run(nw *simnet.Network, size int, cfg Config, program func(r *Rank) error) 
 			return Stats{}, fmt.Errorf("mpi: rank %d: %w", i, err)
 		}
 	}
-	return Stats{
+	st := Stats{
 		Elapsed:        sim.Now(),
 		FlowsCompleted: sim.FlowsCompleted,
 		FlowsFailed:    sim.FlowsFailed,
 		BytesMoved:     sim.BytesMoved,
-	}, nil
+		LinkSeries:     sim.LinkSeries(),
+	}
+	if cfg.TrackLinkStats {
+		st.Links = sim.LinkLoads()
+	}
+	return st, nil
 }
 
 // Rank is one MPI process.

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer drives every instrument kind from many goroutines
+// (run under -race in CI) and checks the totals at quiescence.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "ops")
+	g := r.Gauge("hammer_level", "level")
+	h := r.Histogram("hammer_seconds", "latency", ExpBuckets(0.001, 10, 5))
+
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 0.005)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must uphold the ordering invariant: a count
+	// published by Observe never exceeds the bucketed observations.
+	for i := 0; i < 100; i++ {
+		s := h.Snapshot()
+		var bucketed int64
+		for _, b := range s.Buckets {
+			bucketed += b
+		}
+		if bucketed < s.Count {
+			t.Fatalf("snapshot tore: %d bucketed < %d counted", bucketed, s.Count)
+		}
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	s := h.Snapshot()
+	if s.Count != total {
+		t.Errorf("histogram count = %d, want %d", s.Count, total)
+	}
+	var bucketed int64
+	for _, b := range s.Buckets {
+		bucketed += b
+	}
+	if bucketed != total {
+		t.Errorf("histogram buckets sum to %d, want %d", bucketed, total)
+	}
+	var perGoroutineSum float64
+	for i := 0; i < perG; i++ {
+		perGoroutineSum += float64(i%7) * 0.005
+	}
+	wantSum := float64(goroutines) * perGoroutineSum
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum = %g, want ~%g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 2, 1} // <=1: {0.5,1}; <=2: {1.5,2}; <=4: {3,4}; overflow: {100}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 10)) // 10..100
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 50, 10}, {0.95, 95, 10}, {0.99, 99, 10},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.0f = %g, want %g ± %g", tc.q*100, got, tc.want, tc.tol)
+		}
+	}
+	if !math.IsNaN((HistogramSnapshot{Bounds: []float64{1}, Buckets: []int64{0, 0}}).Quantile(0.5)) {
+		t.Error("empty snapshot quantile should be NaN")
+	}
+}
+
+// TestPrometheusGolden pins the text exposition format byte for byte: it
+// is the contract scrapers depend on.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anneal_moves_total", "proposed moves").Add(42)
+	r.Gauge("anneal_temperature", "current temperature").Set(1.5)
+	h := r.Histogram("trial_seconds", "trial duration", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP anneal_moves_total proposed moves
+# TYPE anneal_moves_total counter
+anneal_moves_total 42
+# HELP anneal_temperature current temperature
+# TYPE anneal_temperature gauge
+anneal_temperature 1.5
+# HELP trial_seconds trial duration
+# TYPE trial_seconds histogram
+trial_seconds_bucket{le="0.1"} 1
+trial_seconds_bucket{le="1"} 2
+trial_seconds_bucket{le="+Inf"} 3
+trial_seconds_sum 3.55
+trial_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		MetadataEvent("process_name", 0, 0, "network"),
+		{Name: "flow h0→h3", Cat: "flow", Ph: "X", Ts: 1.25, Dur: 100, Pid: 0, Tid: 0,
+			Args: map[string]any{"bytes": 4096.0, "links": "h0-s0;s0-s1;s1-h3"}},
+		{Name: "reroute", Ph: "i", Ts: 50, Pid: 0, Tid: 0, S: "g"},
+		{Name: "link s0-s1", Ph: "C", Ts: 0, Pid: 1, Tid: 0, Args: map[string]any{"bytes": 12.0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d != %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i].Name != events[i].Name || got[i].Ph != events[i].Ph ||
+			got[i].Ts != events[i].Ts || got[i].Dur != events[i].Dur {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+	if got[1].Args["bytes"].(float64) != 4096 {
+		t.Errorf("args lost: %+v", got[1].Args)
+	}
+
+	// The object flavour parses too.
+	objGot, err := ReadChromeTrace(strings.NewReader(
+		`{"displayTimeUnit":"ms","traceEvents":[{"name":"x","ph":"X","ts":1,"dur":2,"pid":0,"tid":0}]}`))
+	if err != nil || len(objGot) != 1 || objGot[0].Name != "x" {
+		t.Errorf("object flavour: %v, %+v", err, objGot)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Emit(Event{T: 1.5, Kind: KindAnnealSample,
+		F: map[string]float64{"iter": 1000, "best": 42}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Kind != KindHeader || events[0].F["version"] != SchemaVersion {
+		t.Fatalf("missing/garbled header: %+v", events)
+	}
+	if events[1].Kind != KindAnnealSample || events[1].F["best"] != 42 || events[1].T != 1.5 {
+		t.Fatalf("event garbled: %+v", events[1])
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "smoke").Add(7)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tc := range []struct{ path, want string }{
+		{"/metrics", "smoke_total 7"},
+		{"/healthz", "ok"},
+		{"/debug/pprof/cmdline", ""},
+	} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, tc.path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", tc.path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("GET %s: body missing %q:\n%s", tc.path, tc.want, body)
+		}
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus writes the registry's snapshot in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE comments, plain samples
+// for counters and gauges, cumulative _bucket/_sum/_count series for
+// histograms (with the mandatory le="+Inf" bucket).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, m := range r.Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.Name, m.Name, m.Counter)
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.Name, m.Name, formatFloat(m.Gauge))
+		case KindHistogram:
+			err = writePromHistogram(w, m.Name, m.Histogram)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Buckets[len(s.Bounds)]
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, formatFloat(s.Sum), name, s.Count)
+	return err
+}
+
+// formatFloat renders floats the way Prometheus clients do: shortest
+// round-trippable representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

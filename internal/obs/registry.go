@@ -1,0 +1,332 @@
+// Package obs is the repository's dependency-free telemetry layer: a
+// Registry of counters, gauges and fixed-bucket histograms with a
+// lock-free hot path (atomics only — instruments may be hammered from the
+// SA hot loop or the sweep worker pool without contention), snapshot-on-
+// read export, a structured JSONL event sink (schema.go, sink.go), a
+// Prometheus-style text exposition (prom.go) with an optional HTTP
+// endpoint (http.go), and Chrome trace_event JSON I/O (trace.go).
+//
+// The long-running engines (opt.Anneal, simnet.Sim, fault.Sweep) publish
+// into instruments handed to them by the caller; the CLIs surface them via
+// -metrics-addr, -trace-out and -progress. The instrumentation contract —
+// metric names and the event schema — is stable: dashboards and
+// regression tooling build on it (see schema.go).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus exposition to stay
+// meaningful; this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that may go up and down. The zero value is
+// ready to use; all methods are safe for concurrent use and lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Bucket i counts observations
+// v <= Bounds[i]; one implicit overflow bucket counts the rest. Observe is
+// lock-free; Snapshot is a consistent-enough read for live scraping (the
+// per-field loads are individually atomic, and the invariant that bucket
+// totals never exceed the published count is preserved by the write
+// ordering in Observe — see SnapshotHistogram).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-accumulated
+}
+
+// NewHistogram returns a histogram with the given strictly increasing
+// upper bounds. It panics on an empty or unsorted bound list.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n strictly increasing bounds starting at start and
+// multiplied by factor at every step — the usual latency-style layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets wants width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Observe records one value. Write order (bucket, then sum, then count)
+// guarantees a snapshot that reads count first never sees more counted
+// observations than bucketed ones.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Bounds returns the configured upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Bounds  []float64 // upper bounds; Buckets[len(Bounds)] is overflow
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the containing bucket. Observations beyond the last bound are
+// attributed to the last finite bound. Returns NaN on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		hi := s.Bounds[len(s.Bounds)-1]
+		lo := 0.0
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			return hi // overflow bucket: clamp to the last finite bound
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Snapshot returns a point-in-time copy. Count is read before the buckets,
+// so sum(Buckets) >= Count always holds under concurrent Observes.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+		Count:   h.count.Load(),
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Registry names and owns a set of instruments. Get-or-create lookups take
+// a mutex (call them at setup time, keep the returned pointer for the hot
+// path); reads for export snapshot each instrument atomically.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+	names      []string // registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+func (r *Registry) register(name, help string) {
+	if _, dup := r.help[name]; !dup {
+		r.names = append(r.names, name)
+		r.help[name] = help
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name as a different instrument kind panics.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.mustBeFresh(name)
+	c := &Counter{}
+	r.counters[name] = c
+	r.register(name, help)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.mustBeFresh(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.register(name, help)
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.mustBeFresh(name)
+	h := NewHistogram(bounds)
+	r.histograms[name] = h
+	r.register(name, help)
+	return h
+}
+
+func (r *Registry) mustBeFresh(name string) {
+	if _, ok := r.help[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
+	}
+}
+
+// Metric is one exported instrument in a Snapshot.
+type Metric struct {
+	Name string
+	Help string
+	// Exactly one of the following is meaningful, selected by Kind.
+	Kind      MetricKind
+	Counter   int64
+	Gauge     float64
+	Histogram HistogramSnapshot
+}
+
+// MetricKind discriminates Metric payloads.
+type MetricKind int
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Snapshot returns every instrument's current value in registration
+// order. Individual instruments are read atomically; the set as a whole is
+// not a global atomic cut (standard scrape semantics).
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(names))
+	for _, name := range names {
+		m := Metric{Name: name, Help: help[name]}
+		switch {
+		case counters[name] != nil:
+			m.Kind, m.Counter = KindCounter, counters[name].Value()
+		case gauges[name] != nil:
+			m.Kind, m.Gauge = KindGauge, gauges[name].Value()
+		case hists[name] != nil:
+			m.Kind, m.Histogram = KindHistogram, hists[name].Snapshot()
+		default:
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}

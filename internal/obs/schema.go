@@ -1,0 +1,58 @@
+package obs
+
+// The stable event schema. Every long-running engine emits Events through
+// a Sink; consumers (cmd/orptrace, dashboards, regression tooling) parse
+// JSONL files of these records. The contract:
+//
+//   - One JSON object per line (JSONL).
+//   - Every record carries "t" (seconds; wall-clock since process start
+//     for engine telemetry, simulated seconds for simulator events),
+//     "kind" (one of the Kind* constants below) and optional numeric
+//     ("f") and string ("s") field maps.
+//   - The first record of a file is KindHeader with f["version"] ==
+//     SchemaVersion. Consumers must accept unknown kinds and unknown
+//     fields inside known kinds (the schema only grows).
+//
+// Field keys per kind:
+//
+//	anneal.sample: iter, temp, current, best, accepted, proposed,
+//	               swingAttempts, swingAccepts, counterAttempts,
+//	               counterAccepts, swapAttempts, swapAccepts,
+//	               movesPerSec, restart
+//	anneal.done:   iters, bestTotalPath, bestHASPL, acceptRate, seconds
+//	sweep.trial:   fraction, trial, done, total, seconds,
+//	               survivingHASPL, stretch, reachableFrac, failedLinks,
+//	               failedSwitches
+//	sweep.done:    trials, seconds
+//	flow.*:        see simnet.FlowTracer (exported via Chrome trace
+//	               rather than JSONL; listed here for kind stability)
+
+// SchemaVersion is bumped whenever an existing field changes meaning
+// (never for additions).
+const SchemaVersion = 1
+
+// Event kinds.
+const (
+	KindHeader       = "obs.header"
+	KindAnnealSample = "anneal.sample"
+	KindAnnealDone   = "anneal.done"
+	KindSweepTrial   = "sweep.trial"
+	KindSweepDone    = "sweep.done"
+	KindFlowStart    = "flow.start"
+	KindFlowReroute  = "flow.reroute"
+	KindFlowFinish   = "flow.finish"
+	KindFlowFail     = "flow.fail"
+)
+
+// Event is one structured telemetry record.
+type Event struct {
+	T    float64            `json:"t"`
+	Kind string             `json:"kind"`
+	F    map[string]float64 `json:"f,omitempty"`
+	S    map[string]string  `json:"s,omitempty"`
+}
+
+// Header returns the file-leading header event.
+func Header() Event {
+	return Event{Kind: KindHeader, F: map[string]float64{"version": SchemaVersion}}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes Events as one JSON object per line. It is safe for
+// concurrent use (a mutex serialises writes — event emission is off the
+// per-move hot path by construction: engines sample at intervals).
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing to w, with the schema header
+// already emitted.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	s.Emit(Header())
+	return s
+}
+
+// Emit appends one event. The first write error is sticky and returned
+// from every later call and from Flush.
+func (s *JSONLSink) Emit(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.enc.Encode(e)
+	return s.err
+}
+
+// Flush drains the buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// ReadJSONL parses a JSONL event stream, skipping blank lines. Unknown
+// kinds are returned as-is (the schema contract: consumers tolerate
+// growth).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event JSON (the chrome://tracing and Perfetto legacy
+// format). Only the event phases the simulators emit are modelled:
+// complete spans ("X"), instants ("i"), counters ("C") and metadata
+// ("M"). The writer emits the JSON-array flavour, the most widely
+// accepted one; the reader additionally accepts the object flavour
+// ({"traceEvents": [...]}).
+
+// TraceEvent is one trace_event record. Ts and Dur are microseconds, per
+// the format specification.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: g, p or t
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// MetadataEvent returns an "M" record naming a process or thread, which
+// is how the trace viewer labels its rows.
+func MetadataEvent(name string, pid, tid int, value string) TraceEvent {
+	return TraceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value}}
+}
+
+// WriteChromeTrace writes events as a trace_event JSON array loadable by
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// ReadChromeTrace parses a trace_event file in either the JSON-array or
+// the {"traceEvents": [...]} object flavour.
+func ReadChromeTrace(r io.Reader) ([]TraceEvent, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("obs: empty trace: %w", err)
+	}
+	switch d := tok.(type) {
+	case json.Delim:
+		switch d {
+		case '[':
+			var out []TraceEvent
+			for dec.More() {
+				var e TraceEvent
+				if err := dec.Decode(&e); err != nil {
+					return nil, fmt.Errorf("obs: bad trace event: %w", err)
+				}
+				out = append(out, e)
+			}
+			return out, nil
+		case '{':
+			for {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("obs: trace object without traceEvents: %w", err)
+				}
+				if d, ok := keyTok.(json.Delim); ok && d == '}' {
+					return nil, fmt.Errorf("obs: trace object without traceEvents")
+				}
+				key, _ := keyTok.(string)
+				if key == "traceEvents" {
+					var out []TraceEvent
+					if err := dec.Decode(&out); err != nil {
+						return nil, fmt.Errorf("obs: bad traceEvents array: %w", err)
+					}
+					return out, nil
+				}
+				// Skip this key's value.
+				var skip json.RawMessage
+				if err := dec.Decode(&skip); err != nil {
+					return nil, fmt.Errorf("obs: bad trace metadata: %w", err)
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("obs: not a trace_event file (expected [ or {)")
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/hsgraph"
 	"repro/internal/rng"
@@ -82,6 +83,19 @@ type Options struct {
 	// (default 1000) with the iteration count and current/best energy.
 	OnProgress  func(iter int, current, best int64)
 	ReportEvery int
+	// Observer, if non-nil, receives an AnnealSample every ReportEvery
+	// iterations plus one final sample at the last iteration. The nil
+	// path adds no allocations and no timing calls to the hot loop.
+	Observer Observer
+	// TraceEnergy records the best energy at every ReportEvery interval
+	// into Result.EnergyTrace so convergence can be plotted without
+	// re-running. Memory stays bounded: once the trace reaches
+	// EnergyTraceMax samples it is decimated (every other sample
+	// dropped, sampling stride doubled).
+	TraceEnergy    bool
+	EnergyTraceMax int // cap on len(Result.EnergyTrace); default 2048
+	// restart tags observer samples from ParallelAnneal.
+	restart int
 	// Workers is the number of shard workers each h-ASPL evaluation is
 	// split over (see hsgraph.Evaluator). Values <= 1 evaluate serially.
 	// The result is identical for every worker count; only throughput
@@ -98,6 +112,12 @@ type Result struct {
 	Iterations  int             // iterations actually run
 	FinalTemp   float64
 	InitialTemp float64
+	// Moves breaks Proposed/Accepted down by operation.
+	Moves MoveCounters
+	// EnergyTrace is the best energy sampled every EnergyTraceStride
+	// iterations (only with Options.TraceEnergy; see EnergyTraceMax).
+	EnergyTrace       []float64
+	EnergyTraceStride int
 }
 
 // Anneal runs simulated annealing from the given starting graph and
@@ -165,11 +185,16 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 		return rnd.Float64() < math.Exp(-float64(delta)/t)
 	}
 
+	// Telemetry state. All of it is inert (no clock reads, no appends)
+	// unless an observer or energy tracing was requested.
+	var tel telemetry
+	tel.init(o)
+
 	for iter := 0; iter < o.Iterations; iter++ {
 		switch o.Moves {
 		case TwoNeighborSwing:
 			res.Proposed++
-			if e, moved := twoNeighborSwing(g, rnd, energyOf, func(c int64) bool { return acceptAt(c, temp) }); moved {
+			if e, moved := twoNeighborSwing(g, rnd, energyOf, func(c int64) bool { return acceptAt(c, temp) }, &res.Moves); moved {
 				energy = e
 				res.Accepted++
 			}
@@ -183,9 +208,19 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 			}
 			if ok {
 				res.Proposed++
+				if o.Moves == SwapOnly {
+					res.Moves.SwapAttempts++
+				} else {
+					res.Moves.SwingAttempts++
+				}
 				if e := energyOf(); acceptAt(e, temp) {
 					energy = e
 					res.Accepted++
+					if o.Moves == SwapOnly {
+						res.Moves.SwapAccepts++
+					} else {
+						res.Moves.SwingAccepts++
+					}
 				} else {
 					u()
 				}
@@ -197,8 +232,11 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 			bestEnergy = energy
 			best = g.Clone()
 		}
-		if o.OnProgress != nil && (iter+1)%o.ReportEvery == 0 {
-			o.OnProgress(iter+1, energy, bestEnergy)
+		if (iter+1)%o.ReportEvery == 0 || iter+1 == o.Iterations {
+			if o.OnProgress != nil && (iter+1)%o.ReportEvery == 0 {
+				o.OnProgress(iter+1, energy, bestEnergy)
+			}
+			tel.sample(&o, &res, iter+1, temp, energy, bestEnergy)
 		}
 		switch o.Schedule {
 		case Linear:
@@ -213,8 +251,90 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 		}
 	}
 	res.Iterations = o.Iterations
+	tel.finish(&o, &res)
 	res.Best = ev.Evaluate(best)
 	return best, res, nil
+}
+
+// telemetry drives Observer sampling and energy tracing. It is fully
+// inert — no clock reads, no appends, no allocations — unless the run
+// requested an observer or an energy trace.
+type telemetry struct {
+	observe  bool
+	trace    bool
+	max      int
+	start    time.Time
+	lastTime time.Time
+	lastIter int
+	stride   int // energy-trace decimation stride, in ReportEvery units
+	interval int // aligned intervals seen so far
+	buf      []float64
+}
+
+func (t *telemetry) init(o Options) {
+	t.observe = o.Observer != nil
+	t.trace = o.TraceEnergy
+	t.max = o.EnergyTraceMax
+	if t.max <= 0 {
+		t.max = 2048
+	}
+	if t.max < 2 {
+		t.max = 2
+	}
+	t.stride = 1
+	if t.observe {
+		t.start = time.Now()
+		t.lastTime = t.start
+	}
+}
+
+// sample records one telemetry interval. iter is the number of completed
+// iterations; the caller invokes it on ReportEvery boundaries and once at
+// the final iteration.
+func (t *telemetry) sample(o *Options, res *Result, iter int, temp float64, current, best int64) {
+	if t.trace && iter%o.ReportEvery == 0 {
+		if t.interval%t.stride == 0 {
+			t.buf = append(t.buf, float64(best))
+			if len(t.buf) >= t.max {
+				// Decimate: keep every other sample, double the stride.
+				half := (len(t.buf) + 1) / 2
+				for i := 0; i < half; i++ {
+					t.buf[i] = t.buf[2*i]
+				}
+				t.buf = t.buf[:half]
+				t.stride *= 2
+			}
+		}
+		t.interval++
+	}
+	if t.observe {
+		now := time.Now()
+		rate := 0.0
+		if dt := now.Sub(t.lastTime).Seconds(); dt > 0 {
+			rate = float64(iter-t.lastIter) / dt
+		}
+		o.Observer.ObserveAnneal(AnnealSample{
+			Restart:    o.restart,
+			Iter:       iter,
+			Iterations: o.Iterations,
+			Temp:       temp,
+			Current:    current,
+			Best:       best,
+			Accepted:   res.Accepted,
+			Proposed:   res.Proposed,
+			Moves:      res.Moves,
+			MovesPerSec: rate,
+			Elapsed:     now.Sub(t.start).Seconds(),
+		})
+		t.lastTime, t.lastIter = now, iter
+	}
+}
+
+func (t *telemetry) finish(o *Options, res *Result) {
+	if t.trace {
+		res.EnergyTrace = t.buf
+		res.EnergyTraceStride = t.stride * o.ReportEvery
+	}
 }
 
 // hillClimbTemp is effectively zero on the integer energy scale: any
@@ -285,6 +405,10 @@ func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Gra
 			oi := o
 			oi.Seed = o.Seed + uint64(i)*0x9e3779b97f4a7c15
 			oi.OnProgress = nil
+			// The Observer (if any) is shared by every restart; samples
+			// carry the restart index. Observer implementations used here
+			// must be safe for concurrent use (see Observer docs).
+			oi.restart = i
 			g, res, err := Anneal(start, oi)
 			outs[i] = outcome{g, res, err}
 			done <- i

@@ -109,8 +109,10 @@ func trySwing(g *hsgraph.Graph, rnd *rng.Rand) (undo, bool) {
 //	        accepted, keep it (2-neighbor). Otherwise restore the input.
 //
 // Returns whether a move was kept. energyOf evaluates the current graph.
+// mc (non-nil) receives the per-step attempt/accept telemetry: step 1
+// counts as a swing, step 3 as a counter-swing.
 func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
-	energyOf func() int64, accept func(candidate int64) bool) (int64, bool) {
+	energyOf func() int64, accept func(candidate int64) bool, mc *MoveCounters) (int64, bool) {
 
 	ne := g.NumEdges()
 	m := g.Switches()
@@ -133,8 +135,10 @@ func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
 	if !found {
 		return 0, false
 	}
+	mc.SwingAttempts++
 	e1 := energyOf()
 	if accept(e1) {
+		mc.SwingAccepts++
 		return e1, true
 	}
 	// Step 3: swing(d, c, b) for a neighbour d of c (d != a, b), moving the
@@ -156,8 +160,10 @@ func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
 		if !ok {
 			continue
 		}
+		mc.CounterAttempts++
 		e2 := energyOf()
 		if accept(e2) {
+			mc.CounterAccepts++
 			return e2, true
 		}
 		undo2()

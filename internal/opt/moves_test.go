@@ -172,7 +172,7 @@ func TestTwoNeighborSwingAlwaysReject(t *testing.T) {
 	rnd := rng.New(6)
 	energyOf := func() int64 { return g.Evaluate().TotalPath }
 	for i := 0; i < 50; i++ {
-		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return false }); moved {
+		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return false }, &MoveCounters{}); moved {
 			t.Fatal("move kept despite rejecting acceptor")
 		}
 		if !hsgraph.Equal(g, before) {
@@ -187,7 +187,7 @@ func TestTwoNeighborSwingAlwaysAccept(t *testing.T) {
 	energyOf := func() int64 { return g.Evaluate().TotalPath }
 	kept := 0
 	for i := 0; i < 50; i++ {
-		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return true }); moved {
+		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return true }, &MoveCounters{}); moved {
 			kept++
 		}
 		if err := g.Validate(); err != nil && err != hsgraph.ErrNotConnected {
@@ -211,7 +211,7 @@ func TestTwoNeighborSwingSecondStepIsSwap(t *testing.T) {
 		_, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool {
 			calls++
 			return calls == 2
-		})
+		}, &MoveCounters{})
 		if !moved {
 			continue
 		}

@@ -39,7 +39,7 @@ func TestPropertyMovesPreserveInvariants(t *testing.T) {
 					u()
 				}
 			case 2:
-				twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return rnd.Intn(2) == 0 })
+				twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return rnd.Intn(2) == 0 }, &MoveCounters{})
 			}
 			if g.NumEdges() != edges {
 				return false

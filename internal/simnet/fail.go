@@ -102,10 +102,19 @@ func (s *Sim) linkDown(a, b int32) {
 		if err != nil {
 			delete(s.flows, id)
 			s.FlowsFailed++
+			s.Tracer.record(FlowEvent{Kind: FlowFail, Time: s.now, ID: f.id, Src: f.src, Dst: f.dst, Bytes: f.remaining})
+			s.Metrics.flowEnded(s, nil, true)
 			s.fire(f.done)
 			continue
 		}
 		f.links = links
+		if s.Tracer != nil {
+			s.Tracer.record(FlowEvent{Kind: FlowReroute, Time: s.now, ID: f.id, Src: f.src, Dst: f.dst,
+				Bytes: f.remaining, Route: append([]int32(nil), links...)})
+		}
+		if s.Metrics != nil {
+			s.Metrics.Reroutes.Inc()
+		}
 	}
 	if len(affected) > 0 {
 		s.ratesDirty = true

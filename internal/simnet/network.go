@@ -148,6 +148,15 @@ func (nw *Network) Switches() int { return nw.switches }
 // NumLinks returns the number of directed links.
 func (nw *Network) NumLinks() int { return len(nw.linkFrom) }
 
+// NodeName renders a node id (hosts [0,n), switch s at n+s) as "h<i>" or
+// "s<i>" for human-readable link labels.
+func (nw *Network) NodeName(id int) string {
+	if id < nw.hosts {
+		return fmt.Sprintf("h%d", id)
+	}
+	return fmt.Sprintf("s%d", id-nw.hosts)
+}
+
 // Config returns the effective (defaulted) configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 

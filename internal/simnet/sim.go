@@ -45,6 +45,16 @@ type Sim struct {
 	TrackLinkStats bool
 	linkBytes      []float64
 
+	// Tracer, when non-nil, records every flow's lifecycle (see trace.go).
+	// Set before Run.
+	Tracer *FlowTracer
+	// Metrics, when non-nil, receives live counter/gauge/histogram updates
+	// as the simulation runs (see SimMetrics). Set before Run.
+	Metrics *SimMetrics
+	// Time-bucketed link series (see EnableLinkSeries).
+	seriesBucket float64
+	series       [][]float64
+
 	// linkFreeAt is the packet-mode per-link FIFO horizon (see packet.go).
 	linkFreeAt []float64
 }
@@ -66,6 +76,7 @@ type flow struct {
 	remaining float64
 	rate      float64
 	done      *Signal
+	started   float64 // sim time at which the flow began carrying bytes
 }
 
 type event struct {
@@ -196,6 +207,8 @@ func (s *Sim) advance() error {
 			delete(s.flows, id)
 			s.FlowsCompleted++
 			s.ratesDirty = true
+			s.Tracer.record(FlowEvent{Kind: FlowFinish, Time: s.now, ID: f.id, Src: f.src, Dst: f.dst})
+			s.Metrics.flowEnded(s, f, false)
 			s.fire(f.done)
 		}
 		return nil
@@ -231,6 +244,9 @@ func (s *Sim) drainFlows(dt float64) {
 			for _, l := range f.links {
 				s.linkBytes[l] += moved
 			}
+		}
+		if s.seriesBucket > 0 && moved > 0 {
+			s.addSeries(f.links, moved, dt)
 		}
 	}
 }
@@ -478,6 +494,8 @@ func (s *Sim) StartFlow(src, dst int, bytes float64) (*Signal, error) {
 				fresh, err := s.route(src, dst)
 				if err != nil {
 					s.FlowsFailed++
+					s.Tracer.record(FlowEvent{Kind: FlowFail, Time: s.now, Src: src, Dst: dst, Bytes: bytes})
+					s.Metrics.flowEnded(s, nil, true)
 					s.fire(sg)
 					return
 				}
@@ -486,9 +504,14 @@ func (s *Sim) StartFlow(src, dst int, bytes float64) (*Signal, error) {
 			}
 		}
 		s.nextFlowID++
-		f := &flow{id: s.nextFlowID, src: src, dst: dst, links: links, remaining: bytes, done: sg}
+		f := &flow{id: s.nextFlowID, src: src, dst: dst, links: links, remaining: bytes, done: sg, started: s.now}
 		s.flows[f.id] = f
 		s.ratesDirty = true
+		if s.Tracer != nil {
+			s.Tracer.record(FlowEvent{Kind: FlowStart, Time: s.now, ID: f.id, Src: src, Dst: dst,
+				Bytes: bytes, Route: append([]int32(nil), links...)})
+		}
+		s.Metrics.flowStarted(s)
 	})
 	return sg, nil
 }

@@ -1,0 +1,319 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Flow-level observability: a FlowTracer records every flow's lifecycle
+// (start, reroute on link failure, finish, fail) at simulated timestamps
+// and exports the timeline as Chrome trace_event JSON; EnableLinkSeries
+// adds time-bucketed per-link byte accounting on top of the cumulative
+// TrackLinkStats totals; SimMetrics publishes live counters into an
+// obs.Registry for scraping while a simulation runs. All of it is
+// strictly passive — tracing never consumes randomness, schedules events
+// or perturbs rate allocation, so a traced run is bit-identical to an
+// untraced one.
+
+// FlowEventKind classifies FlowTracer records.
+type FlowEventKind int
+
+// Flow lifecycle kinds.
+const (
+	// FlowStart: the flow began carrying bytes (after the latency window).
+	FlowStart FlowEventKind = iota
+	// FlowReroute: a link failure moved the flow onto a new path.
+	FlowReroute
+	// FlowFinish: the flow delivered all its bytes.
+	FlowFinish
+	// FlowFail: a failure made the destination unreachable; the flow was
+	// terminated with Bytes still undelivered.
+	FlowFail
+)
+
+func (k FlowEventKind) String() string {
+	switch k {
+	case FlowStart:
+		return "start"
+	case FlowReroute:
+		return "reroute"
+	case FlowFinish:
+		return "finish"
+	case FlowFail:
+		return "fail"
+	}
+	return fmt.Sprintf("FlowEventKind(%d)", int(k))
+}
+
+// FlowEvent is one flow lifecycle record.
+type FlowEvent struct {
+	Kind FlowEventKind
+	// Time is the simulated time of the event in seconds.
+	Time float64
+	// ID is the simulator-assigned flow id. It is 0 for flows that failed
+	// during their latency window, before ever carrying bytes.
+	ID       int64
+	Src, Dst int // host ids
+	// Bytes is the transfer size at FlowStart, the bytes still undelivered
+	// at FlowReroute/FlowFail, and 0 at FlowFinish.
+	Bytes float64
+	// Route is the directed-link path (start and reroute events only).
+	Route []int32
+}
+
+// FlowTracer records flow lifecycle events. Attach one via Sim.Tracer
+// before Run; the scheduler is single-threaded, so no locking is needed.
+type FlowTracer struct {
+	events []FlowEvent
+}
+
+// record appends an event (no-op on a nil tracer).
+func (t *FlowTracer) record(e FlowEvent) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded timeline in the order it happened.
+func (t *FlowTracer) Events() []FlowEvent { return t.events }
+
+// Latencies returns the start-to-finish duration of every completed flow,
+// in event order. Failed and still-open flows are excluded.
+func (t *FlowTracer) Latencies() []float64 {
+	starts := make(map[int64]float64)
+	var out []float64
+	for _, e := range t.events {
+		switch e.Kind {
+		case FlowStart:
+			starts[e.ID] = e.Time
+		case FlowFinish:
+			if s, ok := starts[e.ID]; ok {
+				out = append(out, e.Time-s)
+				delete(starts, e.ID)
+			}
+		}
+	}
+	return out
+}
+
+// ChromeEvents converts the timeline to Chrome trace_event records: one
+// thread row per source host, a complete span ("X") per finished flow, an
+// instant per reroute/failure, and a counter track of concurrently active
+// flows. Timestamps are microseconds of simulated time. When nw is
+// non-nil, each span's args carry the flow's final route as readable
+// "a->b" hop names so consumers (cmd/orptrace) can aggregate per-link
+// bytes without the network file; with a nil nw routes are omitted.
+func (t *FlowTracer) ChromeEvents(nw *Network) []obs.TraceEvent {
+	const pid = 0
+	evs := []obs.TraceEvent{obs.MetadataEvent("process_name", pid, 0, "simnet flows")}
+	hostsSeen := make(map[int]bool)
+	row := func(host int) int {
+		if !hostsSeen[host] {
+			hostsSeen[host] = true
+			evs = append(evs, obs.MetadataEvent("thread_name", pid, host, fmt.Sprintf("host %d", host)))
+		}
+		return host
+	}
+	routeNames := func(links []int32) []string {
+		if nw == nil || len(links) == 0 {
+			return nil
+		}
+		out := make([]string, len(links))
+		for i, l := range links {
+			out[i] = fmt.Sprintf("%s->%s", nw.NodeName(int(nw.linkFrom[l])), nw.NodeName(int(nw.linkTo[l])))
+		}
+		return out
+	}
+	type open struct {
+		at    float64
+		bytes float64
+		hops  int
+		route []string
+	}
+	opens := make(map[int64]open)
+	active := 0
+	counter := func(at float64) obs.TraceEvent {
+		return obs.TraceEvent{Name: "active flows", Ph: "C", Ts: at * 1e6, Pid: pid,
+			Args: map[string]any{"flows": active}}
+	}
+	for _, e := range t.events {
+		ts := e.Time * 1e6
+		switch e.Kind {
+		case FlowStart:
+			opens[e.ID] = open{at: e.Time, bytes: e.Bytes, hops: len(e.Route), route: routeNames(e.Route)}
+			active++
+			evs = append(evs, counter(e.Time))
+		case FlowReroute:
+			if o, ok := opens[e.ID]; ok {
+				o.hops = len(e.Route)
+				o.route = routeNames(e.Route)
+				opens[e.ID] = o
+			}
+			evs = append(evs, obs.TraceEvent{
+				Name: fmt.Sprintf("reroute flow %d", e.ID), Cat: "flow", Ph: "i",
+				Ts: ts, Pid: pid, Tid: row(e.Src), S: "t",
+				Args: map[string]any{"dst": e.Dst, "remaining": e.Bytes, "hops": len(e.Route)},
+			})
+		case FlowFinish, FlowFail:
+			name := fmt.Sprintf("flow %d: h%d->h%d", e.ID, e.Src, e.Dst)
+			if o, ok := opens[e.ID]; ok {
+				delete(opens, e.ID)
+				active--
+				if e.Kind == FlowFail {
+					name = "FAILED " + name
+				}
+				args := map[string]any{"bytes": o.bytes, "hops": o.hops, "undelivered": e.Bytes}
+				if o.route != nil {
+					args["route"] = o.route
+				}
+				evs = append(evs, obs.TraceEvent{
+					Name: name, Cat: "flow", Ph: "X",
+					Ts: o.at * 1e6, Dur: (e.Time - o.at) * 1e6, Pid: pid, Tid: row(e.Src),
+					Args: args,
+				})
+				evs = append(evs, counter(e.Time))
+			} else {
+				// Failed before carrying bytes (latency-window failure).
+				evs = append(evs, obs.TraceEvent{
+					Name: fmt.Sprintf("FAILED flow h%d->h%d (unroutable)", e.Src, e.Dst),
+					Cat:  "flow", Ph: "i", Ts: ts, Pid: pid, Tid: row(e.Src), S: "t",
+					Args: map[string]any{"bytes": e.Bytes},
+				})
+			}
+		}
+	}
+	return evs
+}
+
+// WriteChromeTrace writes the timeline as a chrome://tracing-loadable
+// trace_event JSON array. nw (optional) adds readable routes to the
+// spans; see ChromeEvents.
+func (t *FlowTracer) WriteChromeTrace(w io.Writer, nw *Network) error {
+	return obs.WriteChromeTrace(w, t.ChromeEvents(nw))
+}
+
+// SimMetrics publishes live simulator state into an obs.Registry so a
+// metrics endpoint can be scraped while a simulation runs. Attach via
+// Sim.Metrics before Run. All instruments are updated from the (single)
+// scheduler goroutine; scrapes read them atomically.
+type SimMetrics struct {
+	FlowsStarted   *obs.Counter
+	FlowsCompleted *obs.Counter
+	FlowsFailed    *obs.Counter
+	Reroutes       *obs.Counter
+	ActiveFlows    *obs.Gauge
+	SimTime        *obs.Gauge
+	BytesMoved     *obs.Gauge
+	// FlowLatency is the start-to-finish duration of completed flows, in
+	// simulated seconds (1µs .. ~8s exponential buckets).
+	FlowLatency *obs.Histogram
+}
+
+// NewSimMetrics registers the simnet instrument set in r.
+func NewSimMetrics(r *obs.Registry) *SimMetrics {
+	return &SimMetrics{
+		FlowsStarted:   r.Counter("simnet_flows_started_total", "Flows that began carrying bytes."),
+		FlowsCompleted: r.Counter("simnet_flows_completed_total", "Flows that delivered all bytes."),
+		FlowsFailed:    r.Counter("simnet_flows_failed_total", "Flows terminated by link failures."),
+		Reroutes:       r.Counter("simnet_flow_reroutes_total", "In-flight flows moved to a new path by a link failure."),
+		ActiveFlows:    r.Gauge("simnet_active_flows", "Flows currently carrying bytes."),
+		SimTime:        r.Gauge("simnet_time_seconds", "Current simulated time."),
+		BytesMoved:     r.Gauge("simnet_bytes_moved", "Total bytes delivered so far."),
+		FlowLatency:    r.Histogram("simnet_flow_latency_seconds", "Start-to-finish duration of completed flows (simulated seconds).", obs.ExpBuckets(1e-6, 2, 24)),
+	}
+}
+
+// flowStarted/flowEnded update the live instruments (nil-safe).
+func (m *SimMetrics) flowStarted(s *Sim) {
+	if m == nil {
+		return
+	}
+	m.FlowsStarted.Inc()
+	m.ActiveFlows.Set(float64(len(s.flows)))
+	m.SimTime.Set(s.now)
+}
+
+func (m *SimMetrics) flowEnded(s *Sim, f *flow, failed bool) {
+	if m == nil {
+		return
+	}
+	if failed {
+		m.FlowsFailed.Inc()
+	} else {
+		m.FlowsCompleted.Inc()
+		if f != nil {
+			m.FlowLatency.Observe(s.now - f.started)
+		}
+	}
+	m.ActiveFlows.Set(float64(len(s.flows)))
+	m.SimTime.Set(s.now)
+	m.BytesMoved.Set(s.BytesMoved)
+}
+
+// EnableLinkSeries turns on time-bucketed per-link byte accounting:
+// every drained byte is attributed to the directed link(s) it crossed and
+// the time bucket(s) it moved in, proportionally when a drain interval
+// straddles a bucket edge. Must be called before Run. The per-bucket rows
+// are allocated lazily, so idle tails cost nothing.
+func (s *Sim) EnableLinkSeries(bucketSeconds float64) {
+	if bucketSeconds <= 0 {
+		panic("simnet: link-series bucket width must be positive")
+	}
+	s.seriesBucket = bucketSeconds
+}
+
+// LinkSeriesBucket returns the configured bucket width (0 when disabled).
+func (s *Sim) LinkSeriesBucket() float64 { return s.seriesBucket }
+
+// LinkSeries returns the recorded series: series[b][l] is the bytes link l
+// carried during [b*bucket, (b+1)*bucket). Rows of buckets in which
+// nothing moved are nil. The returned slices are the simulator's own;
+// treat them as read-only.
+func (s *Sim) LinkSeries() [][]float64 { return s.series }
+
+// addSeries attributes moved bytes, drained over [now, now+dt), to the
+// bucketed series of every link on the path.
+func (s *Sim) addSeries(links []int32, moved, dt float64) {
+	t0, t1 := s.now, s.now+dt
+	b := int(t0 / s.seriesBucket)
+	for t0 < t1 {
+		edge := float64(b+1) * s.seriesBucket
+		seg := math.Min(edge, t1) - t0
+		if seg > 0 {
+			for b >= len(s.series) {
+				s.series = append(s.series, nil)
+			}
+			if s.series[b] == nil {
+				s.series[b] = make([]float64, s.net.NumLinks())
+			}
+			row := s.series[b]
+			share := moved * seg / dt
+			for _, l := range links {
+				row[l] += share
+			}
+		}
+		t0 = edge
+		b++
+	}
+}
+
+// HotLinks returns the k directed links that carried the most bytes, in
+// decreasing order (requires TrackLinkStats; returns nil otherwise).
+// Links that carried nothing are omitted.
+func (s *Sim) HotLinks(k int) []LinkLoad {
+	if s.linkBytes == nil || k <= 0 {
+		return nil
+	}
+	loads := s.LinkLoads()
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Bytes > loads[j].Bytes })
+	n := 0
+	for n < len(loads) && n < k && loads[n].Bytes > 0 {
+		n++
+	}
+	return loads[:n]
+}

@@ -1,0 +1,305 @@
+package simnet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFlowTracerLifecycle: a plain transfer produces a start/finish pair
+// with matching ids, a copied route, and a positive latency — and tracing
+// does not change the simulation outcome.
+func TestFlowTracerLifecycle(t *testing.T) {
+	run := func(tr *FlowTracer) *Sim {
+		nw := ringNet(t, Config{})
+		sim := NewSim(nw)
+		sim.Tracer = tr
+		sim.Spawn(0, func(p *Proc) {
+			sg, err := sim.StartFlow(0, 2, 1e9)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(sg)
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	tr := &FlowTracer{}
+	traced := run(tr)
+	plain := run(nil)
+	if traced.Now() != plain.Now() || traced.BytesMoved != plain.BytesMoved {
+		t.Fatalf("tracing perturbed the run: t=%v vs %v, bytes=%v vs %v",
+			traced.Now(), plain.Now(), traced.BytesMoved, plain.BytesMoved)
+	}
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want start+finish: %+v", len(evs), evs)
+	}
+	start, finish := evs[0], evs[1]
+	if start.Kind != FlowStart || finish.Kind != FlowFinish {
+		t.Fatalf("event kinds %v, %v", start.Kind, finish.Kind)
+	}
+	if start.ID == 0 || start.ID != finish.ID {
+		t.Errorf("ids %d, %d", start.ID, finish.ID)
+	}
+	if start.Src != 0 || start.Dst != 2 || start.Bytes != 1e9 {
+		t.Errorf("start event %+v", start)
+	}
+	if len(start.Route) != 4 { // h0 -> sw0 -> sw1 -> sw2 -> h2
+		t.Errorf("route has %d links, want 4: %v", len(start.Route), start.Route)
+	}
+	if finish.Time <= start.Time {
+		t.Errorf("finish at %v not after start at %v", finish.Time, start.Time)
+	}
+	lats := tr.Latencies()
+	if len(lats) != 1 || lats[0] != finish.Time-start.Time {
+		t.Errorf("latencies %v", lats)
+	}
+}
+
+// TestFlowTracerRerouteAndFail: one flow survives a failure by rerouting,
+// another is stranded; both show up in the timeline.
+func TestFlowTracerRerouteAndFail(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	tr := &FlowTracer{}
+	sim.Tracer = tr
+	reg := obs.NewRegistry()
+	sim.Metrics = NewSimMetrics(reg)
+	if err := sim.ScheduleLinkDown(0.05, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.ScheduleLinkDown(0.1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	sim.Spawn(0, func(p *Proc) {
+		// Rerouted at t=0.05, stranded at t=0.1.
+		sg, err := sim.StartFlow(0, 2, 1e9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []FlowEventKind
+	for _, e := range tr.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []FlowEventKind{FlowStart, FlowReroute, FlowFail}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds %v, want %v", kinds, want)
+		}
+	}
+	fail := tr.Events()[2]
+	if fail.Time != 0.1 || fail.Bytes <= 0 || fail.Bytes >= 1e9 {
+		t.Errorf("fail event %+v: want t=0.1 with partial bytes remaining", fail)
+	}
+	if len(tr.Latencies()) != 0 {
+		t.Error("failed flow counted as completed")
+	}
+	if v := sim.Metrics.Reroutes.Value(); v != 1 {
+		t.Errorf("reroute counter %d, want 1", v)
+	}
+	if v := sim.Metrics.FlowsFailed.Value(); v != 1 {
+		t.Errorf("failed counter %d, want 1", v)
+	}
+}
+
+// TestSimMetricsLive: counters and the latency histogram reflect a
+// completed run.
+func TestSimMetricsLive(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	reg := obs.NewRegistry()
+	sim.Metrics = NewSimMetrics(reg)
+	sim.Spawn(0, func(p *Proc) {
+		a, err := sim.StartFlow(0, 1, 1e8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := sim.StartFlow(0, 2, 1e8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(a)
+		p.Wait(b)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics
+	if m.FlowsStarted.Value() != 2 || m.FlowsCompleted.Value() != 2 || m.FlowsFailed.Value() != 0 {
+		t.Fatalf("counters: started=%d completed=%d failed=%d",
+			m.FlowsStarted.Value(), m.FlowsCompleted.Value(), m.FlowsFailed.Value())
+	}
+	if m.ActiveFlows.Value() != 0 {
+		t.Errorf("active flows %v after run", m.ActiveFlows.Value())
+	}
+	if m.SimTime.Value() <= 0 || m.BytesMoved.Value() != sim.BytesMoved {
+		t.Errorf("gauges: time=%v bytes=%v (sim %v)", m.SimTime.Value(), m.BytesMoved.Value(), sim.BytesMoved)
+	}
+	h := m.FlowLatency.Snapshot()
+	if h.Count != 2 || h.Sum <= 0 {
+		t.Errorf("latency histogram count=%d sum=%v", h.Count, h.Sum)
+	}
+}
+
+// TestLinkSeries: the bucketed series conserves bytes globally and
+// per-link (against TrackLinkStats), and splits a steady flow across
+// buckets roughly evenly.
+func TestLinkSeries(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	sim.TrackLinkStats = true
+	sim.EnableLinkSeries(0.05) // 1e9 B at 5 GB/s = 0.2 s = 4 buckets
+	sim.Spawn(0, func(p *Proc) {
+		sg, err := sim.StartFlow(0, 1, 1e9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(sg)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	series := sim.LinkSeries()
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	perLink := make([]float64, nw.NumLinks())
+	for _, row := range series {
+		if row == nil {
+			continue
+		}
+		for l, b := range row {
+			perLink[l] += b
+		}
+	}
+	for l, want := range sim.linkBytes {
+		if got := perLink[l]; math.Abs(got-want) > 1e-3 {
+			t.Errorf("link %d: series total %v != cumulative %v", l, got, want)
+		}
+	}
+	// The 2-hop path (h0 -> sw0 -> sw1 -> h1) drains at a constant rate, so
+	// each of the 4 buckets should hold ~1/4 of the bytes on each link.
+	active := 0
+	for b, row := range series {
+		if row == nil {
+			continue
+		}
+		active++
+		var rowSum float64
+		for _, v := range row {
+			rowSum += v
+		}
+		if rowSum <= 0 {
+			t.Errorf("bucket %d empty", b)
+		}
+	}
+	// The drain lasts 0.2 s but starts after the small latency window, so
+	// it covers 4 buckets aligned or 5 when it straddles an edge.
+	if active != 4 && active != 5 {
+		t.Errorf("flow spread over %d buckets, want 4 or 5", active)
+	}
+	if sim.LinkSeriesBucket() != 0.05 {
+		t.Errorf("bucket width %v", sim.LinkSeriesBucket())
+	}
+}
+
+// TestHotLinks: top-k ordering over the cumulative per-link bytes.
+func TestHotLinks(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	sim.TrackLinkStats = true
+	sim.Spawn(0, func(p *Proc) {
+		a, _ := sim.StartFlow(0, 1, 2e8)
+		b, _ := sim.StartFlow(0, 1, 2e8)
+		p.Wait(a)
+		p.Wait(b)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hot := sim.HotLinks(3)
+	if len(hot) == 0 || len(hot) > 3 {
+		t.Fatalf("got %d hot links", len(hot))
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Bytes > hot[i-1].Bytes {
+			t.Fatalf("hot links not sorted: %+v", hot)
+		}
+	}
+	if hot[0].Bytes != 4e8 {
+		t.Errorf("hottest link carried %v, want 4e8", hot[0].Bytes)
+	}
+	if got := NewSim(nw).HotLinks(3); got != nil {
+		t.Errorf("HotLinks without TrackLinkStats = %v, want nil", got)
+	}
+}
+
+// TestFlowTracerChromeExport: the exported trace round-trips through the
+// obs reader and contains a complete span per finished flow.
+func TestFlowTracerChromeExport(t *testing.T) {
+	nw := ringNet(t, Config{})
+	sim := NewSim(nw)
+	tr := &FlowTracer{}
+	sim.Tracer = tr
+	sim.Spawn(0, func(p *Proc) {
+		a, _ := sim.StartFlow(0, 1, 1e8)
+		b, _ := sim.StartFlow(1, 3, 1e8)
+		p.Wait(a)
+		p.Wait(b)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := 0
+	counters := 0
+	for _, e := range evs {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Errorf("span %q has dur %v", e.Name, e.Dur)
+			}
+			route, ok := e.Args["route"].([]any)
+			if !ok || len(route) < 2 {
+				t.Errorf("span %q lacks a readable route: %v", e.Name, e.Args["route"])
+			} else if hop, _ := route[0].(string); len(hop) < 4 { // "h0->s0"
+				t.Errorf("span %q route hop %q not a node-pair label", e.Name, hop)
+			}
+		case "C":
+			counters++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("%d spans, want 2", spans)
+	}
+	if counters != 4 {
+		t.Errorf("%d counter events, want 4 (2 starts + 2 finishes)", counters)
+	}
+}
