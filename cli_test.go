@@ -376,6 +376,116 @@ func TestCLIWorkersValidation(t *testing.T) {
 	}
 }
 
+// TestCLISolveKillAndResume is the end-to-end crash-recovery contract:
+// an orpsolve run SIGKILLed mid-anneal and resumed from its periodic
+// checkpoint emits the byte-identical graph the uninterrupted run does.
+func TestCLISolveKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	refFile := filepath.Join(dir, "ref.hsg")
+	outFile := filepath.Join(dir, "resumed.hsg")
+	ckFile := filepath.Join(dir, "run.ckpt")
+	args := []string{"-n", "96", "-r", "8", "-iters", "60000", "-seed", "9"}
+
+	// Uninterrupted reference.
+	runTool(t, "orpsolve", nil, append(args, "-o", refFile)...)
+
+	// Kill a checkpointing run with SIGKILL (no chance to clean up) as
+	// soon as the first periodic snapshot has landed.
+	cmd := exec.Command(filepath.Join(binDir, "orpsolve"),
+		append(args, "-checkpoint", ckFile, "-checkpoint-every", "500", "-o", outFile)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint file appeared within 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Resume. (If the run happened to finish before the kill, the resume
+	// is a no-op replay from the final snapshot — the contract holds
+	// either way.)
+	_, stderr := runTool(t, "orpsolve", nil,
+		append(args, "-checkpoint", ckFile, "-resume", "-o", outFile)...)
+	if !strings.Contains(stderr, "resuming restart 0 from") {
+		t.Fatalf("resume did not report the checkpoint:\n%s", stderr)
+	}
+	ref, err := os.ReadFile(refFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Fatal("resumed run produced a different graph than the uninterrupted run")
+	}
+}
+
+// TestCLIFaultSweepInterruptAndResume interrupts a checkpointing sweep
+// with SIGINT (the engine saves its trial ledger and exits 130) and
+// checks the resumed sweep reproduces the uninterrupted JSON output.
+func TestCLIFaultSweepInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	graph, _ := runTool(t, "orptopo", nil, "-kind", "hypercube", "-dims", "5", "-n", "64", "-q")
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "sweep.ckpt")
+	args := []string{"-sweep", "-trials", "10", "-fracs", "0.02,0.05,0.1",
+		"-seed", "11", "-json", "-"}
+
+	refOut, _ := runTool(t, "orpfault", []byte(graph), args...)
+
+	// Interrupt after the first completed trial reports progress.
+	ckArgs := append([]string{"-checkpoint", ledger, "-progress"}, args...)
+	cmd := exec.Command(filepath.Join(binDir, "orpfault"), ckArgs...)
+	cmd.Stdin = strings.NewReader(graph)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderrPipe)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "trial") {
+			cmd.Process.Signal(os.Interrupt)
+			break
+		}
+	}
+	io.Copy(io.Discard, stderrPipe)
+	werr := cmd.Wait()
+	if werr != nil {
+		// The interrupted path must exit 130 with a saved ledger.
+		ee, ok := werr.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 130 {
+			t.Fatalf("interrupted sweep exit: %v", werr)
+		}
+		if _, err := os.Stat(ledger); err != nil {
+			t.Fatalf("no ledger after interrupt: %v", err)
+		}
+	} // else: the sweep outran the signal; the resume is a full replay.
+
+	out, _ := runTool(t, "orpfault", []byte(graph),
+		append([]string{"-checkpoint", ledger, "-resume"}, args...)...)
+	if out != refOut {
+		t.Fatalf("resumed sweep output differs from the uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", out, refOut)
+	}
+}
+
 func TestCLIFaultSweepAndRepair(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI pipeline in -short mode")

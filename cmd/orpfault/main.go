@@ -9,12 +9,14 @@
 //
 //	orpfault -model links -frac 0.05 -seed 7 graph.hsg
 //	orpfault -sweep -trials 20 -json graph.hsg
+//	orpfault -sweep -trials 200 -checkpoint sweep.ckpt [-resume] graph.hsg
 //	orpfault -model switches -frac 0.1 -repair -o repaired.hsg graph.hsg
 //	orpfault -frac 0.05 -svg degraded.svg graph.hsg
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/hsgraph"
@@ -52,6 +55,10 @@ func main() {
 		progress    = flag.Bool("progress", false, "print per-trial sweep progress to stderr (-sweep only)")
 		traceOut    = flag.String("trace-out", "", "write per-trial sweep telemetry as JSONL events to this file (-sweep only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while sweeping (e.g. 127.0.0.1:0)")
+
+		checkpoint      = flag.String("checkpoint", "", "write a crash-safe sweep trial ledger to this file (-sweep only)")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "flush the ledger every this many completed trials (0 = every trial)")
+		resume          = flag.Bool("resume", false, "continue from the -checkpoint ledger, re-running only unfinished trials")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -60,6 +67,14 @@ func main() {
 	}
 	if _, err := cliutil.Workers(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "orpfault: %v\n", err)
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "orpfault: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+	if *checkpoint != "" && !*sweep {
+		fmt.Fprintln(os.Stderr, "orpfault: -checkpoint only applies to -sweep runs")
 		os.Exit(2)
 	}
 	m, err := fault.ParseModel(*model)
@@ -85,7 +100,8 @@ func main() {
 
 	if *sweep {
 		runSweep(g, m, *fracs, *trials, *seed, *workers, *jsonOut,
-			*progress, *traceOut, *metricsAddr)
+			*progress, *traceOut, *metricsAddr,
+			*checkpoint, *checkpointEvery, *resume)
 		return
 	}
 	runScenario(g, m, *frac, *seed, *workers, *jsonOut, *repair, *repairIters, *svgOut, *out)
@@ -93,7 +109,8 @@ func main() {
 
 // runSweep prints the Monte-Carlo degradation curve.
 func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed uint64, workers int, jsonOut bool,
-	progress bool, traceOut, metricsAddr string) {
+	progress bool, traceOut, metricsAddr string,
+	checkpoint string, checkpointEvery int, resume bool) {
 	fractions := fault.DefaultFractions()
 	if fracSpec != "" {
 		fractions = fractions[:0]
@@ -106,11 +123,17 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 		}
 	}
 	so := fault.SweepOptions{
-		Model:     m,
-		Fractions: fractions,
-		Trials:    trials,
-		Seed:      seed,
-		Workers:   workers,
+		Model:           m,
+		Fractions:       fractions,
+		Trials:          trials,
+		Seed:            seed,
+		Workers:         workers,
+		CheckpointPath:  checkpoint,
+		CheckpointEvery: checkpointEvery,
+		Resume:          resume,
+	}
+	if checkpoint != "" {
+		so.Interrupt = cliutil.Interrupt()
 	}
 	if metricsAddr != "" {
 		reg := obs.NewRegistry()
@@ -121,7 +144,12 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 		}
 		defer srv.Close()
 	}
-	sink, err := cliutil.OpenSink(traceOut)
+	openSink := cliutil.OpenSink
+	if resume {
+		// Continue the interrupted run's event log rather than truncating.
+		openSink = cliutil.AppendSink
+	}
+	sink, err := openSink(traceOut)
 	if err != nil {
 		fatal(err)
 	}
@@ -148,6 +176,11 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 	}
 	sweepStart := time.Now()
 	points, err := fault.Sweep(g, so)
+	if errors.Is(err, ckpt.ErrInterrupted) {
+		sink.Close()
+		fmt.Fprintf(os.Stderr, "interrupted: trial ledger saved to %s; rerun with -resume to continue\n", checkpoint)
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

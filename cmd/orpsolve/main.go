@@ -9,14 +9,21 @@
 //	orpsolve -n 1024 -r 15 [-iters 100000] [-restarts 4] [-workers 0]
 //	         [-seed 1] [-m 0] [-moves 2ns|swap|swing] [-o graph.hsg] [-v]
 //	         [-progress] [-trace-out anneal.jsonl] [-metrics-addr 127.0.0.1:0]
+//	         [-checkpoint run.ckpt] [-checkpoint-every 10000] [-resume]
+//
+// With -checkpoint the anneal periodically persists a crash-safe snapshot
+// (and a final one on SIGINT/SIGTERM); -resume continues such a run and
+// produces the bit-identical result the uninterrupted run would have.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hsgraph"
@@ -44,10 +51,22 @@ func main() {
 		progress    = flag.Bool("progress", false, "print per-interval anneal telemetry (temperature, accept rate, moves/s) to stderr")
 		traceOut    = flag.String("trace-out", "", "write anneal telemetry as JSONL events to this file (obs schema)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while solving (e.g. 127.0.0.1:0)")
+
+		checkpoint      = flag.String("checkpoint", "", "write crash-safe anneal snapshots to this file (one per restart when -restarts > 1)")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "snapshot interval in iterations (0 = annealer default, 10000)")
+		resume          = flag.Bool("resume", false, "continue from the -checkpoint snapshot; the result is bit-identical to an uninterrupted run")
 	)
 	flag.Parse()
 	if _, err := cliutil.Workers(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "orpsolve: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+	if *checkpoint != "" && *repeat > 1 {
+		fmt.Fprintln(os.Stderr, "orpsolve: -checkpoint does not combine with -repeat (one snapshot file cannot serve several seeds)")
 		os.Exit(2)
 	}
 
@@ -74,7 +93,13 @@ func main() {
 		}
 		defer srv.Close()
 	}
-	sink, err := cliutil.OpenSink(*traceOut)
+	// A resumed run appends to the interrupted run's event log instead of
+	// truncating it.
+	openSink := cliutil.OpenSink
+	if *resume {
+		openSink = cliutil.AppendSink
+	}
+	sink, err := openSink(*traceOut)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
 		os.Exit(1)
@@ -82,12 +107,38 @@ func main() {
 	defer sink.Close()
 
 	o := core.Options{
-		Iterations: *iters,
-		Restarts:   *restarts,
-		Seed:       *seed,
-		FixedM:     *fixedM,
-		Moves:      moveSet,
-		Workers:    *workers,
+		Iterations:      *iters,
+		Restarts:        *restarts,
+		Seed:            *seed,
+		FixedM:          *fixedM,
+		Moves:           moveSet,
+		Workers:         *workers,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		Resume:          *resume,
+	}
+	if *checkpoint != "" {
+		o.Interrupt = cliutil.Interrupt()
+	}
+	if *resume {
+		nres := *restarts
+		if nres < 1 {
+			nres = 1
+		}
+		for i := 0; i < nres; i++ {
+			path := opt.RestartCheckpointPath(*checkpoint, nres, i)
+			info, err := opt.ReadCheckpointInfo(path)
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Fprintf(os.Stderr, "no checkpoint at %s; restart %d starts fresh\n", path, i)
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "orpsolve: resume %s: %v\n", path, err)
+				os.Exit(1)
+			default:
+				fmt.Fprintf(os.Stderr, "resuming restart %d from %s: iteration %d/%d, best %d\n",
+					info.Restart, path, info.Iter, info.Iterations, info.BestEnergy)
+			}
+		}
 	}
 	if obsv := cliutil.NewAnnealObserver(reg, sink, *progress); obsv != nil {
 		o.Observer = obsv
@@ -124,6 +175,15 @@ func main() {
 	} else {
 		var err error
 		top, err = core.Solve(*n, *r, o)
+		if errors.Is(err, ckpt.ErrInterrupted) {
+			if top != nil {
+				fmt.Fprintf(os.Stderr, "interrupted at iteration %d/%d, best h-ASPL so far %.6f\n",
+					top.Anneal.Iterations, *iters, top.Metrics.HASPL)
+			}
+			sink.Close()
+			fmt.Fprintf(os.Stderr, "checkpoint saved to %s; rerun with -resume to continue\n", *checkpoint)
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
 			os.Exit(1)

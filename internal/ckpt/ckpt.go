@@ -1,0 +1,159 @@
+// Package ckpt is the crash-safe snapshot layer shared by the long-running
+// engines (opt.Anneal, fault.Sweep): a small versioned envelope with a CRC
+// over its entire contents, written atomically (temp file in the target
+// directory, fsync, rename, directory fsync), plus a panic-free binary
+// codec for the payloads.
+//
+// The envelope deliberately knows nothing about what it carries. Engines
+// define a payload kind string (e.g. "orp.anneal.v1") and encode their
+// state with Enc/Dec; the envelope guarantees that a reader either gets
+// back exactly the bytes that were sealed, or an error — a truncated,
+// bit-flipped or wrong-version file never yields a payload.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Format constants. Version is the envelope version, independent of any
+// payload versioning (which lives in the kind string).
+const (
+	magic   = "ORPC"
+	Version = 1
+
+	// MaxPayload caps the payload size Open will accept. A corrupt length
+	// field must not be able to demand gigabytes before the CRC check runs.
+	MaxPayload = 1 << 28 // 256 MiB
+
+	// maxKind caps the kind-string length on read.
+	maxKind = 128
+)
+
+// castagnoli is the CRC-32C table used for every envelope checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrInterrupted is returned by engines that stopped early on an interrupt
+// request after persisting their state. Callers distinguish it from real
+// failures: the run can be resumed from its checkpoint.
+var ErrInterrupted = errors.New("ckpt: interrupted; state saved for resume")
+
+// Seal wraps payload in the envelope: magic, version, kind, length,
+// payload, CRC-32C over everything before the checksum.
+func Seal(kind string, payload []byte) []byte {
+	out := make([]byte, 0, len(magic)+4+4+len(kind)+8+len(payload)+4)
+	out = append(out, magic...)
+	out = appendU32(out, Version)
+	out = appendU32(out, uint32(len(kind)))
+	out = append(out, kind...)
+	out = appendU64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return appendU32(out, crc32.Checksum(out, castagnoli))
+}
+
+// Open unwraps an envelope produced by Seal, verifying magic, version,
+// structural lengths and the checksum. The returned payload aliases data.
+func Open(data []byte) (kind string, payload []byte, err error) {
+	if len(data) < len(magic)+4+4+8+4 {
+		return "", nil, fmt.Errorf("ckpt: truncated envelope (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return "", nil, fmt.Errorf("ckpt: bad magic %q", data[:len(magic)])
+	}
+	// The CRC covers everything before it; check it first so every later
+	// field read operates on bytes known to be exactly what Seal wrote.
+	body, sum := data[:len(data)-4], readU32(data[len(data)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return "", nil, fmt.Errorf("ckpt: checksum mismatch (file %08x, computed %08x)", sum, got)
+	}
+	off := len(magic)
+	if v := readU32(body[off:]); v != Version {
+		return "", nil, fmt.Errorf("ckpt: unsupported envelope version %d (this build reads %d)", v, Version)
+	}
+	off += 4
+	kl := int(readU32(body[off:]))
+	off += 4
+	if kl > maxKind || off+kl > len(body) {
+		return "", nil, fmt.Errorf("ckpt: implausible kind length %d", kl)
+	}
+	kind = string(body[off : off+kl])
+	off += kl
+	if off+8 > len(body) {
+		return "", nil, fmt.Errorf("ckpt: truncated envelope header")
+	}
+	pl := readU64(body[off:])
+	off += 8
+	if pl > MaxPayload {
+		return "", nil, fmt.Errorf("ckpt: payload length %d exceeds cap %d", pl, MaxPayload)
+	}
+	if uint64(len(body)-off) != pl {
+		return "", nil, fmt.Errorf("ckpt: payload length %d disagrees with file size (%d bytes present)", pl, len(body)-off)
+	}
+	return kind, body[off:], nil
+}
+
+// WriteFile atomically replaces path with a sealed envelope. The snapshot
+// is crash-safe: a reader never observes a partial file, because the data
+// is written and fsynced to a temp file in the same directory first and
+// only then renamed over path (the rename is atomic on POSIX filesystems);
+// the directory is fsynced afterwards so the rename itself survives a
+// crash.
+func WriteFile(path, kind string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(Seal(kind, payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync is advisory: some filesystems reject it, and the
+		// rename is already durable on the ones that matter most.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile reads and unwraps the envelope at path.
+func ReadFile(path string) (kind string, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	return Open(data)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

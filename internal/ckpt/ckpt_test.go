@@ -1,0 +1,216 @@
+package ckpt
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleEnvelope() []byte {
+	var e Enc
+	e.U64(42)
+	e.F64(3.5)
+	e.String("hello snapshot")
+	e.F64s([]float64{1, 2, 4, 8})
+	e.Bool(true)
+	return Seal("orp.test.v1", e.Finish())
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	data := sampleEnvelope()
+	kind, payload, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if kind != "orp.test.v1" {
+		t.Fatalf("kind = %q", kind)
+	}
+	d := NewDec(payload)
+	if v := d.U64(); v != 42 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := d.F64(); v != 3.5 {
+		t.Errorf("F64 = %g", v)
+	}
+	if v := d.String(64); v != "hello snapshot" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.F64s(16); len(v) != 4 || v[3] != 8 {
+		t.Errorf("F64s = %v", v)
+	}
+	if !d.Bool() {
+		t.Error("Bool = false")
+	}
+	if err := d.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+// TestOpenRejectsTruncation: every strict prefix of a valid envelope must
+// be rejected (the crash-mid-write case an atomic rename prevents, but
+// the reader must still hold the line on partial copies).
+func TestOpenRejectsTruncation(t *testing.T) {
+	data := sampleEnvelope()
+	for n := 0; n < len(data); n++ {
+		if _, _, err := Open(data[:n]); err == nil {
+			t.Fatalf("Open accepted a %d/%d-byte prefix", n, len(data))
+		}
+	}
+}
+
+// TestOpenRejectsBitFlips: any single-bit corruption must fail the CRC
+// (or a structural check before it).
+func TestOpenRejectsBitFlips(t *testing.T) {
+	data := sampleEnvelope()
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			if _, _, err := Open(mut); err == nil {
+				t.Fatalf("Open accepted byte %d bit %d flipped", i, bit)
+			}
+		}
+	}
+}
+
+func TestOpenRejectsWrongVersion(t *testing.T) {
+	data := sampleEnvelope()
+	// Bump the version field and fix up the CRC so only the version is
+	// wrong — the error must name the version, not the checksum.
+	data[4]++
+	body := data[:len(data)-4]
+	crc := crc32.Checksum(body, castagnoli)
+	data = appendU32(body[:len(body):len(body)], crc)
+	_, _, err := Open(data)
+	if err == nil {
+		t.Fatal("Open accepted an unsupported version")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want a version error, got %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := WriteFile(path, "orp.test.v1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "orp.test.v1" || string(payload) != "payload" {
+		t.Fatalf("got %q %q", kind, payload)
+	}
+	// Overwrite atomically; no temp files may linger.
+	if err := WriteFile(path, "orp.test.v1", []byte("payload2")); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "payload2" {
+		t.Fatalf("payload = %q after overwrite", payload)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := []string{}
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+func TestDecStickyErrorAndCaps(t *testing.T) {
+	var e Enc
+	e.U64(1 << 40) // will be read back as an implausible slice length
+	d := NewDec(e.Finish())
+	if got := d.F64s(8); got != nil {
+		t.Fatalf("F64s over cap = %v", got)
+	}
+	if d.Err() == nil {
+		t.Fatal("over-cap length did not error")
+	}
+	// Error is sticky: further reads return zero values, no panic.
+	if v := d.U64(); v != 0 {
+		t.Fatalf("post-error U64 = %d", v)
+	}
+	if d.Done() == nil {
+		t.Fatal("Done() lost the sticky error")
+	}
+
+	// A length field larger than the remaining bytes must fail without
+	// allocating the claimed size.
+	var e2 Enc
+	e2.U64(math.MaxUint64 / 16)
+	d2 := NewDec(e2.Finish())
+	if d2.Bytes(1 << 30); d2.Err() == nil {
+		t.Fatal("Bytes with absurd length did not error")
+	}
+}
+
+func TestBoolRejectsJunk(t *testing.T) {
+	d := NewDec([]byte{7})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("Bool(7) did not error")
+	}
+}
+
+// FuzzOpen mirrors the FuzzReadEdgeList discipline: arbitrary bytes must
+// either decode cleanly or error — never panic, never hand back a payload
+// from a structurally damaged envelope. Valid inputs must round-trip.
+func FuzzOpen(f *testing.F) {
+	f.Add(sampleEnvelope())
+	f.Add(Seal("orp.anneal.v1", nil))
+	f.Add(Seal("", bytes.Repeat([]byte{0xff}, 64)))
+	f.Add([]byte("ORPC junk"))
+	f.Add([]byte{})
+	trunc := sampleEnvelope()
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := Open(data)
+		if err != nil {
+			return
+		}
+		// Anything Open accepts must re-seal to the identical file: the
+		// envelope has exactly one encoding per (kind, payload).
+		if !bytes.Equal(Seal(kind, payload), data) {
+			t.Fatalf("accepted envelope does not round-trip (kind %q, %d payload bytes)", kind, len(payload))
+		}
+	})
+}
+
+// FuzzDec hammers the codec with arbitrary bytes through a read sequence
+// shaped like the anneal snapshot: it must never panic regardless of
+// input.
+func FuzzDec(f *testing.F) {
+	var e Enc
+	e.U64(7)
+	e.String("kind")
+	e.F64s([]float64{1, 2})
+	e.Bool(false)
+	f.Add(e.Finish())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		d.U64()
+		d.String(1 << 10)
+		d.F64s(1 << 10)
+		d.Bool()
+		d.Int()
+		d.Bytes(1 << 10)
+		d.U64s(1 << 10)
+		_ = d.Done()
+	})
+}

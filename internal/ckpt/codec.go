@@ -1,0 +1,199 @@
+package ckpt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Enc builds a payload. Append-only; grab the bytes with Finish. The
+// format is fixed-width little-endian scalars and length-prefixed slices —
+// deterministic (no maps), so equal state always seals to equal bytes.
+type Enc struct {
+	b []byte
+}
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.b = appendU64(e.b, v) }
+
+// I64 appends an int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int (as int64).
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends a float64 bit pattern (NaNs and infinities round-trip).
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) Bytes(v []byte) {
+	e.U64(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(v string) { e.Bytes([]byte(v)) }
+
+// F64s appends a length-prefixed []float64.
+func (e *Enc) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, f := range v {
+		e.F64(f)
+	}
+}
+
+// U64s appends a length-prefixed []uint64.
+func (e *Enc) U64s(v []uint64) {
+	e.U64(uint64(len(v)))
+	for _, u := range v {
+		e.U64(u)
+	}
+}
+
+// Finish returns the encoded payload.
+func (e *Enc) Finish() []byte { return e.b }
+
+// Dec reads a payload written by Enc. Every read is bounds-checked; the
+// first failure sticks, later reads return zero values, and Err/Done
+// report it. A Dec never panics and never allocates more than the input
+// could hold, whatever the bytes — that is the property the package fuzz
+// test pins down.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckpt: decode: "+format, args...)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("need %d bytes at offset %d, have %d", n, d.off, len(d.b)-d.off)
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return readU64(v)
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int written by Enc.Int, rejecting values that do not fit.
+func (d *Dec) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.fail("int64 %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads a float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a bool, rejecting bytes other than 0 or 1.
+func (d *Dec) Bool() bool {
+	v := d.take(1)
+	if v == nil {
+		return false
+	}
+	if v[0] > 1 {
+		d.fail("invalid bool byte %d", v[0])
+		return false
+	}
+	return v[0] == 1
+}
+
+// Bytes reads a length-prefixed byte slice of at most max bytes. The
+// result aliases the input.
+func (d *Dec) Bytes(max int) []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) {
+		d.fail("slice length %d exceeds cap %d", n, max)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (d *Dec) String(max int) string { return string(d.Bytes(max)) }
+
+// F64s reads a length-prefixed []float64 of at most max elements.
+func (d *Dec) F64s(max int) []float64 {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) || int(n)*8 > len(d.b)-d.off {
+		d.fail("float64 slice length %d implausible (cap %d, %d bytes left)", n, max, len(d.b)-d.off)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// U64s reads a length-prefixed []uint64 of at most max elements.
+func (d *Dec) U64s(max int) []uint64 {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) || int(n)*8 > len(d.b)-d.off {
+		d.fail("uint64 slice length %d implausible (cap %d, %d bytes left)", n, max, len(d.b)-d.off)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.U64()
+	}
+	return out
+}
+
+// Err returns the first decode failure, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Done returns the first decode failure, or an error if trailing bytes
+// remain — a well-formed payload is consumed exactly.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("ckpt: decode: %d trailing bytes", len(d.b)-d.off)
+	}
+	return nil
+}

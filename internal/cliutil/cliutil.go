@@ -7,7 +7,10 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -39,17 +42,67 @@ func StartMetrics(addr string, r *obs.Registry) (*obs.Server, error) {
 	return srv, nil
 }
 
-// OpenSink creates path and wraps it in a JSONL event sink. Returns nil
-// when path is empty. Close flushes and closes the file.
+// OpenSink creates path (truncating any existing file) and wraps it in a
+// JSONL event sink. Returns nil when path is empty. Close flushes and
+// closes the file.
 func OpenSink(path string) (*SinkFile, error) {
+	return openSink(path, false)
+}
+
+// AppendSink opens path for appending — the mode -resume needs: a
+// resumed run continues the interrupted run's event log instead of
+// truncating it (the bug OpenSink's os.Create forced on every caller).
+// The schema header is only emitted when the file is new or empty, so an
+// appended stream still carries exactly one header. Returns nil when
+// path is empty.
+func AppendSink(path string) (*SinkFile, error) {
+	return openSink(path, true)
+}
+
+func openSink(path string, appendMode bool) (*SinkFile, error) {
 	if path == "" {
 		return nil, nil
 	}
-	f, err := os.Create(path)
+	if !appendMode {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return &SinkFile{Sink: obs.NewJSONLSink(f), f: f}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > 0 {
+		return &SinkFile{Sink: obs.NewJSONLSinkContinue(f), f: f}, nil
+	}
 	return &SinkFile{Sink: obs.NewJSONLSink(f), f: f}, nil
+}
+
+// Interrupt installs the shared SIGINT/SIGTERM handling of the orp*
+// commands and returns the flag the engines poll (opt.Options.Interrupt,
+// fault.SweepOptions.Interrupt). The first signal arms the flag — the
+// engine writes a final checkpoint and returns ckpt.ErrInterrupted; a
+// second signal aborts immediately with the conventional 128+SIGINT
+// status.
+func Interrupt() *atomic.Bool {
+	flag := &atomic.Bool{}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		flag.Store(true)
+		fmt.Fprintln(os.Stderr, "interrupted: saving checkpoint and exiting (signal again to abort)")
+		<-ch
+		os.Exit(130)
+	}()
+	return flag
 }
 
 // SinkFile is a JSONLSink bound to a file it owns.

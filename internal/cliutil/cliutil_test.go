@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -62,6 +64,104 @@ func TestOpenSinkEmptyPathAndNilSafety(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOpenSinkTruncatesAndAppendSinkContinues covers both sink modes —
+// the regression here is that every caller used to get os.Create
+// semantics, so a -resume wiped the interrupted run's event log.
+func TestOpenSinkTruncatesAndAppendSinkContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.jsonl")
+
+	s1, err := OpenSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Emit(obs.Event{Kind: "first"})
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append mode keeps what is there and adds no second header.
+	s2, err := AppendSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Emit(obs.Event{Kind: "second"})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := readEvents(t, path)
+	kinds := []string{}
+	for _, e := range evs {
+		kinds = append(kinds, string(e.Kind))
+	}
+	if len(evs) != 3 || evs[0].Kind != obs.KindHeader || evs[1].Kind != "first" || evs[2].Kind != "second" {
+		t.Fatalf("appended stream = %v, want [header first second]", kinds)
+	}
+
+	// Append mode on a missing or empty file starts a fresh stream with
+	// exactly one header.
+	freshPath := filepath.Join(t.TempDir(), "fresh.jsonl")
+	s3, err := AppendSink(freshPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Emit(obs.Event{Kind: "only"})
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := readEvents(t, freshPath); len(evs) != 2 || evs[0].Kind != obs.KindHeader || evs[1].Kind != "only" {
+		t.Fatalf("fresh append stream wrong: %+v", evs)
+	}
+	if s, err := AppendSink(""); s != nil || err != nil {
+		t.Fatalf("AppendSink(\"\") = %v, %v; want nil, nil", s, err)
+	}
+
+	// Truncate mode starts over.
+	s4, err := OpenSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := readEvents(t, path); len(evs) != 1 || evs[0].Kind != obs.KindHeader {
+		t.Fatalf("truncated stream wrong: %+v", evs)
+	}
+}
+
+func readEvents(t *testing.T, path string) []obs.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestInterruptArmsOnSignal delivers a real SIGINT to the test process;
+// the installed handler must swallow it (the process survives) and arm
+// the flag.
+func TestInterruptArmsOnSignal(t *testing.T) {
+	flag := Interrupt()
+	if flag.Load() {
+		t.Fatal("interrupt flag armed before any signal")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("interrupt flag not armed within 5s of SIGINT")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -13,10 +13,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/bounds"
+	"repro/internal/ckpt"
 	"repro/internal/hsgraph"
 	"repro/internal/opt"
 	"repro/internal/rng"
@@ -79,6 +82,23 @@ type Options struct {
 	// TraceEnergy records a bounded best-energy convergence trace into
 	// Topology.Anneal.EnergyTrace (see opt.Options.TraceEnergy).
 	TraceEnergy bool
+	// CheckpointPath enables crash-safe snapshots of the annealing run
+	// (see opt.Options.CheckpointPath). Multi-restart runs write one file
+	// per restart via opt.RestartCheckpointPath. The single-switch and
+	// clique regimes finish instantly and never checkpoint.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot interval in iterations (0 = the
+	// annealer's default).
+	CheckpointEvery int
+	// Resume continues from the CheckpointPath snapshot when one exists.
+	// The remaining options must match the checkpointed run (zero values
+	// adopt the stored ones); the resumed result is bit-identical to an
+	// uninterrupted run.
+	Resume bool
+	// Interrupt, if non-nil, is polled by the annealer; arming it makes
+	// Solve persist a final snapshot and return ckpt.ErrInterrupted
+	// (alongside the partial best topology when one is available).
+	Interrupt *atomic.Bool
 }
 
 // Topology is a solved ORP instance.
@@ -156,14 +176,18 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		return nil, err
 	}
 	ao := opt.Options{
-		Iterations:  o.Iterations,
-		Moves:       o.Moves,
-		Seed:        o.Seed + 1,
-		Workers:     o.Workers,
-		OnProgress:  o.OnProgress,
-		Observer:    o.Observer,
-		ReportEvery: o.ReportEvery,
-		TraceEnergy: o.TraceEnergy,
+		Iterations:      o.Iterations,
+		Moves:           o.Moves,
+		Seed:            o.Seed + 1,
+		Workers:         o.Workers,
+		OnProgress:      o.OnProgress,
+		Observer:        o.Observer,
+		ReportEvery:     o.ReportEvery,
+		TraceEnergy:     o.TraceEnergy,
+		CheckpointPath:  o.CheckpointPath,
+		CheckpointEvery: o.CheckpointEvery,
+		Resume:          o.Resume,
+		Interrupt:       o.Interrupt,
 	}
 	if ao.Workers == 0 && o.Restarts == 1 {
 		ao.Workers = runtime.GOMAXPROCS(0)
@@ -176,6 +200,15 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		g, res, err = opt.Anneal(start, ao)
 	}
 	if err != nil {
+		// An interrupted single-restart anneal still hands back its
+		// best-so-far graph; surface it as a partial topology so the CLI
+		// can report progress alongside ckpt.ErrInterrupted.
+		if errors.Is(err, ckpt.ErrInterrupted) && g != nil {
+			top.Graph, top.Method, top.Anneal = g, Annealed, res
+			if t, ferr := finish(top, n, r); ferr == nil {
+				return t, err
+			}
+		}
 		return nil, err
 	}
 	top.Graph, top.Method, top.Anneal = g, Annealed, res

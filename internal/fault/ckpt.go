@@ -1,0 +1,259 @@
+package fault
+
+// Crash-safe sweep ledger. A Monte-Carlo sweep is embarrassingly
+// resumable: every trial's Result is a pure function of (graph, options,
+// fraction index, trial index), so a checkpoint only needs to remember
+// which trials are finished and what they measured. The ledger stores a
+// fingerprint of the sweep's defining inputs plus a done-flag and Result
+// per trial; resuming re-runs exactly the missing trials and aggregates
+// identically to a sweep that was never interrupted.
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/hsgraph"
+)
+
+// sweepKind names the ledger payload layout (see internal/ckpt).
+const sweepKind = "orp.sweep.v1"
+
+// maxLedgerJobs caps the trial count a ledger may claim; beyond it the
+// file is corrupt (or hostile), not a real sweep.
+const maxLedgerJobs = 1 << 24
+
+var ledgerCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sweepFingerprint pins a ledger to the sweep inputs that define its
+// numbers. Workers, reporting and CI options are deliberately absent:
+// they never change a trial's Result.
+type sweepFingerprint struct {
+	model     Model
+	seed      uint64
+	trials    int
+	fractions []float64
+	n, m, r   int
+	graphCRC  uint32
+}
+
+func fingerprintSweep(g *hsgraph.Graph, o *SweepOptions) sweepFingerprint {
+	var buf bytes.Buffer
+	// The canonical text form identifies the graph independent of its
+	// in-memory storage order (the sweep never mutates it, so order
+	// cannot matter the way it does for anneal snapshots).
+	if err := hsgraph.Write(&buf, g); err != nil {
+		panic("fault: serializing a validated graph failed: " + err.Error())
+	}
+	return sweepFingerprint{
+		model:     o.Model,
+		seed:      o.Seed,
+		trials:    o.Trials,
+		fractions: o.Fractions,
+		n:         g.Order(),
+		m:         g.Switches(),
+		r:         g.Radix(),
+		graphCRC:  crc32.Checksum(buf.Bytes(), ledgerCRCTable),
+	}
+}
+
+// sweepLedger is the in-memory side of the checkpoint file. record is
+// safe for concurrent use by the sweep's trial workers.
+type sweepLedger struct {
+	mu         sync.Mutex
+	path       string
+	every      int
+	sinceFlush int
+	fp         sweepFingerprint
+	done       []bool
+	results    []Result
+}
+
+// newSweepLedger builds an empty ledger over the sweep's job list.
+func newSweepLedger(path string, every int, fp sweepFingerprint, jobs int) *sweepLedger {
+	return &sweepLedger{
+		path:    path,
+		every:   every,
+		fp:      fp,
+		done:    make([]bool, jobs),
+		results: make([]Result, jobs),
+	}
+}
+
+// record marks job i finished and flushes the ledger to disk when the
+// flush interval is due.
+func (l *sweepLedger) record(i int, r Result) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.done[i] = true
+	l.results[i] = r
+	l.sinceFlush++
+	if l.sinceFlush < l.every {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+// flush persists the current state regardless of the interval.
+func (l *sweepLedger) flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sinceFlush == 0 {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+func (l *sweepLedger) flushLocked() error {
+	var e ckpt.Enc
+	e.Int(int(l.fp.model))
+	e.U64(l.fp.seed)
+	e.Int(l.fp.trials)
+	e.F64s(l.fp.fractions)
+	e.Int(l.fp.n)
+	e.Int(l.fp.m)
+	e.Int(l.fp.r)
+	e.U64(uint64(l.fp.graphCRC))
+	e.Int(len(l.done))
+	for i, d := range l.done {
+		e.Bool(d)
+		if d {
+			encSweepResult(&e, &l.results[i])
+		}
+	}
+	if err := ckpt.WriteFile(l.path, sweepKind, e.Finish()); err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	l.sinceFlush = 0
+	return nil
+}
+
+func encSweepResult(e *ckpt.Enc, r *Result) {
+	for _, m := range []*hsgraph.Metrics{&r.Pristine, &r.Degraded} {
+		e.F64(m.HASPL)
+		e.Int(m.Diameter)
+		e.I64(m.TotalPath)
+		e.Bool(m.Connected)
+		e.I64(m.ReachablePairs)
+	}
+	e.Int(r.FailedLinks)
+	e.Int(r.FailedSwitches)
+	e.Int(r.DetachedHosts)
+	e.Int(r.DisconnectedHosts)
+	e.F64(r.SurvivingHASPL)
+	e.F64(r.ReachableFrac)
+	e.F64(r.Stretch)
+}
+
+func decSweepResult(d *ckpt.Dec, r *Result) {
+	for _, m := range []*hsgraph.Metrics{&r.Pristine, &r.Degraded} {
+		m.HASPL = d.F64()
+		m.Diameter = d.Int()
+		m.TotalPath = d.I64()
+		m.Connected = d.Bool()
+		m.ReachablePairs = d.I64()
+	}
+	r.FailedLinks = d.Int()
+	r.FailedSwitches = d.Int()
+	r.DetachedHosts = d.Int()
+	r.DisconnectedHosts = d.Int()
+	r.SurvivingHASPL = d.F64()
+	r.ReachableFrac = d.F64()
+	r.Stretch = d.F64()
+}
+
+// loadSweepLedger reads the ledger at path and verifies it against the
+// current sweep's fingerprint; a mismatch means the file belongs to a
+// different sweep and resuming from it would silently corrupt the
+// output.
+func loadSweepLedger(path string, every int, want sweepFingerprint, jobs int) (*sweepLedger, error) {
+	kind, payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: resume %s: %w", path, err)
+	}
+	if kind != sweepKind {
+		return nil, fmt.Errorf("fault: resume %s: kind %q is not %q", path, kind, sweepKind)
+	}
+	d := ckpt.NewDec(payload)
+	got := sweepFingerprint{}
+	got.model = Model(d.Int())
+	got.seed = d.U64()
+	got.trials = d.Int()
+	got.fractions = d.F64s(maxLedgerJobs)
+	got.n = d.Int()
+	got.m = d.Int()
+	got.r = d.Int()
+	got.graphCRC = uint32(d.U64())
+	count := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("fault: resume %s: %w", path, err)
+	}
+	if count < 0 || count > maxLedgerJobs || count != len(got.fractions)*got.trials {
+		return nil, fmt.Errorf("fault: resume %s: ledger claims %d trials for %d fractions x %d",
+			path, count, len(got.fractions), got.trials)
+	}
+	for _, f := range got.fractions {
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return nil, fmt.Errorf("fault: resume %s: implausible fraction %v", path, f)
+		}
+	}
+
+	mismatch := func(field string, stored, requested any) error {
+		return fmt.Errorf("fault: resume %s: ledger has %s=%v but this sweep uses %v", path, field, stored, requested)
+	}
+	switch {
+	case got.model != want.model:
+		return nil, mismatch("Model", got.model, want.model)
+	case got.seed != want.seed:
+		return nil, mismatch("Seed", got.seed, want.seed)
+	case got.trials != want.trials:
+		return nil, mismatch("Trials", got.trials, want.trials)
+	case !equalF64s(got.fractions, want.fractions):
+		return nil, mismatch("Fractions", got.fractions, want.fractions)
+	case got.n != want.n || got.m != want.m || got.r != want.r:
+		return nil, mismatch("graph dimensions",
+			fmt.Sprintf("n=%d m=%d r=%d", got.n, got.m, got.r),
+			fmt.Sprintf("n=%d m=%d r=%d", want.n, want.m, want.r))
+	case got.graphCRC != want.graphCRC:
+		return nil, mismatch("graph checksum", got.graphCRC, want.graphCRC)
+	case count != jobs:
+		return nil, mismatch("trial count", count, jobs)
+	}
+
+	l := newSweepLedger(path, every, want, jobs)
+	for i := 0; i < count; i++ {
+		l.done[i] = d.Bool()
+		if l.done[i] {
+			decSweepResult(d, &l.results[i])
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("fault: resume %s: %w", path, err)
+	}
+	for i, dn := range l.done {
+		if !dn {
+			continue
+		}
+		r := &l.results[i]
+		if math.IsNaN(r.ReachableFrac) || r.ReachableFrac < 0 || r.ReachableFrac > 1 ||
+			r.FailedLinks < 0 || r.FailedSwitches < 0 || r.DetachedHosts < 0 || r.DisconnectedHosts < 0 {
+			return nil, fmt.Errorf("fault: resume %s: trial %d holds implausible measurements", path, i)
+		}
+	}
+	return l, nil
+}
+
+func equalF64s(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

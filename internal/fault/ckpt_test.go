@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+func sweepTestGraph(t testing.TB) *hsgraph.Graph {
+	t.Helper()
+	g, err := hsgraph.RandomConnected(48, 12, 8, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sweepTestOptions() SweepOptions {
+	return SweepOptions{
+		Model:     UniformLinks,
+		Fractions: []float64{0.05, 0.10, 0.20},
+		Trials:    8,
+		Seed:      99,
+		Workers:   2,
+	}
+}
+
+// TestSweepResumeDeterminism: interrupt a sweep partway, resume it, and
+// require the aggregated []SweepPoint to be deeply equal to the sweep
+// that was never interrupted — the sweep-side half of the issue's
+// resume-determinism invariant.
+func TestSweepResumeDeterminism(t *testing.T) {
+	g := sweepTestGraph(t)
+	want, err := Sweep(g, sweepTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	var stop atomic.Bool
+	o := sweepTestOptions()
+	o.CheckpointPath = path
+	o.Interrupt = &stop
+	o.OnTrial = func(p TrialProgress) {
+		if p.Done >= 7 { // kill mid-sweep, off any fraction boundary
+			stop.Store(true)
+		}
+	}
+	if _, err := Sweep(g, o); !errors.Is(err, ckpt.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+
+	ro := sweepTestOptions()
+	ro.CheckpointPath = path
+	ro.Resume = true
+	ro.Workers = 3 // worker count must not matter, resumed or not
+	resumed := 0
+	ro.OnTrial = func(p TrialProgress) { resumed++ }
+	got, err := Sweep(g, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed sweep diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	total := len(sweepTestOptions().Fractions) * sweepTestOptions().Trials
+	if resumed >= total {
+		t.Fatalf("resume re-ran all %d trials; ledger restored nothing", total)
+	}
+
+	// Resuming the completed ledger re-runs nothing and aggregates the
+	// same points again.
+	rerun := 0
+	ro.OnTrial = func(p TrialProgress) { rerun++ }
+	again, err := Sweep(g, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun != 0 {
+		t.Fatalf("resume of a finished sweep re-ran %d trials", rerun)
+	}
+	if !reflect.DeepEqual(want, again) {
+		t.Fatal("resume of a finished sweep diverged")
+	}
+}
+
+// TestSweepResumeMissingFileStartsFresh: Resume with no ledger on disk
+// behaves exactly like a fresh checkpointed sweep.
+func TestSweepResumeMissingFileStartsFresh(t *testing.T) {
+	g := sweepTestGraph(t)
+	want, err := Sweep(g, sweepTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sweepTestOptions()
+	o.CheckpointPath = filepath.Join(t.TempDir(), "never-written.ckpt")
+	o.Resume = true
+	got, err := Sweep(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("fresh checkpointed sweep diverged from plain sweep")
+	}
+}
+
+// TestSweepResumeRejectsMismatch: a ledger written by a different sweep
+// (options or graph) must be rejected with an error naming the
+// disagreement.
+func TestSweepResumeRejectsMismatch(t *testing.T) {
+	g := sweepTestGraph(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	var stop atomic.Bool
+	o := sweepTestOptions()
+	o.CheckpointPath = path
+	o.Interrupt = &stop
+	o.OnTrial = func(p TrialProgress) {
+		if p.Done >= 3 {
+			stop.Store(true)
+		}
+	}
+	if _, err := Sweep(g, o); !errors.Is(err, ckpt.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+
+	cases := []struct {
+		field  string
+		mutate func(*SweepOptions) *hsgraph.Graph
+	}{
+		{"Seed", func(o *SweepOptions) *hsgraph.Graph { o.Seed++; return g }},
+		{"Trials", func(o *SweepOptions) *hsgraph.Graph { o.Trials = 5; return g }},
+		{"Model", func(o *SweepOptions) *hsgraph.Graph { o.Model = UniformSwitches; return g }},
+		{"Fractions", func(o *SweepOptions) *hsgraph.Graph { o.Fractions = []float64{0.05, 0.10, 0.25}; return g }},
+		{"checksum", func(o *SweepOptions) *hsgraph.Graph {
+			other, err := hsgraph.RandomConnected(48, 12, 8, rng.New(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return other // same dimensions, different wiring
+		}},
+	}
+	for _, tc := range cases {
+		ro := sweepTestOptions()
+		ro.CheckpointPath = path
+		ro.Resume = true
+		gr := tc.mutate(&ro)
+		_, err := Sweep(gr, ro)
+		if err == nil {
+			t.Fatalf("%s mismatch was accepted", tc.field)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Fatalf("%s mismatch error does not name the field: %v", tc.field, err)
+		}
+	}
+}
+
+// TestSweepLedgerRejectsCorruption: truncations of a valid ledger file
+// must all be rejected (the envelope CRC holds the line), and a
+// corrupted payload re-sealed with a valid CRC must fail the ledger's
+// own structural checks.
+func TestSweepLedgerRejectsCorruption(t *testing.T) {
+	g := sweepTestGraph(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	o := sweepTestOptions()
+	o.CheckpointPath = path
+	if _, err := Sweep(g, o); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := sweepTestOptions()
+	ro.CheckpointPath = path
+	ro.Resume = true
+	for _, n := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Sweep(g, ro); err == nil {
+			t.Fatalf("resume accepted a %d/%d-byte ledger", n, len(data))
+		}
+	}
+
+	// Logical corruption behind a valid envelope: the payload ends with
+	// the last trial's Stretch and ReachableFrac floats. Flip an exponent
+	// bit of ReachableFrac (9 bytes from the end), pushing it outside
+	// [0,1]; the ledger's plausibility check must catch what the CRC no
+	// longer can.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)-9] ^= 0x40
+	if err := ckpt.WriteFile(path, kind, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(g, ro); err == nil {
+		t.Fatal("resume accepted a tampered ledger")
+	}
+}
+
+// FuzzLoadSweepLedger: arbitrary payloads must never panic the ledger
+// decoder and never load a ledger violating its own invariants.
+func FuzzLoadSweepLedger(f *testing.F) {
+	g, err := hsgraph.RandomConnected(16, 6, 6, rng.New(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "sweep.ckpt")
+	o := SweepOptions{Model: UniformLinks, Fractions: []float64{0.1}, Trials: 2, Seed: 7,
+		Workers: 1, CheckpointPath: path}
+	if _, err := Sweep(g, o); err != nil {
+		f.Fatal(err)
+	}
+	_, payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fp := fingerprintSweep(g, &o)
+	f.Add(payload)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzPath := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := ckpt.WriteFile(fuzzPath, sweepKind, data); err != nil {
+			t.Fatal(err)
+		}
+		l, err := loadSweepLedger(fuzzPath, 1, fp, len(o.Fractions)*o.Trials)
+		if err != nil {
+			return
+		}
+		if len(l.done) != len(o.Fractions)*o.Trials || len(l.results) != len(l.done) {
+			t.Fatal("accepted ledger with wrong job count")
+		}
+	})
+}

@@ -1,12 +1,15 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/hsgraph"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -33,6 +36,27 @@ type SweepOptions struct {
 	// Metrics, when non-nil, receives live per-trial counters and a
 	// wall-clock timing histogram (see SweepMetrics).
 	Metrics *SweepMetrics
+
+	// CheckpointPath, when non-empty, maintains a crash-safe ledger of
+	// completed trials at this path (atomic replace per flush, see
+	// package ckpt). Because every trial is a pure function of the graph
+	// and the options, a resumed sweep re-runs only the missing trials
+	// and produces []SweepPoint identical to an uninterrupted run.
+	CheckpointPath string
+	// CheckpointEvery is the ledger flush interval in completed trials.
+	// Default 1 (every trial — trials are expensive, flushes are not).
+	// Negative values are rejected.
+	CheckpointEvery int
+	// Resume, with a non-empty CheckpointPath, loads the ledger and skips
+	// its completed trials; a missing file starts fresh. The ledger's
+	// fingerprint (model, fractions, trials, seed, graph) must match this
+	// sweep or Sweep errors out.
+	Resume bool
+	// Interrupt, if non-nil, is polled between trials; when it becomes
+	// true, workers finish their current trial, the ledger is flushed,
+	// and Sweep returns ckpt.ErrInterrupted. Nil results accompany the
+	// error; the ledger holds every finished trial.
+	Interrupt *atomic.Bool
 }
 
 // TrialProgress is the per-trial report handed to SweepOptions.OnTrial.
@@ -113,6 +137,12 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 	if o.Resamples == 0 {
 		o.Resamples = 1000
 	}
+	if o.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("fault: negative CheckpointEvery %d", o.CheckpointEvery)
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 1
+	}
 	pristine := g.EvaluateParallel(o.Workers)
 	if !pristine.Connected {
 		return nil, fmt.Errorf("fault: pristine graph is disconnected; refusing to sweep")
@@ -125,6 +155,24 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 			jobs = append(jobs, job{fi, t})
 		}
 	}
+
+	var ledger *sweepLedger
+	if o.CheckpointPath != "" {
+		fp := fingerprintSweep(g, &o)
+		if o.Resume {
+			if _, err := os.Stat(o.CheckpointPath); err == nil {
+				ledger, err = loadSweepLedger(o.CheckpointPath, o.CheckpointEvery, fp, len(jobs))
+				if err != nil {
+					return nil, err
+				}
+			} else if !errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("fault: resume: %w", err)
+			}
+		}
+		if ledger == nil {
+			ledger = newSweepLedger(o.CheckpointPath, o.CheckpointEvery, fp, len(jobs))
+		}
+	}
 	trialWorkers := o.Workers
 	if trialWorkers > len(jobs) {
 		trialWorkers = len(jobs)
@@ -134,9 +182,23 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 		evWorkers = 1
 	}
 
+	// With a ledger, its (possibly prefilled) result slots are the
+	// working storage, so restored and fresh trials aggregate uniformly.
 	results := make([]Result, len(jobs))
+	if ledger != nil {
+		results = ledger.results
+	}
+	prefilled := 0
+	if ledger != nil {
+		for _, d := range ledger.done {
+			if d {
+				prefilled++
+			}
+		}
+	}
 	errs := make([]error, trialWorkers)
 	var cursor, doneCount atomic.Int64
+	doneCount.Store(int64(prefilled))
 	var progressMu sync.Mutex
 	reporting := o.OnTrial != nil || o.Metrics != nil
 	var wg sync.WaitGroup
@@ -147,9 +209,15 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 			ev := hsgraph.NewEvaluator(evWorkers)
 			defer ev.Close()
 			for {
+				if o.Interrupt != nil && o.Interrupt.Load() {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(jobs) {
 					return
+				}
+				if ledger != nil && ledger.done[i] {
+					continue // restored from the ledger; nothing to redo
 				}
 				jb := jobs[i]
 				var trialStart time.Time
@@ -167,9 +235,15 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 					return
 				}
 				results[i] = Measure(pristine, d, ev)
+				if ledger != nil {
+					if err := ledger.record(i, results[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				done := int(doneCount.Add(1))
 				if reporting {
 					secs := time.Since(trialStart).Seconds()
-					done := int(doneCount.Add(1))
 					if m := o.Metrics; m != nil {
 						m.TrialsCompleted.Inc()
 						m.TrialSeconds.Observe(secs)
@@ -197,6 +271,15 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if ledger != nil {
+		if err := ledger.flush(); err != nil {
+			return nil, err
+		}
+	}
+	if int(doneCount.Load()) < len(jobs) {
+		// Only an interrupt leaves trials unfinished without an error.
+		return nil, ckpt.ErrInterrupted
 	}
 
 	points := make([]SweepPoint, len(o.Fractions))

@@ -1,0 +1,153 @@
+package hsgraph
+
+// Order-preserving binary snapshot of a Graph's internal representation.
+//
+// The canonical text format (Write/Read) identifies graphs up to
+// isomorphism of their storage: it forgets the history-dependent order of
+// the edge list, the adjacency lists and the per-switch host lists. That
+// order is observable — the annealer's move sampler indexes edges by
+// position, scans neighbour lists from a random offset, and picks the
+// first host on a switch — so a checkpoint restored through the text
+// format would silently fork the RNG-driven move stream. MarshalState and
+// UnmarshalState round-trip the exact storage instead.
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// MarshalState encodes g's exact internal representation, including every
+// ordering the text format discards. UnmarshalState(g.MarshalState())
+// yields a graph indistinguishable from g to any order-sensitive
+// traversal.
+func (g *Graph) MarshalState() []byte {
+	var e ckpt.Enc
+	e.Int(g.n)
+	e.Int(len(g.adj))
+	e.Int(g.r)
+	e.Int(len(g.edges))
+	for _, ed := range g.edges {
+		e.Int(int(ed[0]))
+		e.Int(int(ed[1]))
+	}
+	for _, ns := range g.adj {
+		e.Int(len(ns))
+		for _, v := range ns {
+			e.Int(int(v))
+		}
+	}
+	for _, hs := range g.hostsAt {
+		e.Int(len(hs))
+		for _, h := range hs {
+			e.Int(int(h))
+		}
+	}
+	return e.Finish()
+}
+
+// UnmarshalState reconstructs a graph from MarshalState output. Corrupt
+// or inconsistent input yields an error, never a panic and never a graph
+// that violates the package invariants: the result always passes
+// Validate (which is run before returning).
+func UnmarshalState(data []byte) (*Graph, error) {
+	d := ckpt.NewDec(data)
+	n, m, r := d.Int(), d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("hsgraph: state: %w", err)
+	}
+	if n < 1 || m < 1 || r < 1 || n > MaxReadDim || m > MaxReadDim || r > MaxReadDim {
+		return nil, fmt.Errorf("hsgraph: state: header n=%d m=%d r=%d out of range", n, m, r)
+	}
+	g := New(n, m, r)
+
+	ne := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("hsgraph: state: %w", err)
+	}
+	if ne < 0 || ne > m*r/2 {
+		return nil, fmt.Errorf("hsgraph: state: %d edges exceed capacity of %d switches at radix %d", ne, m, r)
+	}
+	g.edges = make([][2]int32, 0, ne)
+	for i := 0; i < ne; i++ {
+		a, b := d.Int(), d.Int()
+		if d.Err() != nil {
+			break // Done() below reports the decode error
+		}
+		// Connect stores keys with a < b; anything else is corruption.
+		if a < 0 || b >= m || a >= b {
+			return nil, fmt.Errorf("hsgraph: state: edge %d is invalid pair {%d,%d}", i, a, b)
+		}
+		key := [2]int32{int32(a), int32(b)}
+		if _, dup := g.posInList[key]; dup {
+			return nil, fmt.Errorf("hsgraph: state: duplicate edge {%d,%d}", a, b)
+		}
+		g.posInList[key] = int32(len(g.edges))
+		g.edges = append(g.edges, key)
+	}
+
+	adjTotal := 0
+	for s := 0; s < m && d.Err() == nil; s++ {
+		k := d.Int()
+		if d.Err() != nil {
+			break
+		}
+		if k < 0 || k > r {
+			return nil, fmt.Errorf("hsgraph: state: switch %d has %d neighbours at radix %d", s, k, r)
+		}
+		if k == 0 {
+			continue
+		}
+		list := make([]int32, 0, k)
+		for j := 0; j < k; j++ {
+			v := d.Int()
+			if v < 0 || v >= m {
+				if d.Err() != nil {
+					break
+				}
+				return nil, fmt.Errorf("hsgraph: state: switch %d neighbour %d out of range", s, v)
+			}
+			list = append(list, int32(v))
+		}
+		g.adj[s] = list
+		adjTotal += k
+	}
+
+	for s := 0; s < m && d.Err() == nil; s++ {
+		k := d.Int()
+		if d.Err() != nil {
+			break
+		}
+		if k < 0 || k > r {
+			return nil, fmt.Errorf("hsgraph: state: switch %d claims %d hosts at radix %d", s, k, r)
+		}
+		for j := 0; j < k; j++ {
+			h := d.Int()
+			if h < 0 || h >= n {
+				if d.Err() != nil {
+					break
+				}
+				return nil, fmt.Errorf("hsgraph: state: host %d out of range on switch %d", h, s)
+			}
+			if g.hostOf[h] != -1 {
+				return nil, fmt.Errorf("hsgraph: state: host %d attached twice", h)
+			}
+			g.hostOf[h] = int32(s)
+			g.hostPos[h] = int32(j)
+			g.hostsAt[s] = append(g.hostsAt[s], int32(h))
+		}
+		g.hosts[s] = int32(k)
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("hsgraph: state: %w", err)
+	}
+	if adjTotal != 2*len(g.edges) {
+		return nil, fmt.Errorf("hsgraph: state: adjacency lists carry %d entries for %d edges", adjTotal, len(g.edges))
+	}
+	// Validate closes the remaining gaps: adjacency symmetric with the
+	// edge set, degrees within radix, every host attached, connectivity.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("hsgraph: state: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,140 @@
+package hsgraph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// sameStorage compares the full order-sensitive observable surface of two
+// graphs: dimensions, edge list order, adjacency list order, host list
+// order.
+func sameStorage(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Order() != b.Order() || a.Switches() != b.Switches() || a.Radix() != b.Radix() {
+		t.Fatal("dimensions differ")
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		au, av := a.Edge(i)
+		bu, bv := b.Edge(i)
+		if au != bu || av != bv {
+			t.Fatalf("edge %d differs: {%d,%d} vs {%d,%d}", i, au, av, bu, bv)
+		}
+	}
+	for s := 0; s < a.Switches(); s++ {
+		an, bn := a.Neighbors(s), b.Neighbors(s)
+		if len(an) != len(bn) {
+			t.Fatalf("switch %d neighbour counts differ", s)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("switch %d neighbour order differs at %d: %d vs %d", s, i, an[i], bn[i])
+			}
+		}
+		ah, bh := a.HostsOn(s), b.HostsOn(s)
+		if len(ah) != len(bh) {
+			t.Fatalf("switch %d host counts differ", s)
+		}
+		for i := range ah {
+			if ah[i] != bh[i] {
+				t.Fatalf("switch %d host order differs at %d: %d vs %d", s, i, ah[i], bh[i])
+			}
+		}
+	}
+}
+
+// mutate scrambles the internal storage order the way an annealing run
+// does: random disconnect/reconnect pairs and host moves, ending in a
+// graph whose edge, adjacency and host lists are far from insertion
+// order.
+func mutate(t *testing.T, g *Graph, rnd *rng.Rand, steps int) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		if ne := g.NumEdges(); ne >= 2 {
+			a, b := g.Edge(rnd.Intn(ne))
+			c, d := g.Edge(rnd.Intn(ne))
+			if a != c && a != d && b != c && b != d && !g.HasEdge(a, d) && !g.HasEdge(b, c) {
+				for _, err := range []error{
+					g.Disconnect(a, b), g.Disconnect(c, d),
+					g.Connect(a, d), g.Connect(b, c),
+				} {
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		h := rnd.Intn(g.Order())
+		to := rnd.Intn(g.Switches())
+		from := g.SwitchOf(h)
+		if to != from && g.Degree(to) < g.Radix() {
+			if err := g.MoveHost(h, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestStateRoundTripPreservesOrder(t *testing.T) {
+	rnd := rng.New(11)
+	g, err := RandomConnected(48, 12, 8, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(t, g, rnd, 500)
+
+	restored, err := UnmarshalState(g.MarshalState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStorage(t, g, restored)
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored graph must keep behaving identically under further
+	// mutation (its bookkeeping maps were rebuilt, not copied).
+	r1, r2 := rng.New(5), rng.New(5)
+	mutate(t, g, r1, 100)
+	mutate(t, restored, r2, 100)
+	sameStorage(t, g, restored)
+}
+
+func TestUnmarshalStateRejectsCorruption(t *testing.T) {
+	g, err := RandomConnected(16, 6, 6, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := g.MarshalState()
+	if _, err := UnmarshalState(blob); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := UnmarshalState(blob[:n]); err == nil {
+			t.Fatalf("accepted %d/%d-byte prefix", n, len(blob))
+		}
+	}
+}
+
+// FuzzUnmarshalState: arbitrary bytes must produce a valid graph or an
+// error — never a panic, never a graph violating the package invariants.
+func FuzzUnmarshalState(f *testing.F) {
+	g, err := RandomConnected(16, 6, 6, rng.New(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(g.MarshalState())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalState(data)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+	})
+}

@@ -101,8 +101,44 @@ func TestHistogramQuantile(t *testing.T) {
 			t.Errorf("q%.0f = %g, want %g ± %g", tc.q*100, got, tc.want, tc.tol)
 		}
 	}
-	if !math.IsNaN((HistogramSnapshot{Bounds: []float64{1}, Buckets: []int64{0, 0}}).Quantile(0.5)) {
-		t.Error("empty snapshot quantile should be NaN")
+	if got := (HistogramSnapshot{Bounds: []float64{1}, Buckets: []int64{0, 0}}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0 (never NaN)", got)
+	}
+}
+
+// TestQuantileEdgeCases pins the behaviour on the inputs that used to
+// produce NaN: empty snapshots, out-of-range q, NaN q. A quantile must
+// always be a finite value from the histogram's range.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := HistogramSnapshot{Bounds: []float64{1, 2}, Buckets: []int64{0, 0, 0}}
+	loaded := HistogramSnapshot{Bounds: []float64{1, 2, 4}, Buckets: []int64{2, 4, 2, 2}, Count: 10, Sum: 20}
+	cases := []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"empty q=0.5", empty, 0.5, 0},
+		{"empty q=0", empty, 0, 0},
+		{"empty q=1", empty, 1, 0},
+		{"empty q=NaN", empty, math.NaN(), 0},
+		{"no bounds", HistogramSnapshot{Count: 3}, 0.5, 0},
+		{"q=0 is the lower edge", loaded, 0, 0},
+		{"q=1 is the upper edge", loaded, 1, 4},
+		{"q<0 clamps to 0", loaded, -2, 0},
+		{"q>1 clamps to 1", loaded, 7, 4},
+		{"NaN q clamps to 0", loaded, math.NaN(), 0},
+		{"median interpolates", loaded, 0.5, 1.75},
+	}
+	for _, tc := range cases {
+		got := tc.s.Quantile(tc.q)
+		if math.IsNaN(got) {
+			t.Errorf("%s: Quantile returned NaN", tc.name)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Quantile = %g, want %g", tc.name, got, tc.want)
+		}
 	}
 }
 

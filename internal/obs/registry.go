@@ -144,10 +144,18 @@ type HistogramSnapshot struct {
 
 // Quantile estimates the q-th quantile (0..1) by linear interpolation
 // within the containing bucket. Observations beyond the last bound are
-// attributed to the last finite bound. Returns NaN on an empty snapshot.
+// attributed to the last finite bound. An empty snapshot reports 0, and
+// q is clamped to [0, 1] (NaN counts as 0), so text surfaces rendering
+// quantiles never print NaN.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
-		return math.NaN()
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	switch {
+	case math.IsNaN(q) || q < 0:
+		q = 0
+	case q > 1:
+		q = 1
 	}
 	rank := q * float64(s.Count)
 	var cum int64

@@ -20,10 +20,17 @@ type JSONLSink struct {
 // NewJSONLSink returns a sink writing to w, with the schema header
 // already emitted.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	bw := bufio.NewWriter(w)
-	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	s := NewJSONLSinkContinue(w)
 	s.Emit(Header())
 	return s
+}
+
+// NewJSONLSinkContinue returns a sink writing to w without emitting a
+// schema header, for appending to an existing stream that already starts
+// with one (a resumed run continuing its event log).
+func NewJSONLSinkContinue(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // Emit appends one event. The first write error is sticky and returned

@@ -1,11 +1,15 @@
 package opt
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/hsgraph"
 	"repro/internal/rng"
 )
@@ -66,6 +70,7 @@ func (s Schedule) String() string {
 // are filled in for every unset field.
 type Options struct {
 	// Iterations is the number of proposed moves. Default 20000.
+	// Negative values are rejected.
 	Iterations int
 	// Moves selects the neighbourhood. Default TwoNeighborSwing.
 	Moves MoveSet
@@ -74,6 +79,10 @@ type Options struct {
 	// InitialTemp and FinalTemp bound the geometric cooling schedule in
 	// units of total path length. If InitialTemp is zero it is calibrated
 	// from a sample of move deltas; FinalTemp defaults to InitialTemp/200.
+	// Negative or non-finite values are rejected: a negative FinalTemp
+	// would slip past the FinalTemp > InitialTemp check and feed math.Pow
+	// a negative ratio, silently turning the cooling factor into NaN and
+	// the anneal into a hill-climb.
 	InitialTemp float64
 	FinalTemp   float64
 	// Seed drives all randomness. Two runs with equal inputs and seeds
@@ -101,6 +110,36 @@ type Options struct {
 	// The result is identical for every worker count; only throughput
 	// changes. ParallelAnneal resolves 0 to a share of GOMAXPROCS.
 	Workers int
+
+	// CheckpointPath, when non-empty, makes the annealer write a
+	// crash-safe snapshot of its complete loop state (graphs, energies,
+	// temperature, move counters, energy trace, RNG stream) to this file
+	// every CheckpointEvery iterations and once at the final iteration.
+	// Snapshots are atomic (temp file + fsync + rename, see package
+	// ckpt); a reader never observes a partial file. ParallelAnneal
+	// treats the path as a base name and gives restart i its own
+	// "<path>.r<i>" file.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot interval in iterations. Default
+	// 10000. Negative values are rejected.
+	CheckpointEvery int
+	// Resume, with a non-empty CheckpointPath, loads the snapshot and
+	// continues from it instead of starting fresh; when the file does not
+	// exist the run starts from scratch (so kill-and-resume loops are
+	// idempotent). The resumed run is bit-identical — best graph, every
+	// Result field, the energy trace — to the run that was never
+	// interrupted, at every worker count. Stream-defining options stored
+	// in the snapshot (iterations, move set, schedule, temperatures,
+	// seed, sampling interval, trace settings) must match any non-zero
+	// values in these Options, or Anneal errors out rather than silently
+	// diverging.
+	Resume bool
+	// Interrupt, if non-nil, is polled once per iteration; when it
+	// becomes true the annealer writes a final snapshot (if checkpointing
+	// is configured) and returns the best graph so far together with
+	// ckpt.ErrInterrupted. The CLIs arm it from SIGINT/SIGTERM via
+	// cliutil.Interrupt.
+	Interrupt *atomic.Bool
 }
 
 // Result summarises an annealing run.
@@ -120,8 +159,68 @@ type Result struct {
 	EnergyTraceStride int
 }
 
+// annealState is the complete loop state of a running anneal — everything
+// a snapshot must capture for a resumed run to be bit-identical to an
+// uninterrupted one. iter is the number of completed iterations; temp has
+// already been advanced past iteration iter-1.
+type annealState struct {
+	g, best            *hsgraph.Graph
+	energy, bestEnergy int64
+	temp               float64
+	iter               int
+	rnd                *rng.Rand
+	res                Result
+	tel                telemetry
+}
+
+// validateOptions rejects senseless inputs. It deliberately fills no
+// defaults: zero values still mean "unset" when a resume fingerprints the
+// snapshot against the caller's options (see applyDefaults).
+func validateOptions(o *Options) error {
+	if o.Iterations < 0 {
+		return fmt.Errorf("opt: negative Iterations %d", o.Iterations)
+	}
+	for _, t := range []struct {
+		name string
+		v    float64
+	}{{"InitialTemp", o.InitialTemp}, {"FinalTemp", o.FinalTemp}} {
+		if t.v < 0 || math.IsNaN(t.v) || math.IsInf(t.v, 0) {
+			return fmt.Errorf("opt: %s %v must be a finite value >= 0 (0 = default)", t.name, t.v)
+		}
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("opt: negative CheckpointEvery %d", o.CheckpointEvery)
+	}
+	switch o.Moves {
+	case SwapOnly, SwingOnly, TwoNeighborSwing:
+	default:
+		return fmt.Errorf("opt: unknown move set %v", o.Moves)
+	}
+	switch o.Schedule {
+	case Geometric, Linear, HillClimb:
+	default:
+		return fmt.Errorf("opt: unknown schedule %v", o.Schedule)
+	}
+	return nil
+}
+
+// applyDefaults resolves the unset fields that a fresh run needs (a
+// resumed run takes them from the snapshot instead).
+func applyDefaults(o *Options) {
+	if o.Iterations == 0 {
+		o.Iterations = 20000
+	}
+	if o.ReportEvery <= 0 {
+		o.ReportEvery = 1000
+	}
+}
+
 // Anneal runs simulated annealing from the given starting graph and
 // returns the best graph found. The input graph is not modified.
+//
+// With Options.Resume and an existing CheckpointPath, the run continues
+// from the snapshot instead; see the Resume field for the determinism
+// contract.
 func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 	if start == nil {
 		return nil, Result{}, fmt.Errorf("opt: nil start graph")
@@ -129,46 +228,78 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 	if err := start.Validate(); err != nil {
 		return nil, Result{}, fmt.Errorf("opt: invalid start graph: %w", err)
 	}
-	if o.Iterations == 0 {
-		o.Iterations = 20000
+	if err := validateOptions(&o); err != nil {
+		return nil, Result{}, err
 	}
-	if o.ReportEvery <= 0 {
-		o.ReportEvery = 1000
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 10000
 	}
-	rnd := rng.New(o.Seed)
 	ev := hsgraph.NewEvaluator(o.Workers)
 	defer ev.Close()
 
-	g := start.Clone()
-	cur := ev.Evaluate(g)
-	if !cur.Connected {
-		return nil, Result{}, hsgraph.ErrNotConnected
+	if o.Resume && o.CheckpointPath != "" {
+		if _, err := os.Stat(o.CheckpointPath); err == nil {
+			st, err := loadAnnealState(o.CheckpointPath, &o, ev)
+			if err != nil {
+				return nil, Result{}, err
+			}
+			return runAnneal(st, o, ev)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, Result{}, fmt.Errorf("opt: resume: %w", err)
+		}
 	}
-	res := Result{Initial: cur}
 
-	energy := cur.TotalPath
-	best := g.Clone()
-	bestEnergy := energy
+	applyDefaults(&o)
+	st, err := newAnnealState(start, &o, ev)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return runAnneal(st, o, ev)
+}
+
+// newAnnealState builds the iteration-zero state: evaluates the start
+// graph, calibrates the temperature bounds, and seeds the RNG. It mutates
+// o, resolving InitialTemp/FinalTemp to their effective values.
+func newAnnealState(start *hsgraph.Graph, o *Options, ev *hsgraph.Evaluator) (*annealState, error) {
+	st := &annealState{rnd: rng.New(o.Seed)}
+	st.g = start.Clone()
+	cur := ev.Evaluate(st.g)
+	if !cur.Connected {
+		return nil, hsgraph.ErrNotConnected
+	}
+	st.res = Result{Initial: cur}
+	st.energy = cur.TotalPath
+	st.best = st.g.Clone()
+	st.bestEnergy = st.energy
 
 	if o.Schedule == HillClimb {
 		o.InitialTemp, o.FinalTemp = hillClimbTemp, hillClimbTemp
 	}
 	if o.InitialTemp == 0 {
-		o.InitialTemp = calibrateTemp(g, o.Moves, rnd.Split(), ev)
+		o.InitialTemp = calibrateTemp(st.g, o.Moves, st.rnd.Split(), ev)
 	}
 	if o.FinalTemp == 0 {
 		o.FinalTemp = o.InitialTemp / 200
 	}
 	if o.FinalTemp > o.InitialTemp {
-		return nil, Result{}, fmt.Errorf("opt: FinalTemp %v exceeds InitialTemp %v", o.FinalTemp, o.InitialTemp)
+		return nil, fmt.Errorf("opt: FinalTemp %v exceeds InitialTemp %v", o.FinalTemp, o.InitialTemp)
 	}
-	res.InitialTemp, res.FinalTemp = o.InitialTemp, o.FinalTemp
+	st.res.InitialTemp, st.res.FinalTemp = o.InitialTemp, o.FinalTemp
+	st.temp = o.InitialTemp
+	st.tel.init(*o)
+	return st, nil
+}
+
+// runAnneal drives the annealing loop from st (iteration st.iter) to
+// o.Iterations. o must be fully resolved (validateOptions applied, temps
+// concrete).
+func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Graph, Result, error) {
+	res := &st.res
 	cool := math.Pow(o.FinalTemp/o.InitialTemp, 1/math.Max(1, float64(o.Iterations-1)))
 	linStep := (o.InitialTemp - o.FinalTemp) / math.Max(1, float64(o.Iterations-1))
 
-	temp := o.InitialTemp
 	energyOf := func() int64 {
-		e, connected := ev.Energy(g)
+		e, connected := ev.Energy(st.g)
 		if !connected {
 			return math.MaxInt64
 		}
@@ -178,33 +309,28 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 		if candidate == math.MaxInt64 {
 			return false
 		}
-		delta := candidate - energy
+		delta := candidate - st.energy
 		if delta <= 0 {
 			return true
 		}
-		return rnd.Float64() < math.Exp(-float64(delta)/t)
+		return st.rnd.Float64() < math.Exp(-float64(delta)/t)
 	}
 
-	// Telemetry state. All of it is inert (no clock reads, no appends)
-	// unless an observer or energy tracing was requested.
-	var tel telemetry
-	tel.init(o)
-
-	for iter := 0; iter < o.Iterations; iter++ {
+	for iter := st.iter; iter < o.Iterations; iter++ {
 		switch o.Moves {
 		case TwoNeighborSwing:
 			res.Proposed++
-			if e, moved := twoNeighborSwing(g, rnd, energyOf, func(c int64) bool { return acceptAt(c, temp) }, &res.Moves); moved {
-				energy = e
+			if e, moved := twoNeighborSwing(st.g, st.rnd, energyOf, func(c int64) bool { return acceptAt(c, st.temp) }, &res.Moves); moved {
+				st.energy = e
 				res.Accepted++
 			}
 		case SwapOnly, SwingOnly:
 			var u undo
 			var ok bool
 			if o.Moves == SwapOnly {
-				u, ok = trySwap(g, rnd)
+				u, ok = trySwap(st.g, st.rnd)
 			} else {
-				u, ok = trySwing(g, rnd)
+				u, ok = trySwing(st.g, st.rnd)
 			}
 			if ok {
 				res.Proposed++
@@ -213,8 +339,8 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 				} else {
 					res.Moves.SwingAttempts++
 				}
-				if e := energyOf(); acceptAt(e, temp) {
-					energy = e
+				if e := energyOf(); acceptAt(e, st.temp) {
+					st.energy = e
 					res.Accepted++
 					if o.Moves == SwapOnly {
 						res.Moves.SwapAccepts++
@@ -225,40 +351,57 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 					u()
 				}
 			}
-		default:
-			return nil, Result{}, fmt.Errorf("opt: unknown move set %v", o.Moves)
 		}
-		if energy < bestEnergy {
-			bestEnergy = energy
-			best = g.Clone()
+		if st.energy < st.bestEnergy {
+			st.bestEnergy = st.energy
+			st.best = st.g.Clone()
 		}
 		if (iter+1)%o.ReportEvery == 0 || iter+1 == o.Iterations {
 			if o.OnProgress != nil && (iter+1)%o.ReportEvery == 0 {
-				o.OnProgress(iter+1, energy, bestEnergy)
+				o.OnProgress(iter+1, st.energy, st.bestEnergy)
 			}
-			tel.sample(&o, &res, iter+1, temp, energy, bestEnergy)
+			st.tel.sample(&o, res, iter+1, st.temp, st.energy, st.bestEnergy)
 		}
 		switch o.Schedule {
 		case Linear:
-			temp -= linStep
-			if temp < o.FinalTemp {
-				temp = o.FinalTemp
+			st.temp -= linStep
+			if st.temp < o.FinalTemp {
+				st.temp = o.FinalTemp
 			}
 		case HillClimb:
 			// temperature pinned
 		default:
-			temp *= cool
+			st.temp *= cool
+		}
+		st.iter = iter + 1
+
+		// Durability points, off the boundary-free hot path: a periodic
+		// snapshot, the final snapshot, and an interrupt-triggered one.
+		interrupted := o.Interrupt != nil && o.Interrupt.Load()
+		if o.CheckpointPath != "" &&
+			(st.iter%o.CheckpointEvery == 0 || st.iter == o.Iterations || interrupted) {
+			if err := writeAnnealCheckpoint(o.CheckpointPath, st, &o); err != nil {
+				return nil, Result{}, err
+			}
+		}
+		if interrupted && st.iter < o.Iterations {
+			res.Iterations = st.iter
+			res.Best = ev.Evaluate(st.best)
+			return st.best, *res, ckpt.ErrInterrupted
 		}
 	}
 	res.Iterations = o.Iterations
-	tel.finish(&o, &res)
-	res.Best = ev.Evaluate(best)
-	return best, res, nil
+	st.tel.finish(&o, res)
+	res.Best = ev.Evaluate(st.best)
+	return st.best, *res, nil
 }
 
 // telemetry drives Observer sampling and energy tracing. It is fully
 // inert — no clock reads, no appends, no allocations — unless the run
-// requested an observer or an energy trace.
+// requested an observer or an energy trace. buf, stride and interval are
+// part of the checkpointed loop state; the wall-clock fields are not
+// (resumed runs restart the rate clock, which only affects observer
+// samples, never the Result).
 type telemetry struct {
 	observe  bool
 	trace    bool
@@ -281,7 +424,9 @@ func (t *telemetry) init(o Options) {
 	if t.max < 2 {
 		t.max = 2
 	}
-	t.stride = 1
+	if t.stride == 0 {
+		t.stride = 1
+	}
 	if t.observe {
 		t.start = time.Now()
 		t.lastTime = t.start
@@ -382,6 +527,12 @@ func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand, ev *hsgraph.E
 // levels of parallelism: each restart gets GOMAXPROCS/restarts evaluation
 // shard workers (at least one), so a 2-restart run on 8 cores uses 2x4
 // goroutines instead of leaving 6 cores idle.
+//
+// With checkpointing configured, restart i snapshots into
+// RestartCheckpointPath(o.CheckpointPath, restarts, i); Resume picks up
+// whichever restarts left snapshots behind and starts the rest fresh. If
+// o.Interrupt fires, every restart persists its state and ParallelAnneal
+// returns ckpt.ErrInterrupted.
 func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Graph, Result, error) {
 	if restarts < 1 {
 		restarts = 1
@@ -409,6 +560,9 @@ func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Gra
 			// carry the restart index. Observer implementations used here
 			// must be safe for concurrent use (see Observer docs).
 			oi.restart = i
+			if o.CheckpointPath != "" {
+				oi.CheckpointPath = RestartCheckpointPath(o.CheckpointPath, restarts, i)
+			}
 			g, res, err := Anneal(start, oi)
 			outs[i] = outcome{g, res, err}
 			done <- i
@@ -417,14 +571,32 @@ func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Gra
 	for i := 0; i < restarts; i++ {
 		<-done
 	}
-	bestIdx := -1
-	for i, out := range outs {
-		if out.err != nil {
+	interrupted := false
+	for _, out := range outs {
+		if out.err != nil && !errors.Is(out.err, ckpt.ErrInterrupted) {
 			return nil, Result{}, out.err
 		}
+		interrupted = interrupted || out.err != nil
+	}
+	if interrupted {
+		return nil, Result{}, ckpt.ErrInterrupted
+	}
+	bestIdx := -1
+	for i, out := range outs {
 		if bestIdx == -1 || out.res.Best.TotalPath < outs[bestIdx].res.Best.TotalPath {
 			bestIdx = i
 		}
 	}
 	return outs[bestIdx].g, outs[bestIdx].res, nil
+}
+
+// RestartCheckpointPath is the snapshot file of restart i in a
+// ParallelAnneal over the given base path. Single-restart runs use the
+// base path itself, so plain Anneal and 1-restart ParallelAnneal share
+// snapshots.
+func RestartCheckpointPath(base string, restarts, i int) string {
+	if restarts == 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.r%d", base, i)
 }

@@ -7,7 +7,10 @@
 // takes an explicit *rng.Rand seeded by the caller.
 package rng
 
-import "math/bits"
+import (
+	"errors"
+	"math/bits"
+)
 
 // SplitMix64 advances a SplitMix64 state and returns the next value.
 // It is used both as a standalone mixer and to seed xoshiro256**.
@@ -40,6 +43,22 @@ func New(seed uint64) *Rand {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
 	return &r
+}
+
+// State returns the generator's internal xoshiro256** state so it can be
+// checkpointed. FromState(r.State()) yields a generator that continues
+// r's stream exactly where it left off.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a generator from a State() snapshot. The all-zero
+// state is invalid for xoshiro256** (the stream would be constant zero) and
+// is rejected; it cannot be produced by New or by use, so encountering it
+// means the snapshot is corrupt.
+func FromState(s [4]uint64) (*Rand, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, errors.New("rng: all-zero state is not a valid xoshiro256** state")
+	}
+	return &Rand{s: s}, nil
 }
 
 // Split derives an independent generator from r. The derived stream is a
