@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/perf"
+)
+
+// TestCommittedBenchBaseline keeps the committed trajectory honest: every
+// BENCH_*.json at the repo root must parse, validate against the current
+// schema, and the newest baseline must cover all five workload families,
+// so a schema change or a half-deleted registry cannot merge silently.
+func TestCommittedBenchBaseline(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json baseline committed at the repo root")
+	}
+	for _, p := range paths {
+		rep, err := perf.ReadReportFile(p) // Validate runs inside
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		fams := map[string]bool{}
+		for _, f := range perf.Families(rep.Workloads) {
+			fams[f] = true
+		}
+		for _, want := range []string{"eval", "anneal", "simnet", "fault", "ckpt"} {
+			if !fams[want] {
+				t.Errorf("%s: no %q workloads in the baseline", p, want)
+			}
+		}
+		if rep.Build.GoVersion == "" {
+			t.Errorf("%s: baseline missing build fingerprint", p)
+		}
+	}
+
+	// The committed history must also always be plottable.
+	fig, err := figures.PerfTrajectory(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("perf trajectory has no series")
+	}
+	// Every registered workload should be tracked by the newest baseline;
+	// a workload added without re-recording the trajectory is flagged
+	// here rather than surfacing as MissingInOld forever.
+	last, err := perf.ReadReportFile(paths[len(paths)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBaseline := map[string]bool{}
+	for _, w := range last.Workloads {
+		inBaseline[w.Name] = true
+	}
+	for _, w := range perf.Workloads() {
+		if !inBaseline[w.Name] {
+			t.Errorf("workload %s is registered but absent from %s — regenerate the baseline with `go run ./cmd/orpbench -out %s`",
+				w.Name, paths[len(paths)-1], paths[len(paths)-1])
+		}
+	}
+}

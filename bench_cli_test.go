@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// runToolExit runs a built binary like runTool but returns the exit code
+// instead of failing on nonzero status, for tests that assert exit-code
+// contracts.
+func runToolExit(t *testing.T, tool string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", tool, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestCLIBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	out, _ := runTool(t, "orpbench", nil, "-list")
+	for _, want := range []string{"eval/sharded/", "anneal/2-neighbor-swing/", "simnet/npb/CG-S-32", "fault/sweep/links/", "ckpt/encode/"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("orpbench -list missing %q:\n%s", want, out)
+		}
+	}
+	// Usage errors take exit 2, distinct from regressions (3).
+	if _, _, code := runToolExit(t, "orpbench", "-compare", "only-one.json"); code != 2 {
+		t.Fatalf("orpbench -compare with one arg: exit %d, want 2", code)
+	}
+	if _, _, code := runToolExit(t, "orpbench", "-run", "no/such/workload"); code != 2 {
+		t.Fatalf("orpbench with empty workload match: exit %d, want 2", code)
+	}
+}
+
+// TestCLIBenchCompareGate is the CLI half of the acceptance contract:
+// back-to-back runs on the same build compare clean (exit 0), and a
+// >=20% slowdown makes -compare exit 3.
+func TestCLIBenchCompareGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	// ckpt plus the fault sweep: the sweep's relative MAD sits around
+	// 3%, so at least one workload always gates the scaled copy below
+	// even if the ckpt timings catch a noise spike.
+	run := []string{"-short", "-run", "^ckpt/|^fault/", "-out"}
+	if _, stderr, code := runToolExit(t, "orpbench", append(run, a)...); code != 0 {
+		t.Fatalf("first orpbench run: exit %d\n%s", code, stderr)
+	}
+	if _, stderr, code := runToolExit(t, "orpbench", append(run, b)...); code != 0 {
+		t.Fatalf("second orpbench run: exit %d\n%s", code, stderr)
+	}
+	if out, stderr, code := runToolExit(t, "orpbench", "-compare", a, b); code != 0 {
+		t.Fatalf("back-to-back compare: exit %d\n%s%s", code, out, stderr)
+	}
+
+	// Rewrite the second report with every sample 50% slower — the
+	// moral equivalent of a regressed commit — and the gate must fire.
+	// The comparator options are pinned because short-mode samples on a
+	// loaded CI box can carry relative MADs above 10%, which the default
+	// 6-MAD thresholds would (correctly) wave a 50% delta through; the
+	// deterministic 20%-slowdown-at-default-thresholds contract is
+	// proven on a quiet workload by internal/perf's
+	// TestInjectedSlowdownFiresGate. Firing here needs only
+	// relMAD < 25%, several times the spread ever measured for ckpt.
+	rep, err := perf.ReadReportFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Workloads {
+		w := &rep.Workloads[i]
+		for j := range w.SamplesNs {
+			w.SamplesNs[j] *= 1.5
+		}
+		w.MedianNs *= 1.5
+		w.MADNs *= 1.5
+	}
+	slow := filepath.Join(dir, "slow.json")
+	if err := rep.WriteFile(slow); err != nil {
+		t.Fatal(err)
+	}
+	// Comparing b against its own scaled copy pins the ratio at exactly
+	// 1.5, independent of cross-run drift between a and b.
+	gate := []string{"-compare", "-mad-scale", "2", "-min-rel", "0.15"}
+	out, stderr, code := runToolExit(t, "orpbench", append(gate, b, slow)...)
+	if code != 3 {
+		t.Fatalf("compare against 50%% slowdown: exit %d, want 3\n%s%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("compare output missing REGRESSION verdict:\n%s", out)
+	}
+	// A relaxed CI-style threshold scale (4 x 0.15 floor = 60% > 50%)
+	// waves the same delta through.
+	if _, stderr, code := runToolExit(t, "orpbench", append(gate, "-threshold-scale", "4", b, slow)...); code != 0 {
+		t.Fatalf("relaxed compare: exit %d\n%s", code, stderr)
+	}
+}
+
+// TestCLIVersionFlag: every command reports the shared build identity.
+func TestCLIVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap", "orpfault", "orptrace", "orpbench"} {
+		out, _, code := runToolExit(t, tool, "-version")
+		if code != 0 {
+			t.Fatalf("%s -version: exit %d", tool, code)
+		}
+		if !strings.HasPrefix(out, tool+": repro") {
+			t.Fatalf("%s -version output %q, want prefix %q", tool, out, tool+": repro")
+		}
+	}
+}

@@ -2,6 +2,12 @@
 // a reduced-but-faithful scale (one benchmark per figure/panel) and report
 // the headline quantity of each as a custom metric. Full-scale runs are
 // the job of cmd/orpfigures (-paper).
+//
+// Hot-path benchmarks (h-ASPL evaluation engines, the SA move loop, the
+// telemetry overhead pair) live in evaluator_bench_test.go and
+// obs_bench_test.go as shims over the internal/perf workload registry —
+// the same bodies cmd/orpbench measures into the BENCH_*.json
+// performance trajectory.
 package repro
 
 import (

@@ -1,0 +1,132 @@
+// Command orpbench runs the canonical workload registry of internal/perf
+// and maintains the repository's performance trajectory: machine-readable
+// BENCH_*.json reports, per-workload CPU/heap profiles, and a noise-aware
+// regression gate for CI.
+//
+// Usage:
+//
+//	orpbench -list                        # show registered workloads
+//	orpbench -out BENCH_5.json            # full measurement pass
+//	orpbench -run 'eval/' -reps 20        # subset, more repetitions
+//	orpbench -short -out ci.json          # reduced repetitions (CI smoke)
+//	orpbench -profile-dir prof/           # CPU+heap profile per workload
+//	orpbench -compare old.json new.json   # regression gate; exit 3 on fail
+//
+// Exit status: 0 success (and no regression), 1 runtime error, 2 usage,
+// 3 regression detected by -compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/cliutil"
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list registered workloads and exit")
+		run        = flag.String("run", "", "only run workloads matching this regexp")
+		reps       = flag.Int("reps", 0, "timed repetitions per workload (0 = default: 12, or 6 with -short)")
+		warmup     = flag.Int("warmup", 0, "warmup repetitions per workload (0 = default: 2, or 1 with -short)")
+		short      = flag.Bool("short", false, "reduced repetition counts (per-repetition work is never reduced)")
+		out        = flag.String("out", "", "write the JSON report to this file ('-' for stdout)")
+		profileDir = flag.String("profile-dir", "", "capture per-workload CPU and heap profiles into this directory")
+		compare    = flag.Bool("compare", false, "compare two reports: orpbench -compare old.json new.json")
+		minRel     = flag.Float64("min-rel", 0, "regression threshold floor as a fraction (0 = default 0.10)")
+		madScale   = flag.Float64("mad-scale", 0, "noise multiplier: threshold = mad-scale x measured relative MAD (0 = default 6)")
+		scale      = flag.Float64("threshold-scale", 0, "relax every threshold by this factor, for shared CI runners (0 = default 1)")
+	)
+	version := cliutil.VersionFlag()
+	flag.Parse()
+	cliutil.ExitIfVersion("orpbench", version)
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), perf.CompareOptions{MinRel: *minRel, MADScale: *madScale, Scale: *scale}))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: orpbench [flags]  |  orpbench -compare old.json new.json")
+		os.Exit(2)
+	}
+
+	var re *regexp.Regexp
+	if *run != "" {
+		var err error
+		if re, err = regexp.Compile(*run); err != nil {
+			fmt.Fprintf(os.Stderr, "orpbench: bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	ws := perf.Match(re)
+	if len(ws) == 0 {
+		fmt.Fprintln(os.Stderr, "orpbench: no workloads match")
+		os.Exit(2)
+	}
+	if *list {
+		for _, w := range ws {
+			fmt.Printf("%-44s [%s] %s (%s/s)\n", w.Name, w.Family, w.Doc, w.Unit)
+		}
+		return
+	}
+
+	rep, err := perf.RunWorkloads(ws, perf.RunOptions{
+		Warmup:     *warmup,
+		Reps:       *reps,
+		Short:      *short,
+		ProfileDir: *profileDir,
+		Log:        os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpbench: %v\n", err)
+		os.Exit(1)
+	}
+	switch *out {
+	case "":
+	case "-":
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "orpbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "orpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d workloads, %d families)\n",
+			*out, len(rep.Workloads), len(perf.Families(rep.Workloads)))
+	}
+}
+
+// runCompare implements the regression gate and returns the process exit
+// status.
+func runCompare(args []string, o perf.CompareOptions) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: orpbench -compare old.json new.json")
+		return 2
+	}
+	old, err := perf.ReadReportFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpbench: %v\n", err)
+		return 1
+	}
+	new, err := perf.ReadReportFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpbench: %v\n", err)
+		return 1
+	}
+	res, err := perf.Compare(old, new, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpbench: %v\n", err)
+		return 1
+	}
+	res.Format(os.Stdout)
+	if res.Gate() {
+		fmt.Fprintf(os.Stderr, "orpbench: %d regression(s), %d baseline workload(s) missing\n",
+			res.Regressions, len(res.MissingInNew))
+		return 3
+	}
+	return 0
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/bounds"
+	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/hsgraph"
 	"repro/internal/partition"
@@ -34,7 +35,9 @@ func main() {
 		workers       = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
 		jsonOut       = flag.Bool("json", false, "emit the fault.GraphReport JSON schema instead of text")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orpeval", version)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orpeval [-bandwidth] [-phys] <graph.hsg | ->")
 		os.Exit(2)

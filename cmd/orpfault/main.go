@@ -60,7 +60,9 @@ func main() {
 		checkpointEvery = flag.Int("checkpoint-every", 0, "flush the ledger every this many completed trials (0 = every trial)")
 		resume          = flag.Bool("resume", false, "continue from the -checkpoint ledger, re-running only unfinished trials")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orpfault", version)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orpfault [flags] <graph.hsg | ->")
 		os.Exit(2)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/odp"
 	"repro/internal/opt"
 )
@@ -29,7 +30,9 @@ func main() {
 		out      = flag.String("o", "", "write the edge list here (default stdout)")
 		evalFile = flag.String("eval", "", "evaluate an existing edge-list file instead of solving")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orpgolf", version)
 
 	if *evalFile != "" {
 		f, err := os.Open(*evalFile)

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/hsgraph"
 	"repro/internal/mapping"
 )
@@ -27,7 +28,9 @@ func main() {
 		dry        = flag.Bool("dry", false, "only report costs; do not write the remapped graph")
 		workers    = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orpmap", version)
 	if *matrixFile == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orpmap -matrix <file> [flags] <graph.hsg | ->")
 		os.Exit(2)

@@ -39,7 +39,9 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a chrome://tracing trace of flows and MPI ranks to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while simulating (e.g. 127.0.0.1:0)")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orpsim", version)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orpsim [flags] <graph.hsg | ->")
 		os.Exit(2)

@@ -56,7 +56,9 @@ func main() {
 		checkpointEvery = flag.Int("checkpoint-every", 0, "snapshot interval in iterations (0 = annealer default, 10000)")
 		resume          = flag.Bool("resume", false, "continue from the -checkpoint snapshot; the result is bit-identical to an uninterrupted run")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orpsolve", version)
 	if _, err := cliutil.Workers(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
 		os.Exit(2)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/hsgraph"
 	"repro/internal/topo"
 )
@@ -32,7 +33,9 @@ func main() {
 		out   = flag.String("o", "", "output file (default stdout)")
 		quiet = flag.Bool("q", false, "suppress the stats header on stderr")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orptopo", version)
 
 	var spec *topo.Spec
 	var err error

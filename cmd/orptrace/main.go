@@ -21,13 +21,16 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 func main() {
 	top := flag.Int("top", 10, "number of hot links / slowest flows to list")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orptrace", version)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orptrace [-top 10] <trace.json | events.jsonl | ->")
 		os.Exit(2)

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/hsgraph"
 	"repro/internal/simnet"
 	"repro/internal/traffic"
@@ -33,7 +34,9 @@ func main() {
 		hotlinks = flag.Bool("hotlinks", false, "print the 10 most loaded links under the chosen pattern")
 		workers  = flag.Int("workers", 0, "h-ASPL evaluation shard workers (0 = all cores)")
 	)
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.ExitIfVersion("orptraffic", version)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orptraffic [flags] <graph.hsg | ->")
 		os.Exit(2)

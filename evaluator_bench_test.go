@@ -1,75 +1,32 @@
 package repro
 
 import (
-	"fmt"
-	"runtime"
 	"testing"
 
-	"repro/internal/bounds"
-	"repro/internal/hsgraph"
-	"repro/internal/opt"
-	"repro/internal/rng"
+	"repro/internal/perf"
 )
 
-// BenchmarkEvaluateParallel measures one h-ASPL evaluation of the sharded
-// engine against the serial bit-parallel sweep at the paper's headline
-// scale: n = 1024, r in {12, 24}, m = m_opt. Every sub-benchmark verifies
-// the sharded result against the serial one, so the numbers can't drift
-// from a silently wrong evaluator.
+// The evaluation and anneal-throughput benchmarks are thin shims over the
+// internal/perf workload registry (see perf_bridge_test.go): the bodies
+// measured here are byte-for-byte the ones cmd/orpbench records into the
+// BENCH_*.json trajectory. The sharded eval workloads verify every
+// repetition against the serial bit-parallel result, so the numbers can't
+// drift from a silently wrong evaluator.
+
+// BenchmarkEvaluateParallel covers one h-ASPL evaluation per engine
+// (serial BFS, serial bit-parallel, sharded pool) at the registry's
+// canonical (n, r) points.
 func BenchmarkEvaluateParallel(b *testing.B) {
-	for _, r := range []int{12, 24} {
-		m, _ := bounds.OptimalSwitchCount(1024, r, 0)
-		g, err := hsgraph.RandomConnected(1024, m, r, rng.New(1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		want := g.Evaluate()
-		for _, workers := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("r=%d/m=%d/workers=%d", r, m, workers), func(b *testing.B) {
-				ev := hsgraph.NewEvaluator(workers)
-				defer ev.Close()
-				ev.Evaluate(g) // warm the scratch buffers
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if met := ev.Evaluate(g); met.TotalPath != want.TotalPath {
-						b.Fatalf("sharded evaluation diverged: %+v vs %+v", met, want)
-					}
-				}
-			})
-		}
+	for _, name := range perf.Names("eval/") {
+		b.Run(name, func(b *testing.B) { benchWorkload(b, name) })
 	}
 }
 
-// BenchmarkAnnealThroughput reports SA moves/sec at n = 1024, r = 24,
-// m = m_opt — the quantity that gates how far the Fig. 5/8 sweeps and
-// Graph Golf-size searches can explore. workers=1 is the seed repo's
-// single-threaded hot path; the other counts show the sharded engine.
+// BenchmarkAnnealThroughput reports SA moves/sec per move set plus the
+// sharded-evaluator variant — the quantity that gates how far the
+// Fig. 5/8 sweeps and Graph Golf-size searches can explore.
 func BenchmarkAnnealThroughput(b *testing.B) {
-	const n, r = 1024, 24
-	m, _ := bounds.OptimalSwitchCount(n, r, 0)
-	start, err := hsgraph.RandomConnected(n, m, r, rng.New(1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	counts := []int{1, 2, 4}
-	if p := runtime.GOMAXPROCS(0); p > 4 {
-		counts = append(counts, p)
-	}
-	for _, workers := range counts {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			const itersPerRun = 128
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := opt.Anneal(start, opt.Options{
-					Iterations: itersPerRun,
-					Seed:       1,
-					Workers:    workers,
-				}); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(b.N*itersPerRun)/b.Elapsed().Seconds(), "moves/s")
-		})
+	for _, name := range perf.Names("anneal/") {
+		b.Run(name, func(b *testing.B) { benchWorkload(b, name) })
 	}
 }

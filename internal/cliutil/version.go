@@ -1,0 +1,24 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/buildinfo"
+)
+
+// VersionFlag registers the shared -version flag every orp* command
+// carries. Call before flag.Parse and hand the result to ExitIfVersion.
+func VersionFlag() *bool {
+	return flag.Bool("version", false, "print build information and exit")
+}
+
+// ExitIfVersion prints the build identity for tool and exits 0 when the
+// -version flag was set. Call immediately after flag.Parse, before any
+// argument validation, so `orptool -version` works without operands.
+func ExitIfVersion(tool string, v *bool) {
+	if v != nil && *v {
+		buildinfo.Fprintln(os.Stdout, tool)
+		os.Exit(0)
+	}
+}

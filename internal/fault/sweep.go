@@ -1,10 +1,13 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -206,6 +209,10 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Stage-label the trial worker so CPU profiles split sweep
+			// time from the evaluator shards it drives (stage=eval).
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("stage", "sweep", "worker", strconv.Itoa(w))))
 			ev := hsgraph.NewEvaluator(evWorkers)
 			defer ev.Close()
 			for {

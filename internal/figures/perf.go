@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+// PerfTrajectory builds the repository's performance-history figure from
+// a set of BENCH_*.json reports (the trajectory cmd/orpbench maintains at
+// the repo root). Reports are ordered by their CreatedAt stamp (path as
+// a tie-break); each workload becomes one series of median wall times
+// normalized to its value in the oldest report, so regressions read as
+// y > 1 and optimizations as y < 1 on a shared axis. Workloads absent
+// from the oldest report are normalized to their first appearance.
+func PerfTrajectory(paths []string) (Figure, error) {
+	if len(paths) == 0 {
+		return Figure{}, fmt.Errorf("figures: no bench reports to plot")
+	}
+	type rep struct {
+		path string
+		r    *perf.Report
+	}
+	reps := make([]rep, 0, len(paths))
+	for _, p := range paths {
+		r, err := perf.ReadReportFile(p)
+		if err != nil {
+			return Figure{}, err
+		}
+		reps = append(reps, rep{p, r})
+	}
+	sort.Slice(reps, func(i, j int) bool {
+		if reps[i].r.CreatedAt != reps[j].r.CreatedAt {
+			return reps[i].r.CreatedAt < reps[j].r.CreatedAt
+		}
+		return reps[i].path < reps[j].path
+	})
+
+	base := map[string]float64{} // workload -> first-seen median
+	series := map[string]*Series{}
+	var order []string
+	for i, rp := range reps {
+		for _, w := range rp.r.Workloads {
+			if _, ok := base[w.Name]; !ok {
+				base[w.Name] = w.MedianNs
+				series[w.Name] = &Series{Label: w.Name}
+				order = append(order, w.Name)
+			}
+			s := series[w.Name]
+			s.Points = append(s.Points, Point{X: float64(i), Y: w.MedianNs / base[w.Name]})
+		}
+	}
+
+	f := Figure{
+		ID:     "perf",
+		Title:  "performance trajectory (median wall time, normalized to first report)",
+		XLabel: "report (chronological)",
+		YLabel: "median / first median",
+	}
+	for _, name := range order {
+		f.Series = append(f.Series, *series[name])
+	}
+	return f, nil
+}

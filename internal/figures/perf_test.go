@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// benchReport fabricates a valid bench report with the given workload
+// medians and a creation stamp that fixes chronological order.
+func benchReport(t *testing.T, path, createdAt string, medians map[string]float64) {
+	t.Helper()
+	r := perf.NewReport(false)
+	r.CreatedAt = createdAt
+	// Deterministic name order so series order is stable.
+	names := make([]string, 0, len(medians))
+	for n := range medians {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		med := medians[name]
+		samples := []float64{med, med * 0.98, med * 1.02}
+		m, mad := perf.MedianMAD(samples)
+		r.Workloads = append(r.Workloads, perf.WorkloadResult{
+			Name: name, Family: "eval", Warmup: 1, Reps: len(samples),
+			SamplesNs: samples, MedianNs: m, MADNs: mad,
+		})
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	older := filepath.Join(dir, "BENCH_1.json")
+	newer := filepath.Join(dir, "BENCH_2.json")
+	benchReport(t, older, "2026-01-01T00:00:00Z", map[string]float64{"eval/a": 100, "eval/b": 200})
+	// Pass the newer report first to prove ordering comes from
+	// CreatedAt, not argument order; eval/c appears only in the newer
+	// report and must be normalized to its own first appearance.
+	benchReport(t, newer, "2026-02-01T00:00:00Z", map[string]float64{"eval/a": 150, "eval/b": 200, "eval/c": 50})
+
+	f, err := PerfTrajectory([]string{newer, older})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("got %d series, want 3: %+v", len(f.Series), f.Series)
+	}
+	bySeries := map[string][]Point{}
+	for _, s := range f.Series {
+		bySeries[s.Label] = s.Points
+	}
+	a := bySeries["eval/a"]
+	if len(a) != 2 || a[0].Y != 1 || a[1].Y != 1.5 {
+		t.Fatalf("eval/a trajectory = %+v, want [1, 1.5]", a)
+	}
+	if b := bySeries["eval/b"]; len(b) != 2 || b[1].Y != 1 {
+		t.Fatalf("eval/b trajectory = %+v, want flat at 1", b)
+	}
+	c := bySeries["eval/c"]
+	if len(c) != 1 || c[0].X != 1 || c[0].Y != 1 {
+		t.Fatalf("eval/c trajectory = %+v, want single point (1, 1)", c)
+	}
+
+	if _, err := PerfTrajectory(nil); err == nil {
+		t.Fatal("PerfTrajectory accepted an empty report set")
+	}
+	if _, err := PerfTrajectory([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("PerfTrajectory accepted a missing file")
+	}
+}

@@ -1,7 +1,10 @@
 package hsgraph
 
 import (
+	"context"
 	"math/bits"
+	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -74,7 +77,14 @@ func NewEvaluator(workers int) *Evaluator {
 		e.wake = make(chan struct{}, workers-1)
 		e.done = make(chan struct{}, workers-1)
 		for i := 1; i < workers; i++ {
-			go e.worker(i)
+			go func(i int) {
+				// Label the pool goroutine so CPU profiles (orpbench
+				// -profile-dir, the -metrics-addr /debug/pprof endpoint)
+				// attribute shard time to the evaluation stage per worker.
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("stage", "eval", "worker", strconv.Itoa(i))))
+				e.worker(i)
+			}(i)
 		}
 	}
 	return e

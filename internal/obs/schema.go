@@ -1,5 +1,7 @@
 package obs
 
+import "repro/internal/buildinfo"
+
 // The stable event schema. Every long-running engine emits Events through
 // a Sink; consumers (cmd/orptrace, dashboards, regression tooling) parse
 // JSONL files of these records. The contract:
@@ -52,7 +54,29 @@ type Event struct {
 	S    map[string]string  `json:"s,omitempty"`
 }
 
-// Header returns the file-leading header event.
+// Header returns the file-leading header event. Beyond the schema
+// version it stamps the build identity of the emitting process (module,
+// Go toolchain, VCS revision when recorded), so an archived JSONL stream
+// names the exact build that produced it. Consumers must tolerate the
+// string fields being absent: test binaries and bare `go run` builds
+// carry no VCS stamps.
 func Header() Event {
-	return Event{Kind: KindHeader, F: map[string]float64{"version": SchemaVersion}}
+	bi := buildinfo.Get()
+	s := map[string]string{}
+	if bi.Module != "" {
+		s["module"] = bi.Module
+	}
+	if bi.GoVersion != "" {
+		s["go"] = bi.GoVersion
+	}
+	if bi.Revision != "" {
+		s["revision"] = bi.Revision
+		if bi.Dirty {
+			s["dirty"] = "true"
+		}
+	}
+	if len(s) == 0 {
+		s = nil
+	}
+	return Event{Kind: KindHeader, F: map[string]float64{"version": SchemaVersion}, S: s}
 }

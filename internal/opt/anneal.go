@@ -1,11 +1,14 @@
 package opt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -459,15 +462,15 @@ func (t *telemetry) sample(o *Options, res *Result, iter int, temp float64, curr
 			rate = float64(iter-t.lastIter) / dt
 		}
 		o.Observer.ObserveAnneal(AnnealSample{
-			Restart:    o.restart,
-			Iter:       iter,
-			Iterations: o.Iterations,
-			Temp:       temp,
-			Current:    current,
-			Best:       best,
-			Accepted:   res.Accepted,
-			Proposed:   res.Proposed,
-			Moves:      res.Moves,
+			Restart:     o.restart,
+			Iter:        iter,
+			Iterations:  o.Iterations,
+			Temp:        temp,
+			Current:     current,
+			Best:        best,
+			Accepted:    res.Accepted,
+			Proposed:    res.Proposed,
+			Moves:       res.Moves,
 			MovesPerSec: rate,
 			Elapsed:     now.Sub(t.start).Seconds(),
 		})
@@ -553,6 +556,11 @@ func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Gra
 	done := make(chan int)
 	for i := 0; i < restarts; i++ {
 		go func(i int) {
+			// Stage-label the restart goroutine (and, by inheritance,
+			// everything it spawns except the evaluator pool, which
+			// re-labels itself stage=eval) for per-stage CPU profiles.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("stage", "anneal", "worker", strconv.Itoa(i))))
 			oi := o
 			oi.Seed = o.Seed + uint64(i)*0x9e3779b97f4a7c15
 			oi.OnProgress = nil

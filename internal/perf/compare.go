@@ -1,0 +1,171 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompareOptions tunes the regression gate. The zero value selects the
+// defaults.
+type CompareOptions struct {
+	// MinRel is the floor on the relative regression threshold
+	// (default 0.10): even a perfectly quiet workload must slow down by
+	// at least this fraction before the gate fires, because sub-10%
+	// medians-of-a-dozen-reps shifts are routinely machine state, not
+	// code.
+	MinRel float64
+	// MADScale converts measured noise into threshold (default 6): the
+	// threshold is MADScale times the worse of the two runs' relative
+	// MADs. For near-normal noise MAD is about 0.67 sigma, so 6 MADs is
+	// about a 4-sigma gate per workload.
+	MADScale float64
+	// Scale relaxes (or tightens) every threshold multiplicatively
+	// (default 1). CI on shared runners compares with Scale > 1.
+	Scale float64
+}
+
+func (o *CompareOptions) defaults() {
+	if o.MinRel == 0 {
+		o.MinRel = 0.10
+	}
+	if o.MADScale == 0 {
+		o.MADScale = 6
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+}
+
+// Delta is the comparison of one workload across two reports.
+type Delta struct {
+	Name        string  `json:"name"`
+	OldMedianNs float64 `json:"oldMedianNs"`
+	NewMedianNs float64 `json:"newMedianNs"`
+	// Ratio is new/old median wall time (> 1 means slower).
+	Ratio float64 `json:"ratio"`
+	// Threshold is the relative change this workload had to exceed for
+	// a verdict, after noise scaling.
+	Threshold   float64 `json:"threshold"`
+	Regression  bool    `json:"regression,omitempty"`
+	Improvement bool    `json:"improvement,omitempty"`
+}
+
+// CompareResult is the full outcome of comparing two reports.
+type CompareResult struct {
+	Deltas []Delta `json:"deltas"`
+	// MissingInNew lists baseline workloads absent from the new report
+	// (a silently dropped workload must not look like a pass);
+	// MissingInOld lists new workloads with no baseline yet.
+	MissingInNew []string `json:"missingInNew,omitempty"`
+	MissingInOld []string `json:"missingInOld,omitempty"`
+	Regressions  int      `json:"regressions"`
+	Improvements int      `json:"improvements"`
+	// MachineMismatch notes that the two reports carry different
+	// machine fingerprints; thresholds do not account for cross-machine
+	// variance.
+	MachineMismatch bool `json:"machineMismatch,omitempty"`
+}
+
+// Compare evaluates new against the old baseline workload by workload.
+// Workloads are matched by name; each gets a noise-aware threshold
+// derived from its own measured MAD in both runs.
+func Compare(old, new *Report, o CompareOptions) (*CompareResult, error) {
+	o.defaults()
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("perf: cannot compare schema %d against %d", old.Schema, new.Schema)
+	}
+	res := &CompareResult{
+		MachineMismatch: old.Machine.CPU != new.Machine.CPU ||
+			old.Machine.GOMAXPROCS != new.Machine.GOMAXPROCS ||
+			old.Machine.GOARCH != new.Machine.GOARCH,
+	}
+	newByName := map[string]WorkloadResult{}
+	for _, w := range new.Workloads {
+		newByName[w.Name] = w
+	}
+	oldSeen := map[string]bool{}
+	for _, ow := range old.Workloads {
+		oldSeen[ow.Name] = true
+		nw, ok := newByName[ow.Name]
+		if !ok {
+			res.MissingInNew = append(res.MissingInNew, ow.Name)
+			continue
+		}
+		d := Delta{
+			Name:        ow.Name,
+			OldMedianNs: ow.MedianNs,
+			NewMedianNs: nw.MedianNs,
+			Ratio:       nw.MedianNs / ow.MedianNs,
+			Threshold:   threshold(ow, nw, o),
+		}
+		if d.Ratio-1 > d.Threshold {
+			d.Regression = true
+			res.Regressions++
+		} else if 1-d.Ratio > d.Threshold {
+			d.Improvement = true
+			res.Improvements++
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	for _, nw := range new.Workloads {
+		if !oldSeen[nw.Name] {
+			res.MissingInOld = append(res.MissingInOld, nw.Name)
+		}
+	}
+	return res, nil
+}
+
+// threshold derives the per-workload relative threshold: the configured
+// floor, raised by the measured noise of whichever run was noisier.
+func threshold(old, new WorkloadResult, o CompareOptions) float64 {
+	noise := old.MADNs / old.MedianNs
+	if n := new.MADNs / new.MedianNs; n > noise {
+		noise = n
+	}
+	t := o.MADScale * noise
+	if t < o.MinRel {
+		t = o.MinRel
+	}
+	return t * o.Scale
+}
+
+// Format renders the comparison as an aligned text table, regressions
+// first, and returns the number of bytes written errors aside.
+func (r *CompareResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %12s %12s %8s %9s  %s\n", "workload", "old", "new", "ratio", "threshold", "verdict")
+	write := func(d Delta, verdict string) {
+		fmt.Fprintf(w, "%-44s %12s %12s %8.3f %8.1f%%  %s\n",
+			d.Name, fmtNs(d.OldMedianNs), fmtNs(d.NewMedianNs), d.Ratio, 100*d.Threshold, verdict)
+	}
+	for _, d := range r.Deltas {
+		if d.Regression {
+			write(d, "REGRESSION")
+		}
+	}
+	for _, d := range r.Deltas {
+		if d.Improvement {
+			write(d, "improvement")
+		}
+	}
+	for _, d := range r.Deltas {
+		if !d.Regression && !d.Improvement {
+			write(d, "ok")
+		}
+	}
+	for _, name := range r.MissingInNew {
+		fmt.Fprintf(w, "%-44s missing from new report (baseline workload dropped)\n", name)
+	}
+	for _, name := range r.MissingInOld {
+		fmt.Fprintf(w, "%-44s new workload (no baseline yet)\n", name)
+	}
+	if r.MachineMismatch {
+		fmt.Fprintln(w, "warning: reports were measured on different machine fingerprints; treat verdicts as advisory")
+	}
+}
+
+// Gate reports whether the comparison should fail a CI gate: any
+// regression, or any baseline workload silently missing from the new
+// report.
+func (r *CompareResult) Gate() bool {
+	return r.Regressions > 0 || len(r.MissingInNew) > 0
+}

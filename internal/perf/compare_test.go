@@ -1,0 +1,238 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// synthSamples builds a deterministic 11-sample distribution with exact
+// median med+shift and exact MAD mad: offsets are symmetric around zero
+// and chosen so the median absolute deviation lands on the 1.0*mad entry.
+func synthSamples(med, mad, shift float64) []float64 {
+	offs := []float64{0, 0.4, -0.4, 0.7, -0.7, 1.0, -1.0, 1.6, -1.6, 2.2, -2.2}
+	xs := make([]float64, len(offs))
+	for i, o := range offs {
+		xs[i] = med + o*mad + shift
+	}
+	return xs
+}
+
+type synthSpec struct {
+	name   string
+	med    float64 // median wall time, ns
+	relMAD float64 // MAD as a fraction of the median
+	shift  float64 // absolute shift applied to every sample, ns
+	scale  float64 // multiplicative slowdown applied to every sample (0 = 1)
+}
+
+// synthReport assembles a valid Report from synthetic distributions.
+func synthReport(specs []synthSpec) *Report {
+	r := NewReport(false)
+	for _, s := range specs {
+		scale := s.scale
+		if scale == 0 {
+			scale = 1
+		}
+		samples := synthSamples(s.med, s.relMAD*s.med, s.shift)
+		for i := range samples {
+			samples[i] *= scale
+		}
+		med, mad := MedianMAD(samples)
+		r.Workloads = append(r.Workloads, WorkloadResult{
+			Name: s.name, Family: "eval", Unit: "pairs",
+			Warmup: 2, Reps: len(samples), SamplesNs: samples,
+			MedianNs: med, MADNs: mad, ItemsPerOp: 1, Throughput: 1,
+		})
+	}
+	return r
+}
+
+func TestSynthSamplesHaveRequestedStats(t *testing.T) {
+	med, mad := MedianMAD(synthSamples(1e6, 2e4, 0))
+	if med != 1e6 || mad != 2e4 {
+		t.Fatalf("synthetic distribution: got median %v MAD %v, want 1e6 / 2e4", med, mad)
+	}
+}
+
+// TestCompareNoFalsePositiveAtTwiceMADJitter: a median shift of twice
+// the measured MAD — heavy but entirely plausible run-to-run jitter —
+// must never trip the gate, at any noise level. This holds by
+// construction (the threshold is MADScale=6 MADs with a MinRel=0.10
+// floor, and 2 < 6), and this test pins that guarantee.
+func TestCompareNoFalsePositiveAtTwiceMADJitter(t *testing.T) {
+	for _, relMAD := range []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.15, 0.40} {
+		old := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: relMAD}})
+		new := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: relMAD, shift: 2 * relMAD * 1e6}})
+		res, err := Compare(old, new, CompareOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regressions != 0 || res.Gate() {
+			t.Errorf("relMAD %.3f: +2*MAD jitter flagged as regression: %+v", relMAD, res.Deltas)
+		}
+	}
+}
+
+// TestCompareDetectsTwentyPercentSlowdown: a uniform 20% slowdown must
+// fire the gate for every workload quiet enough that its noise threshold
+// sits below 20% (relative MAD under (0.20 - epsilon)/MADScale ~ 3.3%) —
+// which covers every steady workload in the registry.
+func TestCompareDetectsTwentyPercentSlowdown(t *testing.T) {
+	for _, relMAD := range []float64{0, 0.005, 0.01, 0.02, 0.03} {
+		old := synthReport([]synthSpec{{name: "w", med: 5e7, relMAD: relMAD}})
+		new := synthReport([]synthSpec{{name: "w", med: 5e7, relMAD: relMAD, scale: 1.20}})
+		res, err := Compare(old, new, CompareOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regressions != 1 || !res.Gate() {
+			t.Errorf("relMAD %.3f: 20%% slowdown not flagged (deltas %+v)", relMAD, res.Deltas)
+		}
+		if d := res.Deltas[0]; !d.Regression || d.Ratio < 1.19 || d.Ratio > 1.21 {
+			t.Errorf("relMAD %.3f: delta %+v, want regression at ratio ~1.20", relMAD, d)
+		}
+	}
+}
+
+// TestCompareImprovementIsNotARegression: a 30% speedup is reported as
+// an improvement and does not gate.
+func TestCompareImprovementIsNotARegression(t *testing.T) {
+	old := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01}})
+	new := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01, scale: 0.70}})
+	res, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improvements != 1 || res.Regressions != 0 || res.Gate() {
+		t.Fatalf("70%% runtime: got %+v, want one improvement, no gate", res)
+	}
+}
+
+// TestCompareThresholdUsesNoisierRun: the per-workload threshold is
+// derived from whichever of the two runs measured more noise, so a quiet
+// baseline cannot make a noisy new run look like a regression.
+func TestCompareThresholdUsesNoisierRun(t *testing.T) {
+	old := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.002}})
+	new := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.08, shift: 0.15e6}})
+	res, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Deltas[0]
+	// The new run's relative MAD is 0.08e6 / 1.15e6 ~ 7%, so the noise
+	// term (6 MADs ~ 0.42) dominates the quiet baseline's.
+	if d.Threshold < 0.40 {
+		t.Fatalf("threshold %.3f did not scale with the noisier run's MAD", d.Threshold)
+	}
+	if d.Regression {
+		t.Fatalf("15%% shift inside a noisy run flagged as regression: %+v", d)
+	}
+}
+
+// TestCompareScaleRelaxesThresholds: CI compares with Scale > 1; a 20%
+// slowdown that gates at Scale 1 passes at Scale 2.5.
+func TestCompareScaleRelaxesThresholds(t *testing.T) {
+	old := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01}})
+	new := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01, scale: 1.20}})
+	strict, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Compare(old, new, CompareOptions{Scale: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strict.Gate() || relaxed.Gate() {
+		t.Fatalf("scale relaxation: strict gate %v, relaxed gate %v; want true/false", strict.Gate(), relaxed.Gate())
+	}
+}
+
+// TestCompareMissingWorkloads: a baseline workload silently dropped from
+// the new report gates (a deleted benchmark must not read as a pass);
+// a brand-new workload is reported but does not gate.
+func TestCompareMissingWorkloads(t *testing.T) {
+	old := synthReport([]synthSpec{{name: "a", med: 1e6, relMAD: 0.01}, {name: "b", med: 1e6, relMAD: 0.01}})
+	new := synthReport([]synthSpec{{name: "b", med: 1e6, relMAD: 0.01}, {name: "c", med: 1e6, relMAD: 0.01}})
+	res, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "a" {
+		t.Fatalf("MissingInNew = %v, want [a]", res.MissingInNew)
+	}
+	if len(res.MissingInOld) != 1 || res.MissingInOld[0] != "c" {
+		t.Fatalf("MissingInOld = %v, want [c]", res.MissingInOld)
+	}
+	if !res.Gate() {
+		t.Fatal("dropped baseline workload did not gate")
+	}
+
+	onlyNew := synthReport([]synthSpec{{name: "a", med: 1e6, relMAD: 0.01}, {name: "b", med: 1e6, relMAD: 0.01}, {name: "c", med: 1e6, relMAD: 0.01}})
+	res, err = Compare(old, onlyNew, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gate() {
+		t.Fatal("new workload without baseline gated")
+	}
+}
+
+// TestCompareSchemaMismatch: reports from different schema versions
+// refuse to compare rather than produce quietly wrong verdicts.
+func TestCompareSchemaMismatch(t *testing.T) {
+	old := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01}})
+	new := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01}})
+	new.Schema = ReportSchemaVersion + 1
+	if _, err := Compare(old, new, CompareOptions{}); err == nil {
+		t.Fatal("schema mismatch did not error")
+	}
+}
+
+// TestCompareMachineMismatchWarns: different machine fingerprints set
+// the advisory flag without changing verdicts.
+func TestCompareMachineMismatchWarns(t *testing.T) {
+	old := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01}})
+	new := synthReport([]synthSpec{{name: "w", med: 1e6, relMAD: 0.01}})
+	new.Machine.CPU = old.Machine.CPU + " (different)"
+	res, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MachineMismatch {
+		t.Fatal("machine fingerprint mismatch not flagged")
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "different machine fingerprints") {
+		t.Fatalf("Format output missing machine warning:\n%s", buf.String())
+	}
+}
+
+// TestCompareFormat renders the table and spells out verdicts.
+func TestCompareFormat(t *testing.T) {
+	old := synthReport([]synthSpec{
+		{name: "slow", med: 1e6, relMAD: 0.01},
+		{name: "steady", med: 1e6, relMAD: 0.01},
+	})
+	new := synthReport([]synthSpec{
+		{name: "slow", med: 1e6, relMAD: 0.01, scale: 1.5},
+		{name: "steady", med: 1e6, relMAD: 0.01},
+	})
+	res, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "slow", "steady", "ok", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	// Regressions print first so a truncated CI log still shows them.
+	if strings.Index(out, "slow") > strings.Index(out, "steady") {
+		t.Fatalf("regression row not sorted first:\n%s", out)
+	}
+}

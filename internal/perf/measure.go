@@ -1,0 +1,230 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RunOptions drives a measurement pass over workloads.
+type RunOptions struct {
+	// Warmup repetitions run before any sample is taken (default 2;
+	// short mode 1). They populate scratch buffers, page in code and
+	// let the scheduler settle.
+	Warmup int
+	// Reps is the number of timed repetitions per workload (default 12;
+	// short mode 6). Medians over Reps samples drive the comparator.
+	Reps int
+	// Short selects the reduced repetition counts and marks the report.
+	Short bool
+	// ProfileDir, when non-empty, captures a CPU profile of the timed
+	// repetitions and a heap profile after them into
+	// <dir>/<workload>.cpu.pprof and <dir>/<workload>.heap.pprof.
+	// Samples carry pprof labels (workload, stage) so profiles remain
+	// attributable when workers share code paths.
+	ProfileDir string
+	// Log, when non-nil, receives one progress line per workload.
+	Log io.Writer
+}
+
+func (o *RunOptions) defaults() {
+	if o.Warmup <= 0 {
+		o.Warmup = 2
+		if o.Short {
+			o.Warmup = 1
+		}
+	}
+	if o.Reps <= 0 {
+		o.Reps = 12
+		if o.Short {
+			o.Reps = 6
+		}
+	}
+}
+
+// RunWorkloads measures every workload in ws and assembles the report.
+func RunWorkloads(ws []Workload, o RunOptions) (*Report, error) {
+	o.defaults()
+	rep := NewReport(o.Short)
+	for _, w := range ws {
+		res, err := RunWorkload(w, o)
+		if err != nil {
+			return nil, fmt.Errorf("perf: workload %s: %w", w.Name, err)
+		}
+		rep.Workloads = append(rep.Workloads, res)
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "%-40s %12s ±%7s  %10.3g %s/s  %8.1f allocs/op\n",
+				w.Name, fmtNs(res.MedianNs), fmtNs(res.MADNs), res.Throughput, res.Unit, res.AllocsPerOp)
+		}
+	}
+	return rep, nil
+}
+
+// RunWorkload measures one workload: Setup, Warmup unrecorded reps, then
+// Reps timed reps with allocation accounting around the whole timed
+// block. With a ProfileDir the timed block runs under a CPU profile and
+// pprof labels.
+func RunWorkload(w Workload, o RunOptions) (WorkloadResult, error) {
+	o.defaults()
+	inst, err := w.Setup(Config{Short: o.Short})
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	defer inst.close()
+
+	for i := 0; i < o.Warmup; i++ {
+		if _, err := inst.Run(); err != nil {
+			return WorkloadResult{}, fmt.Errorf("warmup rep %d: %w", i, err)
+		}
+	}
+
+	res := WorkloadResult{
+		Name:   w.Name,
+		Family: w.Family,
+		Unit:   w.Unit,
+		Warmup: o.Warmup,
+		Reps:   o.Reps,
+	}
+
+	var stopProfile func() error
+	if o.ProfileDir != "" {
+		stopProfile, err = startCPUProfile(o.ProfileDir, w.Name)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+	}
+
+	samples := make([]float64, 0, o.Reps)
+	var items float64
+	var runErr error
+	// GC barrier: without it, the heap state earlier workloads leave
+	// behind decides how much collector work lands inside this timed
+	// block, and fast allocation-heavy workloads (ckpt) measure 2-3x
+	// apart across otherwise identical runs. Starting every workload
+	// from a collected heap is what makes back-to-back reports
+	// comparable.
+	runtime.GC()
+	// The labels cover the timed repetitions, so every CPU sample taken
+	// inside the workload body (including its worker goroutines, which
+	// inherit or set their own stage labels) is attributable.
+	pprof.Do(context.Background(), pprof.Labels("workload", w.Name, "stage", w.Family), func(context.Context) {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < o.Reps; i++ {
+			t0 := time.Now()
+			it, err := inst.Run()
+			dt := time.Since(t0)
+			if err != nil {
+				runErr = fmt.Errorf("rep %d: %w", i, err)
+				return
+			}
+			items = it
+			samples = append(samples, float64(dt.Nanoseconds()))
+		}
+		runtime.ReadMemStats(&m1)
+		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(o.Reps)
+		res.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(o.Reps)
+	})
+	if stopProfile != nil {
+		if err := stopProfile(); err != nil {
+			return WorkloadResult{}, err
+		}
+		if err := writeHeapProfile(o.ProfileDir, w.Name); err != nil {
+			return WorkloadResult{}, err
+		}
+	}
+	if runErr != nil {
+		return WorkloadResult{}, runErr
+	}
+
+	res.SamplesNs = samples
+	res.MedianNs, res.MADNs = MedianMAD(samples)
+	res.ItemsPerOp = items
+	if res.MedianNs > 0 {
+		res.Throughput = items / (res.MedianNs / 1e9)
+	}
+	return res, nil
+}
+
+// startCPUProfile begins a CPU profile into dir/<name>.cpu.pprof and
+// returns the stop-and-close function.
+func startCPUProfile(dir, name string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, profileFileName(name)+".cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// writeHeapProfile snapshots the live heap after a workload's timed reps.
+func writeHeapProfile(dir, name string) error {
+	f, err := os.Create(filepath.Join(dir, profileFileName(name)+".heap.pprof"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the retained set before the snapshot
+	return pprof.Lookup("heap").WriteTo(f, 0)
+}
+
+// profileFileName flattens a workload name into a file-system-safe stem.
+func profileFileName(name string) string {
+	return strings.NewReplacer("/", "_", ",", "_", "=", "-").Replace(name)
+}
+
+// MedianMAD returns the median and the median absolute deviation of xs.
+// Empty input yields zeros.
+func MedianMAD(xs []float64) (median, mad float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	median = medianOf(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - median)
+	}
+	return median, medianOf(devs)
+}
+
+func medianOf(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// fmtNs renders nanoseconds with an adaptive unit for progress lines.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,148 @@
+// Package perf is the continuous performance-regression harness: a
+// registry of canonical in-process workloads covering every hot path of
+// the repository (h-ASPL evaluation, the SA move loop, NPB flow
+// simulation, fault Monte-Carlo sweeps, checkpoint codecs), a measurement
+// harness that runs each with warmup and repetitions and reports
+// median/MAD wall time plus allocation and domain-throughput figures, a
+// versioned JSON report schema (the BENCH_*.json trajectory at the repo
+// root), and a noise-aware comparator that CI gates on.
+//
+// The same workload bodies back both cmd/orpbench and the repository's
+// `go test -bench` benchmarks (see the root perf_bridge_test.go), so the
+// two measurement paths can never drift apart.
+package perf
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Workload is one canonical benchmark: a named, self-contained piece of
+// work whose single repetition is meaningful to time on its own.
+type Workload struct {
+	// Name identifies the workload across reports; it embeds every
+	// size parameter (e.g. "eval/sharded/n=1024,r=24") because the
+	// comparator matches workloads by name and a silent size change
+	// would corrupt the trajectory.
+	Name string
+	// Family is the coarse grouping: "eval", "anneal", "simnet",
+	// "fault" or "ckpt". It becomes the pprof `stage` label of profiled
+	// runs.
+	Family string
+	// Doc is a one-line description for -list.
+	Doc string
+	// Unit names the domain items one repetition processes ("pairs",
+	// "moves", "flows", "trials", "bytes"); throughput is reported as
+	// Unit per second.
+	Unit string
+	// Setup builds the workload instance. All expensive one-time work
+	// (graph construction, reference results) happens here, outside the
+	// timed region.
+	Setup func(cfg Config) (*Instance, error)
+}
+
+// Config tunes a workload instance. Short reduces repetition counts in
+// the harness but never the per-repetition work: a short-mode sample is
+// noisier, not smaller, so short CI runs stay comparable against a
+// full-mode baseline.
+type Config struct {
+	Short bool
+}
+
+// Instance is a set-up workload ready to run repetitions.
+type Instance struct {
+	// Run performs one repetition and returns the number of domain
+	// items (Workload.Unit) it processed. It must do the same work on
+	// every call.
+	Run func() (items float64, err error)
+	// Close releases instance resources (worker pools). May be nil.
+	Close func()
+}
+
+// close is the nil-safe Close.
+func (in *Instance) close() {
+	if in != nil && in.Close != nil {
+		in.Close()
+	}
+}
+
+var (
+	registry []Workload
+	byName   = map[string]int{}
+)
+
+// Register adds a workload to the global registry. Duplicate names and
+// unknown families are programming errors and panic at init time.
+func Register(w Workload) {
+	if w.Name == "" || w.Setup == nil {
+		panic("perf: workload needs a name and a setup")
+	}
+	switch w.Family {
+	case "eval", "anneal", "simnet", "fault", "ckpt":
+	default:
+		panic(fmt.Sprintf("perf: workload %q has unknown family %q", w.Name, w.Family))
+	}
+	if _, dup := byName[w.Name]; dup {
+		panic(fmt.Sprintf("perf: duplicate workload %q", w.Name))
+	}
+	byName[w.Name] = len(registry)
+	registry = append(registry, w)
+}
+
+// Workloads returns the registered workloads in registration order.
+func Workloads() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the workload registered under name, or nil.
+func Lookup(name string) *Workload {
+	i, ok := byName[name]
+	if !ok {
+		return nil
+	}
+	w := registry[i]
+	return &w
+}
+
+// Names returns the registered workload names with the given prefix
+// (all names when prefix is empty), in registration order.
+func Names(prefix string) []string {
+	var out []string
+	for _, w := range registry {
+		if strings.HasPrefix(w.Name, prefix) {
+			out = append(out, w.Name)
+		}
+	}
+	return out
+}
+
+// Match returns the workloads whose names match re (all when re is nil),
+// in registration order.
+func Match(re *regexp.Regexp) []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if re == nil || re.MatchString(w.Name) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Families returns the sorted set of families present in the workload
+// results.
+func Families(results []WorkloadResult) []string {
+	set := map[string]bool{}
+	for _, r := range results {
+		set[r.Family] = true
+	}
+	fams := make([]string, 0, len(set))
+	for f := range set {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	return fams
+}

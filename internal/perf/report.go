@@ -1,0 +1,219 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+)
+
+// ReportSchemaVersion is bumped whenever an existing report field changes
+// meaning (never for additions); the comparator refuses to mix versions.
+const ReportSchemaVersion = 1
+
+// ReportKind tags the JSON document so a BENCH_*.json file is
+// self-identifying.
+const ReportKind = "orp.bench"
+
+// Report is one full measurement pass: machine and build fingerprints
+// plus per-workload results. It is the unit of the BENCH_*.json
+// trajectory at the repository root.
+type Report struct {
+	Schema    int    `json:"schema"`
+	Kind      string `json:"kind"`
+	CreatedAt string `json:"createdAt"` // RFC3339, wall clock of the run
+	// Short marks reduced-repetition runs (CI smoke); comparisons
+	// against a full-mode baseline remain valid because short mode
+	// never shrinks the per-repetition work.
+	Short bool `json:"short,omitempty"`
+
+	Machine   Machine          `json:"machine"`
+	Build     buildinfo.Info   `json:"build"`
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+// Machine fingerprints the hardware and runtime configuration a report
+// was measured on. Reports from different fingerprints are comparable
+// only with care; the comparator prints a warning.
+type Machine struct {
+	CPU        string `json:"cpu,omitempty"` // e.g. /proc/cpuinfo model name
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// WorkloadResult is one workload's measurement: raw samples plus the
+// derived statistics the comparator consumes.
+type WorkloadResult struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Unit   string `json:"unit,omitempty"`
+	Warmup int    `json:"warmup"`
+	Reps   int    `json:"reps"`
+
+	// SamplesNs are the per-repetition wall times in nanoseconds, in
+	// run order (kept raw so future tooling can re-derive statistics).
+	SamplesNs []float64 `json:"samplesNs"`
+	// MedianNs/MADNs summarize SamplesNs robustly: the median ignores
+	// scheduler spikes, the MAD measures the run's own noise level and
+	// scales the comparator's threshold.
+	MedianNs float64 `json:"medianNs"`
+	MADNs    float64 `json:"madNs"`
+
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+
+	// ItemsPerOp is the domain work of one repetition (Unit items);
+	// Throughput is ItemsPerOp at the median rate, in Unit/s.
+	ItemsPerOp float64 `json:"itemsPerOp,omitempty"`
+	Throughput float64 `json:"throughput,omitempty"`
+}
+
+// NewReport returns an empty report stamped with the current machine and
+// build fingerprints.
+func NewReport(short bool) *Report {
+	return &Report{
+		Schema:    ReportSchemaVersion,
+		Kind:      ReportKind,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Short:     short,
+		Machine: Machine{
+			CPU:        cpuModel(),
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+		},
+		Build: buildinfo.Get(),
+	}
+}
+
+// Validate checks the structural invariants a trajectory file must hold:
+// the schema version, the kind tag, and per-workload consistency between
+// raw samples and derived statistics.
+func (r *Report) Validate() error {
+	if r.Kind != ReportKind {
+		return fmt.Errorf("perf: report kind %q, want %q", r.Kind, ReportKind)
+	}
+	if r.Schema != ReportSchemaVersion {
+		return fmt.Errorf("perf: report schema %d, this build reads %d", r.Schema, ReportSchemaVersion)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("perf: report has no workloads")
+	}
+	seen := map[string]bool{}
+	for _, w := range r.Workloads {
+		if w.Name == "" || w.Family == "" {
+			return fmt.Errorf("perf: workload with empty name or family")
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("perf: duplicate workload %q in report", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Reps <= 0 || len(w.SamplesNs) != w.Reps {
+			return fmt.Errorf("perf: workload %s: %d samples for %d reps", w.Name, len(w.SamplesNs), w.Reps)
+		}
+		if w.MedianNs <= 0 {
+			return fmt.Errorf("perf: workload %s: non-positive median %v", w.Name, w.MedianNs)
+		}
+		for i, s := range w.SamplesNs {
+			if s <= 0 {
+				return fmt.Errorf("perf: workload %s: non-positive sample %d", w.Name, i)
+			}
+		}
+		if med, mad := MedianMAD(w.SamplesNs); !closeTo(med, w.MedianNs) || !closeTo(mad, w.MADNs) {
+			return fmt.Errorf("perf: workload %s: stored median/MAD (%v/%v) disagree with samples (%v/%v)",
+				w.Name, w.MedianNs, w.MADNs, med, mad)
+		}
+	}
+	return nil
+}
+
+// closeTo tolerates the round-trip error of JSON float encoding.
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path via a buffered writer.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := r.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses and validates a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadReportFile reads, parses and validates the report at path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// cpuModel reads the CPU model name, best-effort (Linux /proc/cpuinfo;
+// empty elsewhere — the field is informational, not load-bearing).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

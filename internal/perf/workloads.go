@@ -1,0 +1,315 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/bounds"
+	"repro/internal/ckpt"
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+	"repro/internal/hsgraph"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// The canonical workload set. Sizes are fixed per workload (they are part
+// of the name and hence of the trajectory); short mode only reduces
+// repetition counts in the harness. Each family covers one subsystem the
+// ROADMAP treats as a hot path:
+//
+//	eval    serial vs bit-parallel vs sharded h-ASPL evaluation
+//	anneal  the SA move loop per move set, plus the observed variant
+//	simnet  NPB communication skeletons on the fluid simulator
+//	fault   Monte-Carlo degradation sweeps
+//	ckpt    snapshot encode/decode round trips
+func init() {
+	for _, c := range []struct{ n, r int }{{512, 12}, {1024, 24}} {
+		registerEval(c.n, c.r)
+	}
+	for _, moves := range []opt.MoveSet{opt.SwapOnly, opt.SwingOnly, opt.TwoNeighborSwing} {
+		registerAnneal(moves)
+	}
+	registerAnnealObserved()
+	registerAnnealSharded()
+	registerSimnet("CG")
+	registerSimnet("MG")
+	registerFaultSweep()
+	registerCkpt()
+}
+
+// evalGraph builds the deterministic evaluation input at m = m_opt.
+func evalGraph(n, r int) (*hsgraph.Graph, error) {
+	m, _ := bounds.OptimalSwitchCount(n, r, 0)
+	return hsgraph.RandomConnected(n, m, r, rng.New(1))
+}
+
+func registerEval(n, r int) {
+	pairs := float64(n) * float64(n-1) / 2
+	suffix := fmt.Sprintf("n=%d,r=%d", n, r)
+	Register(Workload{
+		Name:   "eval/serial/" + suffix,
+		Family: "eval",
+		Doc:    "h-ASPL via one plain BFS per host-bearing switch",
+		Unit:   "pairs",
+		Setup: func(Config) (*Instance, error) {
+			g, err := evalGraph(n, r)
+			if err != nil {
+				return nil, err
+			}
+			want := g.Evaluate().TotalPath
+			return &Instance{Run: func() (float64, error) {
+				if met := g.EvaluateSlow(); met.TotalPath != want {
+					return 0, fmt.Errorf("serial evaluation diverged: %d vs %d", met.TotalPath, want)
+				}
+				return pairs, nil
+			}}, nil
+		},
+	})
+	Register(Workload{
+		Name:   "eval/bitparallel/" + suffix,
+		Family: "eval",
+		Doc:    "h-ASPL via the 64-sources-per-word bit-parallel sweep",
+		Unit:   "pairs",
+		Setup: func(Config) (*Instance, error) {
+			g, err := evalGraph(n, r)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{Run: func() (float64, error) {
+				g.Evaluate()
+				return pairs, nil
+			}}, nil
+		},
+	})
+	Register(Workload{
+		Name:   "eval/sharded/" + suffix,
+		Family: "eval",
+		Doc:    "h-ASPL via the persistent sharded evaluator pool (GOMAXPROCS workers)",
+		Unit:   "pairs",
+		Setup: func(Config) (*Instance, error) {
+			g, err := evalGraph(n, r)
+			if err != nil {
+				return nil, err
+			}
+			want := g.Evaluate().TotalPath
+			ev := hsgraph.NewEvaluator(runtime.GOMAXPROCS(0))
+			return &Instance{
+				Run: func() (float64, error) {
+					if met := ev.Evaluate(g); met.TotalPath != want {
+						return 0, fmt.Errorf("sharded evaluation diverged: %d vs %d", met.TotalPath, want)
+					}
+					return pairs, nil
+				},
+				Close: ev.Close,
+			}, nil
+		},
+	})
+}
+
+// annealStart is the shared SA benchmark input (the obs-bench graph).
+func annealStart() (*hsgraph.Graph, error) {
+	return hsgraph.RandomConnected(96, 24, 8, rng.New(1))
+}
+
+const annealIters = 1000
+
+func annealInstance(o opt.Options) (*Instance, error) {
+	start, err := annealStart()
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Run: func() (float64, error) {
+		if _, _, err := opt.Anneal(start, o); err != nil {
+			return 0, err
+		}
+		return float64(o.Iterations), nil
+	}}, nil
+}
+
+func registerAnneal(moves opt.MoveSet) {
+	Register(Workload{
+		Name:   fmt.Sprintf("anneal/%s/n=96,iters=%d", moves, annealIters),
+		Family: "anneal",
+		Doc:    fmt.Sprintf("SA hot path, %s move set, serial evaluation", moves),
+		Unit:   "moves",
+		Setup: func(Config) (*Instance, error) {
+			return annealInstance(opt.Options{Iterations: annealIters, Moves: moves, Seed: 2})
+		},
+	})
+}
+
+// registerAnnealObserved pairs anneal/2-neighbor-swing with the full
+// telemetry observer, so the trajectory records the observer overhead the
+// obs layer promises to keep negligible.
+func registerAnnealObserved() {
+	Register(Workload{
+		Name:   fmt.Sprintf("anneal/observed/n=96,iters=%d", annealIters),
+		Family: "anneal",
+		Doc:    "SA hot path (2-neighbor-swing) with live obs gauges sampled every 250 iterations",
+		Unit:   "moves",
+		Setup: func(Config) (*Instance, error) {
+			reg := obs.NewRegistry()
+			return annealInstance(opt.Options{
+				Iterations:  annealIters,
+				Moves:       opt.TwoNeighborSwing,
+				Seed:        2,
+				ReportEvery: 250,
+				Observer:    cliutil.NewAnnealObserver(reg, nil, false),
+			})
+		},
+	})
+}
+
+// registerAnnealSharded exercises the anneal loop over the sharded
+// evaluator at a scale where sharding pays.
+func registerAnnealSharded() {
+	const n, r, iters = 512, 12, 300
+	Register(Workload{
+		Name:   fmt.Sprintf("anneal/sharded/n=%d,r=%d,iters=%d", n, r, iters),
+		Family: "anneal",
+		Doc:    "SA hot path with GOMAXPROCS evaluation shard workers",
+		Unit:   "moves",
+		Setup: func(Config) (*Instance, error) {
+			m, _ := bounds.OptimalSwitchCount(n, r, 0)
+			start, err := hsgraph.RandomConnected(n, m, r, rng.New(1))
+			if err != nil {
+				return nil, err
+			}
+			o := opt.Options{Iterations: iters, Seed: 2, Workers: runtime.GOMAXPROCS(0)}
+			return &Instance{Run: func() (float64, error) {
+				if _, _, err := opt.Anneal(start, o); err != nil {
+					return 0, err
+				}
+				return float64(iters), nil
+			}}, nil
+		},
+	})
+}
+
+func registerSimnet(bench string) {
+	const ranks = 32
+	Register(Workload{
+		Name:   fmt.Sprintf("simnet/npb/%s-S-%d", bench, ranks),
+		Family: "simnet",
+		Doc:    fmt.Sprintf("NPB %s class S on %d ranks over the fluid simulator", bench, ranks),
+		Unit:   "flows",
+		Setup: func(Config) (*Instance, error) {
+			g, err := hsgraph.RandomConnected(64, 16, 8, rng.New(7))
+			if err != nil {
+				return nil, err
+			}
+			nw, err := simnet.NewNetwork(g, simnet.Config{})
+			if err != nil {
+				return nil, err
+			}
+			spec, err := npb.New(bench, 'S', ranks)
+			if err != nil {
+				return nil, err
+			}
+			cfg := mpi.Config{FlopsPerHost: 100e9}
+			return &Instance{Run: func() (float64, error) {
+				stats, err := mpi.Run(nw, ranks, cfg, spec.Program())
+				if err != nil {
+					return 0, err
+				}
+				return float64(stats.FlowsCompleted), nil
+			}}, nil
+		},
+	})
+}
+
+func registerFaultSweep() {
+	Register(Workload{
+		Name:   "fault/sweep/links/n=128,trials=6",
+		Family: "fault",
+		Doc:    "Monte-Carlo link-failure sweep, 3 fractions x 6 trials, full worker pool",
+		Unit:   "trials",
+		Setup: func(Config) (*Instance, error) {
+			g, err := hsgraph.RandomConnected(128, 32, 10, rng.New(3))
+			if err != nil {
+				return nil, err
+			}
+			o := fault.SweepOptions{
+				Model:     fault.UniformLinks,
+				Fractions: []float64{0.02, 0.05, 0.10},
+				Trials:    6,
+				Seed:      3,
+			}
+			trials := float64(len(o.Fractions) * o.Trials)
+			return &Instance{Run: func() (float64, error) {
+				if _, err := fault.Sweep(g, o); err != nil {
+					return 0, err
+				}
+				return trials, nil
+			}}, nil
+		},
+	})
+}
+
+func registerCkpt() {
+	const n, r = 1024, 24
+	const kind = "orp.perf.graph"
+	// One snapshot runs in tens of microseconds, far below the GC cycle
+	// period, so single-op reps measure 2-3x apart depending on whether a
+	// collection happens to land inside them. Batching 32 round trips per
+	// rep stretches each rep across several GC cycles, which evens the
+	// collector's share out and makes the medians reproducible.
+	const batch = 32
+	suffix := fmt.Sprintf("n=%d,r=%d", n, r)
+	Register(Workload{
+		Name:   "ckpt/encode/" + suffix,
+		Family: "ckpt",
+		Doc:    "graph state snapshot: order-preserving marshal + sealed envelope (x32 per rep)",
+		Unit:   "bytes",
+		Setup: func(Config) (*Instance, error) {
+			g, err := evalGraph(n, r)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{Run: func() (float64, error) {
+				var total float64
+				for i := 0; i < batch; i++ {
+					sealed := ckpt.Seal(kind, g.MarshalState())
+					total += float64(len(sealed))
+				}
+				return total, nil
+			}}, nil
+		},
+	})
+	Register(Workload{
+		Name:   "ckpt/decode/" + suffix,
+		Family: "ckpt",
+		Doc:    "graph state snapshot: envelope verify + order-preserving unmarshal (x32 per rep)",
+		Unit:   "bytes",
+		Setup: func(Config) (*Instance, error) {
+			g, err := evalGraph(n, r)
+			if err != nil {
+				return nil, err
+			}
+			sealed := ckpt.Seal(kind, g.MarshalState())
+			bytes := float64(len(sealed))
+			return &Instance{Run: func() (float64, error) {
+				var total float64
+				for i := 0; i < batch; i++ {
+					k, payload, err := ckpt.Open(sealed)
+					if err != nil {
+						return 0, err
+					}
+					if k != kind {
+						return 0, fmt.Errorf("ckpt: kind %q", k)
+					}
+					if _, err := hsgraph.UnmarshalState(payload); err != nil {
+						return 0, err
+					}
+					total += bytes
+				}
+				return total, nil
+			}}, nil
+		},
+	})
+}

@@ -1,52 +1,21 @@
 package repro
 
-import (
-	"testing"
+import "testing"
 
-	"repro/internal/cliutil"
-	"repro/internal/hsgraph"
-	"repro/internal/obs"
-	"repro/internal/opt"
-	"repro/internal/rng"
-)
-
-// Telemetry overhead benchmarks: BenchmarkAnneal is the bare annealer,
-// BenchmarkAnnealObserved the same run sampled into live obs gauges every
-// ReportEvery iterations. The allocs/op delta between the two is the whole
-// observer cost (the nil-observer path is additionally guarded to be
-// alloc-free by opt's TestNilObserverZeroAllocDelta); EXPERIMENTS.md
-// records the measured ns/op overhead.
-
-func annealStart(b *testing.B) *hsgraph.Graph {
-	b.Helper()
-	start, err := hsgraph.RandomConnected(96, 24, 8, rng.New(1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	return start
-}
-
-func benchAnneal(b *testing.B, obsv opt.Observer) {
-	start := annealStart(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := opt.Anneal(start, opt.Options{
-			Iterations:  4000,
-			ReportEvery: 500,
-			Seed:        2,
-			Observer:    obsv,
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// Telemetry overhead benchmarks, shimmed onto the internal/perf workload
+// registry (perf_bridge_test.go): BenchmarkAnneal is the bare
+// 2-neighbor-swing annealer, BenchmarkAnnealObserved the same run sampled
+// into live obs gauges every 250 iterations. The ns/op and allocs/op
+// delta between the two is the whole observer cost (the nil-observer path
+// is additionally guarded to be alloc-free by opt's
+// TestNilObserverZeroAllocDelta); EXPERIMENTS.md records the measured
+// overhead, and the same pair is tracked release-over-release in the
+// BENCH_*.json trajectory.
 
 func BenchmarkAnneal(b *testing.B) {
-	benchAnneal(b, nil)
+	benchWorkload(b, "anneal/2-neighbor-swing/n=96,iters=1000")
 }
 
 func BenchmarkAnnealObserved(b *testing.B) {
-	reg := obs.NewRegistry()
-	benchAnneal(b, cliutil.NewAnnealObserver(reg, nil, false))
+	benchWorkload(b, "anneal/observed/n=96,iters=1000")
 }

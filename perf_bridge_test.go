@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// benchWorkload is the bridge between `go test -bench` and the
+// internal/perf workload registry: the benchmark loop drives the exact
+// workload body cmd/orpbench measures, so the two measurement paths can
+// never drift apart. Domain throughput is reported with the workload's
+// own unit (pairs/s, moves/s, flows/s, ...).
+func benchWorkload(b *testing.B, name string) {
+	b.Helper()
+	w := perf.Lookup(name)
+	if w == nil {
+		b.Fatalf("workload %q not registered in internal/perf", name)
+	}
+	inst, err := w.Setup(perf.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if inst.Close != nil {
+		defer inst.Close()
+	}
+	// One unrecorded repetition warms scratch buffers, mirroring the
+	// orpbench harness's warmup phase.
+	items, err := inst.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if items, err = inst.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if items > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(items*float64(b.N)/b.Elapsed().Seconds(), w.Unit+"/s")
+	}
+}
+
+// TestRegisteredWorkloadsRunnable runs every registered workload once so
+// a broken Setup or Run fails `go test .`, not the first orpbench pass
+// after a refactor. (simnet workloads are the slow ones; the whole pass
+// is a few hundred milliseconds.)
+func TestRegisteredWorkloadsRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload smoke pass skipped in -short")
+	}
+	for _, w := range perf.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst, err := w.Setup(perf.Config{Short: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inst.Close != nil {
+				defer inst.Close()
+			}
+			items, err := inst.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if items <= 0 {
+				t.Fatalf("workload reported %v items", items)
+			}
+		})
+	}
+}
