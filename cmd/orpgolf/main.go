@@ -29,6 +29,7 @@ func main() {
 		schedule = flag.String("schedule", "geometric", "geometric | linear | hillclimb")
 		out      = flag.String("o", "", "write the edge list here (default stdout)")
 		evalFile = flag.String("eval", "", "evaluate an existing edge-list file instead of solving")
+		evalMode = flag.String("eval-mode", "exact", "evaluation ladder rung: exact, incremental or ladder (same result, increasing moves/s)")
 	)
 	version := cliutil.VersionFlag()
 	flag.Parse()
@@ -64,7 +65,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orpgolf: unknown schedule %q\n", *schedule)
 		os.Exit(2)
 	}
-	res, err := odp.Solve(*n, *d, odp.Options{Iterations: *iters, Seed: *seed, Schedule: sched, Workers: *workers})
+	eval, err := opt.ParseEvalMode(*evalMode)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := odp.Solve(*n, *d, odp.Options{Iterations: *iters, Seed: *seed, Schedule: sched, Workers: *workers, Eval: eval})
 	if err != nil {
 		fatal(err)
 	}

@@ -43,6 +43,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		fixedM   = flag.Int("m", 0, "force the switch count (0 = continuous-Moore prediction)")
 		moves    = flag.String("moves", "2ns", "move set: 2ns, swap or swing")
+		evalMode = flag.String("eval-mode", "exact", "evaluation ladder rung: exact, incremental or ladder (same result, increasing moves/s)")
 		out      = flag.String("o", "", "output file for the graph (default stdout)")
 		dfs      = flag.Bool("dfs", true, "relabel hosts in depth-first order (paper §6.2.1)")
 		verbose  = flag.Bool("v", false, "print annealing progress")
@@ -84,6 +85,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orpsolve: unknown move set %q\n", *moves)
 		os.Exit(2)
 	}
+	eval, err := opt.ParseEvalMode(*evalMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+		os.Exit(2)
+	}
 
 	var reg *obs.Registry
 	if *metricsAddr != "" {
@@ -115,6 +121,7 @@ func main() {
 		FixedM:          *fixedM,
 		Moves:           moveSet,
 		Workers:         *workers,
+		Eval:            eval,
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		Resume:          *resume,

@@ -69,6 +69,9 @@ type Options struct {
 	// GOMAXPROCS, multi-restart runs let opt.ParallelAnneal split the
 	// cores between restarts and shards. Results are worker-invariant.
 	Workers int
+	// Eval selects the annealer's evaluation ladder rung (exact,
+	// incremental or ladder; see opt.EvalMode). Default exact.
+	Eval opt.EvalMode
 	// OnProgress is forwarded to the annealer (single-restart runs only).
 	OnProgress func(iter int, current, best int64)
 	// Observer receives per-interval anneal telemetry (every ReportEvery
@@ -180,6 +183,7 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		Moves:           o.Moves,
 		Seed:            o.Seed + 1,
 		Workers:         o.Workers,
+		Eval:            o.Eval,
 		OnProgress:      o.OnProgress,
 		Observer:        o.Observer,
 		ReportEvery:     o.ReportEvery,

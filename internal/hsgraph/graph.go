@@ -32,6 +32,55 @@ type Graph struct {
 	// we instead locate edges by scanning adj (deg <= r is small) and keep
 	// edge list indices via posInList.
 	posInList map[[2]int32]int32
+
+	// Edge-mutation log for the incremental evaluator (see incremental.go).
+	// While opLogOn, Connect/Disconnect append the applied operation so a
+	// consumer can derive the net edge diff since its last sync without
+	// rescanning the graph. The log is bounded: past maxOpLog pending
+	// entries opOverflow is set and the consumer falls back to a full
+	// rebuild. opEpoch identifies the consumer that armed the log, so a
+	// second consumer attaching to the same graph invalidates the first
+	// instead of silently sharing (and losing) entries.
+	oplog      []edgeOp
+	opLogOn    bool
+	opOverflow bool
+	opEpoch    uint64
+}
+
+// edgeOp is one logged switch-edge mutation.
+type edgeOp struct {
+	add  bool
+	a, b int32
+}
+
+// maxOpLog bounds the pending operation log. An annealing move touches at
+// most a handful of edges between evaluations; thousands of pending ops
+// mean nobody is consuming the log, and a full rebuild is cheaper than an
+// unbounded replay anyway.
+const maxOpLog = 1 << 14
+
+// startOpLog arms (or re-arms) the edge-mutation log and returns the new
+// epoch. Any previous consumer's pending entries are discarded.
+func (g *Graph) startOpLog() uint64 {
+	g.opLogOn = true
+	g.oplog = g.oplog[:0]
+	g.opOverflow = false
+	g.opEpoch++
+	return g.opEpoch
+}
+
+// logEdgeOp appends one mutation to the armed log, tripping the overflow
+// flag instead of growing without bound.
+func (g *Graph) logEdgeOp(add bool, a, b int32) {
+	if !g.opLogOn || g.opOverflow {
+		return
+	}
+	if len(g.oplog) >= maxOpLog {
+		g.opOverflow = true
+		g.oplog = g.oplog[:0]
+		return
+	}
+	g.oplog = append(g.oplog, edgeOp{add: add, a: a, b: b})
 }
 
 // New returns an empty host-switch graph with n hosts (all unattached),
@@ -209,6 +258,7 @@ func (g *Graph) Connect(a, b int) error {
 	g.adj[b] = append(g.adj[b], int32(a))
 	g.posInList[key] = int32(len(g.edges))
 	g.edges = append(g.edges, key)
+	g.logEdgeOp(true, key[0], key[1])
 	return nil
 }
 
@@ -230,6 +280,7 @@ func (g *Graph) Disconnect(a, b int) error {
 	}
 	g.edges = g.edges[:last]
 	delete(g.posInList, key)
+	g.logEdgeOp(false, key[0], key[1])
 	return nil
 }
 
@@ -245,7 +296,8 @@ func removeNeighbor(adj *[]int32, v int32) {
 	panic("hsgraph: adjacency list inconsistent with edge set")
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The edge-mutation log is consumer state,
+// not graph state, and is not copied: clones start with logging disarmed.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		n:         g.n,

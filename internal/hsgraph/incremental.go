@@ -1,0 +1,1744 @@
+package hsgraph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// IncrementalEvaluator computes the same metrics as Evaluator but caches
+// the full per-source BFS state of the last graph it evaluated, so that a
+// re-evaluation after a local mutation (an annealing swap or swing touches
+// 1-2 edges) re-sweeps only the sources whose BFS trees can have changed.
+//
+// The evaluator arms the graph's edge-mutation log; between evaluations it
+// derives the net edge diff from the log, compares the cached host counts
+// against the graph's, and flags a source s dirty when
+//
+//   - a net-removed edge {a,b} was tight from s (|d_s(a)-d_s(b)| == 1 —
+//     the necessary condition for the edge to lie on any shortest path
+//     out of s) and the far endpoint has no alternate shortest
+//     predecessor surviving in both the cached and the current graph, or
+//   - a net-added edge {a,b} was slack from s (|d_s(a)-d_s(b)| >= 2, the
+//     necessary condition for the edge to create a shorter path), or
+//     joins s's component to switches s could not reach.
+//
+// Net diffing makes rollbacks free: a rejected move's undo cancels the
+// move's own entries, so the next sync sees an empty diff and touches
+// nothing. Only the flagged rows are re-swept (bit-parallel, 64 sources
+// per word, sharded over workers when the dirty set is large); host-count
+// changes adjust the unflagged rows' cached aggregates in O(m) without any
+// BFS. When the dirty set exceeds fallbackNum/fallbackDen of the sources,
+// a full rebuild is cheaper and runs instead. Every cached quantity is an
+// integer derived per row, so results are bit-identical to Evaluator's for
+// every worker count and every mutation history.
+//
+// An IncrementalEvaluator is not safe for concurrent use, and at most one
+// may be attached to a graph at a time (attaching a second one invalidates
+// the first, which then falls back to a full rebuild). Memory cost is one
+// m x m distance matrix of int16, so m is capped at maxIncrementalSwitches.
+type IncrementalEvaluator struct {
+	workers int
+
+	g      *Graph
+	epoch  uint64  // g.opEpoch this evaluator armed
+	m      int     // switch count of the cached graph
+	dist   []int16 // m*m distance matrix, row-major; -1 = unreachable
+	rowSum []int64 // rowSum[s]  = sum over reachable t!=s of k_t*(d(s,t)+2)
+	rowW   []int64 // rowW[s]    = sum over reachable t!=s of k_t
+	rowRch []int64 // rowRch[s]  = #{t != s : k_t > 0, reachable}
+	hosts  []int32 // cached host counts at last sync
+	valid  bool
+
+	// Sync scratch, reused across calls.
+	netKeys   [][2]int32 // net edge diff keys (insertion order)
+	netDelta  []int32    // +1 net-added, -1 net-removed, 0 cancelled
+	dirty     []int32
+	dirtyAt   []uint32 // dirtyAt[s] == dirtyGen marks s dirty
+	dirtyGen  uint32
+	seen      []int32 // connectivity pre-check visit marks
+	queue     []int32
+	sweep     []sweepScratch // per-worker bit-BFS scratch
+	cursor    atomic.Int64
+	sampleD   []float64  // per-sample deltas for EstimateDelta
+	sampleIx  []int32    // sampled dirty sources
+	keys      []dirtyKey // active net-diff keys, hoisted for the fused scan
+	negRow    []int16    // all -1, the row-prefill template
+	scratchF  []float64  // sampleBatchDeltas result scratch
+	scratchR  []int64    // sampleBatchDeltas reach scratch
+	peekSum   []int64    // PeekEnergy per-source aggregates (dirty entries only)
+	peekW     []int64
+	peekRch   []int64
+	hostDelta []int32 // switches with pending host-count changes (peek scratch)
+
+	// Stored-peek state: a peek sweep that fits the row budget keeps the
+	// candidate distance rows, so committing the very same pending state
+	// (an accepted move) copies them into the cache instead of re-sweeping.
+	peekRows  []int16  // candidate rows, slot-major in peekList order
+	peekList  []int32  // sources with stored rows, in sweep order
+	peekHosts []int32  // host counts at stamp time
+	peekOps   []edgeOp // compacted op log at stamp time
+	peekValid bool     // stored peek matches the pending state
+	peekStore bool     // the in-flight peek sweep stores rows
+}
+
+type sweepScratch struct {
+	visited, front, next []uint64
+	_                    [16]byte
+}
+
+// maxIncrementalSwitches bounds the cached distance matrix (int16
+// distances, m^2 entries). 20000 switches cost ~800 MB; beyond that the
+// incremental cache is the wrong tool and the constructor-free fallback
+// (plain Evaluator) should be used.
+const maxIncrementalSwitches = 20000
+
+// Fallback threshold: when more than fallbackNum/fallbackDen of all
+// sources are dirty, a full rebuild re-sweeps everything in one pass
+// instead of patching rows (the batched sweep is then strictly cheaper).
+const (
+	fallbackNum = 3
+	fallbackDen = 4
+)
+
+// minExtrapolateSample is the smallest sample EstimateDelta extrapolates
+// from. Below it the empirical range badly underestimates the per-source
+// delta spread and the Hoeffding-style half-width loses its nominal
+// coverage, so smaller maxSample requests are rounded up (the sample
+// still fits one 64-lane batch).
+const minExtrapolateSample = 16
+
+// maxPeekRowEntries bounds the stored-peek row buffer (int16 entries, so
+// 8M entries = 16 MiB). Peeks whose dirty set would exceed it still
+// compute exact aggregates — the commit just re-sweeps as before.
+const maxPeekRowEntries = 8 << 20
+
+// NewIncrementalEvaluator returns an evaluator with the given number of
+// sweep workers (values below 1 mean 1). Workers only affect throughput,
+// never results.
+func NewIncrementalEvaluator(workers int) *IncrementalEvaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	return &IncrementalEvaluator{
+		workers: workers,
+		sweep:   make([]sweepScratch, workers),
+	}
+}
+
+// Workers returns the configured sweep worker count.
+func (ie *IncrementalEvaluator) Workers() int { return ie.workers }
+
+// row returns the cached distance row of source s.
+func (ie *IncrementalEvaluator) row(s int) []int16 {
+	return ie.dist[s*ie.m : (s+1)*ie.m]
+}
+
+// attach arms the op log on g and rebuilds the full cache.
+func (ie *IncrementalEvaluator) attach(g *Graph) {
+	m := len(g.adj)
+	if m > maxIncrementalSwitches {
+		panic(fmt.Sprintf("hsgraph: IncrementalEvaluator supports at most %d switches, got %d", maxIncrementalSwitches, m))
+	}
+	ie.g = g
+	ie.epoch = g.startOpLog()
+	ie.m = m
+	if cap(ie.dist) < m*m {
+		ie.dist = make([]int16, m*m)
+	}
+	ie.dist = ie.dist[:m*m]
+	ie.rowSum = growI64(ie.rowSum, m)
+	ie.rowW = growI64(ie.rowW, m)
+	ie.rowRch = growI64(ie.rowRch, m)
+	ie.peekSum = growI64(ie.peekSum, m)
+	ie.peekW = growI64(ie.peekW, m)
+	ie.peekRch = growI64(ie.peekRch, m)
+	ie.hosts = append(ie.hosts[:0], g.hosts...)
+	if cap(ie.dirtyAt) < m {
+		ie.dirtyAt = make([]uint32, m)
+		ie.dirtyGen = 0
+	}
+	ie.dirtyAt = ie.dirtyAt[:m]
+	if cap(ie.negRow) < m {
+		ie.negRow = make([]int16, m)
+		for i := range ie.negRow {
+			ie.negRow[i] = -1
+		}
+	}
+	ie.negRow = ie.negRow[:m]
+	ie.peekValid = false
+	ie.rebuildAll()
+	ie.valid = true
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// synced reports whether the cache tracks g's current op-log stream.
+func (ie *IncrementalEvaluator) synced(g *Graph) bool {
+	return ie.valid && ie.g == g && g.opLogOn && g.opEpoch == ie.epoch &&
+		!g.opOverflow && ie.m == len(g.adj)
+}
+
+// sync brings the cache up to date with g, consuming the pending op log.
+func (ie *IncrementalEvaluator) sync(g *Graph) {
+	if !ie.synced(g) {
+		ie.attach(g)
+		return
+	}
+	if len(g.oplog) == 0 && !ie.hostsChanged(g) {
+		return
+	}
+	if ie.peekApplicable(g) {
+		// The stamped peek already swept exactly this pending state: the
+		// op log and host counts match the stamp and the current dirty set
+		// is the stamped list, so netDiff and markDirty would only
+		// recompute what the estimate already derived. Commit the stored
+		// rows directly.
+		ie.peekValid = false
+		g.oplog = g.oplog[:0]
+		ie.applyPeek()
+		ie.patchHostDeltas(g)
+		ie.hosts = append(ie.hosts[:0], g.hosts...)
+		return
+	}
+	ie.netDiff(g.oplog)
+	ie.markDirty()
+	usePeek := ie.peekApplicable(g)
+	ie.peekValid = false
+	g.oplog = g.oplog[:0]
+	if len(ie.dirty)*fallbackDen > ie.m*fallbackNum {
+		ie.hosts = append(ie.hosts[:0], g.hosts...)
+		ie.rebuildAll()
+		return
+	}
+	if usePeek {
+		ie.applyPeek()
+	} else {
+		ie.resweep(ie.dirty)
+	}
+	ie.patchHostDeltas(g)
+	ie.hosts = append(ie.hosts[:0], g.hosts...)
+}
+
+// patchHostDeltas folds host-count changes into the rows that were not
+// re-swept: for those rows the cached distances are exactly the current
+// ones, so moving delta hosts on switch b shifts rowSum by delta*(d(s,b)+2)
+// and rowW by delta, and a 0 <-> >0 transition of k_b shifts rowRch by one.
+// Re-swept rows (dirtyAt at the current generation) already aggregated
+// against the current host counts.
+func (ie *IncrementalEvaluator) patchHostDeltas(g *Graph) {
+	for b := 0; b < ie.m; b++ {
+		delta := int64(g.hosts[b] - ie.hosts[b])
+		if delta == 0 {
+			continue
+		}
+		wasBearing, isBearing := ie.hosts[b] > 0, g.hosts[b] > 0
+		for s := 0; s < ie.m; s++ {
+			if s == b || ie.dirtyAt[s] == ie.dirtyGen {
+				continue
+			}
+			d := ie.row(s)[b]
+			if d < 0 {
+				continue
+			}
+			ie.rowSum[s] += delta * int64(d+2)
+			ie.rowW[s] += delta
+			if wasBearing != isBearing {
+				if isBearing {
+					ie.rowRch[s]++
+				} else {
+					ie.rowRch[s]--
+				}
+			}
+		}
+	}
+}
+
+// hostsChanged reports whether g's host counts differ from the cache.
+func (ie *IncrementalEvaluator) hostsChanged(g *Graph) bool {
+	for s, k := range g.hosts {
+		if ie.hosts[s] != k {
+			return true
+		}
+	}
+	return false
+}
+
+// netDiff reduces the pending op log to the net edge diff: edges whose
+// add/remove counts do not cancel. Intermediate states are irrelevant —
+// the cache only ever compares its own snapshot against the final graph —
+// so a rejected move's do/undo pairs vanish here.
+func (ie *IncrementalEvaluator) netDiff(ops []edgeOp) {
+	ie.netKeys = ie.netKeys[:0]
+	ie.netDelta = ie.netDelta[:0]
+	for _, op := range ops {
+		key := [2]int32{op.a, op.b}
+		found := -1
+		for i, k := range ie.netKeys {
+			if k == key {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			found = len(ie.netKeys)
+			ie.netKeys = append(ie.netKeys, key)
+			ie.netDelta = append(ie.netDelta, 0)
+		}
+		if op.add {
+			ie.netDelta[found]++
+		} else {
+			ie.netDelta[found]--
+		}
+	}
+}
+
+// compactOpLog rewrites the pending op log to its net diff (one entry per
+// surviving edge change). Rejected moves append do/undo pairs that only a
+// commit would clear; peeks between commits compact them away so repeated
+// estimates never rescan cancelled history, and the log stays far from its
+// overflow cap. Requires ie.netDiff to have just run on g.oplog.
+func (ie *IncrementalEvaluator) compactOpLog(g *Graph) {
+	if len(g.oplog) == len(ie.netKeys) {
+		return // nothing cancelled
+	}
+	n := 0
+	for i, k := range ie.netKeys {
+		if ie.netDelta[i] == 0 {
+			continue
+		}
+		g.oplog[n] = edgeOp{add: ie.netDelta[i] > 0, a: k[0], b: k[1]}
+		n++
+	}
+	g.oplog = g.oplog[:n]
+}
+
+// markDirty flags every source whose cached BFS row can differ on g, given
+// the net edge diff, into ie.dirty. Soundness: a source flagged by no net
+// operation keeps its exact row — apply the net removals then the net
+// additions in any order; each unflagging condition, evaluated against the
+// cached distances, certifies that the operation leaves the row unchanged,
+// so the cached distances remain valid for judging the next one.
+func (ie *IncrementalEvaluator) markDirty() {
+	ie.dirty = ie.dirty[:0]
+	ie.dirtyGen++
+	if ie.dirtyGen == 0 { // wrapped: marks are stale, reset
+		for i := range ie.dirtyAt {
+			ie.dirtyAt[i] = 0
+		}
+		ie.dirtyGen = 1
+	}
+	ie.keys = ie.keys[:0]
+	for i, key := range ie.netKeys {
+		if ie.netDelta[i] == 0 {
+			continue
+		}
+		n := len(ie.keys)
+		if n < cap(ie.keys) {
+			ie.keys = ie.keys[:n+1] // reuse the element's alt-slice capacity
+		} else {
+			ie.keys = append(ie.keys, dirtyKey{})
+		}
+		k := &ie.keys[n]
+		k.a, k.b = key[0], key[1]
+		k.removed = ie.netDelta[i] < 0
+		k.altA, k.altB = k.altA[:0], k.altB[:0]
+		if k.removed {
+			// Hoist the net-added edges incident to either endpoint: the
+			// alternate-predecessor scan below must skip them, and they are
+			// almost always absent, turning the skip into a nil check.
+			for j, k2 := range ie.netKeys {
+				if ie.netDelta[j] <= 0 {
+					continue
+				}
+				switch key[0] {
+				case k2[0]:
+					k.altA = append(k.altA, k2[1])
+				case k2[1]:
+					k.altA = append(k.altA, k2[0])
+				}
+				switch key[1] {
+				case k2[0]:
+					k.altB = append(k.altB, k2[1])
+				case k2[1]:
+					k.altB = append(k.altB, k2[0])
+				}
+			}
+		}
+	}
+	if len(ie.keys) == 0 {
+		return
+	}
+	// One fused pass over the rows: each 800-byte-ish row is pulled into
+	// cache once and tested against every active key, instead of once per
+	// key. The dirty list comes out in ascending source order.
+	for s := 0; s < ie.m; s++ {
+		row := ie.row(s)
+		for ki := range ie.keys {
+			k := &ie.keys[ki]
+			da, db := row[k.a], row[k.b]
+			var affected bool
+			switch {
+			case da < 0 && db < 0:
+				// Both unreachable from s: neither removing nor adding the
+				// edge can touch s's component.
+			case (da < 0) != (db < 0):
+				// Mixed reachability: impossible for a removed (existing)
+				// edge unless the cache is inconsistent; for an added edge
+				// it joins a new component. Conservatively dirty.
+				affected = true
+			case k.removed:
+				// The edge lay on a shortest path out of s only if it was
+				// tight (distances differ by one, oriented near -> far). Even
+				// then the row survives when far has another predecessor at
+				// the same depth: every shortest path through the removed
+				// edge enters far over it and can be re-routed through the
+				// alternate entry at equal length. The alternate edge must
+				// exist in both the cached and the current graph — a
+				// neighbor in g.adj that the net diff did not add — so the
+				// splice is valid against the cached distances.
+				if da-db == 1 || db-da == 1 {
+					far, dFar, added := k.a, da, k.altA
+					if db > da {
+						far, dFar, added = k.b, db, k.altB
+					}
+					affected = true
+					if len(added) == 0 {
+						for _, u := range ie.g.adj[far] {
+							if row[u] == dFar-1 {
+								affected = false
+								break
+							}
+						}
+					} else {
+						for _, u := range ie.g.adj[far] {
+							if row[u] == dFar-1 && !containsInt32(added, u) {
+								affected = false
+								break
+							}
+						}
+					}
+				}
+			default:
+				affected = da-db >= 2 || db-da >= 2
+			}
+			if affected {
+				ie.dirtyAt[s] = ie.dirtyGen
+				ie.dirty = append(ie.dirty, int32(s))
+				break
+			}
+		}
+	}
+}
+
+// dirtyKey is a net-diff entry prepared for markDirty's fused row scan.
+type dirtyKey struct {
+	a, b    int32
+	removed bool
+	altA    []int32 // net-added neighbors of a, skipped as alternates
+	altB    []int32 // net-added neighbors of b
+}
+
+func containsInt32(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildAll re-sweeps every source. Rows are assigned to workers in
+// 64-source batches via an atomic cursor; each row is written by exactly
+// one worker and all aggregates are per-row integers, so the result does
+// not depend on scheduling.
+func (ie *IncrementalEvaluator) rebuildAll() {
+	if cap(ie.queue) < ie.m {
+		ie.queue = make([]int32, 0, ie.m)
+	}
+	all := ie.queue[:0]
+	for s := 0; s < ie.m; s++ {
+		all = append(all, int32(s))
+	}
+	ie.resweep(all)
+	ie.queue = all[:0]
+}
+
+// resweep recomputes the distance rows and aggregates of the given
+// sources on the current graph.
+func (ie *IncrementalEvaluator) resweep(srcs []int32) {
+	if len(srcs) == 0 {
+		return
+	}
+	stride := sweepStride(len(srcs))
+	batches := (len(srcs) + stride - 1) / stride
+	workers := ie.workers
+	if workers > batches {
+		workers = batches
+	}
+	ie.cursor.Store(0)
+	if workers <= 1 {
+		ie.runBatches(&ie.sweep[0], srcs, stride)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ie.runBatches(&ie.sweep[w], srcs, stride)
+		}(w)
+	}
+	ie.runBatches(&ie.sweep[0], srcs, stride)
+	wg.Wait()
+}
+
+// sweepStride picks the lane width of a sweep: two-word 128-lane batches
+// once a single 64-lane batch cannot cover the sources, halving the number
+// of graph traversals for the common 65..128-source dirty sets.
+func sweepStride(n int) int {
+	if n > 64 {
+		return 128
+	}
+	return 64
+}
+
+func (ie *IncrementalEvaluator) runBatches(sc *sweepScratch, srcs []int32, stride int) {
+	m := ie.m
+	if cap(sc.visited) < 2*m {
+		sc.visited = make([]uint64, 2*m)
+		sc.front = make([]uint64, 2*m)
+		sc.next = make([]uint64, 2*m)
+	}
+	for {
+		idx := int(ie.cursor.Add(1)) - 1
+		lo := idx * stride
+		if lo >= len(srcs) {
+			return
+		}
+		hi := lo + stride
+		if hi > len(srcs) {
+			hi = len(srcs)
+		}
+		if hi-lo <= 64 {
+			ie.sweepRows(sc, srcs[lo:hi])
+		} else {
+			ie.sweepRowsWide(sc, srcs[lo:hi])
+		}
+	}
+}
+
+// sweepRows runs one bit-parallel BFS with the batch sources in the word
+// lanes, writing each source's full distance row. The row aggregates are
+// accumulated per lane during the sweep — the same integer additions a
+// post-hoc pass over the row would do, just without re-reading it.
+func (ie *IncrementalEvaluator) sweepRows(sc *sweepScratch, batch []int32) {
+	g := ie.g
+	m := ie.m
+	visited := sc.visited[:m]
+	front := sc.front[:m]
+	next := sc.next[:m]
+	for i := range visited {
+		visited[i] = 0
+		front[i] = 0
+	}
+	var rows [64][]int16
+	var sumKD, w, prevW, rch [64]int64
+	for bit, s := range batch {
+		row := ie.row(int(s))
+		copy(row, ie.negRow)
+		row[s] = 0
+		rows[bit] = row
+		visited[s] |= 1 << uint(bit)
+		front[s] |= 1 << uint(bit)
+	}
+	for level := int16(1); ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		active := false
+		for v := 0; v < m; v++ {
+			fv := front[v]
+			if fv == 0 {
+				continue
+			}
+			// Unconditionally OR the frontier into next: the settle pass
+			// below masks off already-visited bits, so pre-filtering here
+			// would only add a visited load and a branch per edge word.
+			for _, u := range g.adj[v] {
+				next[u] |= fv
+			}
+		}
+		for v := 0; v < m; v++ {
+			nv := next[v] &^ visited[v]
+			if nv == 0 {
+				next[v] = 0
+				continue
+			}
+			next[v] = nv
+			visited[v] |= nv
+			active = true
+			kv := int64(g.hosts[v])
+			for mask := nv; mask != 0; mask &= mask - 1 {
+				bit := trailingZeros(mask)
+				rows[bit][v] = level
+				if kv > 0 {
+					w[bit] += kv
+					rch[bit]++
+				}
+			}
+		}
+		if !active {
+			front, next = next, front
+			break
+		}
+		// Fold this level's newly-reached host weight into the distance
+		// sum once per lane instead of once per visit: the lanes whose
+		// weight moved gained exactly level * (w - prevW).
+		for bit := range batch {
+			if d := w[bit] - prevW[bit]; d != 0 {
+				sumKD[bit] += int64(level) * d
+				prevW[bit] = w[bit]
+			}
+		}
+		front, next = next, front
+	}
+	for bit, s := range batch {
+		ie.rowSum[s] = sumKD[bit] + 2*w[bit]
+		ie.rowW[s] = w[bit]
+		ie.rowRch[s] = rch[bit]
+	}
+}
+
+// sweepRowsWide is sweepRows over two mask words: up to 128 sources share
+// one graph traversal, with lane i of the batch living in word i>>6, bit
+// i&63 of the interleaved visited/front/next arrays. Each source's row and
+// aggregates come out as the identical integers sweepRows would produce.
+func (ie *IncrementalEvaluator) sweepRowsWide(sc *sweepScratch, batch []int32) {
+	g := ie.g
+	m := ie.m
+	visited := sc.visited[:2*m]
+	front := sc.front[:2*m]
+	next := sc.next[:2*m]
+	for i := range visited {
+		visited[i] = 0
+		front[i] = 0
+	}
+	var rows [128][]int16
+	var sumKD, w, prevW, rch [128]int64
+	for i, s := range batch {
+		row := ie.row(int(s))
+		copy(row, ie.negRow)
+		row[s] = 0
+		rows[i] = row
+		j := 2*int(s) + i>>6
+		visited[j] |= 1 << uint(i&63)
+		front[j] |= 1 << uint(i&63)
+	}
+	for level := int16(1); ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		active := false
+		for v := 0; v < m; v++ {
+			i0 := 2 * v
+			f0, f1 := front[i0], front[i0+1]
+			if f0|f1 == 0 {
+				continue
+			}
+			// Unconditional OR; the settle pass masks visited bits (see the
+			// narrow variant).
+			for _, u := range g.adj[v] {
+				j0 := 2 * int(u)
+				next[j0] |= f0
+				next[j0+1] |= f1
+			}
+		}
+		for v := 0; v < m; v++ {
+			i0 := 2 * v
+			nv0 := next[i0] &^ visited[i0]
+			nv1 := next[i0+1] &^ visited[i0+1]
+			if nv0|nv1 == 0 {
+				next[i0], next[i0+1] = 0, 0
+				continue
+			}
+			next[i0], next[i0+1] = nv0, nv1
+			visited[i0] |= nv0
+			visited[i0+1] |= nv1
+			active = true
+			kv := int64(g.hosts[v])
+			for mask := nv0; mask != 0; mask &= mask - 1 {
+				lane := trailingZeros(mask)
+				rows[lane][v] = level
+				if kv > 0 {
+					w[lane] += kv
+					rch[lane]++
+				}
+			}
+			for mask := nv1; mask != 0; mask &= mask - 1 {
+				lane := 64 + trailingZeros(mask)
+				rows[lane][v] = level
+				if kv > 0 {
+					w[lane] += kv
+					rch[lane]++
+				}
+			}
+		}
+		if !active {
+			front, next = next, front
+			break
+		}
+		// Per-level weight-delta fold; see sweepRows.
+		for lane := range batch {
+			if d := w[lane] - prevW[lane]; d != 0 {
+				sumKD[lane] += int64(level) * d
+				prevW[lane] = w[lane]
+			}
+		}
+		front, next = next, front
+	}
+	for i, s := range batch {
+		ie.rowSum[s] = sumKD[i] + 2*w[i]
+		ie.rowW[s] = w[i]
+		ie.rowRch[s] = rch[i]
+	}
+}
+
+// gatherTotals folds the cached rows into the graph-level quantities:
+// intra-switch contributions plus the ordered inter-switch sums (halved by
+// the callers). Mirrors Evaluator.gather + apsp exactly.
+func (ie *IncrementalEvaluator) gatherTotals(g *Graph) (intraTotal, intraPairs, ordered, orderedW, orderedReach, attached int64, bearing int) {
+	for s := 0; s < ie.m; s++ {
+		k := int64(g.hosts[s])
+		if k == 0 {
+			continue
+		}
+		bearing++
+		attached += k
+		intraTotal += k * (k - 1)
+		intraPairs += k * (k - 1) / 2
+		ordered += k * ie.rowSum[s]
+		orderedW += k * ie.rowW[s]
+		orderedReach += ie.rowRch[s]
+	}
+	return
+}
+
+// Energy returns the total host-pair path length and whether all hosts
+// are connected — bit-identical to Evaluator.Energy, after re-sweeping
+// only the dirty sources.
+func (ie *IncrementalEvaluator) Energy(g *Graph) (int64, bool) {
+	ie.sync(g)
+	intraTotal, _, ordered, _, orderedReach, attached, bearing := ie.gatherTotals(g)
+	allAttached := attached == int64(g.n)
+	switch {
+	case bearing == 0:
+		return 0, allAttached && g.n <= 1
+	case bearing == 1:
+		return intraTotal, allAttached
+	}
+	connected := allAttached && orderedReach == int64(bearing)*int64(bearing-1)
+	if !connected {
+		return 0, false
+	}
+	return intraTotal + ordered/2, true
+}
+
+// PeekEnergy computes exactly what Energy would return for g — the same
+// integers, bit for bit — without committing anything: the op log stays
+// pending, no distance row is written, and the dirty sources are swept
+// into scratch aggregates only. A rejected candidate move therefore costs
+// ceil(dirty/64) batch sweeps and leaves the cache untouched, so the
+// subsequent rollback is free. ok is false when the cache is not attached
+// to g; the caller then falls back to Energy.
+func (ie *IncrementalEvaluator) PeekEnergy(g *Graph) (energy int64, connected, ok bool) {
+	if !ie.synced(g) {
+		return 0, false, false
+	}
+	ie.netDiff(g.oplog)
+	ie.compactOpLog(g)
+	ie.markDirty()
+	if len(ie.dirty) > 0 {
+		ie.peekSweep(g, ie.dirty)
+		ie.stampPeek(g, ie.dirty, ie.peekStore)
+	} else {
+		ie.stampPeek(g, nil, true)
+	}
+	ie.hostDelta = ie.hostDelta[:0]
+	for b := 0; b < ie.m; b++ {
+		if g.hosts[b] != ie.hosts[b] {
+			ie.hostDelta = append(ie.hostDelta, int32(b))
+		}
+	}
+	var intraTotal, ordered, orderedReach, attached int64
+	bearing := 0
+	for s := 0; s < ie.m; s++ {
+		k := int64(g.hosts[s])
+		if k == 0 {
+			continue
+		}
+		bearing++
+		attached += k
+		intraTotal += k * (k - 1)
+		var sum, reach int64
+		if ie.dirtyAt[s] == ie.dirtyGen {
+			sum, reach = ie.peekSum[s], ie.peekRch[s]
+		} else {
+			sum, reach = ie.rowSum[s], ie.rowRch[s]
+			// Clean rows hold the current distances; patch their cached
+			// aggregates for pending host-count deltas exactly as sync
+			// would after committing.
+			for _, b := range ie.hostDelta {
+				if int(b) == s {
+					continue
+				}
+				d := ie.row(s)[b]
+				if d < 0 {
+					continue
+				}
+				sum += int64(g.hosts[b]-ie.hosts[b]) * int64(d+2)
+				wasBearing, isBearing := ie.hosts[b] > 0, g.hosts[b] > 0
+				if wasBearing != isBearing {
+					if isBearing {
+						reach++
+					} else {
+						reach--
+					}
+				}
+			}
+		}
+		ordered += k * sum
+		orderedReach += reach
+	}
+	allAttached := attached == int64(g.n)
+	switch {
+	case bearing == 0:
+		return 0, allAttached && g.n <= 1, true
+	case bearing == 1:
+		return intraTotal, allAttached, true
+	}
+	if !(allAttached && orderedReach == int64(bearing)*int64(bearing-1)) {
+		return 0, false, true
+	}
+	return intraTotal + ordered/2, true, true
+}
+
+// stampPeek records the just-swept peek's identity so a commit of the
+// same pending state can reuse its stored rows.
+func (ie *IncrementalEvaluator) stampPeek(g *Graph, srcs []int32, stored bool) {
+	ie.peekValid = stored
+	if !stored {
+		return
+	}
+	ie.peekList = append(ie.peekList[:0], srcs...)
+	ie.peekOps = append(ie.peekOps[:0], g.oplog...)
+	ie.peekHosts = append(ie.peekHosts[:0], g.hosts...)
+}
+
+// peekApplicable reports whether the stored peek describes exactly the
+// pending state sync is about to commit: the identical op log (content,
+// not just length — the ops plus the host counts pin the candidate graph,
+// since the cache itself has not moved between the two calls), the
+// identical host counts, and the identical dirty set in the same order.
+func (ie *IncrementalEvaluator) peekApplicable(g *Graph) bool {
+	if !ie.peekValid || len(ie.peekOps) != len(g.oplog) || len(ie.peekList) != len(ie.dirty) {
+		return false
+	}
+	for i, op := range g.oplog {
+		if ie.peekOps[i] != op {
+			return false
+		}
+	}
+	for i, s := range ie.dirty {
+		if ie.peekList[i] != s {
+			return false
+		}
+	}
+	for b, k := range g.hosts {
+		if ie.peekHosts[b] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// applyPeek commits the stored peek: every dirty source's candidate row
+// and aggregates are copied into the cache instead of re-sweeping. The
+// copied values are the exact integers resweep would recompute.
+func (ie *IncrementalEvaluator) applyPeek() {
+	for i, s := range ie.peekList {
+		copy(ie.row(int(s)), ie.peekRows[i*ie.m:(i+1)*ie.m])
+		ie.rowSum[s] = ie.peekSum[s]
+		ie.rowW[s] = ie.peekW[s]
+		ie.rowRch[s] = ie.peekRch[s]
+	}
+}
+
+// peekSweep computes the candidate aggregates of the given sources into
+// the peek scratch, in 64-lane batches sharded over workers like resweep.
+// When the dirty set fits the row budget the candidate rows are stored
+// alongside, ready for applyPeek; nothing cached is written either way.
+func (ie *IncrementalEvaluator) peekSweep(g *Graph, srcs []int32) {
+	ie.peekStore = len(srcs)*ie.m <= maxPeekRowEntries
+	if ie.peekStore {
+		need := len(srcs) * ie.m
+		if cap(ie.peekRows) < need {
+			ie.peekRows = make([]int16, need)
+		}
+		ie.peekRows = ie.peekRows[:need]
+	}
+	stride := sweepStride(len(srcs))
+	batches := (len(srcs) + stride - 1) / stride
+	workers := ie.workers
+	if workers > batches {
+		workers = batches
+	}
+	ie.cursor.Store(0)
+	if workers <= 1 {
+		ie.runPeekBatches(&ie.sweep[0], srcs, stride)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ie.runPeekBatches(&ie.sweep[w], srcs, stride)
+		}(w)
+	}
+	ie.runPeekBatches(&ie.sweep[0], srcs, stride)
+	wg.Wait()
+}
+
+func (ie *IncrementalEvaluator) runPeekBatches(sc *sweepScratch, srcs []int32, stride int) {
+	m := ie.m
+	if cap(sc.visited) < 2*m {
+		sc.visited = make([]uint64, 2*m)
+		sc.front = make([]uint64, 2*m)
+		sc.next = make([]uint64, 2*m)
+	}
+	for {
+		idx := int(ie.cursor.Add(1)) - 1
+		lo := idx * stride
+		if lo >= len(srcs) {
+			return
+		}
+		hi := lo + stride
+		if hi > len(srcs) {
+			hi = len(srcs)
+		}
+		if hi-lo <= 64 {
+			ie.peekBatch(sc, srcs[lo:hi], lo)
+		} else {
+			ie.peekBatchWide(sc, srcs[lo:hi], lo)
+		}
+	}
+}
+
+// peekBatch is sweepRows writing into the peek scratch instead of the
+// cache: one bit-parallel BFS accumulating each lane's aggregates against
+// the graph's current host counts, plus the candidate rows themselves when
+// the sweep is storing (base is the batch's slot offset into peekRows).
+func (ie *IncrementalEvaluator) peekBatch(sc *sweepScratch, batch []int32, base int) {
+	g := ie.g
+	m := ie.m
+	visited := sc.visited[:m]
+	front := sc.front[:m]
+	next := sc.next[:m]
+	for i := range visited {
+		visited[i] = 0
+		front[i] = 0
+	}
+	var sumKD, w, prevW, rch [64]int64
+	var rows [64][]int16
+	for bit, s := range batch {
+		if ie.peekStore {
+			row := ie.peekRows[(base+bit)*m : (base+bit+1)*m]
+			copy(row, ie.negRow)
+			row[s] = 0
+			rows[bit] = row
+		}
+		visited[s] |= 1 << uint(bit)
+		front[s] |= 1 << uint(bit)
+	}
+	for level := int16(1); ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		active := false
+		for v := 0; v < m; v++ {
+			fv := front[v]
+			if fv == 0 {
+				continue
+			}
+			// Unconditionally OR the frontier into next: the settle pass
+			// below masks off already-visited bits, so pre-filtering here
+			// would only add a visited load and a branch per edge word.
+			for _, u := range g.adj[v] {
+				next[u] |= fv
+			}
+		}
+		for v := 0; v < m; v++ {
+			nv := next[v] &^ visited[v]
+			if nv == 0 {
+				next[v] = 0
+				continue
+			}
+			next[v] = nv
+			visited[v] |= nv
+			active = true
+			kv := int64(g.hosts[v])
+			if kv > 0 {
+				if ie.peekStore {
+					for mask := nv; mask != 0; mask &= mask - 1 {
+						bit := trailingZeros(mask)
+						rows[bit][v] = level
+						w[bit] += kv
+						rch[bit]++
+					}
+				} else {
+					for mask := nv; mask != 0; mask &= mask - 1 {
+						bit := trailingZeros(mask)
+						w[bit] += kv
+						rch[bit]++
+					}
+				}
+			} else if ie.peekStore {
+				for mask := nv; mask != 0; mask &= mask - 1 {
+					rows[trailingZeros(mask)][v] = level
+				}
+			}
+		}
+		if !active {
+			front, next = next, front
+			break
+		}
+		// Per-level weight-delta fold; see sweepRows.
+		for bit := range batch {
+			if d := w[bit] - prevW[bit]; d != 0 {
+				sumKD[bit] += int64(level) * d
+				prevW[bit] = w[bit]
+			}
+		}
+		front, next = next, front
+	}
+	for bit, s := range batch {
+		ie.peekSum[s] = sumKD[bit] + 2*w[bit]
+		ie.peekW[s] = w[bit]
+		ie.peekRch[s] = rch[bit]
+	}
+}
+
+// peekBatchWide is peekBatch over two mask words — see sweepRowsWide for
+// the lane layout. base is the batch's slot offset into peekRows.
+func (ie *IncrementalEvaluator) peekBatchWide(sc *sweepScratch, batch []int32, base int) {
+	g := ie.g
+	m := ie.m
+	visited := sc.visited[:2*m]
+	front := sc.front[:2*m]
+	next := sc.next[:2*m]
+	for i := range visited {
+		visited[i] = 0
+		front[i] = 0
+	}
+	var sumKD, w, prevW, rch [128]int64
+	var rows [128][]int16
+	for i, s := range batch {
+		if ie.peekStore {
+			row := ie.peekRows[(base+i)*m : (base+i+1)*m]
+			copy(row, ie.negRow)
+			row[s] = 0
+			rows[i] = row
+		}
+		j := 2*int(s) + i>>6
+		visited[j] |= 1 << uint(i&63)
+		front[j] |= 1 << uint(i&63)
+	}
+	for level := int16(1); ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		active := false
+		for v := 0; v < m; v++ {
+			i0 := 2 * v
+			f0, f1 := front[i0], front[i0+1]
+			if f0|f1 == 0 {
+				continue
+			}
+			// Unconditional OR; the settle pass masks visited bits (see the
+			// narrow variant).
+			for _, u := range g.adj[v] {
+				j0 := 2 * int(u)
+				next[j0] |= f0
+				next[j0+1] |= f1
+			}
+		}
+		for v := 0; v < m; v++ {
+			i0 := 2 * v
+			nv0 := next[i0] &^ visited[i0]
+			nv1 := next[i0+1] &^ visited[i0+1]
+			if nv0|nv1 == 0 {
+				next[i0], next[i0+1] = 0, 0
+				continue
+			}
+			next[i0], next[i0+1] = nv0, nv1
+			visited[i0] |= nv0
+			visited[i0+1] |= nv1
+			active = true
+			kv := int64(g.hosts[v])
+			if kv > 0 {
+				if ie.peekStore {
+					for mask := nv0; mask != 0; mask &= mask - 1 {
+						lane := trailingZeros(mask)
+						rows[lane][v] = level
+						w[lane] += kv
+						rch[lane]++
+					}
+					for mask := nv1; mask != 0; mask &= mask - 1 {
+						lane := 64 + trailingZeros(mask)
+						rows[lane][v] = level
+						w[lane] += kv
+						rch[lane]++
+					}
+				} else {
+					for mask := nv0; mask != 0; mask &= mask - 1 {
+						lane := trailingZeros(mask)
+						w[lane] += kv
+						rch[lane]++
+					}
+					for mask := nv1; mask != 0; mask &= mask - 1 {
+						lane := 64 + trailingZeros(mask)
+						w[lane] += kv
+						rch[lane]++
+					}
+				}
+			} else if ie.peekStore {
+				for mask := nv0; mask != 0; mask &= mask - 1 {
+					rows[trailingZeros(mask)][v] = level
+				}
+				for mask := nv1; mask != 0; mask &= mask - 1 {
+					rows[64+trailingZeros(mask)][v] = level
+				}
+			}
+		}
+		if !active {
+			front, next = next, front
+			break
+		}
+		// Per-level weight-delta fold; see sweepRows.
+		for lane := range batch {
+			if d := w[lane] - prevW[lane]; d != 0 {
+				sumKD[lane] += int64(level) * d
+				prevW[lane] = w[lane]
+			}
+		}
+		front, next = next, front
+	}
+	for i, s := range batch {
+		ie.peekSum[s] = sumKD[i] + 2*w[i]
+		ie.peekW[s] = w[i]
+		ie.peekRch[s] = rch[i]
+	}
+}
+
+// Evaluate computes the full Metrics from the cached rows — bit-identical
+// to Evaluator.Evaluate, including the partial sums of disconnected
+// graphs.
+func (ie *IncrementalEvaluator) Evaluate(g *Graph) Metrics {
+	ie.sync(g)
+	intraTotal, intraPairs, ordered, orderedW, orderedReach, attached, bearing := ie.gatherTotals(g)
+	allAttached := attached == int64(g.n)
+	switch {
+	case bearing == 0:
+		return g.finishMetrics(0, 0, 0, allAttached && g.n <= 1)
+	case bearing == 1:
+		diam := 0
+		for _, k := range g.hosts {
+			if k >= 2 {
+				diam = 2
+			}
+		}
+		return g.finishMetrics(intraTotal, intraPairs, diam, allAttached)
+	}
+	diam := 0
+	for s := 0; s < ie.m; s++ {
+		if g.hosts[s] == 0 {
+			continue
+		}
+		if g.hosts[s] >= 2 && diam < 2 {
+			diam = 2
+		}
+		row := ie.row(s)
+		for t, d := range row {
+			if d <= 0 || t == s || g.hosts[t] == 0 {
+				continue
+			}
+			if int(d)+2 > diam {
+				diam = int(d) + 2
+			}
+		}
+	}
+	connected := allAttached && orderedReach == int64(bearing)*int64(bearing-1)
+	return g.finishMetrics(intraTotal+ordered/2, intraPairs+orderedW/2, diam, connected)
+}
+
+// CachedEnergy returns the cache's own total path sum (the exact energy of
+// the last synced state — possibly a partial sum if that state was
+// disconnected) without touching the graph or the pending op log.
+func (ie *IncrementalEvaluator) CachedEnergy() int64 {
+	var intra, ordered int64
+	for s := 0; s < ie.m; s++ {
+		k := int64(ie.hosts[s])
+		if k == 0 {
+			continue
+		}
+		intra += k * (k - 1)
+		ordered += k * ie.rowSum[s]
+	}
+	return intra + ordered/2
+}
+
+// cachedBearingConnected reports whether the cached state had every pair
+// of host-bearing switches mutually reachable.
+func (ie *IncrementalEvaluator) cachedBearingConnected() bool {
+	var bearing, reach int64
+	for s := 0; s < ie.m; s++ {
+		if ie.hosts[s] == 0 {
+			continue
+		}
+		bearing++
+		reach += ie.rowRch[s]
+	}
+	return reach == bearing*(bearing-1)
+}
+
+// bearingConnectedNow runs one plain BFS on g and reports whether all
+// hosts are attached and every host-bearing switch is reachable from the
+// first one (the same pre-check Evaluator.Energy uses). Also reports the
+// bearing-switch count.
+func (ie *IncrementalEvaluator) bearingConnectedNow(g *Graph) (connected bool, bearing int) {
+	m := len(g.adj)
+	if cap(ie.seen) < m {
+		ie.seen = make([]int32, m)
+	}
+	seen := ie.seen[:m]
+	for i := range seen {
+		seen[i] = 0
+	}
+	start := -1
+	var attached int64
+	for s := 0; s < m; s++ {
+		if g.hosts[s] > 0 {
+			bearing++
+			attached += int64(g.hosts[s])
+			if start == -1 {
+				start = s
+			}
+		}
+	}
+	allAttached := attached == int64(g.n)
+	if bearing <= 1 {
+		return allAttached, bearing
+	}
+	if !allAttached {
+		return false, bearing
+	}
+	if cap(ie.queue) < m {
+		ie.queue = make([]int32, 0, m)
+	}
+	queue := ie.queue[:0]
+	seen[start] = 1
+	queue = append(queue, int32(start))
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.adj[v] {
+			if seen[u] == 0 {
+				seen[u] = 1
+				if g.hosts[u] > 0 {
+					reached++
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	ie.queue = queue[:0]
+	return reached == bearing, bearing
+}
+
+// DeltaEstimate is EstimateDelta's verdict on a pending mutation batch.
+type DeltaEstimate struct {
+	// Connected is false when the current graph fails the host-bearing
+	// connectivity pre-check (the candidate disconnects the graph).
+	Connected bool
+	// Bounded reports whether Lo/Hi are usable. When false the caller
+	// must fall back to an exact evaluation.
+	Bounded bool
+	// Lo and Hi bound the energy delta between the current graph and the
+	// cache's last synced state (CachedEnergy), in total-path units. With
+	// Exact they coincide with the true delta.
+	Lo, Hi float64
+	Exact  bool
+	// Base is the cache's energy (the delta's reference point).
+	Base int64
+	// Dirty and Sampled report the dirty-source count and how many of
+	// them were actually swept.
+	Dirty, Sampled int
+}
+
+// EstimateDelta bounds the energy change of the pending (un-synced)
+// mutations without committing anything to the cache: the op log is
+// peeked, not consumed, and sampled sources are swept into scratch. A
+// rolled-back candidate therefore leaves no trace — the stale-cache class
+// of bugs cannot occur, because only Energy/Evaluate ever write rows.
+//
+// maxSample caps how many dirty sources are swept (sampled uniformly
+// without replacement via rnd); the unswept remainder is extrapolated from
+// the sample mean with a Hoeffding-style half-width at failure probability
+// conf (the empirical sample range, inflated 4x, stands in for the true
+// per-source delta range — see DESIGN.md). When every dirty source fits in
+// the sample the bounds are exact. The estimate is refused (Bounded=false)
+// when the cache is not attached to g or when the mutation changes the
+// host-bearing connectivity status, where per-source deltas are unbounded.
+//
+// The host-bearing connectivity pre-check rides along for free: the first
+// sampled lane counts the bearing switches it reaches, which for a bearing
+// source equals the bearing count exactly when the graph is connected, so
+// no separate BFS runs unless the cache is unusable or no sampled source
+// bears hosts.
+func (ie *IncrementalEvaluator) EstimateDelta(g *Graph, maxSample int, conf float64, rnd *rng.Rand) DeltaEstimate {
+	if !ie.synced(g) {
+		connected, _ := ie.bearingConnectedNow(g)
+		return DeltaEstimate{Connected: connected}
+	}
+	// Bearing census, O(m) and BFS-free: count, total attachment, first
+	// bearing switch (whose cached row doubles as the reachability probe
+	// when no row changed).
+	var bearing int
+	var attached int64
+	first := -1
+	for b, k := range g.hosts {
+		if k > 0 {
+			bearing++
+			attached += int64(k)
+			if first == -1 {
+				first = b
+			}
+		}
+	}
+	allAttached := attached == int64(g.n)
+	if bearing <= 1 {
+		// No bearing pair exists; bearingConnectedNow's verdict is just
+		// attachment.
+		return DeltaEstimate{Connected: allAttached}
+	}
+	if !allAttached {
+		return DeltaEstimate{}
+	}
+	ie.netDiff(g.oplog)
+	ie.compactOpLog(g)
+	ie.markDirty()
+	est := DeltaEstimate{Dirty: len(ie.dirty)}
+
+	if est.Dirty == 0 {
+		// No row changed, so the cached reachability pattern is current:
+		// read connectivity off the first bearing switch's row.
+		est.Connected = true
+		row := ie.row(first)
+		for b, k := range g.hosts {
+			if k > 0 && b != first && row[b] < 0 {
+				est.Connected = false
+				break
+			}
+		}
+		if !est.Connected || !ie.cachedBearingConnected() {
+			// Disconnected, or a reconnection flip (possible here via host
+			// moves alone): per-source deltas are unbounded either way.
+			return est
+		}
+		est.Base = ie.CachedEnergy()
+		deltaIntra, exactOrdered := ie.hostDeltaTerms(g)
+		est.Bounded, est.Exact = true, true
+		est.Lo = deltaIntra + exactOrdered/2
+		est.Hi = est.Lo
+		return est
+	}
+
+	// Samples sweep in bit-parallel batches of 64 sources; a larger
+	// maxSample costs proportionally more batches but covers the dirty set
+	// exactly sooner, collapsing the bounds to a point.
+	if maxSample < 1 {
+		maxSample = 1
+	}
+	sampleN := est.Dirty
+	if sampleN > maxSample {
+		sampleN = maxSample
+	}
+	// Extrapolating from a handful of sources is how the empirical-range
+	// stand-in goes wrong: the dirty set holds only genuinely-changed rows,
+	// whose deltas spread far wider than a tiny sample reveals. Raise the
+	// floor whenever the sample does not cover the dirty set — it stays
+	// within the single 64-lane batch either way.
+	if sampleN < est.Dirty && sampleN < minExtrapolateSample {
+		sampleN = minExtrapolateSample
+		if sampleN > est.Dirty {
+			sampleN = est.Dirty
+		}
+	}
+	if sampleN == est.Dirty {
+		// Full coverage: the sample is the whole dirty set, so the sweep
+		// runs through the peek machinery — sharded over workers, storing
+		// the candidate rows — and the bounds collapse to the exact delta.
+		// An immediately following commit (an accepted move) then applies
+		// the stored rows instead of re-sweeping.
+		ie.peekSweep(g, ie.dirty)
+		ie.stampPeek(g, ie.dirty, ie.peekStore)
+		// Any bearing dirty row doubles as the connectivity pre-check: it
+		// reaches every other bearing switch exactly when the graph is
+		// connected.
+		probe := int32(-1)
+		for _, src := range ie.dirty {
+			if g.hosts[src] > 0 {
+				probe = src
+				break
+			}
+		}
+		var connected bool
+		if probe >= 0 {
+			connected = ie.peekRch[probe] == int64(bearing-1)
+		} else {
+			connected, _ = ie.bearingConnectedNow(g)
+		}
+		if !connected {
+			return est
+		}
+		est.Connected = true
+		if !ie.cachedBearingConnected() {
+			// Reachability flips make unswept per-source deltas unbounded.
+			return est
+		}
+		est.Base = ie.CachedEnergy()
+		deltaIntra, exactOrdered := ie.hostDeltaTerms(g)
+		var sampleSum float64
+		for _, src := range ie.dirty {
+			sampleSum += float64(int64(g.hosts[src]))*float64(ie.peekSum[src]) -
+				float64(int64(ie.hosts[src]))*float64(ie.rowSum[src])
+		}
+		est.Sampled = sampleN
+		est.Bounded, est.Exact = true, true
+		est.Lo = deltaIntra + (exactOrdered+sampleSum)/2
+		est.Hi = est.Lo
+		return est
+	}
+
+	// Partial Fisher-Yates: the first sampleN entries become a uniform
+	// sample without replacement.
+	ie.sampleIx = append(ie.sampleIx[:0], ie.dirty...)
+	for i := 0; i < sampleN && i < len(ie.sampleIx)-1; i++ {
+		j := i + rnd.Intn(len(ie.sampleIx)-i)
+		ie.sampleIx[i], ie.sampleIx[j] = ie.sampleIx[j], ie.sampleIx[i]
+	}
+	// Lead the sample with a bearing source: lane 0's reach count then
+	// decides connectivity. Swapping within the sample leaves membership
+	// (and hence the sums and range below) unchanged.
+	probe := -1
+	for i := 0; i < sampleN; i++ {
+		if g.hosts[ie.sampleIx[i]] > 0 {
+			probe = i
+			break
+		}
+	}
+	if probe > 0 {
+		ie.sampleIx[0], ie.sampleIx[probe] = ie.sampleIx[probe], ie.sampleIx[0]
+	}
+	if probe < 0 {
+		// Every sampled source is host-free (possible only when hosts
+		// concentrate away from the churned region): fall back to the BFS.
+		connected, _ := ie.bearingConnectedNow(g)
+		if !connected {
+			return est
+		}
+	}
+	ie.sampleD = ie.sampleD[:0]
+	var sampleSum float64
+	for off := 0; off < sampleN; off += 64 {
+		end := off + 64
+		if end > sampleN {
+			end = sampleN
+		}
+		deltas, reach := ie.sampleBatchDeltas(g, ie.sampleIx[off:end])
+		if off == 0 && probe >= 0 && reach[0] != int64(bearing) {
+			// The probe's component misses a bearing switch: the candidate
+			// disconnects the graph. Skip the remaining batches.
+			return est
+		}
+		for _, d := range deltas {
+			ie.sampleD = append(ie.sampleD, d)
+			sampleSum += d
+		}
+	}
+	est.Connected = true
+	if !ie.cachedBearingConnected() {
+		// Reachability flips make unswept per-source deltas unbounded.
+		return est
+	}
+	est.Base = ie.CachedEnergy()
+	deltaIntra, exactOrdered := ie.hostDeltaTerms(g)
+	est.Sampled = sampleN
+
+	mean := sampleSum / float64(sampleN)
+	minD, maxD := ie.sampleD[0], ie.sampleD[0]
+	for _, d := range ie.sampleD[1:] {
+		minD = math.Min(minD, d)
+		maxD = math.Max(maxD, d)
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 1e-6
+	}
+	// Hoeffding half-width on the population mean with the empirical range
+	// (inflated 4x, floored) standing in for the true range.
+	rang := 4*(maxD-minD) + 16
+	dev := rang * math.Sqrt(math.Log(2/conf)/(2*float64(sampleN)))
+	rest := float64(est.Dirty - sampleN)
+	est.Bounded = true
+	est.Lo = deltaIntra + (exactOrdered+sampleSum+rest*(mean-dev))/2
+	est.Hi = deltaIntra + (exactOrdered+sampleSum+rest*(mean+dev))/2
+	return est
+}
+
+// hostDeltaTerms computes the exact, BFS-free part of the energy delta:
+// the intra-switch term k(k-1) depends only on the host counts, and a
+// clean row s (distances unchanged) changes by the source-side reweighting
+// (k'_s - k_s)*rowSum[s] plus the target-side shifts
+// k'_s * sum_b deltaK_b * (d(s,b)+2). Dirty rows are excluded — their
+// contribution comes from the sample sweep.
+func (ie *IncrementalEvaluator) hostDeltaTerms(g *Graph) (deltaIntra, exactOrdered float64) {
+	for b := 0; b < ie.m; b++ {
+		kNew, kOld := int64(g.hosts[b]), int64(ie.hosts[b])
+		deltaK := kNew - kOld
+		if deltaK == 0 {
+			continue
+		}
+		deltaIntra += float64(kNew*(kNew-1) - kOld*(kOld-1))
+		// The cache is a consistent snapshot of an undirected graph, so
+		// its matrix is symmetric: d(s,b) for every clean s can be read
+		// sequentially off row b instead of walking column b.
+		rowB := ie.row(b)
+		for s := 0; s < ie.m; s++ {
+			if s == b || ie.dirtyAt[s] == ie.dirtyGen {
+				continue
+			}
+			d := rowB[s]
+			if d < 0 {
+				continue
+			}
+			exactOrdered += float64(int64(g.hosts[s])) * float64(deltaK) * float64(d+2)
+		}
+	}
+	for s := 0; s < ie.m; s++ {
+		if ie.dirtyAt[s] == ie.dirtyGen {
+			continue
+		}
+		if dk := int64(g.hosts[s]) - int64(ie.hosts[s]); dk != 0 {
+			exactOrdered += float64(dk) * float64(ie.rowSum[s])
+		}
+	}
+	return deltaIntra, exactOrdered
+}
+
+// sampleBatchDeltas runs one bit-parallel BFS over the (<= 64) batch
+// sources on the current graph, without writing any cached state, and
+// returns each source's ordered-sum contribution change
+// k'_s*rowSum'_s - k_s*rowSum_s against its cached aggregate, plus each
+// lane's count of reachable host-bearing switches (the source included).
+// Both slices are scratch, valid until the next call.
+func (ie *IncrementalEvaluator) sampleBatchDeltas(g *Graph, batch []int32) ([]float64, []int64) {
+	m := ie.m
+	sc := &ie.sweep[0]
+	if cap(sc.visited) < m {
+		sc.visited = make([]uint64, m)
+		sc.front = make([]uint64, m)
+		sc.next = make([]uint64, m)
+	}
+	visited := sc.visited[:m]
+	front := sc.front[:m]
+	next := sc.next[:m]
+	for i := range visited {
+		visited[i] = 0
+		front[i] = 0
+	}
+	var newSum, newRch [64]int64
+	for bit, s := range batch {
+		visited[s] |= 1 << uint(bit)
+		front[s] |= 1 << uint(bit)
+		newSum[bit] = 0
+		newRch[bit] = 0
+		if g.hosts[s] > 0 {
+			newRch[bit] = 1
+		}
+	}
+	for level := int64(1); ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		active := false
+		for v := 0; v < m; v++ {
+			fv := front[v]
+			if fv == 0 {
+				continue
+			}
+			// Unconditionally OR the frontier into next: the settle pass
+			// below masks off already-visited bits, so pre-filtering here
+			// would only add a visited load and a branch per edge word.
+			for _, u := range g.adj[v] {
+				next[u] |= fv
+			}
+		}
+		for v := 0; v < m; v++ {
+			nv := next[v] &^ visited[v]
+			if nv == 0 {
+				next[v] = 0
+				continue
+			}
+			next[v] = nv
+			visited[v] |= nv
+			active = true
+			if kv := int64(g.hosts[v]); kv > 0 {
+				w := kv * (level + 2)
+				for mask := nv; mask != 0; mask &= mask - 1 {
+					bit := trailingZeros(mask)
+					newSum[bit] += w
+					newRch[bit]++
+				}
+			}
+		}
+		front, next = next, front
+		if !active {
+			break
+		}
+	}
+	out := ie.sampleScratch(len(batch))
+	rch := ie.reachScratch(len(batch))
+	for i, s := range batch {
+		out[i] = float64(int64(g.hosts[s]))*float64(newSum[i]) -
+			float64(int64(ie.hosts[s]))*float64(ie.rowSum[s])
+		rch[i] = newRch[i]
+	}
+	return out, rch
+}
+
+// reachScratch returns a reusable int64 slice of length n.
+func (ie *IncrementalEvaluator) reachScratch(n int) []int64 {
+	if cap(ie.scratchR) < n {
+		ie.scratchR = make([]int64, n)
+	}
+	return ie.scratchR[:n]
+}
+
+// sampleScratch returns a reusable float64 slice of length n.
+func (ie *IncrementalEvaluator) sampleScratch(n int) []float64 {
+	if cap(ie.scratchF) < n {
+		ie.scratchF = make([]float64, n)
+	}
+	return ie.scratchF[:n]
+}
+
+// HASPLEstimate is EstimateHASPL's result.
+type HASPLEstimate struct {
+	HASPL     float64 // point estimate of the h-ASPL
+	HalfWidth float64 // confidence half-width: |true - estimate| <= HalfWidth w.p. >= 1-conf
+	Sampled   int     // sources swept
+}
+
+// EstimateHASPL estimates the h-ASPL of a connected graph by sweeping
+// `samples` host-bearing switches drawn uniformly with replacement, with a
+// Hoeffding-style confidence half-width at failure probability conf. It is
+// the cheap first rung of the evaluation ladder for read-only queries: the
+// per-sample statistic B*k_s*sum_t k_t*(d(s,t)+2) is an unbiased estimator
+// of the ordered inter-switch path sum (B = number of host-bearing
+// switches), and the half-width uses the conservative per-sample range
+// [0, B*kmax*n*(Dmax+2)] with Dmax the largest distance observed. ok is
+// false on graphs where the estimate is meaningless (fewer than two
+// host-bearing switches, unattached hosts, or a disconnected graph,
+// detected by any sampled source failing to reach some bearing switch).
+func EstimateHASPL(g *Graph, samples int, conf float64, rnd *rng.Rand) (HASPLEstimate, bool) {
+	m := len(g.adj)
+	var bearing []int32
+	var attached, intraTotal int64
+	var kmax int64
+	for s := 0; s < m; s++ {
+		k := int64(g.hosts[s])
+		if k > 0 {
+			bearing = append(bearing, int32(s))
+			attached += k
+			intraTotal += k * (k - 1)
+			if k > kmax {
+				kmax = k
+			}
+		}
+	}
+	if len(bearing) < 2 || attached != int64(g.n) {
+		return HASPLEstimate{}, false
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.05
+	}
+	d := make([]int16, m)
+	queue := make([]int32, 0, m)
+	B := float64(len(bearing))
+	var sum float64
+	var dmax int64
+	for i := 0; i < samples; i++ {
+		s := int(bearing[rnd.Intn(len(bearing))])
+		for t := range d {
+			d[t] = -1
+		}
+		d[s] = 0
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.adj[v] {
+				if d[u] == -1 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		var rowSum int64
+		for _, t := range bearing {
+			dt := d[t]
+			if int(t) == s {
+				continue
+			}
+			if dt < 0 {
+				return HASPLEstimate{}, false // disconnected
+			}
+			rowSum += int64(g.hosts[t]) * int64(dt+2)
+			if int64(dt) > dmax {
+				dmax = int64(dt)
+			}
+		}
+		sum += B * float64(g.hosts[s]) * float64(rowSum)
+	}
+	pairs := float64(g.n) * float64(g.n-1) / 2
+	mean := sum / float64(samples)
+	estTotal := float64(intraTotal) + mean/2
+	rang := B * float64(kmax) * float64(g.n) * float64(dmax+2)
+	dev := rang * math.Sqrt(math.Log(2/conf)/(2*float64(samples))) / 2
+	return HASPLEstimate{
+		HASPL:     estTotal / pairs,
+		HalfWidth: dev / pairs,
+		Sampled:   samples,
+	}, true
+}

@@ -1,0 +1,470 @@
+package hsgraph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// moveOp is one replayable graph mutation for the differential harness.
+type moveOp struct {
+	kind    int // 0 = disconnect, 1 = connect, 2 = move host
+	a, b, h int
+}
+
+func (op moveOp) apply(t *testing.T, g *Graph) {
+	t.Helper()
+	var err error
+	switch op.kind {
+	case 0:
+		err = g.Disconnect(op.a, op.b)
+	case 1:
+		err = g.Connect(op.a, op.b)
+	case 2:
+		err = g.MoveHost(op.h, op.a)
+	}
+	if err != nil {
+		t.Fatalf("replay %+v: %v", op, err)
+	}
+}
+
+// randomMoveScript generates a sequence of valid-in-order mutations by
+// applying candidates to the scratch clone as it goes; the result replays
+// without errors on any clone of the same starting graph. Roughly half the
+// steps are immediately-reverted pairs, so the op log's net-cancellation
+// path is exercised as heavily as plain moves.
+func randomMoveScript(t *testing.T, g *Graph, rnd *rng.Rand, steps int) []moveOp {
+	t.Helper()
+	scratch := g.Clone()
+	var script []moveOp
+	emit := func(op moveOp) {
+		op.apply(t, scratch)
+		script = append(script, op)
+	}
+	m := scratch.Switches()
+	r := scratch.Radix()
+	for len(script) < steps {
+		revert := rnd.Intn(2) == 0
+		switch rnd.Intn(3) {
+		case 0: // rewire: drop a random edge, maybe add another
+			if scratch.NumEdges() == 0 {
+				continue
+			}
+			a, b := scratch.Edge(rnd.Intn(scratch.NumEdges()))
+			emit(moveOp{kind: 0, a: a, b: b})
+			if revert {
+				emit(moveOp{kind: 1, a: a, b: b})
+			}
+		case 1:
+			a, b := rnd.Intn(m), rnd.Intn(m)
+			if a == b || scratch.HasEdge(a, b) || scratch.Degree(a) >= r || scratch.Degree(b) >= r {
+				continue
+			}
+			emit(moveOp{kind: 1, a: a, b: b})
+			if revert {
+				emit(moveOp{kind: 0, a: a, b: b})
+			}
+		default:
+			if scratch.Order() == 0 {
+				continue
+			}
+			h := rnd.Intn(scratch.Order())
+			from := scratch.SwitchOf(h)
+			if from < 0 {
+				continue
+			}
+			to := rnd.Intn(m)
+			if to == from || scratch.Degree(to) >= r {
+				continue
+			}
+			emit(moveOp{kind: 2, h: h, a: to})
+			if revert {
+				emit(moveOp{kind: 2, h: h, a: from})
+			}
+		}
+	}
+	return script
+}
+
+// checkIncrementalStep compares the incremental evaluator's Energy and
+// Evaluate against the trusted serial engine on g's current state.
+func checkIncrementalStep(t *testing.T, ie *IncrementalEvaluator, ev *Evaluator, g *Graph, ctx string) {
+	t.Helper()
+	wantMet := g.Evaluate()
+	wantE, wantC := ev.Energy(g)
+	gotE, gotC := ie.Energy(g)
+	if gotE != wantE || gotC != wantC {
+		t.Fatalf("%s: incremental Energy (%d, %v) != exact (%d, %v)", ctx, gotE, gotC, wantE, wantC)
+	}
+	if gotMet := ie.Evaluate(g); gotMet != wantMet {
+		t.Fatalf("%s: incremental Evaluate %+v != exact %+v", ctx, gotMet, wantMet)
+	}
+}
+
+// TestIncrementalEvaluatorDifferential is the equivalence proof behind the
+// incremental engine: on >= 200 (graph, move-script, worker-count)
+// combinations, the dirty-source re-sweep must agree with the full-sweep
+// engines bit-for-bit on TotalPath, HASPL, Diameter and connectivity after
+// every single step — across connected, disconnected, island and
+// concentrated-host regimes, and across heavy do/undo churn.
+func TestIncrementalEvaluatorDifferential(t *testing.T) {
+	rnd := rng.New(20260807)
+	workerCounts := []int{1, 2, 3, 8}
+	sequences := 50
+	steps := 24
+	if testing.Short() {
+		sequences = 14
+	}
+	ev := NewEvaluator(3)
+	defer ev.Close()
+	trials := 0
+	for seq := 0; seq < sequences; seq++ {
+		base := randomEvalGraph(t, rnd)
+		script := randomMoveScript(t, base, rnd, steps)
+		for _, workers := range workerCounts {
+			trials++
+			g := base.Clone()
+			ie := NewIncrementalEvaluator(workers)
+			checkIncrementalStep(t, ie, ev, g, "initial")
+			for i, op := range script {
+				op.apply(t, g)
+				checkIncrementalStep(t, ie, ev, g, "seq "+itoa(seq)+" step "+itoa(i)+" workers "+itoa(workers))
+			}
+		}
+	}
+	if trials < 200 {
+		t.Fatalf("differential coverage too small: %d combinations", trials)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// TestIncrementalRollbackReevaluate is the regression test for the
+// stale-cache bug class: a candidate move is estimated (peeked), rejected
+// and rolled back, and the evaluator must then judge subsequent moves
+// against correct cached distances. A buggy implementation that committed
+// the peeked rows (or skipped re-flagging on the undo ops) would keep
+// distances of the rejected candidate and return a wrong energy for the
+// follow-up move.
+func TestIncrementalRollbackReevaluate(t *testing.T) {
+	rnd := rng.New(99)
+	ev := NewEvaluator(2)
+	defer ev.Close()
+	for trial := 0; trial < 40; trial++ {
+		g := randomEvalGraph(t, rnd)
+		ie := NewIncrementalEvaluator(1 + trial%3)
+		checkIncrementalStep(t, ie, ev, g, "attach")
+		script := randomMoveScript(t, g, rnd, 6)
+		est := rng.New(uint64(trial) + 1)
+		for i, op := range script {
+			// Candidate: apply, peek an estimate, reject, roll back.
+			undo := op
+			if op.kind == 2 {
+				undo.a = g.SwitchOf(op.h) // the host's pre-move switch
+			}
+			op.apply(t, g)
+			ie.EstimateDelta(g, 4, 1e-6, est)
+			switch op.kind {
+			case 0:
+				undo.kind = 1
+			case 1:
+				undo.kind = 0
+			}
+			undo.apply(t, g)
+			// The cache must now answer for the rolled-back (original)
+			// state and for any follow-up mutation.
+			checkIncrementalStep(t, ie, ev, g, "rollback "+itoa(i))
+			// Re-apply for real so later candidates see fresh states, and
+			// check again: the undo ops' re-flagging must not linger.
+			op.apply(t, g)
+			checkIncrementalStep(t, ie, ev, g, "reapply "+itoa(i))
+		}
+	}
+}
+
+// TestEstimateDeltaBounds checks EstimateDelta's contract on random
+// candidates: whenever the estimate is Bounded, the exact energy delta
+// (relative to the cache's Base) lies in [Lo, Hi]; whenever it is Exact,
+// the bounds coincide with the true delta; and the Connected verdict
+// matches the exact engine's.
+func TestEstimateDeltaBounds(t *testing.T) {
+	rnd := rng.New(4242)
+	est := rng.New(777)
+	ev := NewEvaluator(2)
+	defer ev.Close()
+	trials, bounded, exact := 0, 0, 0
+	for seq := 0; seq < 60; seq++ {
+		g := randomEvalGraph(t, rnd)
+		ie := NewIncrementalEvaluator(2)
+		script := randomMoveScript(t, g, rnd, 10)
+		for _, op := range script {
+			// Sync the cache on the pre-move state, then peek the move.
+			ie.Energy(g)
+			cached := ie.CachedEnergy()
+			op.apply(t, g)
+			trials++
+			e := ie.EstimateDelta(g, 3, 1e-6, est)
+			if e.Bounded && e.Base != cached {
+				t.Fatalf("Base %d != cached energy %d", e.Base, cached)
+			}
+			wantE, wantC := ev.Energy(g)
+			if e.Connected != wantC {
+				// The pre-check must match exactly when it claims
+				// disconnection; Connected=true with unattached hosts is
+				// excluded by the check itself.
+				t.Fatalf("Connected=%v, exact connected=%v", e.Connected, wantC)
+			}
+			if !wantC || !e.Bounded {
+				continue
+			}
+			bounded++
+			// Exact delta in total-path units vs the cached state. The
+			// cached state can itself be disconnected (partial sums); such
+			// cases return Bounded=false above, so here Base is the true
+			// energy of the pre-move state.
+			delta := float64(wantE - e.Base)
+			if delta < e.Lo-1e-6 || delta > e.Hi+1e-6 {
+				t.Fatalf("exact delta %v outside [%v, %v] (dirty=%d sampled=%d)",
+					delta, e.Lo, e.Hi, e.Dirty, e.Sampled)
+			}
+			if e.Exact {
+				exact++
+				if e.Lo != e.Hi {
+					t.Fatalf("Exact estimate with Lo %v != Hi %v", e.Lo, e.Hi)
+				}
+			}
+		}
+	}
+	if bounded == 0 || exact == 0 {
+		t.Fatalf("estimator never exercised: %d trials, %d bounded, %d exact", trials, bounded, exact)
+	}
+}
+
+// TestEstimateHASPLCoverage runs the sampled-source estimator across 1000
+// trials on random connected graphs and checks the confidence contract:
+// the exact h-ASPL must lie within HalfWidth of the point estimate. With
+// conf = 1e-6 and the conservative range the bound uses, a single failure
+// among 1000 deterministic trials is a bug, not noise.
+func TestEstimateHASPLCoverage(t *testing.T) {
+	rnd := rng.New(31337)
+	est := rng.New(31338)
+	trials := 1000
+	if testing.Short() {
+		trials = 200
+	}
+	for i := 0; i < trials; i++ {
+		n := 16 + rnd.Intn(120)
+		m := 4 + rnd.Intn(40)
+		r := 6 + rnd.Intn(10)
+		if !Feasible(n, m, r) {
+			trials++
+			continue
+		}
+		g, err := RandomConnected(n, m, r, rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := g.Evaluate()
+		if !exact.Connected {
+			continue
+		}
+		h, ok := EstimateHASPL(g, 1+est.Intn(16), 1e-6, est)
+		if !ok {
+			t.Fatalf("trial %d: estimator refused a connected graph", i)
+		}
+		if diff := exact.HASPL - h.HASPL; diff > h.HalfWidth || -diff > h.HalfWidth {
+			t.Fatalf("trial %d: exact h-ASPL %v outside %v +- %v", i, exact.HASPL, h.HASPL, h.HalfWidth)
+		}
+	}
+}
+
+// TestEstimateHASPLRefusals pins the ok=false cases.
+func TestEstimateHASPLRefusals(t *testing.T) {
+	est := rng.New(5)
+	// One bearing switch.
+	g := New(4, 3, 8)
+	for h := 0; h < 4; h++ {
+		if err := g.AttachHost(h, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := EstimateHASPL(g, 4, 0.01, est); ok {
+		t.Fatal("estimator accepted a single-bearing-switch graph")
+	}
+	// Disconnected bearing switches.
+	g2 := New(4, 4, 8)
+	for h := 0; h < 4; h++ {
+		if err := g2.AttachHost(h, h%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := EstimateHASPL(g2, 8, 0.01, est); ok {
+		t.Fatal("estimator accepted a disconnected graph")
+	}
+	// Unattached hosts.
+	g3 := New(4, 3, 8)
+	if err := g3.AttachHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.AttachHost(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := EstimateHASPL(g3, 4, 0.01, est); ok {
+		t.Fatal("estimator accepted a graph with unattached hosts")
+	}
+}
+
+// TestIncrementalOpLogOverflow drives more mutations than the op log
+// holds between evaluations; the evaluator must notice and fall back to a
+// full rebuild instead of trusting a truncated log.
+func TestIncrementalOpLogOverflow(t *testing.T) {
+	g, err := RandomConnected(64, 16, 10, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(1)
+	defer ev.Close()
+	ie := NewIncrementalEvaluator(2)
+	checkIncrementalStep(t, ie, ev, g, "attach")
+	a, b := g.Edge(0)
+	for i := 0; i < maxOpLog; i++ { // 2 ops per round: guaranteed overflow
+		if err := g.Disconnect(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.opOverflow {
+		t.Fatal("op log did not overflow")
+	}
+	checkIncrementalStep(t, ie, ev, g, "post-overflow")
+	// And the evaluator must have re-armed a fresh log.
+	if g.opOverflow || !g.opLogOn {
+		t.Fatal("evaluator did not re-arm the op log after overflow")
+	}
+}
+
+// TestIncrementalEvaluatorSteadyStateAllocs verifies the annealing-shaped
+// cycle (mutate, evaluate, roll back, evaluate) is allocation-free once
+// the cache is warm, like the sharded evaluator's steady state.
+func TestIncrementalEvaluatorSteadyStateAllocs(t *testing.T) {
+	g, err := RandomConnected(128, 32, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie := NewIncrementalEvaluator(1) // workers=1: no goroutine churn in the loop
+	ie.Energy(g)
+	est := rng.New(11)
+	a, b := g.Edge(0)
+	c, d := g.Edge(1)
+	step := func() {
+		for _, p := range [][2]int{{a, b}, {c, d}} {
+			if err := g.Disconnect(p[0], p[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Connect(a, b); err != nil {
+			t.Fatal(err)
+		}
+		ie.EstimateDelta(g, 2, 1e-6, est)
+		if err := g.Connect(c, d); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ie.Energy(g); !ok {
+			t.Fatal("graph disconnected")
+		}
+	}
+	step() // warm every scratch path
+	if avg := testing.AllocsPerRun(50, step); avg > 0 {
+		t.Fatalf("steady-state incremental evaluation allocates %.1f times per cycle", avg)
+	}
+}
+
+// FuzzIncrementalEval feeds random edge-mutation scripts (including no-op
+// and revert pairs) to the incremental evaluator and cross-checks every
+// state against a fresh full sweep.
+func FuzzIncrementalEval(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint64(7), []byte{9, 9, 9, 9, 0, 0, 0, 0, 255, 254, 253})
+	f.Add(uint64(42), []byte{})
+	f.Add(uint64(20260807), []byte{1, 0, 1, 0, 1, 0, 1, 0, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) > 96 {
+			script = script[:96]
+		}
+		rnd := rng.New(seed)
+		g := randomEvalGraph(t, rnd)
+		ev := NewEvaluator(2)
+		defer ev.Close()
+		ie := NewIncrementalEvaluator(1 + int(seed%3))
+		est := rng.New(seed ^ 0x9e3779b97f4a7c15)
+		checkIncrementalStep(t, ie, ev, g, "attach")
+		m := g.Switches()
+		r := g.Radix()
+		for i := 0; i+2 < len(script); i += 3 {
+			op, x, y := script[i], int(script[i+1]), int(script[i+2])
+			switch op % 5 {
+			case 0: // disconnect an existing edge
+				if g.NumEdges() == 0 {
+					continue
+				}
+				a, b := g.Edge(x % g.NumEdges())
+				if err := g.Disconnect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // connect a feasible pair
+				a, b := x%m, y%m
+				if a == b || g.HasEdge(a, b) || g.Degree(a) >= r || g.Degree(b) >= r {
+					continue
+				}
+				if err := g.Connect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // move a host
+				if g.Order() == 0 {
+					continue
+				}
+				h := x % g.Order()
+				to := y % m
+				if g.SwitchOf(h) < 0 || to == g.SwitchOf(h) || g.Degree(to) >= r {
+					continue
+				}
+				if err := g.MoveHost(h, to); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // revert pair: disconnect + reconnect (net no-op)
+				if g.NumEdges() == 0 {
+					continue
+				}
+				a, b := g.Edge(x % g.NumEdges())
+				if err := g.Disconnect(a, b); err != nil {
+					t.Fatal(err)
+				}
+				if err := g.Connect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			default: // peek an estimate without committing anything
+				ie.EstimateDelta(g, 1+y%4, 1e-6, est)
+				continue
+			}
+			checkIncrementalStep(t, ie, ev, g, "op "+itoa(i))
+		}
+		checkIncrementalStep(t, ie, ev, g, "final")
+	})
+}

@@ -36,6 +36,9 @@ type Options struct {
 	// Workers is the number of evaluation shard workers (hsgraph.Evaluator);
 	// zero means GOMAXPROCS. Results are identical for any worker count.
 	Workers int
+	// Eval selects the annealer's evaluation ladder rung (see
+	// opt.EvalMode). Default exact.
+	Eval opt.EvalMode
 }
 
 // Result is a solved ODP instance.
@@ -78,6 +81,7 @@ func Solve(n, d int, o Options) (*Result, error) {
 		Schedule:   o.Schedule,
 		Seed:       o.Seed + 1,
 		Workers:    o.Workers,
+		Eval:       o.Eval,
 	})
 	if err != nil {
 		return nil, err

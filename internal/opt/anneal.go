@@ -113,6 +113,13 @@ type Options struct {
 	// The result is identical for every worker count; only throughput
 	// changes. ParallelAnneal resolves 0 to a share of GOMAXPROCS.
 	Workers int
+	// Eval selects the evaluation ladder rung (see EvalMode). The default
+	// EvalExact evaluates every candidate with the full sweep;
+	// EvalIncremental re-sweeps only dirty sources; EvalLadder adds the
+	// sampled-source bound with escalation. All modes yield the same
+	// accepted-move sequence for a seed (ladder: whenever its confidence
+	// bounds hold, which is all but ~1e-6 of estimates).
+	Eval EvalMode
 
 	// CheckpointPath, when non-empty, makes the annealer write a
 	// crash-safe snapshot of its complete loop state (graphs, energies,
@@ -172,8 +179,12 @@ type annealState struct {
 	temp               float64
 	iter               int
 	rnd                *rng.Rand
-	res                Result
-	tel                telemetry
+	// estRnd is the ladder estimator's private stream (nil outside
+	// EvalLadder). It is checkpointed: a resumed ladder run replays the
+	// same source samples and hence the same escalation pattern.
+	estRnd *rng.Rand
+	res    Result
+	tel    telemetry
 }
 
 // validateOptions rejects senseless inputs. It deliberately fills no
@@ -203,6 +214,11 @@ func validateOptions(o *Options) error {
 	case Geometric, Linear, HillClimb:
 	default:
 		return fmt.Errorf("opt: unknown schedule %v", o.Schedule)
+	}
+	switch o.Eval {
+	case EvalExact, EvalIncremental, EvalLadder:
+	default:
+		return fmt.Errorf("opt: unknown evaluation mode %v", o.Eval)
 	}
 	return nil
 }
@@ -265,6 +281,11 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 // o, resolving InitialTemp/FinalTemp to their effective values.
 func newAnnealState(start *hsgraph.Graph, o *Options, ev *hsgraph.Evaluator) (*annealState, error) {
 	st := &annealState{rnd: rng.New(o.Seed)}
+	if o.Eval == EvalLadder {
+		// A private stream, derived from the seed but never touching the
+		// decision RNG: sampling noise must not perturb the move draws.
+		st.estRnd = rng.New(o.Seed ^ ladderSeedSalt)
+	}
 	st.g = start.Clone()
 	cur := ev.Evaluate(st.g)
 	if !cur.Connected {
@@ -301,29 +322,54 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 	cool := math.Pow(o.FinalTemp/o.InitialTemp, 1/math.Max(1, float64(o.Iterations-1)))
 	linStep := (o.InitialTemp - o.FinalTemp) / math.Max(1, float64(o.Iterations-1))
 
-	energyOf := func() int64 {
+	// The evaluation ladder: decide judges the current (mutated) graph
+	// against st.energy at st.temp. Exact mode pays a full sweep per
+	// candidate; incremental mode the dirty-source re-sweep; ladder mode
+	// consults the sampled bound first and escalates only when the
+	// decision is within it. All modes consume st.rnd identically (one
+	// draw per connected uphill candidate), so the accepted-move sequence
+	// is seed-determined, not mode-determined.
+	var ladder *ladderEval
+	if o.Eval != EvalExact {
+		workers := o.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		ladder = &ladderEval{inc: hsgraph.NewIncrementalEvaluator(workers), estRnd: st.estRnd}
+	}
+	decide := func() (int64, bool) {
+		if o.Eval == EvalLadder {
+			return ladder.decide(st.g, st.energy, st.temp, st.rnd)
+		}
+		if o.Eval == EvalIncremental {
+			// Peek the exact candidate energy without committing rows;
+			// only accepted candidates pay the cache update, so rejected
+			// ones roll back for free.
+			e, connected, ok := ladder.inc.PeekEnergy(st.g)
+			if !ok {
+				e, connected = ladder.inc.Energy(st.g)
+			}
+			if !connected {
+				e = math.MaxInt64
+			}
+			accepted := acceptExact(e, st.energy, st.temp, st.rnd)
+			if accepted {
+				ladder.inc.Energy(st.g)
+			}
+			return e, accepted
+		}
 		e, connected := ev.Energy(st.g)
 		if !connected {
-			return math.MaxInt64
+			e = math.MaxInt64
 		}
-		return e
-	}
-	acceptAt := func(candidate int64, t float64) bool {
-		if candidate == math.MaxInt64 {
-			return false
-		}
-		delta := candidate - st.energy
-		if delta <= 0 {
-			return true
-		}
-		return st.rnd.Float64() < math.Exp(-float64(delta)/t)
+		return e, acceptExact(e, st.energy, st.temp, st.rnd)
 	}
 
 	for iter := st.iter; iter < o.Iterations; iter++ {
 		switch o.Moves {
 		case TwoNeighborSwing:
 			res.Proposed++
-			if e, moved := twoNeighborSwing(st.g, st.rnd, energyOf, func(c int64) bool { return acceptAt(c, st.temp) }, &res.Moves); moved {
+			if e, moved := twoNeighborSwing(st.g, st.rnd, decide, &res.Moves); moved {
 				st.energy = e
 				res.Accepted++
 			}
@@ -342,7 +388,7 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 				} else {
 					res.Moves.SwingAttempts++
 				}
-				if e := energyOf(); acceptAt(e, st.temp) {
+				if e, accepted := decide(); accepted {
 					st.energy = e
 					res.Accepted++
 					if o.Moves == SwapOnly {

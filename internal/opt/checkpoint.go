@@ -11,8 +11,9 @@ import (
 
 // annealKind names the snapshot payload layout. Bump the suffix when the
 // layout changes; old files are then rejected with a clear error instead
-// of being misparsed.
-const annealKind = "orp.anneal.v1"
+// of being misparsed. v2 added the evaluation mode and the ladder
+// estimator's RNG stream.
+const annealKind = "orp.anneal.v2"
 
 // Decode caps. A snapshot that claims more than these is corrupt (or
 // hostile); reject before allocating. They comfortably exceed anything
@@ -38,11 +39,15 @@ type annealSnapshot struct {
 	traceEnergy    bool
 	energyTraceMax int
 	restart        int
+	eval           EvalMode
 
 	iter               int
 	temp               float64
 	energy, bestEnergy int64
 	rngState           [4]uint64
+	// estRngState is the ladder estimator's stream; all-zero (and ignored)
+	// outside EvalLadder.
+	estRngState [4]uint64
 
 	accepted, proposed int
 	moveCounters       MoveCounters
@@ -68,12 +73,20 @@ func writeAnnealCheckpoint(path string, st *annealState, o *Options) error {
 	e.Bool(o.TraceEnergy)
 	e.Int(o.EnergyTraceMax)
 	e.Int(o.restart)
+	e.Int(int(o.Eval))
 
 	e.Int(st.iter)
 	e.F64(st.temp)
 	e.I64(st.energy)
 	e.I64(st.bestEnergy)
 	for _, s := range st.rnd.State() {
+		e.U64(s)
+	}
+	var estState [4]uint64
+	if st.estRnd != nil {
+		estState = st.estRnd.State()
+	}
+	for _, s := range estState {
 		e.U64(s)
 	}
 
@@ -124,6 +137,7 @@ func decodeAnnealSnapshot(payload []byte) (*annealSnapshot, error) {
 	s.traceEnergy = d.Bool()
 	s.energyTraceMax = d.Int()
 	s.restart = d.Int()
+	s.eval = EvalMode(d.Int())
 
 	s.iter = d.Int()
 	s.temp = d.F64()
@@ -131,6 +145,9 @@ func decodeAnnealSnapshot(payload []byte) (*annealSnapshot, error) {
 	s.bestEnergy = d.I64()
 	for i := range s.rngState {
 		s.rngState[i] = d.U64()
+	}
+	for i := range s.estRngState {
+		s.estRngState[i] = d.U64()
 	}
 
 	s.accepted = d.Int()
@@ -183,6 +200,10 @@ func decodeAnnealSnapshot(payload []byte) (*annealSnapshot, error) {
 		return nil, fmt.Errorf("opt: checkpoint: invalid move counts accepted=%d proposed=%d", s.accepted, s.proposed)
 	case s.restart < 0:
 		return nil, fmt.Errorf("opt: checkpoint: negative restart %d", s.restart)
+	case s.eval != EvalExact && s.eval != EvalIncremental && s.eval != EvalLadder:
+		return nil, fmt.Errorf("opt: checkpoint: unknown evaluation mode %d", int(s.eval))
+	case s.eval == EvalLadder && s.estRngState == [4]uint64{}:
+		return nil, fmt.Errorf("opt: checkpoint: ladder mode with empty estimator RNG state")
 	}
 	return s, nil
 }
@@ -263,6 +284,8 @@ func loadAnnealState(path string, o *Options, ev *hsgraph.Evaluator) (*annealSta
 		return nil, mismatch("EnergyTraceMax", s.energyTraceMax, o.EnergyTraceMax)
 	case o.restart != s.restart:
 		return nil, mismatch("restart", s.restart, o.restart)
+	case o.Eval != s.eval:
+		return nil, mismatch("Eval", s.eval, o.Eval)
 	}
 	o.Iterations = s.iterations
 	o.InitialTemp, o.FinalTemp = s.initialTemp, s.finalTemp
@@ -281,11 +304,17 @@ func loadAnnealState(path string, o *Options, ev *hsgraph.Evaluator) (*annealSta
 	if err != nil {
 		return nil, fmt.Errorf("opt: resume %s: %w", path, err)
 	}
+	var estRnd *rng.Rand
+	if s.eval == EvalLadder {
+		if estRnd, err = rng.FromState(s.estRngState); err != nil {
+			return nil, fmt.Errorf("opt: resume %s: estimator stream: %w", path, err)
+		}
+	}
 
 	st := &annealState{
 		g: g, best: best,
 		energy: s.energy, bestEnergy: s.bestEnergy,
-		temp: s.temp, iter: s.iter, rnd: rnd,
+		temp: s.temp, iter: s.iter, rnd: rnd, estRnd: estRnd,
 		res: Result{
 			Initial:     s.initial,
 			Accepted:    s.accepted,

@@ -72,11 +72,11 @@ func TestResumeDeterminismAfterInterrupt(t *testing.T) {
 		killWorkers   int // worker count of the interrupted half
 		resumeWorkers int // worker count of the resumed half
 	}{
-		{1, 1, 1},    // immediately after the first iteration
-		{137, 1, 3},  // arbitrary point, serial -> parallel
-		{517, 2, 1},  // arbitrary point, parallel -> serial
-		{799, 3, 2},  // one iteration before the end
-		{800, 1, 1},  // resuming a completed run replays nothing
+		{1, 1, 1},   // immediately after the first iteration
+		{137, 1, 3}, // arbitrary point, serial -> parallel
+		{517, 2, 1}, // arbitrary point, parallel -> serial
+		{799, 3, 2}, // one iteration before the end
+		{800, 1, 1}, // resuming a completed run replays nothing
 	}
 	for _, tc := range cases {
 		path := filepath.Join(t.TempDir(), "anneal.ckpt")

@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hsgraph"
+	"repro/internal/rng"
+)
+
+// EvalMode selects how the annealer evaluates candidate moves — the
+// evaluation ladder of DESIGN.md. Every mode produces the same accepted-
+// move sequence and the same final graphs for a given seed; they differ
+// only in how much work a decision costs.
+type EvalMode int
+
+const (
+	// EvalExact evaluates every candidate with the full sharded sweep
+	// (hsgraph.Evaluator). The reference mode; the default.
+	EvalExact EvalMode = iota
+	// EvalIncremental evaluates every candidate exactly, but through the
+	// dirty-source cache (hsgraph.IncrementalEvaluator): only sources
+	// whose BFS trees can have changed are re-swept. Energies are
+	// bit-identical to EvalExact, so decisions trivially agree.
+	EvalIncremental
+	// EvalLadder consults a sampled-source bound on the energy delta
+	// first and escalates to the exact incremental evaluation only when
+	// the accept/reject decision falls within the bound. Uphill moves the
+	// temperature cannot save are rejected without ever computing the
+	// exact energy. Decisions agree with EvalExact whenever the bounds
+	// hold, which the configured confidence makes overwhelmingly likely
+	// (see ladderConf).
+	EvalLadder
+)
+
+func (e EvalMode) String() string {
+	switch e {
+	case EvalExact:
+		return "exact"
+	case EvalIncremental:
+		return "incremental"
+	case EvalLadder:
+		return "ladder"
+	}
+	return fmt.Sprintf("EvalMode(%d)", int(e))
+}
+
+// ParseEvalMode parses the CLI spelling of an evaluation mode.
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch s {
+	case "exact", "":
+		return EvalExact, nil
+	case "incremental":
+		return EvalIncremental, nil
+	case "ladder":
+		return EvalLadder, nil
+	}
+	return 0, fmt.Errorf("opt: unknown evaluation mode %q (want exact, incremental or ladder)", s)
+}
+
+// Ladder tuning. The estimator samples up to 64 bit-parallel batches of
+// dirty sources: for every realistic dirty set the sample is exhaustive,
+// the bounds collapse to the exact delta, and a decision costs
+// ceil(dirty/64) sweeps against exact mode's ceil(m/64). Only dirty sets
+// past the cap fall back to genuine Hoeffding bounds from a partial
+// sample. The confidence is set so that a bound failure — the only way a
+// ladder decision can need the exact-mode tie-break — has probability
+// ~1e-6 per estimate, i.e. one in a million moves even before the 4x
+// range inflation hsgraph applies on top.
+const (
+	ladderMaxSample = 4096
+	ladderConf      = 1e-6
+	// ladderSeedSalt derives the estimator's private RNG stream from the
+	// run seed. The stream is separate from the decision RNG so that
+	// sampling never perturbs the accept/reject draws.
+	ladderSeedSalt = 0xb5ad4eceda1ce2a9
+)
+
+// ladderEval holds the ladder's per-run machinery: the incremental cache
+// and the estimator's private RNG stream.
+type ladderEval struct {
+	inc    *hsgraph.IncrementalEvaluator
+	estRnd *rng.Rand
+}
+
+// decide is the ladder's accept/reject verdict on the current (already
+// mutated) graph, given the pre-move energy cur and temperature temp.
+// It consumes draws from rnd exactly as the exact-mode rule does — one
+// draw iff the true delta is positive and the graph stays connected —
+// whenever the bounds contain the true delta, so the decision stream is
+// identical to exact mode's. The returned energy is the exact candidate
+// energy when accepted; rejected verdicts may skip computing it entirely.
+func (l *ladderEval) decide(g *hsgraph.Graph, cur int64, temp float64, rnd *rng.Rand) (int64, bool) {
+	est := l.inc.EstimateDelta(g, ladderMaxSample, ladderConf, l.estRnd)
+	if !est.Connected {
+		// Exact mode rejects disconnecting moves without a draw.
+		return 0, false
+	}
+	// commit evaluates through the cache, re-sweeping and storing the
+	// dirty rows: the candidate becomes the cache's new base state. Only
+	// accepted candidates pay it.
+	commit := func() int64 {
+		e, connected := l.inc.Energy(g)
+		if !connected {
+			return math.MaxInt64
+		}
+		return e
+	}
+	// peekExact is the ladder's escalation rung: the exact candidate
+	// energy, bit-identical to commit's, but into scratch — a rejected
+	// candidate costs ceil(dirty/64) batch sweeps and rolls back for free.
+	peekExact := func() int64 {
+		e, connected, ok := l.inc.PeekEnergy(g)
+		if !ok {
+			return commit()
+		}
+		if !connected {
+			return math.MaxInt64
+		}
+		return e
+	}
+	if !est.Bounded {
+		e := peekExact()
+		accepted := acceptExact(e, cur, temp, rnd)
+		if accepted {
+			commit()
+		}
+		return e, accepted
+	}
+	// The bounds are against the cache's base state, which can lag cur by
+	// a committed-then-rejected candidate (see twoNeighborSwing's step 3);
+	// shift them onto the pre-move energy and widen by half a unit so the
+	// integer delta cannot fall on a rounded-off boundary.
+	shift := float64(est.Base - cur)
+	lo := est.Lo + shift - 0.5
+	hi := est.Hi + shift + 0.5
+	if hi <= 0 {
+		// Certain downhill: exact mode accepts without a draw.
+		return commit(), true
+	}
+	if lo > 0 {
+		// Certain uphill: exact mode draws once. Use the bound to decide
+		// without the exact energy when the draw is decisive either way.
+		u := rnd.Float64()
+		if u >= math.Exp(-lo/temp) {
+			return 0, false // even the most favorable delta loses the draw
+		}
+		if u < math.Exp(-hi/temp) {
+			return commit(), true // even the worst delta wins the draw
+		}
+		e := peekExact()
+		if e == math.MaxInt64 {
+			return 0, false
+		}
+		delta := e - cur
+		if delta <= 0 {
+			// Bound failure (possible with probability < ladderConf): the
+			// move was downhill after all. Accept, as exact mode would.
+			commit()
+			return e, true
+		}
+		if u < math.Exp(-float64(delta)/temp) {
+			commit()
+			return e, true
+		}
+		return e, false
+	}
+	// The sign of the delta is inside the bound: escalate to the exact
+	// energy and apply the standard rule.
+	e := peekExact()
+	accepted := acceptExact(e, cur, temp, rnd)
+	if accepted {
+		commit()
+	}
+	return e, accepted
+}
+
+// acceptExact is the exact-mode Metropolis rule: accept downhill moves
+// outright, uphill moves with probability exp(-delta/temp), consuming one
+// draw only in the uphill case.
+func acceptExact(candidate, cur int64, temp float64, rnd *rng.Rand) bool {
+	if candidate == math.MaxInt64 {
+		return false
+	}
+	delta := candidate - cur
+	if delta <= 0 {
+		return true
+	}
+	return rnd.Float64() < math.Exp(-float64(delta)/temp)
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// progressPoint is one OnProgress observation: with ReportEvery=1 the
+// sequence of points is the full accepted-move trajectory of a run.
+type progressPoint struct {
+	iter          int
+	current, best int64
+}
+
+// runWithTrajectory anneals with ReportEvery=1 and returns the serialized
+// best graph, the Result and every (iter, current, best) point.
+func runWithTrajectory(t *testing.T, o Options, seed uint64) ([]byte, Result, []progressPoint) {
+	t.Helper()
+	start := randomGraph(t, 48, 12, 8, 5)
+	var traj []progressPoint
+	o.Seed = seed
+	o.ReportEvery = 1
+	o.OnProgress = func(iter int, current, best int64) {
+		traj = append(traj, progressPoint{iter, current, best})
+	}
+	g, res, err := Anneal(start, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graphBytes(t, g), res, traj
+}
+
+// TestEvalModesProduceIdenticalRuns is the ladder's headline property:
+// for the same seed, every rung of the evaluation ladder — exact,
+// incremental, ladder — produces the identical accepted-move sequence
+// (same current/best energy after every iteration), the identical Result
+// (move counters included) and the identical final best graph, across
+// move sets and schedules.
+func TestEvalModesProduceIdenticalRuns(t *testing.T) {
+	cases := []struct {
+		name  string
+		moves MoveSet
+		sched Schedule
+		iters int
+		seeds []uint64
+	}{
+		{"2ns-geometric", TwoNeighborSwing, Geometric, 400, []uint64{7, 19}},
+		{"swap-geometric", SwapOnly, Geometric, 400, []uint64{7}},
+		{"swing-geometric", SwingOnly, Geometric, 400, []uint64{7}},
+		{"2ns-linear", TwoNeighborSwing, Linear, 300, []uint64{3}},
+		{"2ns-hillclimb", TwoNeighborSwing, HillClimb, 300, []uint64{3}},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, tc := range cases {
+		for _, seed := range tc.seeds {
+			base := Options{Iterations: tc.iters, Moves: tc.moves, Schedule: tc.sched}
+			exactO := base
+			exactO.Eval = EvalExact
+			wantG, wantRes, wantTraj := runWithTrajectory(t, exactO, seed)
+			for _, mode := range []EvalMode{EvalIncremental, EvalLadder} {
+				for _, workers := range []int{1, 3} {
+					o := base
+					o.Eval = mode
+					o.Workers = workers
+					gotG, gotRes, gotTraj := runWithTrajectory(t, o, seed)
+					ctx := tc.name + "/" + mode.String()
+					if !bytes.Equal(wantG, gotG) {
+						t.Fatalf("%s seed=%d workers=%d: best graphs differ from exact mode", ctx, seed, workers)
+					}
+					if !reflect.DeepEqual(wantRes, gotRes) {
+						t.Fatalf("%s seed=%d workers=%d: results differ:\nexact %+v\ngot   %+v", ctx, seed, workers, wantRes, gotRes)
+					}
+					if !reflect.DeepEqual(wantTraj, gotTraj) {
+						for i := range wantTraj {
+							if i < len(gotTraj) && wantTraj[i] != gotTraj[i] {
+								t.Fatalf("%s seed=%d workers=%d: trajectories fork at iteration %d: exact %+v, got %+v",
+									ctx, seed, workers, wantTraj[i].iter, wantTraj[i], gotTraj[i])
+							}
+						}
+						t.Fatalf("%s seed=%d workers=%d: trajectory lengths differ: %d vs %d", ctx, seed, workers, len(wantTraj), len(gotTraj))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLadderKillResume: a ladder-mode run interrupted at an arbitrary
+// iteration and resumed from its snapshot — including with a different
+// worker count — is bit-identical to the uninterrupted ladder run (and
+// hence to the exact run, by TestEvalModesProduceIdenticalRuns). This is
+// what the v2 checkpoint's estimator-stream field exists for.
+func TestLadderKillResume(t *testing.T) {
+	start := randomGraph(t, 48, 12, 8, 5)
+	o := ckptBaseOptions()
+	o.Eval = EvalLadder
+	wantG, wantRes, err := Anneal(start, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		killAt, killWorkers, resumeWorkers int
+	}{
+		{1, 1, 2},
+		{137, 1, 3},
+		{517, 3, 1},
+		{799, 2, 2},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(t.TempDir(), "ladder.ckpt")
+		var stop atomic.Bool
+		ko := ckptBaseOptions()
+		ko.Eval = EvalLadder
+		ko.CheckpointPath = path
+		ko.CheckpointEvery = 100
+		ko.Interrupt = &stop
+		ko.Workers = tc.killWorkers
+		ko.OnProgress = func(iter int, current, best int64) {
+			if iter == tc.killAt {
+				stop.Store(true)
+			}
+		}
+		if _, _, err := Anneal(start, ko); !errors.Is(err, ckpt.ErrInterrupted) {
+			t.Fatalf("killAt=%d: want ErrInterrupted, got %v", tc.killAt, err)
+		}
+
+		ro := ckptBaseOptions()
+		ro.Eval = EvalLadder
+		ro.CheckpointPath = path
+		ro.Resume = true
+		ro.Workers = tc.resumeWorkers
+		gotG, gotRes, err := Anneal(start, ro)
+		if err != nil {
+			t.Fatalf("killAt=%d: resume: %v", tc.killAt, err)
+		}
+		requireIdentical(t, wantG, gotG, wantRes, gotRes)
+	}
+}
+
+// TestLadderResumeFingerprintsEvalMode: a snapshot taken in one
+// evaluation mode refuses to resume in another — silently switching rungs
+// mid-run would invalidate the checkpointed estimator stream.
+func TestLadderResumeFingerprintsEvalMode(t *testing.T) {
+	start := randomGraph(t, 48, 12, 8, 5)
+	path := filepath.Join(t.TempDir(), "anneal.ckpt")
+	o := ckptBaseOptions()
+	o.Eval = EvalLadder
+	o.CheckpointPath = path
+	o.CheckpointEvery = 100
+	if _, _, err := Anneal(start, o); err != nil {
+		t.Fatal(err)
+	}
+	ro := ckptBaseOptions()
+	ro.Eval = EvalExact
+	ro.CheckpointPath = path
+	ro.Resume = true
+	_, _, err := Anneal(start, ro)
+	if err == nil || !strings.Contains(err.Error(), "Eval") {
+		t.Fatalf("resume with mismatched eval mode: want fingerprint error, got %v", err)
+	}
+}
+
+// TestParallelAnnealLadder: the restart tournament picks the same winner
+// on every rung.
+func TestParallelAnnealLadder(t *testing.T) {
+	start := randomGraph(t, 48, 12, 8, 5)
+	base := Options{Iterations: 300, Seed: 21}
+	exactG, exactRes, err := ParallelAnneal(start, base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []EvalMode{EvalIncremental, EvalLadder} {
+		o := base
+		o.Eval = mode
+		g, res, err := ParallelAnneal(start, o, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(graphBytes(t, exactG), graphBytes(t, g)) {
+			t.Fatalf("%v: ParallelAnneal winner differs from exact mode", mode)
+		}
+		if !reflect.DeepEqual(exactRes, res) {
+			t.Fatalf("%v: ParallelAnneal results differ:\nexact %+v\ngot   %+v", mode, exactRes, res)
+		}
+	}
+}

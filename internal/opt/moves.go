@@ -100,19 +100,21 @@ func trySwing(g *hsgraph.Graph, rnd *rng.Rand) (undo, bool) {
 }
 
 // twoNeighborSwing implements the paper's 2-neighbor swing operation
-// (Fig. 4). accept is the annealer's verdict on a candidate energy.
-// The operation:
+// (Fig. 4). decide is the annealer's verdict on the current (mutated)
+// graph: it returns the candidate's exact energy and whether the move is
+// accepted; rejecting verdicts may skip the energy (the returned value is
+// only used on acceptance). The operation:
 //
 //	Step 1: apply swing(a, b, c); if accepted, keep it (1-neighbor).
 //	Step 3: otherwise apply swing(d, c, b) — using the host that step 1
 //	        moved onto b — yielding the swap of {a,b} and {d,c}; if
 //	        accepted, keep it (2-neighbor). Otherwise restore the input.
 //
-// Returns whether a move was kept. energyOf evaluates the current graph.
-// mc (non-nil) receives the per-step attempt/accept telemetry: step 1
-// counts as a swing, step 3 as a counter-swing.
+// Returns whether a move was kept. mc (non-nil) receives the per-step
+// attempt/accept telemetry: step 1 counts as a swing, step 3 as a
+// counter-swing.
 func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
-	energyOf func() int64, accept func(candidate int64) bool, mc *MoveCounters) (int64, bool) {
+	decide func() (int64, bool), mc *MoveCounters) (int64, bool) {
 
 	ne := g.NumEdges()
 	m := g.Switches()
@@ -136,8 +138,7 @@ func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
 		return 0, false
 	}
 	mc.SwingAttempts++
-	e1 := energyOf()
-	if accept(e1) {
+	if e1, accepted := decide(); accepted {
 		mc.SwingAccepts++
 		return e1, true
 	}
@@ -161,8 +162,7 @@ func twoNeighborSwing(g *hsgraph.Graph, rnd *rng.Rand,
 			continue
 		}
 		mc.CounterAttempts++
-		e2 := energyOf()
-		if accept(e2) {
+		if e2, accepted := decide(); accepted {
 			mc.CounterAccepts++
 			return e2, true
 		}

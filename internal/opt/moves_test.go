@@ -170,9 +170,9 @@ func TestTwoNeighborSwingAlwaysReject(t *testing.T) {
 	g := randomGraph(t, 24, 8, 7, 5)
 	before := g.Clone()
 	rnd := rng.New(6)
-	energyOf := func() int64 { return g.Evaluate().TotalPath }
+	reject := func() (int64, bool) { return g.Evaluate().TotalPath, false }
 	for i := 0; i < 50; i++ {
-		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return false }, &MoveCounters{}); moved {
+		if _, moved := twoNeighborSwing(g, rnd, reject, &MoveCounters{}); moved {
 			t.Fatal("move kept despite rejecting acceptor")
 		}
 		if !hsgraph.Equal(g, before) {
@@ -184,10 +184,10 @@ func TestTwoNeighborSwingAlwaysReject(t *testing.T) {
 func TestTwoNeighborSwingAlwaysAccept(t *testing.T) {
 	g := randomGraph(t, 24, 8, 7, 7)
 	rnd := rng.New(8)
-	energyOf := func() int64 { return g.Evaluate().TotalPath }
+	accept := func() (int64, bool) { return g.Evaluate().TotalPath, true }
 	kept := 0
 	for i := 0; i < 50; i++ {
-		if _, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return true }, &MoveCounters{}); moved {
+		if _, moved := twoNeighborSwing(g, rnd, accept, &MoveCounters{}); moved {
 			kept++
 		}
 		if err := g.Validate(); err != nil && err != hsgraph.ErrNotConnected {
@@ -204,13 +204,12 @@ func TestTwoNeighborSwingSecondStepIsSwap(t *testing.T) {
 	// second, the net effect must preserve all host counts (a pure swap).
 	g := randomGraph(t, 24, 8, 7, 9)
 	rnd := rng.New(10)
-	energyOf := func() int64 { return g.Evaluate().TotalPath }
 	for i := 0; i < 100; i++ {
 		before := g.Clone()
 		calls := 0
-		_, moved := twoNeighborSwing(g, rnd, energyOf, func(int64) bool {
+		_, moved := twoNeighborSwing(g, rnd, func() (int64, bool) {
 			calls++
-			return calls == 2
+			return g.Evaluate().TotalPath, calls == 2
 		}, &MoveCounters{})
 		if !moved {
 			continue

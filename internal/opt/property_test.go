@@ -21,12 +21,12 @@ func TestPropertyMovesPreserveInvariants(t *testing.T) {
 			return false
 		}
 		edges := g.NumEdges()
-		energyOf := func() int64 {
+		decide := func() (int64, bool) {
 			met := g.Evaluate()
 			if !met.Connected {
-				return 1 << 60
+				return 1 << 60, false
 			}
-			return met.TotalPath
+			return met.TotalPath, rnd.Intn(2) == 0
 		}
 		for _, op := range ops {
 			switch op % 3 {
@@ -39,7 +39,7 @@ func TestPropertyMovesPreserveInvariants(t *testing.T) {
 					u()
 				}
 			case 2:
-				twoNeighborSwing(g, rnd, energyOf, func(int64) bool { return rnd.Intn(2) == 0 }, &MoveCounters{})
+				twoNeighborSwing(g, rnd, decide, &MoveCounters{})
 			}
 			if g.NumEdges() != edges {
 				return false

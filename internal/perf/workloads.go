@@ -31,11 +31,13 @@ func init() {
 	for _, c := range []struct{ n, r int }{{512, 12}, {1024, 24}} {
 		registerEval(c.n, c.r)
 	}
+	registerEvalIncremental(1024, 9)
 	for _, moves := range []opt.MoveSet{opt.SwapOnly, opt.SwingOnly, opt.TwoNeighborSwing} {
 		registerAnneal(moves)
 	}
 	registerAnnealObserved()
 	registerAnnealSharded()
+	registerAnnealLadder()
 	registerSimnet("CG")
 	registerSimnet("MG")
 	registerFaultSweep()
@@ -107,6 +109,58 @@ func registerEval(n, r int) {
 				},
 				Close: ev.Close,
 			}, nil
+		},
+	})
+}
+
+// registerEvalIncremental measures the dirty-source resweep that backs
+// the evaluation ladder: a fixed script of edge remove/re-add moves, each
+// followed by an incremental Energy, so the cost per move is the resweep
+// of the move's dirty cone rather than a full sweep. The script restores
+// the starting edge set, so every rep does identical work.
+func registerEvalIncremental(n, r int) {
+	const moves = 32
+	Register(Workload{
+		Name:   fmt.Sprintf("eval/incremental/n=%d,r=%d", n, r),
+		Family: "eval",
+		Doc:    "h-ASPL after single-edge moves via the dirty-source incremental evaluator",
+		Unit:   "moves",
+		Setup: func(Config) (*Instance, error) {
+			g, err := evalGraph(n, r)
+			if err != nil {
+				return nil, err
+			}
+			// Pick the move script once, by endpoints: edge indices shift
+			// as Disconnect/Connect reorder the internal edge list, but
+			// the same (a, b) sequence means the same work every rep.
+			rnd := rng.New(11)
+			type pair struct{ a, b int }
+			picked := make(map[pair]bool, moves)
+			script := make([]pair, 0, moves)
+			for len(script) < moves {
+				a, b := g.Edge(rnd.Intn(g.NumEdges()))
+				if p := (pair{a, b}); !picked[p] {
+					picked[p] = true
+					script = append(script, p)
+				}
+			}
+			ie := hsgraph.NewIncrementalEvaluator(runtime.GOMAXPROCS(0))
+			want, _ := ie.Energy(g) // prime the cache
+			return &Instance{Run: func() (float64, error) {
+				for _, p := range script {
+					if err := g.Disconnect(p.a, p.b); err != nil {
+						return 0, err
+					}
+					ie.Energy(g)
+					if err := g.Connect(p.a, p.b); err != nil {
+						return 0, err
+					}
+					if e, ok := ie.Energy(g); !ok || e != want {
+						return 0, fmt.Errorf("incremental evaluation diverged after revert: %d vs %d", e, want)
+					}
+				}
+				return moves, nil
+			}}, nil
 		},
 	})
 }
@@ -189,6 +243,43 @@ func registerAnnealSharded() {
 			}}, nil
 		},
 	})
+}
+
+// registerAnnealLadder pits the evaluation ladder against the exact rung
+// at paper scale (n=1024): same graph, same seed, same accepted-move
+// sequence by construction, so the moves/s ratio between the two
+// workloads is the ladder speedup. r=9 swing moves put the dirty cone at
+// ~a quarter of the switches, the regime the ladder is built for; a
+// single worker keeps the comparison a straight single-thread one
+// instead of measuring goroutine scheduling.
+func registerAnnealLadder() {
+	const n, r, iters = 1024, 9, 2000
+	for _, mode := range []opt.EvalMode{opt.EvalExact, opt.EvalLadder} {
+		mode := mode
+		Register(Workload{
+			Name:   fmt.Sprintf("anneal/%s/n=%d,r=%d,iters=%d", mode, n, r, iters),
+			Family: "anneal",
+			Doc:    fmt.Sprintf("SA hot path at paper scale, %s evaluation rung", mode),
+			Unit:   "moves",
+			Setup: func(Config) (*Instance, error) {
+				start, err := evalGraph(n, r)
+				if err != nil {
+					return nil, err
+				}
+				// Explicit temperatures skip the shared calibration phase,
+				// so the measurement is the move loop itself.
+				o := opt.Options{Iterations: iters, Seed: 2, Workers: 1,
+					Moves: opt.SwingOnly, Eval: mode,
+					InitialTemp: 500, FinalTemp: 2.5}
+				return &Instance{Run: func() (float64, error) {
+					if _, _, err := opt.Anneal(start, o); err != nil {
+						return 0, err
+					}
+					return float64(iters), nil
+				}}, nil
+			},
+		})
+	}
 }
 
 func registerSimnet(bench string) {
