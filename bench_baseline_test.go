@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -37,6 +38,26 @@ func TestCommittedBenchBaseline(t *testing.T) {
 		}
 		if rep.Build.GoVersion == "" {
 			t.Errorf("%s: baseline missing build fingerprint", p)
+		}
+	}
+
+	// Baselines recorded since the orpd service exists (BENCH_7 on) must
+	// also track the serve family (older trajectories predate it).
+	for _, p := range paths {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(p), "BENCH_%d.json", &idx); err != nil || idx < 7 {
+			continue
+		}
+		rep, err := perf.ReadReportFile(p)
+		if err != nil {
+			continue // already reported above
+		}
+		fams := map[string]bool{}
+		for _, f := range perf.Families(rep.Workloads) {
+			fams[f] = true
+		}
+		if !fams["serve"] {
+			t.Errorf("%s: no \"serve\" workloads in the baseline", p)
 		}
 	}
 

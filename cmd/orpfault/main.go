@@ -48,6 +48,7 @@ func main() {
 
 		repair      = flag.Bool("repair", false, "repair the degraded graph (reattach, recable, warm-start anneal)")
 		repairIters = flag.Int("repair-iters", 4000, "focused anneal iterations for -repair")
+		evalMode    = flag.String("eval-mode", "exact", "repair anneal evaluation: exact|incremental|ladder (bit-identical results)")
 
 		svgOut = flag.String("svg", "", "write an SVG of the degraded topology (failures highlighted)")
 		out    = flag.String("o", "", "write the degraded (or repaired, with -repair) graph to this file")
@@ -106,7 +107,11 @@ func main() {
 			*checkpoint, *checkpointEvery, *resume)
 		return
 	}
-	runScenario(g, m, *frac, *seed, *workers, *jsonOut, *repair, *repairIters, *svgOut, *out)
+	mode, err := opt.ParseEvalMode(*evalMode)
+	if err != nil {
+		fatal(err)
+	}
+	runScenario(g, m, *frac, *seed, *workers, *jsonOut, *repair, *repairIters, mode, *svgOut, *out)
 }
 
 // runSweep prints the Monte-Carlo degradation curve.
@@ -221,7 +226,7 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 // runScenario samples one failure scenario, measures it, and optionally
 // repairs the degraded graph and/or writes renderings.
 func runScenario(g *hsgraph.Graph, m fault.Model, frac float64, seed uint64, workers int,
-	jsonOut, doRepair bool, repairIters int, svgOut, out string) {
+	jsonOut, doRepair bool, repairIters int, evalMode opt.EvalMode, svgOut, out string) {
 	sc, err := fault.Sample(g, m, frac, seed)
 	if err != nil {
 		fatal(err)
@@ -243,6 +248,7 @@ func runScenario(g *hsgraph.Graph, m fault.Model, frac float64, seed uint64, wor
 			Seed:        seed,
 			Workers:     workers,
 			MaxNewLinks: d.FailedLinks,
+			Eval:        evalMode,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,85 @@
+package hsgraph
+
+// Content-addressed identity of a host-switch graph.
+//
+// The fingerprint is the canonical form of the *labeled* graph: two Graph
+// values that represent the same hosts-on-switches and switch-switch edge
+// set hash identically no matter how they were built — edge insertion
+// order, adjacency-list order, per-switch host-list order and the
+// swap-remove churn of an annealing history are all invisible to it. It
+// deliberately does NOT quotient by isomorphism: relabeling switches
+// changes the fingerprint (canonical labeling is a different, much harder
+// problem, and the result cache keyed on this fingerprint only needs
+// "same query ⇒ same key").
+//
+// Everything a metric evaluation can observe is covered: n, m, r, the
+// host→switch assignment and the edge set. Hence the cache-safety
+// contract, enforced by FuzzFingerprint: fingerprint-equal ⇒
+// metrics-equal (h-ASPL, diameter, total path, connectivity, and every
+// derived report field).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// fingerprintDomain seeds the hash so a graph fingerprint can never
+// collide with another domain's use of SHA-256 over similar integers.
+// Bump the suffix if the canonical form ever changes meaning.
+const fingerprintDomain = "orp.hsgraph.fp.v1"
+
+// FingerprintSize is the size of a Fingerprint in bytes.
+const FingerprintSize = sha256.Size
+
+// Fingerprint is the canonical content address of a Graph.
+type Fingerprint [FingerprintSize]byte
+
+// String returns the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Fingerprint returns the canonical content address of g: a SHA-256 over
+// the order-independent canonical form (header, host assignment, sorted
+// edge set). See the package comment at the top of this file for the
+// exact invariance contract.
+func (g *Graph) Fingerprint() Fingerprint {
+	h := sha256.New()
+	h.Write([]byte(fingerprintDomain))
+
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(g.n))
+	writeU64(uint64(len(g.adj)))
+	writeU64(uint64(g.r))
+
+	// hostOf is indexed by host, so it is already storage-order-free.
+	// Unattached hosts (-1) are representable mid-construction; encode
+	// them distinctly rather than as a huge unsigned value collision.
+	for _, s := range g.hostOf {
+		writeU64(uint64(int64(s)) + 1)
+	}
+
+	// The edge list's order is mutation-history; sort a copy. Keys are
+	// stored with a < b (see edgeKey), so a lexicographic sort yields one
+	// canonical sequence per edge set.
+	edges := append([][2]int32(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	writeU64(uint64(len(edges)))
+	for _, e := range edges {
+		writeU64(uint64(e[0]))
+		writeU64(uint64(e[1]))
+	}
+
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

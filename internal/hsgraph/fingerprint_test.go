@@ -1,0 +1,244 @@
+package hsgraph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// rebuildShuffled reconstructs g from scratch, attaching hosts and
+// connecting edges in an order drawn from rnd. The result is the same
+// labeled graph with a different (generically: maximally different)
+// internal storage order.
+func rebuildShuffled(t testing.TB, g *Graph, rnd *rng.Rand) *Graph {
+	t.Helper()
+	c := New(g.Order(), g.Switches(), g.Radix())
+	hosts := rnd.Perm(g.Order())
+	for _, h := range hosts {
+		if s := g.SwitchOf(h); s != -1 {
+			if err := c.AttachHost(h, s); err != nil {
+				t.Fatalf("reattach host %d: %v", h, err)
+			}
+		}
+	}
+	order := rnd.Perm(g.NumEdges())
+	for _, i := range order {
+		a, b := g.Edge(i)
+		if err := c.Connect(a, b); err != nil {
+			t.Fatalf("reconnect {%d,%d}: %v", a, b, err)
+		}
+	}
+	return c
+}
+
+// churn disconnects and reconnects random edges and bounces random hosts,
+// which permutes the internal edge list, adjacency lists and host lists
+// (swap-remove reordering) without changing the graph.
+func churn(t testing.TB, g *Graph, rnd *rng.Rand, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		if ne := g.NumEdges(); ne > 0 {
+			a, b := g.Edge(rnd.Intn(ne))
+			if err := g.Disconnect(a, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Connect(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := rnd.Intn(g.Order())
+		if s := g.SwitchOf(h); s != -1 {
+			if err := g.DetachHost(h); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AttachHost(h, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFingerprintStableAcrossStorageOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, err := RandomConnected(48, 16, 6, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Fingerprint()
+
+		// Shuffled reconstruction: different insertion order, same graph.
+		for trial := 0; trial < 4; trial++ {
+			c := rebuildShuffled(t, g, rng.New(seed*100+uint64(trial)))
+			if got := c.Fingerprint(); got != want {
+				t.Fatalf("seed %d trial %d: shuffled rebuild fingerprint %s != %s", seed, trial, got, want)
+			}
+		}
+
+		// In-place churn: swap-remove reordering of every internal list.
+		c := g.Clone()
+		churn(t, c, rng.New(seed+77), 200)
+		if got := c.Fingerprint(); got != want {
+			t.Fatalf("seed %d: churned fingerprint %s != %s", seed, got, want)
+		}
+		// The churned graph must still be the same graph.
+		if c.Evaluate() != g.Evaluate() {
+			t.Fatalf("seed %d: churn changed metrics", seed)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	g, err := RandomConnected(48, 16, 6, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.Fingerprint()
+
+	// Removing an edge changes the fingerprint.
+	c := g.Clone()
+	a, b := c.Edge(0)
+	if err := c.Disconnect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == base {
+		t.Fatal("fingerprint unchanged after edge removal")
+	}
+
+	// Moving a host changes the fingerprint. RandomConnected saturates
+	// every port, so free one first by dropping an edge, and compare
+	// against the edge-dropped fingerprint.
+	c = g.Clone()
+	if err := c.Disconnect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	edgeDropped := c.Fingerprint()
+	h := -1
+	for cand := 0; cand < c.Order(); cand++ {
+		if c.SwitchOf(cand) != a {
+			h = cand
+			break
+		}
+	}
+	if h == -1 {
+		t.Fatal("every host lives on one switch")
+	}
+	if err := c.MoveHost(h, a); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == edgeDropped {
+		t.Fatal("fingerprint unchanged after host move")
+	}
+
+	// A different radix is a different design query even with identical
+	// hosts and edges.
+	big := New(g.Order(), g.Switches(), g.Radix()+1)
+	for h := 0; h < g.Order(); h++ {
+		if err := big.AttachHost(h, g.SwitchOf(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		ea, eb := g.Edge(i)
+		if err := big.Connect(ea, eb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if big.Fingerprint() == base {
+		t.Fatal("fingerprint unchanged across radix change")
+	}
+}
+
+// TestFingerprintSurvivesCodecs pins the fingerprint across every way a
+// graph travels: Clone, the canonical text format, and the
+// order-preserving state codec.
+func TestFingerprintSurvivesCodecs(t *testing.T) {
+	g, err := RandomConnected(64, 20, 7, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, g, rng.New(10), 50) // non-canonical storage order on purpose
+	want := g.Fingerprint()
+
+	if got := g.Clone().Fingerprint(); got != want {
+		t.Fatalf("clone fingerprint %s != %s", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Fingerprint(); got != want {
+		t.Fatalf("text round-trip fingerprint %s != %s", got, want)
+	}
+
+	st, err := UnmarshalState(g.MarshalState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Fingerprint(); got != want {
+		t.Fatalf("state round-trip fingerprint %s != %s", got, want)
+	}
+}
+
+// FuzzFingerprint is the cache-safety contract: fingerprint-equal ⇒
+// metrics-equal. It builds a random graph, reconstructs it under a
+// fuzzer-chosen storage order (fingerprints must collide, metrics must
+// agree) and then perturbs the edge set (any fingerprint collision with
+// the original would have to keep metrics equal — in practice the
+// fingerprints differ, which is also checked).
+func FuzzFingerprint(f *testing.F) {
+	mk := func(n, m, r int, seed uint64) []byte {
+		b := make([]byte, 3+8)
+		b[0], b[1], b[2] = byte(n), byte(m), byte(r)
+		binary.LittleEndian.PutUint64(b[3:], seed)
+		return b
+	}
+	f.Add(mk(24, 8, 5, 1))
+	f.Add(mk(48, 16, 6, 2))
+	f.Add(mk(8, 3, 4, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 11 {
+			t.Skip()
+		}
+		n := 1 + int(data[0])%64
+		m := 1 + int(data[1])%24
+		r := 3 + int(data[2])%8
+		seed := binary.LittleEndian.Uint64(data[3:11])
+		g, err := RandomConnected(n, m, r, rng.New(seed))
+		if err != nil {
+			t.Skip() // infeasible (n, m, r)
+		}
+		met := g.Evaluate()
+
+		// Same graph, fuzzer-chosen storage order.
+		c := rebuildShuffled(t, g, rng.New(seed^0xdead))
+		churn(t, c, rng.New(seed^0xbeef), 16)
+		if g.Fingerprint() != c.Fingerprint() {
+			t.Fatalf("same graph, different fingerprints: %s vs %s", g.Fingerprint(), c.Fingerprint())
+		}
+		if cm := c.Evaluate(); cm != met {
+			t.Fatalf("fingerprint-equal graphs disagree on metrics: %+v vs %+v", cm, met)
+		}
+
+		// Different graph: drop one edge. Equal fingerprints would demand
+		// equal metrics; in fact the fingerprint must change.
+		if c.NumEdges() > 0 {
+			a, b := c.Edge(int(seed % uint64(c.NumEdges())))
+			if err := c.Disconnect(a, b); err != nil {
+				t.Fatal(err)
+			}
+			if c.Fingerprint() == g.Fingerprint() {
+				if cm := c.Evaluate(); cm != met {
+					t.Fatalf("fingerprint collision with unequal metrics: %+v vs %+v", cm, met)
+				}
+				t.Fatalf("edge removal did not change the fingerprint")
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -16,9 +17,20 @@ type Server struct {
 	// Addr is the bound address (useful with a ":0" listen request).
 	Addr string
 
+	// ShutdownTimeout bounds how long Close waits for in-flight requests
+	// (a live scrape, a pprof profile capture) before hard-closing their
+	// connections. Zero means DefaultShutdownTimeout.
+	ShutdownTimeout time.Duration
+
 	ln  net.Listener
 	srv *http.Server
 }
+
+// DefaultShutdownTimeout is how long Close waits for in-flight requests
+// when Server.ShutdownTimeout is unset. Long enough for a /metrics scrape
+// or a short pprof capture; short enough that a wedged client cannot hold
+// process exit hostage.
+const DefaultShutdownTimeout = 5 * time.Second
 
 // Serve starts a metrics server on addr (e.g. "127.0.0.1:0" for an
 // OS-assigned port) in a background goroutine and returns immediately.
@@ -40,14 +52,37 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return serveWith(ln, mux), nil
+}
+
+// serveWith wraps ln and handler in a running Server. Split from Serve so
+// tests can drive Close against a handler they control.
+func serveWith(ln net.Listener, handler http.Handler) *Server {
 	s := &Server{
 		Addr: ln.Addr().String(),
 		ln:   ln,
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
-	return s, nil
+	return s
 }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server gracefully: the listener closes immediately (no
+// new scrapes), in-flight requests get up to ShutdownTimeout to finish,
+// and only stragglers past the deadline have their connections dropped.
+// The previous behaviour — http.Server.Close — cut off live /metrics
+// scrapes and pprof captures mid-response on every process exit.
+func (s *Server) Close() error {
+	timeout := s.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Deadline expired with requests still in flight: fall back to the
+		// hard close so Close always terminates the server.
+		return s.srv.Close()
+	}
+	return nil
+}

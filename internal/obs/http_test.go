@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseWaitsForInFlightRequest is the graceful-shutdown regression
+// test: a request that is mid-handler when Close is called must run to
+// completion and deliver its full response. The old implementation
+// (http.Server.Close) dropped the connection instead, so live /metrics
+// scrapes died whenever the process exited.
+func TestCloseWaitsForInFlightRequest(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var released atomic.Bool
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serveWith(ln, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "scrape-complete")
+	}))
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr + "/")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(b), err: err}
+	}()
+
+	<-entered
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+
+	// The listener must refuse new work while the in-flight request is
+	// still being served.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", s.Addr, 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after Close started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a request was still in flight", err)
+	default:
+	}
+
+	released.Store(true)
+	close(release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during Close: %v", r.err)
+	}
+	if r.body != "scrape-complete" {
+		t.Fatalf("in-flight request got truncated body %q", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !released.Load() {
+		t.Fatal("Close returned before the handler finished")
+	}
+}
+
+// TestCloseDeadlineDropsStragglers pins the bounded part of the contract:
+// a handler that never finishes cannot hold Close hostage past
+// ShutdownTimeout.
+func TestCloseDeadlineDropsStragglers(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serveWith(ln, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+	}))
+	s.ShutdownTimeout = 50 * time.Millisecond
+
+	go func() {
+		resp, err := http.Get("http://" + s.Addr + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	start := time.Now()
+	_ = s.Close() // hard-close fallback; error content is unspecified
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("Close took %v despite a %v ShutdownTimeout", waited, s.ShutdownTimeout)
+	}
+}
+
+// TestServeScrapeThenClose runs the real Serve stack end to end: scrape
+// /metrics, close, and require later scrapes to fail.
+func TestServeScrapeThenClose(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "smoke").Add(3)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "smoke_total 3"; !strings.Contains(string(body), want) {
+		t.Fatalf("scrape missing %q:\n%s", want, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Close")
+	}
+}

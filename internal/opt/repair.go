@@ -29,6 +29,15 @@ type RepairOptions struct {
 	// radix budget. Callers repairing a fault.Degraded typically pass
 	// its FailedLinks count.
 	MaxNewLinks int
+	// Eval selects the evaluation rung of the warm-start anneal (see
+	// EvalMode). EvalExact (the default) pays a full sharded sweep per
+	// candidate swap; EvalIncremental re-sweeps only the dirty sources
+	// through hsgraph.IncrementalEvaluator — bit-identical energies, so
+	// the repaired graph is identical move for move. EvalLadder is
+	// accepted and runs as EvalIncremental: the repair polish is too
+	// short and too cold for the sampled-bound rung to pay for its
+	// estimator stream.
+	Eval EvalMode
 }
 
 // RepairResult summarises a repair run.
@@ -53,6 +62,11 @@ type RepairResult struct {
 func Repair(degraded *hsgraph.Graph, down []int32, o RepairOptions) (*hsgraph.Graph, RepairResult, error) {
 	if degraded == nil {
 		return nil, RepairResult{}, fmt.Errorf("opt: nil degraded graph")
+	}
+	switch o.Eval {
+	case EvalExact, EvalIncremental, EvalLadder:
+	default:
+		return nil, RepairResult{}, fmt.Errorf("opt: unknown evaluation mode %v", o.Eval)
 	}
 	if o.Iterations == 0 {
 		o.Iterations = 4000
@@ -136,7 +150,34 @@ func Repair(degraded *hsgraph.Graph, down []int32, o RepairOptions) (*hsgraph.Gr
 	// Phase 3: focused warm-start anneal. Swap moves must touch at least
 	// one affected switch; the rest of the (near-optimal) graph is left
 	// alone. Temperature starts low — this is a polish, not a search.
-	energy, connected := ev.Energy(g)
+	//
+	// Candidate energies come from the mode-selected evaluator. The
+	// incremental evaluator returns bit-identical energies to the exact
+	// sharded sweep, so the accept decisions, RNG draw pattern and
+	// repaired graph are identical across modes — only the cost per
+	// candidate changes. Rejected candidates peek without committing
+	// distance rows, so their rollback is free.
+	var inc *hsgraph.IncrementalEvaluator
+	if o.Eval != EvalExact {
+		inc = hsgraph.NewIncrementalEvaluator(o.Workers)
+	}
+	candEnergy := func() (int64, bool) {
+		if inc == nil {
+			return ev.Energy(g)
+		}
+		e, connected, ok := inc.PeekEnergy(g)
+		if !ok {
+			e, connected = inc.Energy(g)
+		}
+		return e, connected
+	}
+	var energy int64
+	var connected bool
+	if inc == nil {
+		energy, connected = ev.Energy(g)
+	} else {
+		energy, connected = inc.Energy(g)
+	}
 	if !connected {
 		energy = math.MaxInt64
 	}
@@ -159,7 +200,7 @@ func Repair(degraded *hsgraph.Graph, down []int32, o RepairOptions) (*hsgraph.Gr
 			continue
 		}
 		res.Proposed++
-		cand, connected := ev.Energy(g)
+		cand, connected := candEnergy()
 		accept := false
 		if connected {
 			delta := cand - energy
@@ -172,6 +213,9 @@ func Repair(degraded *hsgraph.Graph, down []int32, o RepairOptions) (*hsgraph.Gr
 			}
 		}
 		if accept {
+			if inc != nil {
+				inc.Energy(g) // commit the peeked rows into the cache
+			}
 			energy = cand
 			res.Accepted++
 			if energy < bestEnergy {

@@ -100,6 +100,44 @@ func TestRepairSwitchFailure(t *testing.T) {
 	}
 }
 
+// TestRepairEvalModesBitIdentical is the differential contract for
+// RepairOptions.Eval: the incremental evaluator returns bit-identical
+// energies to the exact sharded sweep, so every accept decision, RNG
+// draw, and therefore the repaired graph itself must match move for
+// move. Ladder is accepted too and runs as incremental in the repair
+// polish.
+func TestRepairEvalModesBitIdentical(t *testing.T) {
+	_, d := degrade(t, 0.08)
+	base := RepairOptions{Iterations: 800, Seed: 21, MaxNewLinks: d.FailedLinks}
+
+	exact, rExact, err := Repair(d.Graph, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []EvalMode{EvalIncremental, EvalLadder} {
+		o := base
+		o.Eval = mode
+		g, r, err := Repair(d.Graph, nil, o)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if r != rExact {
+			t.Fatalf("%v: result diverged from exact: %+v vs %+v", mode, r, rExact)
+		}
+		if g.Fingerprint() != exact.Fingerprint() {
+			t.Fatalf("%v: repaired graph diverged from exact", mode)
+		}
+	}
+}
+
+// TestRepairRejectsUnknownEvalMode pins input validation.
+func TestRepairRejectsUnknownEvalMode(t *testing.T) {
+	_, d := degrade(t, 0.02)
+	if _, _, err := Repair(d.Graph, nil, RepairOptions{Eval: EvalMode(99)}); err == nil {
+		t.Fatal("Repair accepted an unknown eval mode")
+	}
+}
+
 // TestRepairDeterministic pins reproducibility.
 func TestRepairDeterministic(t *testing.T) {
 	_, d := degrade(t, 0.1)

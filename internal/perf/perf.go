@@ -28,8 +28,8 @@ type Workload struct {
 	// would corrupt the trajectory.
 	Name string
 	// Family is the coarse grouping: "eval", "anneal", "simnet",
-	// "fault" or "ckpt". It becomes the pprof `stage` label of profiled
-	// runs.
+	// "fault", "ckpt" or "serve". It becomes the pprof `stage` label of
+	// profiled runs.
 	Family string
 	// Doc is a one-line description for -list.
 	Doc string
@@ -80,7 +80,7 @@ func Register(w Workload) {
 		panic("perf: workload needs a name and a setup")
 	}
 	switch w.Family {
-	case "eval", "anneal", "simnet", "fault", "ckpt":
+	case "eval", "anneal", "simnet", "fault", "ckpt", "serve":
 	default:
 		panic(fmt.Sprintf("perf: workload %q has unknown family %q", w.Name, w.Family))
 	}

@@ -27,6 +27,7 @@ import (
 //	simnet  NPB communication skeletons on the fluid simulator
 //	fault   Monte-Carlo degradation sweeps
 //	ckpt    snapshot encode/decode round trips
+//	serve   orpd cache-hit submissions (scheduler core and HTTP path)
 func init() {
 	for _, c := range []struct{ n, r int }{{512, 12}, {1024, 24}} {
 		registerEval(c.n, c.r)
@@ -42,6 +43,7 @@ func init() {
 	registerSimnet("MG")
 	registerFaultSweep()
 	registerCkpt()
+	registerServe()
 }
 
 // evalGraph builds the deterministic evaluation input at m = m_opt.

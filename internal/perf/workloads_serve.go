@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The serve family measures the orpd fast path: a submission whose
+// result is already in the content-addressed cache must be answered
+// from memory, so its latency is the service's floor and any regression
+// here is user-visible on every repeated query. Two rungs bracket the
+// path: eval-cached times the scheduler core alone (Submit -> cache key
+// -> stored bytes), http-eval-cached adds the HTTP layer (routing, spec
+// decode, response encode) via an in-process recorder, no sockets.
+//
+// One cache hit runs in single-digit microseconds, so each repetition
+// batches serveBatch submissions for the same reason ckpt batches
+// snapshots: a rep has to span several GC cycles to time reproducibly.
+const serveBatch = 128
+
+// serveSpec is the warmed eval query both workloads repeat. Generated
+// (not inline) so the cache key is a few fixed integers and the setup
+// needs no graph text.
+func serveSpec() serve.JobSpec {
+	return serve.JobSpec{Type: serve.TypeEval, N: 48, M: 16, R: 6, GraphSeed: 1}
+}
+
+// warmServer builds a server and runs serveSpec once so every
+// subsequent submission is a cache hit.
+func warmServer() (*serve.Server, error) {
+	s, err := serve.New(serve.Config{Workers: 1, CacheSize: 16, Registry: obs.NewRegistry()})
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.Submit(serveSpec())
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err = s.Wait(ctx, st.ID)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if st.State != serve.StateDone {
+		s.Close()
+		return nil, fmt.Errorf("serve: warmup eval failed: %s", st.Error)
+	}
+	return s, nil
+}
+
+func registerServe() {
+	suffix := fmt.Sprintf("n=%d,m=%d,r=%d", 48, 16, 6)
+	Register(Workload{
+		Name:   "serve/eval-cached/" + suffix,
+		Family: "serve",
+		Doc:    fmt.Sprintf("orpd cache-hit submissions through the scheduler core (x%d per rep)", serveBatch),
+		Unit:   "queries",
+		Setup: func(Config) (*Instance, error) {
+			s, err := warmServer()
+			if err != nil {
+				return nil, err
+			}
+			spec := serveSpec()
+			return &Instance{
+				Run: func() (float64, error) {
+					for i := 0; i < serveBatch; i++ {
+						st, err := s.Submit(spec)
+						if err != nil {
+							return 0, err
+						}
+						if !st.Cached || st.State != serve.StateDone {
+							return 0, fmt.Errorf("serve: submission missed the cache (state %s)", st.State)
+						}
+					}
+					return serveBatch, nil
+				},
+				Close: func() { s.Close() },
+			}, nil
+		},
+	})
+	Register(Workload{
+		Name:   "serve/http-eval-cached/" + suffix,
+		Family: "serve",
+		Doc:    fmt.Sprintf("orpd cache-hit POST /v1/jobs through the HTTP handler (x%d per rep)", serveBatch),
+		Unit:   "queries",
+		Setup: func(Config) (*Instance, error) {
+			s, err := warmServer()
+			if err != nil {
+				return nil, err
+			}
+			handler := s.Handler()
+			spec := serveSpec()
+			body := fmt.Sprintf(`{"type":%q,"n":%d,"m":%d,"r":%d,"graphSeed":%d}`,
+				spec.Type, spec.N, spec.M, spec.R, spec.GraphSeed)
+			return &Instance{
+				Run: func() (float64, error) {
+					for i := 0; i < serveBatch; i++ {
+						req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body))
+						req.Header.Set("Content-Type", "application/json")
+						rec := httptest.NewRecorder()
+						handler.ServeHTTP(rec, req)
+						if rec.Code != http.StatusOK {
+							return 0, fmt.Errorf("serve: want cache-hit 200, got %d: %s", rec.Code, rec.Body.Bytes())
+						}
+					}
+					return serveBatch, nil
+				},
+				Close: func() { s.Close() },
+			}, nil
+		},
+	})
+}

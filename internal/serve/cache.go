@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical job key
+// (see JobSpec.cacheKey) → the marshaled result JSON of the job that
+// first answered it. Storing the bytes rather than the value is the
+// byte-identity contract: a cache hit replays exactly the payload the
+// original job produced, immune to map iteration order, float
+// formatting or schema drift between marshal calls.
+//
+// Eviction is LRU over entry count. Entries are immutable once
+// inserted; Get returns the stored slice (callers must not mutate it —
+// everything downstream only writes it to an http.ResponseWriter or
+// embeds it as json.RawMessage).
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result json.RawMessage
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the stored result bytes and marks the entry recently used.
+func (c *resultCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores result under key. A racing duplicate insert keeps the
+// first entry (both racers computed the same deterministic result, but
+// keeping one canonical byte slice preserves byte-identity regardless).
+func (c *resultCache) Put(key string, result json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, result: result})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the live entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

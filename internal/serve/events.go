@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Serve-specific event kinds, extending the obs schema (which grows by
+// design: consumers tolerate unknown kinds).
+const (
+	// KindJobQueued/Running/Preempted/Done mark job lifecycle
+	// transitions. f: priority, workers; done also carries cached (0/1)
+	// and failed (0/1), s: optionally "error".
+	KindJobQueued    = "job.queued"
+	KindJobRunning   = "job.running"
+	KindJobPreempted = "job.preempted"
+	KindJobDone      = "job.done"
+)
+
+// eventLog is one job's telemetry stream: a replayable in-memory JSONL
+// event sequence plus live fan-out to followers. The first event is the
+// versioned obs header; the last is always job.done, after which the
+// log is closed and followers drain.
+//
+// Appends come from the scheduler and from engine observers (anneal
+// samples, sweep trials) — any goroutine. A healthy subscriber gets
+// every event exactly once in order: Subscribe returns the events so
+// far and a channel carrying the rest. An overrun subscriber is
+// evicted (see Append).
+type eventLog struct {
+	mu     sync.Mutex
+	events []obs.Event
+	subs   map[chan obs.Event]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{subs: make(map[chan obs.Event]struct{})}
+	l.Append(obs.Header())
+	return l
+}
+
+// Append records e and forwards it to live subscribers. Sends never
+// block: a subscriber that falls a full channel buffer behind the
+// emitters (a wedged client connection) is evicted — its channel closes
+// early, which the streaming handler reports as truncation — so a dead
+// reader can never stall the scheduler or an engine observer.
+func (l *eventLog) Append(e obs.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, e)
+	for ch := range l.subs {
+		select {
+		case ch <- e:
+		default:
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// Close appends the final event and ends the stream: follower channels
+// are closed after it, and later Subscribe calls see a complete replay
+// with a closed channel.
+func (l *eventLog) Close(final obs.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, final)
+	for ch := range l.subs {
+		select {
+		case ch <- final:
+		default: // evicted as overrun; closed below either way
+		}
+		close(ch)
+	}
+	l.subs = nil
+	l.closed = true
+}
+
+// Subscribe returns every event so far plus a channel for the rest.
+// The channel is closed when the job finishes (nil and closed when it
+// already has). Cancel with unsubscribe; after Close, unsubscribe is a
+// no-op.
+func (l *eventLog) Subscribe() (replay []obs.Event, follow <-chan obs.Event, unsubscribe func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	replay = append([]obs.Event(nil), l.events...)
+	if l.closed {
+		ch := make(chan obs.Event)
+		close(ch)
+		return replay, ch, func() {}
+	}
+	// Capacity for a whole stream of interval samples; Append blocks
+	// only if a follower is slower than the engine's sampling cadence
+	// for thousands of intervals.
+	ch := make(chan obs.Event, 4096)
+	l.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[ch]; ok {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// Snapshot returns the events recorded so far.
+func (l *eventLog) Snapshot() []obs.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]obs.Event(nil), l.events...)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The load test skips its latency assertions under -race: the
+// instrumentation slows the engines ~10x, so measured percentiles would
+// reflect the detector, not the service.
+const raceEnabled = true

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hsgraph"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// execute runs j's engine to completion (or to its interrupt) and
+// returns the marshaled result. It holds no scheduler locks: the only
+// shared state it touches is the job's event log (internally locked)
+// and the interrupt flag.
+func (s *scheduler) execute(j *job, intr *atomic.Bool) (json.RawMessage, error) {
+	switch j.spec.Type {
+	case TypeEval:
+		return executeEval(j)
+	case TypeAnneal:
+		return executeAnneal(j, intr)
+	case TypeSweep:
+		return executeSweep(j, intr)
+	}
+	return nil, fmt.Errorf("serve: unknown job type %q", j.spec.Type) // unreachable after normalize
+}
+
+// concreteGraph resolves the job's input graph: the inline one, or the
+// deterministic random graph its generation parameters name.
+func concreteGraph(j *job) (*hsgraph.Graph, error) {
+	if j.graph != nil {
+		return j.graph.Clone(), nil
+	}
+	g, err := hsgraph.RandomConnected(j.spec.N, j.spec.M, j.spec.R, rng.New(j.spec.GraphSeed))
+	if err != nil {
+		return nil, fmt.Errorf("serve: generate graph: %w", err)
+	}
+	return g, nil
+}
+
+func executeEval(j *job) (json.RawMessage, error) {
+	g, err := concreteGraph(j)
+	if err != nil {
+		return nil, err
+	}
+	met := g.EvaluateParallel(j.workers)
+	return marshalResult(EvalResult{
+		Graph:       fault.NewGraphReport(g, met),
+		Fingerprint: g.Fingerprint().String(),
+	})
+}
+
+// logObserver streams anneal telemetry into the job's event log, with
+// the same field keys cmd/orpcli writes to -trace-out files.
+type logObserver struct{ log *eventLog }
+
+func (o logObserver) ObserveAnneal(sm opt.AnnealSample) {
+	o.log.Append(obs.Event{
+		T:    sm.Elapsed,
+		Kind: obs.KindAnnealSample,
+		F: map[string]float64{
+			"iter":        float64(sm.Iter),
+			"temp":        sm.Temp,
+			"current":     float64(sm.Current),
+			"best":        float64(sm.Best),
+			"accepted":    float64(sm.Accepted),
+			"proposed":    float64(sm.Proposed),
+			"movesPerSec": sm.MovesPerSec,
+			"restart":     float64(sm.Restart),
+		},
+	})
+}
+
+func executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, error) {
+	res := AnnealResult{Method: "annealed"}
+	var g *hsgraph.Graph
+
+	if j.graph != nil {
+		// Inline start graph: anneal it directly (the client chose the
+		// topology to improve; core.Solve would generate its own start).
+		ao := opt.Options{
+			Iterations:     j.spec.Iterations,
+			Seed:           j.spec.Seed,
+			Workers:        j.workers,
+			Eval:           j.evalMode,
+			Observer:       logObserver{j.log},
+			CheckpointPath: j.ckptPath,
+			Resume:         j.resume,
+			Interrupt:      intr,
+		}
+		var annealRes opt.Result
+		var err error
+		if j.spec.Restarts > 1 {
+			g, annealRes, err = opt.ParallelAnneal(j.graph.Clone(), ao, j.spec.Restarts)
+		} else {
+			g, annealRes, err = opt.Anneal(j.graph.Clone(), ao)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Anneal = &annealRes
+		res.MUsed = g.Switches()
+	} else {
+		top, err := core.Solve(j.spec.N, j.spec.R, core.Options{
+			Iterations:     j.spec.Iterations,
+			Restarts:       j.spec.Restarts,
+			Seed:           j.spec.Seed,
+			FixedM:         j.spec.M,
+			Workers:        j.workers,
+			Eval:           j.evalMode,
+			Observer:       logObserver{j.log},
+			CheckpointPath: j.ckptPath,
+			Resume:         j.resume,
+			Interrupt:      intr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g = top.Graph
+		res.Method = top.Method.String()
+		res.MPredicted = top.MPredicted
+		res.MUsed = top.MUsed
+		res.LowerBound = top.LowerBound
+		if top.Method == core.Annealed {
+			r := top.Anneal
+			res.Anneal = &r
+		}
+	}
+
+	met := g.EvaluateParallel(j.workers)
+	res.Graph = fault.NewGraphReport(g, met)
+	res.Fingerprint = g.Fingerprint().String()
+	var buf bytes.Buffer
+	if err := hsgraph.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	res.GraphText = buf.String()
+	return marshalResult(res)
+}
+
+func executeSweep(j *job, intr *atomic.Bool) (json.RawMessage, error) {
+	g, err := concreteGraph(j)
+	if err != nil {
+		return nil, err
+	}
+	so := fault.SweepOptions{
+		Model:          j.model,
+		Fractions:      j.spec.Fractions,
+		Trials:         j.spec.Trials,
+		Seed:           j.spec.Seed,
+		Workers:        j.workers,
+		CheckpointPath: j.ckptPath,
+		Resume:         j.resume,
+		Interrupt:      intr,
+		OnTrial: func(p fault.TrialProgress) {
+			j.log.Append(obs.Event{T: p.Seconds, Kind: obs.KindSweepTrial, F: map[string]float64{
+				"fraction":       p.Fraction,
+				"trial":          float64(p.Trial),
+				"done":           float64(p.Done),
+				"total":          float64(p.Total),
+				"seconds":        p.Seconds,
+				"survivingHASPL": p.Result.SurvivingHASPL,
+				"stretch":        p.Result.Stretch,
+				"reachableFrac":  p.Result.ReachableFrac,
+				"failedLinks":    float64(p.Result.FailedLinks),
+				"failedSwitches": float64(p.Result.FailedSwitches),
+			}})
+		},
+	}
+	points, err := fault.Sweep(g, so)
+	if err != nil {
+		return nil, err
+	}
+	return marshalResult(SweepResult{
+		Graph:       fault.NewGraphReport(g, g.EvaluateParallel(j.workers)),
+		Fingerprint: g.Fingerprint().String(),
+		Model:       j.model.String(),
+		Trials:      j.spec.Trials,
+		Seed:        j.spec.Seed,
+		Points:      points,
+	})
+}

@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// jobHeap orders queued jobs: higher priority first, FIFO (submission
+// seq) within a priority level.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].spec.Priority != h[j].spec.Priority {
+		return h[i].spec.Priority > h[j].spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// scheduler owns the queue, the worker budget and every job record. One
+// budget is shared by all concurrent jobs: a job "demands" its granted
+// worker count while running, and a queued job that cannot fit preempts
+// strictly-lower-priority checkpointable jobs to make room (elastic
+// scheduling — the preempted work is not lost, it resumes from its
+// snapshot bit-identically once capacity frees up).
+//
+// Scheduling is strict priority with no backfill: while the
+// highest-priority queued job waits for workers, nothing behind it
+// starts. That forfeits some utilisation but makes latency of the
+// urgent job independent of the queue behind it.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on every running-set change (drain waits on it)
+	budget  int
+	free    int
+	seq     uint64
+	jobs    map[string]*job
+	order   []*job // submission order, for listing
+	queue   jobHeap
+	running map[*job]*atomic.Bool // job -> its current interrupt flag
+	cache   *resultCache
+	dataDir string
+	met     *metrics
+	drained bool
+
+	clock func() time.Time // test hook; time.Now in production
+}
+
+func newScheduler(budget int, cache *resultCache, dataDir string, met *metrics) *scheduler {
+	if budget < 1 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	s := &scheduler{
+		budget:  budget,
+		free:    budget,
+		jobs:    make(map[string]*job),
+		running: make(map[*job]*atomic.Bool),
+		cache:   cache,
+		dataDir: dataDir,
+		met:     met,
+		clock:   time.Now,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Submit validates the spec, answers it from the result cache when the
+// canonical job identity is already known, and otherwise queues it.
+func (s *scheduler) Submit(spec JobSpec) (JobStatus, error) {
+	g, mode, model, err := spec.normalize()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	key := spec.cacheKey(g)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return JobStatus{}, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%08d", s.seq),
+		seq:       s.seq,
+		spec:      spec,
+		key:       key,
+		graph:     g,
+		evalMode:  mode,
+		model:     model,
+		workers:   clamp(spec.Workers, 1, s.budget),
+		submitted: s.clock(),
+		log:       newEventLog(),
+		doneCh:    make(chan struct{}),
+	}
+	j.preemptible = spec.Type != TypeEval
+	if s.dataDir != "" {
+		j.ckptPath = filepath.Join(s.dataDir, j.id+".orpc")
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.met.submitted.Inc()
+
+	if cached, ok := s.cache.Get(key); ok {
+		now := s.clock()
+		j.state, j.cached, j.result = StateDone, true, cached
+		j.started, j.finished = &now, &now
+		s.met.hits.Inc()
+		s.met.done.Inc()
+		j.log.Close(jobDoneEvent(j, 0))
+		close(j.doneCh)
+		return j.status(), nil
+	}
+	s.met.misses.Inc()
+
+	j.state = StateQueued
+	heap.Push(&s.queue, j)
+	s.met.queueDepth.Set(float64(s.queue.Len()))
+	j.log.Append(obs.Event{Kind: KindJobQueued, F: map[string]float64{
+		"priority": float64(spec.Priority), "workers": float64(j.workers),
+	}})
+	s.schedule()
+	return j.status(), nil
+}
+
+// ErrDraining rejects submissions while the server shuts down.
+var ErrDraining = errors.New("serve: server is draining")
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// schedule starts queued jobs while the budget allows, arming
+// preemptions when the head of the queue outranks running work. Caller
+// holds s.mu.
+func (s *scheduler) schedule() {
+	if s.drained {
+		return
+	}
+	for s.queue.Len() > 0 {
+		top := s.queue[0]
+		if s.free >= top.workers {
+			heap.Pop(&s.queue)
+			s.met.queueDepth.Set(float64(s.queue.Len()))
+			s.start(top)
+			continue
+		}
+		s.preemptFor(top)
+		return // strict priority: nothing behind top starts before it
+	}
+}
+
+// start transitions j to running and launches its engine goroutine.
+// Caller holds s.mu.
+func (s *scheduler) start(j *job) {
+	intr := &atomic.Bool{}
+	s.free -= j.workers
+	j.state = StateRunning
+	j.preempting = false
+	now := s.clock()
+	if j.started == nil {
+		j.started = &now
+	}
+	s.running[j] = intr
+	s.met.workersBusy.Set(float64(s.budget - s.free))
+	s.cond.Broadcast()
+	j.log.Append(obs.Event{Kind: KindJobRunning, F: map[string]float64{
+		"priority": float64(j.spec.Priority), "workers": float64(j.workers),
+		"resume": b2f(j.resume),
+	}})
+	go s.run(j, intr)
+}
+
+// preemptFor arms interrupts on strictly-lower-priority preemptible
+// jobs — cheapest victims first — until the workers they will release
+// (plus the currently free ones) cover top's demand. If the demand can
+// never be covered this way, nothing is armed beyond what helps.
+// Caller holds s.mu.
+func (s *scheduler) preemptFor(top *job) {
+	projected := s.free
+	var victims []*job
+	for j := range s.running {
+		if j.preempting {
+			projected += j.workers // already unwinding; its workers are coming back
+			continue
+		}
+		if j.preemptible && j.spec.Priority < top.spec.Priority && j.ckptPath != "" {
+			victims = append(victims, j)
+		}
+	}
+	if projected >= top.workers {
+		return // enough is already unwinding
+	}
+	// Lowest priority first; youngest first within a level (preserve the
+	// longest-running work).
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].spec.Priority != victims[b].spec.Priority {
+			return victims[a].spec.Priority < victims[b].spec.Priority
+		}
+		return victims[a].seq > victims[b].seq
+	})
+	for _, v := range victims {
+		if projected >= top.workers {
+			break
+		}
+		v.preempting = true
+		s.running[v].Store(true)
+		projected += v.workers
+		s.met.preemptions.Inc()
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// run executes j's engine off the scheduler lock and routes the outcome:
+// interrupted-and-preempting jobs go back to the queue (to resume from
+// their checkpoint), everything else completes.
+func (s *scheduler) run(j *job, intr *atomic.Bool) {
+	started := time.Now()
+	result, err := s.execute(j, intr)
+	elapsed := time.Since(started).Seconds()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, j)
+	s.free += j.workers
+	s.met.workersBusy.Set(float64(s.budget - s.free))
+	s.cond.Broadcast()
+
+	if err != nil && errors.Is(err, ckpt.ErrInterrupted) && (j.preempting || s.drained) {
+		// Preempted (or drained): the engine flushed its snapshot. The
+		// job re-queues and its next run resumes bit-identically.
+		j.state = StateQueued
+		j.preempting = false
+		j.resume = true
+		j.preemptions++
+		j.log.Append(obs.Event{T: elapsed, Kind: KindJobPreempted, F: map[string]float64{
+			"preemptions": float64(j.preemptions),
+		}})
+		heap.Push(&s.queue, j)
+		s.met.queueDepth.Set(float64(s.queue.Len()))
+		s.schedule()
+		return
+	}
+
+	now := s.clock()
+	j.finished = &now
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		s.met.failed.Inc()
+	} else {
+		j.state = StateDone
+		j.result = result
+		s.cache.Put(j.key, result)
+		s.met.done.Inc()
+	}
+	if j.ckptPath != "" {
+		removeCheckpoints(j.ckptPath, j.spec.Restarts)
+	}
+	s.met.jobSeconds.Observe(elapsed)
+	j.log.Close(jobDoneEvent(j, elapsed))
+	close(j.doneCh)
+	s.schedule()
+}
+
+func jobDoneEvent(j *job, elapsed float64) obs.Event {
+	e := obs.Event{T: elapsed, Kind: KindJobDone, F: map[string]float64{
+		"cached": b2f(j.cached), "failed": b2f(j.state == StateFailed),
+		"preemptions": float64(j.preemptions),
+	}}
+	if j.err != nil {
+		e.S = map[string]string{"error": j.err.Error()}
+	}
+	return e
+}
+
+// removeCheckpoints deletes a finished job's snapshot files (multi-
+// restart anneals write one per restart via opt.RestartCheckpointPath).
+func removeCheckpoints(path string, restarts int) {
+	os.Remove(path)
+	if restarts > 1 {
+		for i := 0; i < restarts; i++ {
+			os.Remove(fmt.Sprintf("%s.r%d", path, i))
+		}
+	}
+}
+
+// Get returns a job's status.
+func (s *scheduler) Get(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// List returns every job in submission order.
+func (s *scheduler) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// Events returns a job's event log.
+func (s *scheduler) Events(id string) (*eventLog, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.log, true
+}
+
+// Wait blocks until the job reaches done or failed, or ctx is done.
+func (s *scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serve: no job %q", id)
+	}
+	select {
+	case <-j.doneCh:
+		st, _ := s.Get(id)
+		return st, nil
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Drain stops the scheduler: new submissions are rejected, queued jobs
+// stay queued, and running preemptible jobs are interrupted so they
+// flush their checkpoints (their snapshots survive under the data dir;
+// a later process can resubmit and resume). Blocks until every running
+// engine unwound or ctx expired.
+func (s *scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.drained = true
+	for j, intr := range s.running {
+		if j.preemptible {
+			j.preempting = true
+			intr.Store(true)
+		}
+	}
+	s.mu.Unlock()
+
+	// Wake the cond.Wait loop when ctx expires.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.running) > 0 && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if len(s.running) > 0 {
+		return fmt.Errorf("serve: drain deadline passed with %d jobs still running", len(s.running))
+	}
+	return nil
+}
+
+// marshalResult is the single place results become bytes, so cache
+// entries and fresh replies are produced by the same encoder settings.
+func marshalResult(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal result: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config configures a Server. The zero value is usable: GOMAXPROCS
+// workers, a 1024-entry cache, checkpoints in a fresh temp dir.
+type Config struct {
+	// Workers is the global worker budget shared by every concurrent
+	// job. 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize is the result-cache capacity in entries. 0 means 1024.
+	// The cache is load-bearing for the service's latency contract, so
+	// it cannot be disabled; values < 1 are treated as a 1-entry cache.
+	CacheSize int
+	// DataDir holds per-job checkpoint files. "" creates a temp dir
+	// owned by the server (removed on Close).
+	DataDir string
+	// Registry receives the orpd_* instruments and is served at
+	// /metrics. Nil builds a private one.
+	Registry *obs.Registry
+}
+
+// metrics is the orpd instrument set.
+type metrics struct {
+	reg                                   *obs.Registry
+	submitted, done, failed, hits, misses *obs.Counter
+	preemptions                           *obs.Counter
+	queueDepth, workersBusy               *obs.Gauge
+	jobSeconds, httpSeconds               *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:         reg,
+		submitted:   reg.Counter("orpd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
+		done:        reg.Counter("orpd_jobs_done_total", "Jobs finished successfully (cache hits included)."),
+		failed:      reg.Counter("orpd_jobs_failed_total", "Jobs that ended in an error."),
+		hits:        reg.Counter("orpd_cache_hits_total", "Submissions answered from the result cache."),
+		misses:      reg.Counter("orpd_cache_misses_total", "Submissions that had to run an engine."),
+		preemptions: reg.Counter("orpd_preemptions_total", "Checkpoint preemptions of running jobs."),
+		queueDepth:  reg.Gauge("orpd_queue_depth", "Jobs waiting for workers."),
+		workersBusy: reg.Gauge("orpd_workers_busy", "Workers currently granted to running jobs."),
+		jobSeconds:  reg.Histogram("orpd_job_seconds", "Wall-clock of one engine run.", obs.ExpBuckets(1e-4, 2, 24)),
+		httpSeconds: reg.Histogram("orpd_http_request_seconds", "Wall-clock of one API request.", obs.ExpBuckets(1e-5, 2, 22)),
+	}
+}
+
+// Server is the orpd service core: scheduler + cache + HTTP API. Wire
+// Handler into an http.Server (cmd/orpd does) or call it directly in
+// tests and benchmarks.
+type Server struct {
+	sched   *scheduler
+	cache   *resultCache
+	met     *metrics
+	mux     *http.ServeMux
+	dataDir string
+	ownsDir bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 1024
+	}
+	dataDir, ownsDir := cfg.DataDir, false
+	if dataDir == "" {
+		d, err := os.MkdirTemp("", "orpd-*")
+		if err != nil {
+			return nil, fmt.Errorf("serve: data dir: %w", err)
+		}
+		dataDir, ownsDir = d, true
+	} else if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: data dir: %w", err)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newMetrics(reg)
+	cache := newResultCache(size)
+	s := &Server{
+		sched:   newScheduler(cfg.Workers, cache, dataDir, met),
+		cache:   cache,
+		met:     met,
+		dataDir: dataDir,
+		ownsDir: ownsDir,
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Handler returns the API handler (Go 1.22 pattern routes):
+//
+//	POST /v1/jobs             submit a JobSpec
+//	GET  /v1/jobs             list jobs (submission order)
+//	GET  /v1/jobs/{id}        job status + result
+//	GET  /v1/jobs/{id}/events replay + follow the job's JSONL events
+//	GET  /metrics             Prometheus exposition
+//	GET  /healthz             liveness
+//	GET  /debug/pprof/...     standard profiles
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.timed(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.timed(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed(s.handleGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // long-lived: not in the latency histogram
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, s.met.reg)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	return mux
+}
+
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.met.httpSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Submit queues (or cache-answers) a job without going through HTTP.
+// The perf workloads and tests drive the server through this.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) { return s.sched.Submit(spec) }
+
+// Wait blocks until the job finishes.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	return s.sched.Wait(ctx, id)
+}
+
+// Drain gracefully stops the scheduler: see scheduler.Drain.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Close drains with a short deadline and removes the owned data dir.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := s.Drain(ctx)
+	if s.ownsDir {
+		os.RemoveAll(s.dataDir)
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	st, err := s.sched.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, apiError{err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK // cache hit: the result is already in the payload
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the job's event log as JSONL: full replay first,
+// then live follow until the job finishes or the client goes away. The
+// stream is exactly the schema of the CLIs' -trace-out files, starting
+// with the versioned obs header.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	log, ok := s.sched.Events(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	replay, follow, unsubscribe := log.Subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, e := range replay {
+		if enc.Encode(e) != nil {
+			return
+		}
+	}
+	flush()
+	for {
+		select {
+		case e, open := <-follow:
+			if !open {
+				return // job finished (or this subscriber overran)
+			}
+			if enc.Encode(e) != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

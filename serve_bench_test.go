@@ -1,0 +1,20 @@
+package repro
+
+import "testing"
+
+// orpd fast-path benchmarks, shimmed onto the internal/perf workload
+// registry (perf_bridge_test.go): BenchmarkServeCachedSubmit is a
+// cache-hit submission through the scheduler core alone,
+// BenchmarkServeCachedHTTP the same query through the full HTTP handler
+// (routing, spec decode, response encode). The delta between the two is
+// the whole HTTP-layer cost of a repeated query; both are tracked
+// release-over-release in the BENCH_*.json trajectory and the measured
+// latency distribution under load lives in EXPERIMENTS.md §orpd.
+
+func BenchmarkServeCachedSubmit(b *testing.B) {
+	benchWorkload(b, "serve/eval-cached/n=48,m=16,r=6")
+}
+
+func BenchmarkServeCachedHTTP(b *testing.B) {
+	benchWorkload(b, "serve/http-eval-cached/n=48,m=16,r=6")
+}
