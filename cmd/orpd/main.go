@@ -44,6 +44,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "global worker budget shared by all jobs (0 = all cores)")
 		cacheSize    = flag.Int("cache-size", 1024, "result cache capacity in entries")
 		dataDir      = flag.String("data-dir", "", "checkpoint directory (default: a fresh temp dir)")
+		retention    = flag.Duration("retention", 0, "drop finished job records this long after completion (0 = keep forever; cached results keep their own LRU bound)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	)
 	version := cliutil.VersionFlag()
@@ -63,6 +64,7 @@ func main() {
 		CacheSize: *cacheSize,
 		DataDir:   *dataDir,
 		Registry:  obs.NewRegistry(),
+		Retention: *retention,
 	})
 	if err != nil {
 		fatal(err)

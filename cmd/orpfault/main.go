@@ -161,6 +161,10 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 		fatal(err)
 	}
 	defer sink.Close()
+	// Stage-span trace of the sweep (pristine-eval, trials, aggregate)
+	// into the same -trace-out file as the per-trial events.
+	root := cliutil.SinkTracer("orpfault", sink).Root("sweep")
+	so.Span = root
 	if progress || sink != nil {
 		so.OnTrial = func(p fault.TrialProgress) {
 			if progress {
@@ -184,6 +188,8 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 	sweepStart := time.Now()
 	points, err := fault.Sweep(g, so)
 	if errors.Is(err, ckpt.ErrInterrupted) {
+		root.SetS("outcome", "interrupted")
+		root.End()
 		sink.Close()
 		fmt.Fprintf(os.Stderr, "interrupted: trial ledger saved to %s; rerun with -resume to continue\n", checkpoint)
 		os.Exit(130)
@@ -191,6 +197,7 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 	if err != nil {
 		fatal(err)
 	}
+	root.End()
 	sink.Emit(obs.Event{T: time.Since(sweepStart).Seconds(), Kind: obs.KindSweepDone, F: map[string]float64{
 		"trials":  float64(len(fractions) * so.Trials),
 		"seconds": time.Since(sweepStart).Seconds(),

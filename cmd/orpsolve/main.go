@@ -152,6 +152,10 @@ func main() {
 	if obsv := cliutil.NewAnnealObserver(reg, sink, *progress); obsv != nil {
 		o.Observer = obsv
 	}
+	// With -trace-out the run carries a stage-span trace alongside the
+	// samples: orptrace renders the waterfall from the same file.
+	root := cliutil.SinkTracer("orpsolve", sink).Root("solve")
+	o.Span = root
 	if *verbose && *restarts <= 1 {
 		o.OnProgress = func(iter int, cur, best int64) {
 			fmt.Fprintf(os.Stderr, "iter %8d  current %12d  best %12d\n", iter, cur, best)
@@ -189,6 +193,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "interrupted at iteration %d/%d, best h-ASPL so far %.6f\n",
 					top.Anneal.Iterations, *iters, top.Metrics.HASPL)
 			}
+			root.SetS("outcome", "interrupted")
+			root.End()
 			sink.Close()
 			fmt.Fprintf(os.Stderr, "checkpoint saved to %s; rerun with -resume to continue\n", *checkpoint)
 			os.Exit(130)
@@ -198,6 +204,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	root.End()
 	if sink != nil && top.Method == core.Annealed {
 		res := top.Anneal
 		rate := 0.0

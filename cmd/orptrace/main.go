@@ -167,11 +167,12 @@ func summarizeChrome(evs []obs.TraceEvent, top int) {
 	}
 }
 
-// summarizeJSONL reports anneal convergence and sweep progress out of an
-// obs JSONL event stream.
+// summarizeJSONL reports anneal convergence, sweep progress and the
+// causal span waterfall out of an obs JSONL event stream.
 func summarizeJSONL(evs []obs.Event, top int) {
 	var samples, trials []obs.Event
 	var annealDone, sweepDone *obs.Event
+	spans, gapDropped := 0, 0.0
 	for i, e := range evs {
 		switch e.Kind {
 		case obs.KindHeader:
@@ -186,7 +187,14 @@ func summarizeJSONL(evs []obs.Event, top int) {
 			trials = append(trials, e)
 		case obs.KindSweepDone:
 			sweepDone = &evs[i]
+		case obs.KindSpan:
+			spans++
+		case "stream.gap":
+			gapDropped += e.F["dropped"]
 		}
+	}
+	if gapDropped > 0 {
+		fmt.Printf("note: the stream is incomplete — %.0f events were dropped by the server's ring buffer\n", gapDropped)
 	}
 	if len(samples) > 0 {
 		printAnneal(samples, annealDone)
@@ -194,8 +202,21 @@ func summarizeJSONL(evs []obs.Event, top int) {
 	if len(trials) > 0 {
 		printSweep(trials, sweepDone, top)
 	}
-	if len(samples) == 0 && len(trials) == 0 {
-		fmt.Printf("no anneal or sweep events (%d records)\n", len(evs))
+	if spans > 0 {
+		printSpans(evs, spans)
+	}
+	if len(samples) == 0 && len(trials) == 0 && spans == 0 {
+		fmt.Printf("no anneal, sweep or span events (%d records)\n", len(evs))
+	}
+}
+
+// printSpans renders the causal span forest as an indented waterfall,
+// one tree per root (an orpd job, an orpsolve/orpfault run).
+func printSpans(evs []obs.Event, n int) {
+	roots := obs.BuildSpanTrees(evs)
+	fmt.Printf("spans: %d in %d trace tree(s)\n", n, len(roots))
+	if err := obs.WriteSpanTree(os.Stdout, roots, 48); err != nil {
+		fatal(err)
 	}
 }
 

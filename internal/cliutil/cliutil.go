@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -131,6 +132,19 @@ func (s *SinkFile) Emit(e obs.Event) error {
 	return s.Sink.Emit(e)
 }
 
+// SinkTracer returns a tracer whose span events land in sink, for the
+// CLIs' -trace-out files: the root span goes to core.Solve /
+// fault.Sweep (Options.Span), and orptrace later rebuilds the stage
+// waterfall from the same file that carries the sample events. A nil
+// sink returns a nil tracer, which keeps every span call on the
+// zero-cost nil path.
+func SinkTracer(id string, sink *SinkFile) *obs.Tracer {
+	if sink == nil {
+		return nil
+	}
+	return obs.NewTracer(id, time.Time{}, func(e obs.Event) { sink.Emit(e) })
+}
+
 // AnnealObserver adapts anneal telemetry to the CLI surfaces: optional
 // progress lines on stderr, optional JSONL anneal.sample events, and
 // optional live gauges in an obs.Registry. Safe for concurrent use, so it
@@ -146,6 +160,9 @@ type AnnealObserver struct {
 
 	// Registry gauges (nil unless built by NewAnnealObserver with one).
 	iter, temp, current, best, acceptRate, movesPerSec *obs.Gauge
+	// Evaluation-ladder introspection gauges (only move when the run
+	// uses -eval-mode incremental or ladder).
+	escalationRate, boundDecided, escalated *obs.Gauge
 }
 
 // NewAnnealObserver wires the requested surfaces. reg and sink may each
@@ -163,6 +180,9 @@ func NewAnnealObserver(reg *obs.Registry, sink *SinkFile, progress bool) *Anneal
 		ao.best = reg.Gauge("anneal_best_energy", "Best total path length so far.")
 		ao.acceptRate = reg.Gauge("anneal_accept_rate", "Cumulative accepted/proposed moves.")
 		ao.movesPerSec = reg.Gauge("anneal_moves_per_sec", "Iteration rate over the last interval.")
+		ao.escalationRate = reg.Gauge("anneal_ladder_escalation_rate", "Fraction of candidates the sampled bound could not decide.")
+		ao.boundDecided = reg.Gauge("anneal_ladder_bound_decided", "Candidates settled by the sampled bound alone (cumulative).")
+		ao.escalated = reg.Gauge("anneal_ladder_escalated", "Candidates escalated to the exact rung (cumulative).")
 	}
 	return ao
 }
@@ -176,6 +196,11 @@ func (ao *AnnealObserver) ObserveAnneal(s opt.AnnealSample) {
 		ao.best.Set(float64(s.Best))
 		ao.acceptRate.Set(s.AcceptRate())
 		ao.movesPerSec.Set(s.MovesPerSec)
+		if s.Eval != (opt.EvalStats{}) {
+			ao.escalationRate.Set(s.Eval.EscalationRate())
+			ao.boundDecided.Set(float64(s.Eval.BoundDecided))
+			ao.escalated.Set(float64(s.Eval.Escalated))
+		}
 	}
 	if ao.Sink == nil && !ao.Progress {
 		return
@@ -187,25 +212,31 @@ func (ao *AnnealObserver) ObserveAnneal(s opt.AnnealSample) {
 			s.Iter, s.Iterations, s.Current, s.Best, s.AcceptRate(), s.MovesPerSec)
 	}
 	if ao.Sink != nil {
-		ao.Sink.Emit(obs.Event{
-			T:    s.Elapsed,
-			Kind: obs.KindAnnealSample,
-			F: map[string]float64{
-				"iter":            float64(s.Iter),
-				"temp":            s.Temp,
-				"current":         float64(s.Current),
-				"best":            float64(s.Best),
-				"accepted":        float64(s.Accepted),
-				"proposed":        float64(s.Proposed),
-				"swapAttempts":    float64(s.Moves.SwapAttempts),
-				"swapAccepts":     float64(s.Moves.SwapAccepts),
-				"swingAttempts":   float64(s.Moves.SwingAttempts),
-				"swingAccepts":    float64(s.Moves.SwingAccepts),
-				"counterAttempts": float64(s.Moves.CounterAttempts),
-				"counterAccepts":  float64(s.Moves.CounterAccepts),
-				"movesPerSec":     s.MovesPerSec,
-				"restart":         float64(s.Restart),
-			},
-		})
+		f := map[string]float64{
+			"iter":            float64(s.Iter),
+			"temp":            s.Temp,
+			"current":         float64(s.Current),
+			"best":            float64(s.Best),
+			"accepted":        float64(s.Accepted),
+			"proposed":        float64(s.Proposed),
+			"swapAttempts":    float64(s.Moves.SwapAttempts),
+			"swapAccepts":     float64(s.Moves.SwapAccepts),
+			"swingAttempts":   float64(s.Moves.SwingAttempts),
+			"swingAccepts":    float64(s.Moves.SwingAccepts),
+			"counterAttempts": float64(s.Moves.CounterAttempts),
+			"counterAccepts":  float64(s.Moves.CounterAccepts),
+			"movesPerSec":     s.MovesPerSec,
+			"restart":         float64(s.Restart),
+		}
+		if ev := s.Eval; ev != (opt.EvalStats{}) {
+			f["boundDecided"] = float64(ev.BoundDecided)
+			f["escalated"] = float64(ev.Escalated)
+			f["unbounded"] = float64(ev.Unbounded)
+			f["incSyncs"] = float64(ev.Inc.Syncs)
+			f["incFullRebuilds"] = float64(ev.Inc.FullRebuilds)
+			f["incPeeks"] = float64(ev.Inc.Peeks)
+			f["incEstimates"] = float64(ev.Inc.Estimates)
+		}
+		ao.Sink.Emit(obs.Event{T: s.Elapsed, Kind: obs.KindAnnealSample, F: f})
 	}
 }

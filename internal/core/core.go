@@ -21,6 +21,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/ckpt"
 	"repro/internal/hsgraph"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rng"
 )
@@ -102,6 +103,10 @@ type Options struct {
 	// Solve persist a final snapshot and return ckpt.ErrInterrupted
 	// (alongside the partial best topology when one is available).
 	Interrupt *atomic.Bool
+	// Span is the parent for the annealer's stage spans (see
+	// opt.Options.Span). The single-switch and clique regimes finish in
+	// microseconds and open no stages. Nil disables tracing for free.
+	Span *obs.Span
 }
 
 // Topology is a solved ORP instance.
@@ -192,6 +197,7 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		CheckpointEvery: o.CheckpointEvery,
 		Resume:          o.Resume,
 		Interrupt:       o.Interrupt,
+		Span:            o.Span,
 	}
 	if ao.Workers == 0 && o.Restarts == 1 {
 		ao.Workers = runtime.GOMAXPROCS(0)

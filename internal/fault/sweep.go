@@ -60,6 +60,10 @@ type SweepOptions struct {
 	// and Sweep returns ckpt.ErrInterrupted. Nil results accompany the
 	// error; the ledger holds every finished trial.
 	Interrupt *atomic.Bool
+	// Span, if non-nil, is the caller's parent span; the sweep opens
+	// stage children (sweep.pristine-eval, sweep.trials with trial
+	// counts, sweep.aggregate). Nil costs nothing (see internal/obs).
+	Span *obs.Span
 }
 
 // TrialProgress is the per-trial report handed to SweepOptions.OnTrial.
@@ -146,10 +150,14 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 1
 	}
+	psp := o.Span.Child("sweep.pristine-eval")
 	pristine := g.EvaluateParallel(o.Workers)
 	if !pristine.Connected {
-		return nil, fmt.Errorf("fault: pristine graph is disconnected; refusing to sweep")
+		err := fmt.Errorf("fault: pristine graph is disconnected; refusing to sweep")
+		psp.Fail(err)
+		return nil, err
 	}
+	psp.End()
 
 	type job struct{ fi, t int }
 	jobs := make([]job, 0, len(o.Fractions)*o.Trials)
@@ -199,6 +207,10 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 			}
 		}
 	}
+	tsp := o.Span.Child("sweep.trials")
+	tsp.SetF("total", float64(len(jobs)))
+	tsp.SetF("restored", float64(prefilled))
+	tsp.SetF("workers", float64(trialWorkers))
 	errs := make([]error, trialWorkers)
 	var cursor, doneCount atomic.Int64
 	doneCount.Store(int64(prefilled))
@@ -274,21 +286,30 @@ func Sweep(g *hsgraph.Graph, o SweepOptions) ([]SweepPoint, error) {
 		}(w)
 	}
 	wg.Wait()
+	tsp.SetF("done", float64(doneCount.Load()))
 	for _, err := range errs {
 		if err != nil {
+			tsp.Fail(err)
 			return nil, err
 		}
 	}
 	if ledger != nil {
 		if err := ledger.flush(); err != nil {
+			tsp.Fail(err)
 			return nil, err
 		}
 	}
 	if int(doneCount.Load()) < len(jobs) {
 		// Only an interrupt leaves trials unfinished without an error.
+		tsp.SetS("outcome", "interrupted")
+		tsp.End()
 		return nil, ckpt.ErrInterrupted
 	}
+	tsp.SetS("outcome", "done")
+	tsp.End()
 
+	asp := o.Span.Child("sweep.aggregate")
+	defer asp.End()
 	points := make([]SweepPoint, len(o.Fractions))
 	for fi, frac := range o.Fractions {
 		pt := SweepPoint{Fraction: frac, Trials: o.Trials}

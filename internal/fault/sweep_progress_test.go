@@ -3,6 +3,7 @@ package fault
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -85,5 +86,46 @@ func TestSweepProgressReporting(t *testing.T) {
 	}
 	if h := m.TrialSeconds.Snapshot(); h.Count != int64(total) {
 		t.Errorf("timing histogram count %d, want %d", h.Count, total)
+	}
+}
+
+func TestSweepStageSpans(t *testing.T) {
+	g := testGraph(t, 6, 24, 8, 6)
+	var mu sync.Mutex
+	var events []obs.Event
+	tr := obs.NewTracer("sweep-1", time.Now(), func(e obs.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	root := tr.Root("sweep")
+	_, err := Sweep(g, SweepOptions{
+		Model:     UniformLinks,
+		Fractions: []float64{0, 0.1},
+		Trials:    3,
+		Seed:      9,
+		Workers:   2,
+		Span:      root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	roots := obs.BuildSpanTrees(events)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	stages := map[string]*obs.SpanNode{}
+	for _, c := range roots[0].Children {
+		stages[c.Name] = c
+	}
+	for _, want := range []string{"sweep.pristine-eval", "sweep.trials", "sweep.aggregate"} {
+		if stages[want] == nil {
+			t.Fatalf("missing stage %q in %v", want, roots[0].Children)
+		}
+	}
+	trials := stages["sweep.trials"]
+	if trials.F["total"] != 6 || trials.F["done"] != 6 || trials.S["outcome"] != "done" {
+		t.Fatalf("trials span: %+v %+v", trials.F, trials.S)
 	}
 }

@@ -83,7 +83,46 @@ type IncrementalEvaluator struct {
 	peekOps   []edgeOp // compacted op log at stamp time
 	peekValid bool     // stored peek matches the pending state
 	peekStore bool     // the in-flight peek sweep stores rows
+
+	stats IncStats
 }
+
+// IncStats counts the incremental evaluator's internal decisions since it
+// was created — the introspection feed of the evaluation-ladder telemetry
+// (opt.AnnealSample.Eval, orpd's ladder instruments). All counters are
+// cumulative; consumers diff successive snapshots for rates. Reads are
+// only consistent from the goroutine driving the evaluator (which is the
+// evaluator's general concurrency contract anyway).
+type IncStats struct {
+	// Syncs counts cache commits that had pending work (an op log or a
+	// host-count change); no-op syncs after a clean rollback are free and
+	// uncounted.
+	Syncs int64
+	// FullRebuilds counts commits that fell back to rebuilding every row
+	// because more than fallbackNum/fallbackDen of the sources were dirty.
+	FullRebuilds int64
+	// StoredPeekReuses counts commits satisfied by copying the stored
+	// peek rows instead of re-sweeping (an accepted move whose peek
+	// already swept the exact pending state).
+	StoredPeekReuses int64
+	// DirtySources accumulates the dirty-set sizes seen at commits;
+	// DirtySources/float64(Syncs*m) is the mean dirty-source fraction.
+	DirtySources int64
+	// SweptSources accumulates rows actually swept into the cache,
+	// including attach/rebuild sweeps — the work the cache could not
+	// avoid.
+	SweptSources int64
+	// Peeks counts PeekEnergy sweeps answered from scratch space.
+	Peeks int64
+	// Estimates counts EstimateDelta calls; ExactEstimates the subset
+	// whose sample covered every dirty source (bounds collapsed to the
+	// exact delta).
+	Estimates      int64
+	ExactEstimates int64
+}
+
+// Stats returns the evaluator's cumulative decision counters.
+func (ie *IncrementalEvaluator) Stats() IncStats { return ie.stats }
 
 type sweepScratch struct {
 	visited, front, next []uint64
@@ -196,12 +235,15 @@ func (ie *IncrementalEvaluator) sync(g *Graph) {
 	if len(g.oplog) == 0 && !ie.hostsChanged(g) {
 		return
 	}
+	ie.stats.Syncs++
 	if ie.peekApplicable(g) {
 		// The stamped peek already swept exactly this pending state: the
 		// op log and host counts match the stamp and the current dirty set
 		// is the stamped list, so netDiff and markDirty would only
 		// recompute what the estimate already derived. Commit the stored
 		// rows directly.
+		ie.stats.StoredPeekReuses++
+		ie.stats.DirtySources += int64(len(ie.peekList))
 		ie.peekValid = false
 		g.oplog = g.oplog[:0]
 		ie.applyPeek()
@@ -214,14 +256,18 @@ func (ie *IncrementalEvaluator) sync(g *Graph) {
 	usePeek := ie.peekApplicable(g)
 	ie.peekValid = false
 	g.oplog = g.oplog[:0]
+	ie.stats.DirtySources += int64(len(ie.dirty))
 	if len(ie.dirty)*fallbackDen > ie.m*fallbackNum {
+		ie.stats.FullRebuilds++
 		ie.hosts = append(ie.hosts[:0], g.hosts...)
 		ie.rebuildAll()
 		return
 	}
 	if usePeek {
+		ie.stats.StoredPeekReuses++
 		ie.applyPeek()
 	} else {
+		ie.stats.SweptSources += int64(len(ie.dirty))
 		ie.resweep(ie.dirty)
 	}
 	ie.patchHostDeltas(g)
@@ -461,6 +507,7 @@ func containsInt32(s []int32, v int32) bool {
 // one worker and all aggregates are per-row integers, so the result does
 // not depend on scheduling.
 func (ie *IncrementalEvaluator) rebuildAll() {
+	ie.stats.SweptSources += int64(ie.m)
 	if cap(ie.queue) < ie.m {
 		ie.queue = make([]int32, 0, ie.m)
 	}
@@ -763,6 +810,7 @@ func (ie *IncrementalEvaluator) PeekEnergy(g *Graph) (energy int64, connected, o
 	if !ie.synced(g) {
 		return 0, false, false
 	}
+	ie.stats.Peeks++
 	ie.netDiff(g.oplog)
 	ie.compactOpLog(g)
 	ie.markDirty()
@@ -1315,6 +1363,15 @@ type DeltaEstimate struct {
 // no separate BFS runs unless the cache is unusable or no sampled source
 // bears hosts.
 func (ie *IncrementalEvaluator) EstimateDelta(g *Graph, maxSample int, conf float64, rnd *rng.Rand) DeltaEstimate {
+	ie.stats.Estimates++
+	est := ie.estimateDelta(g, maxSample, conf, rnd)
+	if est.Exact {
+		ie.stats.ExactEstimates++
+	}
+	return est
+}
+
+func (ie *IncrementalEvaluator) estimateDelta(g *Graph, maxSample int, conf float64, rnd *rng.Rand) DeltaEstimate {
 	if !ie.synced(g) {
 		connected, _ := ie.bearingConnectedNow(g)
 		return DeltaEstimate{Connected: connected}

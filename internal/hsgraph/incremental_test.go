@@ -468,3 +468,119 @@ func FuzzIncrementalEval(f *testing.F) {
 		checkIncrementalStep(t, ie, ev, g, "final")
 	})
 }
+
+// TestIncrementalStats checks the introspection counters against a
+// scripted interaction: attach, commit, stored-peek reuse, estimate,
+// and a forced full-rebuild fallback all leave their fingerprints.
+func TestIncrementalStats(t *testing.T) {
+	g, err := RandomConnected(32, 16, 10, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie := NewIncrementalEvaluator(2)
+	est := rng.New(5)
+
+	ie.Energy(g) // attach: a rebuild, but not a counted sync
+	s := ie.Stats()
+	if s.Syncs != 0 || s.SweptSources != int64(g.Switches()) {
+		t.Fatalf("after attach: %+v", s)
+	}
+
+	// A host move committed the incremental way (no rows change, so no
+	// sweep happens, but the sync is counted).
+	if err := g.MoveHost(0, pickTarget(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	ie.Energy(g)
+	s = ie.Stats()
+	if s.Syncs != 1 || s.FullRebuilds != 0 {
+		t.Fatalf("after commit: %+v", s)
+	}
+
+	// Peek then commit the identical state: the stored rows must be
+	// reused rather than re-swept.
+	if err := g.MoveHost(0, pickTarget(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ie.PeekEnergy(g); !ok {
+		t.Fatal("peek refused")
+	}
+	sweptBefore := ie.Stats().SweptSources
+	ie.Energy(g)
+	s = ie.Stats()
+	if s.Peeks != 1 || s.StoredPeekReuses != 1 {
+		t.Fatalf("stored peek not reused: %+v", s)
+	}
+	if s.SweptSources != sweptBefore {
+		t.Fatalf("peek commit swept rows: %+v", s)
+	}
+
+	// An estimate counts, and with a generous sample it is exact.
+	if err := g.MoveHost(0, pickTarget(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	e := ie.EstimateDelta(g, g.Switches(), 1e-6, est)
+	s = ie.Stats()
+	if s.Estimates != 1 {
+		t.Fatalf("estimate uncounted: %+v", s)
+	}
+	if e.Exact && s.ExactEstimates != 1 {
+		t.Fatalf("exact estimate uncounted: %+v", s)
+	}
+
+	// Batch enough genuine rewires between commits and the dirty-source
+	// fraction must eventually exceed the fallback threshold.
+	rnd := rng.New(23)
+	for round := 0; round < 50 && ie.Stats().FullRebuilds == 0; round++ {
+		for k := 0; k < 12; k++ {
+			rewire(t, g, rnd)
+		}
+		ie.Energy(g)
+	}
+	s = ie.Stats()
+	if s.FullRebuilds == 0 {
+		t.Fatalf("mass dirtying never triggered the fallback: %+v", s)
+	}
+	if s.DirtySources == 0 || s.SweptSources <= int64(g.Switches()) {
+		t.Fatalf("rewires left no sweep trace: %+v", s)
+	}
+}
+
+// rewire removes a random edge and adds a random non-edge, mutating the
+// topology for real (no net no-ops that the op log would compact away).
+func rewire(t *testing.T, g *Graph, rnd *rng.Rand) {
+	t.Helper()
+	if g.NumEdges() > 0 {
+		a, b := g.Edge(int(rnd.Uint64() % uint64(g.NumEdges())))
+		if err := g.Disconnect(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for try := 0; try < 64; try++ {
+		a := int(rnd.Uint64() % uint64(g.Switches()))
+		b := int(rnd.Uint64() % uint64(g.Switches()))
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		if g.SwitchDegree(a)+g.HostCount(a) >= g.Radix() || g.SwitchDegree(b)+g.HostCount(b) >= g.Radix() {
+			continue
+		}
+		if err := g.Connect(a, b); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+}
+
+// pickTarget returns a switch host 0 can legally move to.
+func pickTarget(t *testing.T, g *Graph) int {
+	t.Helper()
+	from := g.SwitchOf(0)
+	for to := 0; to < g.Switches(); to++ {
+		if to != from && g.Degree(to) < g.Radix() {
+			return to
+		}
+	}
+	t.Fatal("no legal host move")
+	return -1
+}

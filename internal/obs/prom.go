@@ -4,49 +4,105 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus writes the registry's snapshot in the Prometheus text
 // exposition format (version 0.0.4): HELP/TYPE comments, plain samples
 // for counters and gauges, cumulative _bucket/_sum/_count series for
 // histograms (with the mandatory le="+Inf" bucket).
+//
+// Labeled instruments are supported by convention: a metric registered
+// under `name{k="v",...}` is exposed as a sample of the family `name`.
+// Samples of one family are grouped together (the format requires it)
+// in first-registration order, with a single HELP/TYPE header.
 func WritePrometheus(w io.Writer, r *Registry) error {
-	for _, m := range r.Snapshot() {
-		if m.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+	snap := r.Snapshot()
+	// Group by family (the name up to any '{'), preserving first-seen
+	// order so labeled children registered at different times still
+	// expose as one contiguous family.
+	order := make([]string, 0, len(snap))
+	families := make(map[string][]Metric, len(snap))
+	for _, m := range snap {
+		base := m.Name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if _, ok := families[base]; !ok {
+			order = append(order, base)
+		}
+		families[base] = append(families[base], m)
+	}
+	for _, base := range order {
+		ms := families[base]
+		if ms[0].Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, ms[0].Help); err != nil {
 				return err
 			}
 		}
-		var err error
-		switch m.Kind {
-		case KindCounter:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.Name, m.Name, m.Counter)
+		kind := "counter"
+		switch ms[0].Kind {
 		case KindGauge:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.Name, m.Name, formatFloat(m.Gauge))
+			kind = "gauge"
 		case KindHistogram:
-			err = writePromHistogram(w, m.Name, m.Histogram)
+			kind = "histogram"
 		}
-		if err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
 			return err
+		}
+		for _, m := range ms {
+			labels := ""
+			if i := strings.IndexByte(m.Name, '{'); i >= 0 {
+				labels = strings.TrimSuffix(m.Name[i+1:], "}")
+			}
+			var err error
+			switch m.Kind {
+			case KindCounter:
+				_, err = fmt.Fprintf(w, "%s %d\n", promName(base, labels), m.Counter)
+			case KindGauge:
+				_, err = fmt.Fprintf(w, "%s %s\n", promName(base, labels), formatFloat(m.Gauge))
+			case KindHistogram:
+				err = writePromHistogram(w, base, labels, m.Histogram)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
+// promName renders a sample name with an optional label set.
+func promName(base, labels string) string {
+	if labels == "" {
+		return base
 	}
+	return base + "{" + labels + "}"
+}
+
+// promNameExtra renders base{labels,extra} merging an inner label set
+// with one extra pair (used for the histogram le label).
+func promNameExtra(base, labels, extra string) string {
+	if labels == "" {
+		return base + "{" + extra + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+func writePromHistogram(w io.Writer, base, labels string, s HistogramSnapshot) error {
 	var cum int64
 	for i, bound := range s.Bounds {
 		cum += s.Buckets[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(bound), cum); err != nil {
+		le := fmt.Sprintf("le=%q", formatFloat(bound))
+		if _, err := fmt.Fprintf(w, "%s %d\n", promNameExtra(base+"_bucket", labels, le), cum); err != nil {
 			return err
 		}
 	}
 	cum += s.Buckets[len(s.Bounds)]
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		name, cum, name, formatFloat(s.Sum), name, s.Count)
+	_, err := fmt.Fprintf(w, "%s %d\n%s %s\n%s %d\n",
+		promNameExtra(base+"_bucket", labels, `le="+Inf"`), cum,
+		promName(base+"_sum", labels), formatFloat(s.Sum),
+		promName(base+"_count", labels), s.Count)
 	return err
 }
 

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-exposition parser — the consumer side of
+// WritePrometheus, used by cmd/orptop to scrape orpd's /metrics without
+// any external dependency. It parses the subset the repo's writer emits
+// (plain samples, label sets with quoted values, histogram series) and
+// tolerates anything else by skipping it.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string // family name, without labels
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label's value ("" when absent).
+func (s PromSample) Label(k string) string { return s.Labels[k] }
+
+// ParsePrometheus parses a text exposition into samples, skipping
+// comments, blank lines and anything it cannot parse.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, ok := parsePromLine(line)
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, sc.Err()
+}
+
+func parsePromLine(line string) (PromSample, bool) {
+	name := line
+	labels := map[string]string{}
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return PromSample{}, false
+		}
+		var ok bool
+		labels, ok = parsePromLabels(line[i+1 : j])
+		if !ok {
+			return PromSample{}, false
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return PromSample{}, false
+		}
+		name, rest = fields[0], fields[1]
+	}
+	// A timestamp may trail the value; take the first field.
+	if f := strings.Fields(rest); len(f) > 0 {
+		rest = f[0]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return PromSample{}, false
+	}
+	return PromSample{Name: name, Labels: labels, Value: v}, true
+}
+
+func parsePromLabels(s string) (map[string]string, bool) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, false
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, false
+		}
+		// Scan the quoted value, honouring backslash escapes.
+		i := 1
+		var b strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if i >= len(s) {
+			return nil, false
+		}
+		out[key] = b.String()
+		s = strings.TrimSpace(s[i+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, true
+}
+
+// PromHistogram rebuilds a HistogramSnapshot from the _bucket/_sum/_count
+// series of family name whose labels match sel exactly (ignoring "le").
+// ok is false when no buckets were found. The snapshot's Quantile method
+// then gives the scrape-side percentile estimates orptop renders.
+func PromHistogram(samples []PromSample, name string, sel map[string]string) (HistogramSnapshot, bool) {
+	type bkt struct {
+		le  float64
+		cum int64
+	}
+	var bkts []bkt
+	var snap HistogramSnapshot
+	match := func(l map[string]string) bool {
+		for k, v := range sel {
+			if l[k] != v {
+				return false
+			}
+		}
+		for k, v := range l {
+			if k == "le" {
+				continue
+			}
+			if sel[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case name + "_bucket":
+			if !match(s.Labels) {
+				continue
+			}
+			le, err := parseLe(s.Label("le"))
+			if err != nil {
+				continue
+			}
+			bkts = append(bkts, bkt{le, int64(s.Value)})
+		case name + "_sum":
+			if match(s.Labels) {
+				snap.Sum = s.Value
+			}
+		case name + "_count":
+			if match(s.Labels) {
+				snap.Count = int64(s.Value)
+			}
+		}
+	}
+	if len(bkts) == 0 {
+		return HistogramSnapshot{}, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	var prev int64
+	for _, b := range bkts {
+		if b.le == infLe {
+			snap.Buckets = append(snap.Buckets, b.cum-prev)
+			prev = b.cum
+			continue
+		}
+		snap.Bounds = append(snap.Bounds, b.le)
+		snap.Buckets = append(snap.Buckets, b.cum-prev)
+		prev = b.cum
+	}
+	if len(snap.Buckets) == len(snap.Bounds) {
+		snap.Buckets = append(snap.Buckets, 0) // writer without +Inf row
+	}
+	if snap.Count == 0 {
+		snap.Count = prev
+	}
+	return snap, true
+}
+
+var infLe = math.Inf(1)
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return infLe, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return v, nil
+}

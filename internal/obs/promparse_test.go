@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusLabeledRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`orpd_http_requests_total{endpoint="submit",code="2xx"}`, "API requests.").Add(7)
+	r.Counter(`orpd_http_requests_total{endpoint="list",code="2xx"}`, "API requests.").Add(3)
+	r.Gauge("orpd_queue_depth", "Queue depth.").Set(2)
+	h := r.Histogram(`orpd_queue_wait_seconds{priority="0"}`, "Queue wait.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// One TYPE header per family, not per child.
+	if n := strings.Count(text, "# TYPE orpd_http_requests_total counter"); n != 1 {
+		t.Fatalf("got %d TYPE headers for the counter family, want 1:\n%s", n, text)
+	}
+	if !strings.Contains(text, `orpd_http_requests_total{endpoint="submit",code="2xx"} 7`) {
+		t.Fatalf("labeled sample missing:\n%s", text)
+	}
+	if !strings.Contains(text, `orpd_queue_wait_seconds_bucket{priority="0",le="+Inf"} 2`) {
+		t.Fatalf("labeled histogram +Inf bucket missing:\n%s", text)
+	}
+
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submit, depth bool
+	for _, s := range samples {
+		if s.Name == "orpd_http_requests_total" && s.Label("endpoint") == "submit" {
+			submit = true
+			if s.Value != 7 {
+				t.Fatalf("submit counter parsed as %v", s.Value)
+			}
+		}
+		if s.Name == "orpd_queue_depth" && s.Value == 2 {
+			depth = true
+		}
+	}
+	if !submit || !depth {
+		t.Fatalf("parser missed samples: submit=%v depth=%v", submit, depth)
+	}
+
+	snap, ok := PromHistogram(samples, "orpd_queue_wait_seconds", map[string]string{"priority": "0"})
+	if !ok {
+		t.Fatal("histogram not reconstructed")
+	}
+	if snap.Count != 2 {
+		t.Fatalf("count %d, want 2", snap.Count)
+	}
+	if q := snap.Quantile(0.99); q < 1 || q > 10 {
+		t.Fatalf("p99 %v outside the observed bucket", q)
+	}
+}
+
+func TestPromHistogramSelectivity(t *testing.T) {
+	text := `
+orpd_queue_wait_seconds_bucket{priority="0",le="1"} 5
+orpd_queue_wait_seconds_bucket{priority="0",le="+Inf"} 5
+orpd_queue_wait_seconds_count{priority="0"} 5
+orpd_queue_wait_seconds_bucket{priority="1",le="1"} 9
+orpd_queue_wait_seconds_bucket{priority="1",le="+Inf"} 9
+orpd_queue_wait_seconds_count{priority="1"} 9
+`
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, ok := PromHistogram(samples, "orpd_queue_wait_seconds", map[string]string{"priority": "0"})
+	if !ok || s0.Count != 5 {
+		t.Fatalf("priority 0: ok=%v count=%d", ok, s0.Count)
+	}
+	s1, ok := PromHistogram(samples, "orpd_queue_wait_seconds", map[string]string{"priority": "1"})
+	if !ok || s1.Count != 9 {
+		t.Fatalf("priority 1: ok=%v count=%d", ok, s1.Count)
+	}
+}
+
+func TestParsePrometheusSkipsGarbage(t *testing.T) {
+	text := "# HELP x y\nnot a sample\nok_metric 3\n"
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Name != "ok_metric" || samples[0].Value != 3 {
+		t.Fatalf("got %+v", samples)
+	}
+}

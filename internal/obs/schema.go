@@ -28,10 +28,19 @@ import "repro/internal/buildinfo"
 //	sweep.done:    trials, seconds
 //	flow.*:        see simnet.FlowTracer (exported via Chrome trace
 //	               rather than JSONL; listed here for kind stability)
+//	span:          f: id, parent (0/absent = root), start, dur (seconds
+//	               relative to the trace epoch) plus numeric attributes;
+//	               s: name, trace (the trace/job ID) plus string
+//	               attributes. See span.go; trees are rebuilt with
+//	               BuildSpanTrees.
 
 // SchemaVersion is bumped whenever an existing field changes meaning
-// (never for additions).
-const SchemaVersion = 1
+// (never for plain additions). v2: streams may carry causal "span"
+// events (span.go) and serve streams the "stream.gap" marker — a v2
+// consumer following a job stream must treat stream.gap as a documented
+// discontinuity rather than corruption, which is a semantic change to
+// the follow contract, hence the bump.
+const SchemaVersion = 2
 
 // Event kinds.
 const (
@@ -44,6 +53,7 @@ const (
 	KindFlowReroute  = "flow.reroute"
 	KindFlowFinish   = "flow.finish"
 	KindFlowFail     = "flow.fail"
+	KindSpan         = "span"
 )
 
 // Event is one structured telemetry record.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/hsgraph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -150,6 +151,14 @@ type Options struct {
 	// ckpt.ErrInterrupted. The CLIs arm it from SIGINT/SIGTERM via
 	// cliutil.Interrupt.
 	Interrupt *atomic.Bool
+	// Span, if non-nil, is the caller's parent span; the annealer opens
+	// children at stage boundaries (anneal.init or anneal.resume-load,
+	// anneal.loop with an outcome attribute, anneal.checkpoint per
+	// snapshot, anneal.final-eval; ParallelAnneal adds one anneal.restart
+	// per restart). A nil span costs nothing: every span method on a nil
+	// receiver is a no-op, so the untraced hot path stays allocation-free
+	// (see internal/obs).
+	Span *obs.Span
 }
 
 // Result summarises an annealing run.
@@ -258,10 +267,14 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 
 	if o.Resume && o.CheckpointPath != "" {
 		if _, err := os.Stat(o.CheckpointPath); err == nil {
+			sp := o.Span.Child("anneal.resume-load")
 			st, err := loadAnnealState(o.CheckpointPath, &o, ev)
 			if err != nil {
+				sp.Fail(err)
 				return nil, Result{}, err
 			}
+			sp.SetF("iter", float64(st.iter))
+			sp.End()
 			return runAnneal(st, o, ev)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, Result{}, fmt.Errorf("opt: resume: %w", err)
@@ -269,10 +282,13 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 	}
 
 	applyDefaults(&o)
+	sp := o.Span.Child("anneal.init")
 	st, err := newAnnealState(start, &o, ev)
 	if err != nil {
+		sp.Fail(err)
 		return nil, Result{}, err
 	}
+	sp.End()
 	return runAnneal(st, o, ev)
 }
 
@@ -337,6 +353,13 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		}
 		ladder = &ladderEval{inc: hsgraph.NewIncrementalEvaluator(workers), estRnd: st.estRnd}
 	}
+	st.tel.ladder = ladder
+
+	// The loop span brackets the iteration range this call actually runs
+	// (a resumed run starts past zero); checkpoint writes open children so
+	// a trace shows where durability time went.
+	loop := o.Span.Child("anneal.loop")
+	loop.SetF("start-iter", float64(st.iter))
 	decide := func() (int64, bool) {
 		if o.Eval == EvalLadder {
 			return ladder.decide(st.g, st.energy, st.temp, st.rnd)
@@ -429,19 +452,32 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		interrupted := o.Interrupt != nil && o.Interrupt.Load()
 		if o.CheckpointPath != "" &&
 			(st.iter%o.CheckpointEvery == 0 || st.iter == o.Iterations || interrupted) {
+			csp := loop.Child("anneal.checkpoint")
+			csp.SetF("iter", float64(st.iter))
 			if err := writeAnnealCheckpoint(o.CheckpointPath, st, &o); err != nil {
+				csp.Fail(err)
+				loop.Fail(err)
 				return nil, Result{}, err
 			}
+			csp.End()
 		}
 		if interrupted && st.iter < o.Iterations {
 			res.Iterations = st.iter
+			loop.SetF("iter", float64(st.iter))
+			loop.SetS("outcome", "interrupted")
+			loop.End()
 			res.Best = ev.Evaluate(st.best)
 			return st.best, *res, ckpt.ErrInterrupted
 		}
 	}
 	res.Iterations = o.Iterations
 	st.tel.finish(&o, res)
+	loop.SetF("iter", float64(st.iter))
+	loop.SetS("outcome", "done")
+	loop.End()
+	fsp := o.Span.Child("anneal.final-eval")
 	res.Best = ev.Evaluate(st.best)
+	fsp.End()
 	return st.best, *res, nil
 }
 
@@ -461,6 +497,11 @@ type telemetry struct {
 	stride   int // energy-trace decimation stride, in ReportEvery units
 	interval int // aligned intervals seen so far
 	buf      []float64
+	// ladder, when the run evaluates through the incremental cache, lets
+	// samples carry the rung/cache counters (EvalStats). Not part of the
+	// checkpointed state: a resumed run restarts the counters, which only
+	// affects observer samples, never the Result.
+	ladder *ladderEval
 }
 
 func (t *telemetry) init(o Options) {
@@ -519,6 +560,7 @@ func (t *telemetry) sample(o *Options, res *Result, iter int, temp float64, curr
 			Moves:       res.Moves,
 			MovesPerSec: rate,
 			Elapsed:     now.Sub(t.start).Seconds(),
+			Eval:        t.ladder.stats(),
 		})
 		t.lastTime, t.lastIter = now, iter
 	}
@@ -617,7 +659,23 @@ func ParallelAnneal(start *hsgraph.Graph, o Options, restarts int) (*hsgraph.Gra
 			if o.CheckpointPath != "" {
 				oi.CheckpointPath = RestartCheckpointPath(o.CheckpointPath, restarts, i)
 			}
+			// Each restart traces under its own span; the emit function of
+			// the tracer behind o.Span must be concurrency-safe (it is for
+			// every tracer this repo builds).
+			rsp := o.Span.Child("anneal.restart")
+			rsp.SetF("restart", float64(i))
+			oi.Span = rsp
 			g, res, err := Anneal(start, oi)
+			switch {
+			case errors.Is(err, ckpt.ErrInterrupted):
+				rsp.SetS("outcome", "interrupted")
+				rsp.End()
+			case err != nil:
+				rsp.Fail(err)
+			default:
+				rsp.SetS("outcome", "done")
+				rsp.End()
+			}
 			outs[i] = outcome{g, res, err}
 			done <- i
 		}(i)

@@ -81,6 +81,29 @@ const (
 type ladderEval struct {
 	inc    *hsgraph.IncrementalEvaluator
 	estRnd *rng.Rand
+	// Rung-decision counters (surfaced as EvalStats on every telemetry
+	// sample): boundDecided candidates were settled by the sampled bound
+	// alone, escalated ones needed the exact rung because the decision
+	// fell inside the bound, and unbounded ones had no usable bound at
+	// all (connectivity transitions, unattached cache).
+	boundDecided int64
+	escalated    int64
+	unbounded    int64
+}
+
+// stats snapshots the rung counters plus the incremental cache's internal
+// decision counters. Nil-safe: exact-mode runs have no ladder and report
+// zeros.
+func (l *ladderEval) stats() EvalStats {
+	if l == nil {
+		return EvalStats{}
+	}
+	return EvalStats{
+		BoundDecided: l.boundDecided,
+		Escalated:    l.escalated,
+		Unbounded:    l.unbounded,
+		Inc:          l.inc.Stats(),
+	}
 }
 
 // decide is the ladder's accept/reject verdict on the current (already
@@ -94,6 +117,7 @@ func (l *ladderEval) decide(g *hsgraph.Graph, cur int64, temp float64, rnd *rng.
 	est := l.inc.EstimateDelta(g, ladderMaxSample, ladderConf, l.estRnd)
 	if !est.Connected {
 		// Exact mode rejects disconnecting moves without a draw.
+		l.boundDecided++
 		return 0, false
 	}
 	// commit evaluates through the cache, re-sweeping and storing the
@@ -120,6 +144,7 @@ func (l *ladderEval) decide(g *hsgraph.Graph, cur int64, temp float64, rnd *rng.
 		return e
 	}
 	if !est.Bounded {
+		l.unbounded++
 		e := peekExact()
 		accepted := acceptExact(e, cur, temp, rnd)
 		if accepted {
@@ -136,6 +161,7 @@ func (l *ladderEval) decide(g *hsgraph.Graph, cur int64, temp float64, rnd *rng.
 	hi := est.Hi + shift + 0.5
 	if hi <= 0 {
 		// Certain downhill: exact mode accepts without a draw.
+		l.boundDecided++
 		return commit(), true
 	}
 	if lo > 0 {
@@ -143,11 +169,14 @@ func (l *ladderEval) decide(g *hsgraph.Graph, cur int64, temp float64, rnd *rng.
 		// without the exact energy when the draw is decisive either way.
 		u := rnd.Float64()
 		if u >= math.Exp(-lo/temp) {
+			l.boundDecided++
 			return 0, false // even the most favorable delta loses the draw
 		}
 		if u < math.Exp(-hi/temp) {
+			l.boundDecided++
 			return commit(), true // even the worst delta wins the draw
 		}
+		l.escalated++
 		e := peekExact()
 		if e == math.MaxInt64 {
 			return 0, false
@@ -167,6 +196,7 @@ func (l *ladderEval) decide(g *hsgraph.Graph, cur int64, temp float64, rnd *rng.
 	}
 	// The sign of the delta is inside the bound: escalate to the exact
 	// energy and apply the standard rule.
+	l.escalated++
 	e := peekExact()
 	accepted := acceptExact(e, cur, temp, rnd)
 	if accepted {

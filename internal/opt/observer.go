@@ -1,5 +1,7 @@
 package opt
 
+import "repro/internal/hsgraph"
+
 // Anneal telemetry. The annealer samples its state every
 // Options.ReportEvery iterations and hands the sample to a pluggable
 // Observer. The nil-observer hot path does no timing calls and no
@@ -19,6 +21,39 @@ type MoveCounters struct {
 	SwingAccepts    int64
 	CounterAttempts int64
 	CounterAccepts  int64
+}
+
+// EvalStats is the evaluation ladder's introspection snapshot, carried on
+// every AnnealSample. All counters are cumulative over the run (restart-
+// local under ParallelAnneal); consumers diff successive samples for
+// rates. Zero in exact mode, which has no ladder machinery to introspect.
+type EvalStats struct {
+	// BoundDecided counts candidates the sampled bound settled without
+	// the exact candidate energy: certain downhill/uphill verdicts,
+	// decisive Metropolis draws, and disconnecting moves.
+	BoundDecided int64
+	// Escalated counts candidates that needed the exact rung because
+	// the decision fell inside the bound (including non-decisive uphill
+	// draws).
+	Escalated int64
+	// Unbounded counts estimates the cache refused to bound
+	// (connectivity transitions, unattached cache); they escalate too.
+	Unbounded int64
+	// Inc is the incremental evaluator's internal decision counters —
+	// commits, full-rebuild fallbacks, stored-peek reuse, dirty and
+	// swept source totals. Populated in both incremental and ladder
+	// modes.
+	Inc hsgraph.IncStats
+}
+
+// EscalationRate is the fraction of ladder decisions that needed the
+// exact rung (0 when no decision was made yet).
+func (s EvalStats) EscalationRate() float64 {
+	total := s.BoundDecided + s.Escalated + s.Unbounded
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Escalated+s.Unbounded) / float64(total)
 }
 
 // AnnealSample is one telemetry interval of a running anneal.
@@ -41,6 +76,9 @@ type AnnealSample struct {
 	// sample; Elapsed the wall-clock seconds since the run began.
 	MovesPerSec float64
 	Elapsed     float64
+	// Eval is the evaluation ladder's introspection snapshot (zero in
+	// exact mode).
+	Eval EvalStats
 }
 
 // AcceptRate is cumulative accepted/proposed (0 when nothing proposed).

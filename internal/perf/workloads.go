@@ -1,8 +1,11 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/ckpt"
@@ -37,6 +40,7 @@ func init() {
 		registerAnneal(moves)
 	}
 	registerAnnealObserved()
+	registerAnnealObservedSpans()
 	registerAnnealSharded()
 	registerAnnealLadder()
 	registerSimnet("CG")
@@ -217,6 +221,46 @@ func registerAnnealObserved() {
 				ReportEvery: 250,
 				Observer:    cliutil.NewAnnealObserver(reg, nil, false),
 			})
+		},
+	})
+}
+
+// registerAnnealObservedSpans adds the causal stage-span trace on top of
+// the observed workload: the run carries a root span and every stage
+// boundary (init, loop, checkpoints, final eval) emits a JSON-encoded
+// span event, the exact shape orpd gives every job. The delta against
+// anneal/observed is the whole tracing cost, which the obs layer
+// promises stays within noise of the move loop (spans fire per stage,
+// never per iteration).
+func registerAnnealObservedSpans() {
+	Register(Workload{
+		Name:   fmt.Sprintf("anneal/observed-spans/n=96,iters=%d", annealIters),
+		Family: "anneal",
+		Doc:    "anneal/observed plus a per-run stage-span trace, JSON-encoded to a discarded stream",
+		Unit:   "moves",
+		Setup: func(Config) (*Instance, error) {
+			start, err := annealStart()
+			if err != nil {
+				return nil, err
+			}
+			reg := obs.NewRegistry()
+			emit := func(e obs.Event) { json.NewEncoder(io.Discard).Encode(e) }
+			return &Instance{Run: func() (float64, error) {
+				root := obs.NewTracer("perf", time.Time{}, emit).Root("solve")
+				o := opt.Options{
+					Iterations:  annealIters,
+					Moves:       opt.TwoNeighborSwing,
+					Seed:        2,
+					ReportEvery: 250,
+					Observer:    cliutil.NewAnnealObserver(reg, nil, false),
+					Span:        root,
+				}
+				if _, _, err := opt.Anneal(start, o); err != nil {
+					return 0, err
+				}
+				root.End()
+				return float64(annealIters), nil
+			}}, nil
 		},
 	})
 }

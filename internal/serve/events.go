@@ -16,105 +16,128 @@ const (
 	KindJobRunning   = "job.running"
 	KindJobPreempted = "job.preempted"
 	KindJobDone      = "job.done"
+	// KindStreamGap is emitted into a follow stream (never stored in the
+	// log itself) when the log's ring buffer overwrote events the reader
+	// had not consumed yet. f: dropped — how many events are gone. The
+	// stream stays valid JSONL and keeps following; only the marked
+	// window is missing. Part of the schema-v2 follow contract.
+	KindStreamGap = "stream.gap"
 )
 
-// eventLog is one job's telemetry stream: a replayable in-memory JSONL
-// event sequence plus live fan-out to followers. The first event is the
-// versioned obs header; the last is always job.done, after which the
-// log is closed and followers drain.
+// defaultLogCap bounds one job's in-memory event history. Big enough for
+// any realistic job (tens of thousands of interval samples); a job that
+// outgrows it keeps only the most recent window, and followers that fall
+// behind the window see a stream.gap marker instead of stale memory
+// growth or a stalled scheduler.
+const defaultLogCap = 16384
+
+// eventLog is one job's telemetry stream: a ring-buffered JSONL event
+// sequence with absolute indexing plus change notification for
+// followers. The first event is the versioned obs header; the last is
+// always job.done, after which the log is closed.
 //
-// Appends come from the scheduler and from engine observers (anneal
-// samples, sweep trials) — any goroutine. A healthy subscriber gets
-// every event exactly once in order: Subscribe returns the events so
-// far and a channel carrying the rest. An overrun subscriber is
-// evicted (see Append).
+// Appends come from the scheduler, the job's span tracer and engine
+// observers (anneal samples, sweep trials) — any goroutine. Appends
+// never block on readers: a reader that falls more than the buffer
+// capacity behind simply finds its next index trimmed and reports the
+// gap (see ReadFrom), so a dead client can never stall an engine.
 type eventLog struct {
-	mu     sync.Mutex
-	events []obs.Event
-	subs   map[chan obs.Event]struct{}
-	closed bool
+	mu      sync.Mutex
+	cap     int
+	base    int // absolute index of events[0]
+	events  []obs.Event
+	closed  bool
+	changed chan struct{} // closed and replaced on every append/close
 }
 
-func newEventLog() *eventLog {
-	l := &eventLog{subs: make(map[chan obs.Event]struct{})}
+func newEventLog() *eventLog { return newEventLogCap(defaultLogCap) }
+
+func newEventLogCap(capacity int) *eventLog {
+	if capacity < 2 {
+		capacity = 2 // room for the header and at least one live event
+	}
+	l := &eventLog{cap: capacity, changed: make(chan struct{})}
 	l.Append(obs.Header())
 	return l
 }
 
-// Append records e and forwards it to live subscribers. Sends never
-// block: a subscriber that falls a full channel buffer behind the
-// emitters (a wedged client connection) is evicted — its channel closes
-// early, which the streaming handler reports as truncation — so a dead
-// reader can never stall the scheduler or an engine observer.
+// Append records e, trimming the oldest events past the ring capacity,
+// and wakes followers.
 func (l *eventLog) Append(e obs.Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
+	l.appendLocked(e)
+	l.bumpLocked()
+}
+
+func (l *eventLog) appendLocked(e obs.Event) {
 	l.events = append(l.events, e)
-	for ch := range l.subs {
-		select {
-		case ch <- e:
-		default:
-			delete(l.subs, ch)
-			close(ch)
+	if len(l.events) > l.cap {
+		trim := len(l.events) - l.cap
+		l.base += trim
+		n := copy(l.events, l.events[trim:])
+		for i := n; i < len(l.events); i++ {
+			l.events[i] = obs.Event{} // release the trimmed payloads
 		}
+		l.events = l.events[:n]
 	}
 }
 
-// Close appends the final event and ends the stream: follower channels
-// are closed after it, and later Subscribe calls see a complete replay
-// with a closed channel.
+// bumpLocked signals waiting followers by closing the current change
+// channel and installing a fresh one. A follower always waits on the
+// channel it got from ReadFrom, so a signal between its read and its
+// wait is never lost (the channel it holds is already closed).
+func (l *eventLog) bumpLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// Close appends the final event and ends the stream: ReadFrom reports
+// closed once the reader has drained past the final event.
 func (l *eventLog) Close(final obs.Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
-	l.events = append(l.events, final)
-	for ch := range l.subs {
-		select {
-		case ch <- final:
-		default: // evicted as overrun; closed below either way
-		}
-		close(ch)
-	}
-	l.subs = nil
+	l.appendLocked(final)
 	l.closed = true
+	l.bumpLocked()
 }
 
-// Subscribe returns every event so far plus a channel for the rest.
-// The channel is closed when the job finishes (nil and closed when it
-// already has). Cancel with unsubscribe; after Close, unsubscribe is a
-// no-op.
-func (l *eventLog) Subscribe() (replay []obs.Event, follow <-chan obs.Event, unsubscribe func()) {
+// ReadFrom returns the buffered events at absolute index >= from.
+// dropped counts events that were trimmed before the reader got to them
+// (0 for a healthy reader); next is the absolute index to resume from;
+// closed reports that the log has its final event (the stream ends once
+// the reader has consumed up to next == total); changed is closed on the
+// next append or close, so a follower can wait without polling.
+func (l *eventLog) ReadFrom(from int) (batch []obs.Event, next int, dropped int, closed bool, changed <-chan struct{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	replay = append([]obs.Event(nil), l.events...)
-	if l.closed {
-		ch := make(chan obs.Event)
-		close(ch)
-		return replay, ch, func() {}
+	if from < l.base {
+		dropped = l.base - from
+		from = l.base
 	}
-	// Capacity for a whole stream of interval samples; Append blocks
-	// only if a follower is slower than the engine's sampling cadence
-	// for thousands of intervals.
-	ch := make(chan obs.Event, 4096)
-	l.subs[ch] = struct{}{}
-	return replay, ch, func() {
-		l.mu.Lock()
-		defer l.mu.Unlock()
-		if _, ok := l.subs[ch]; ok {
-			delete(l.subs, ch)
-			close(ch)
-		}
+	if off := from - l.base; off < len(l.events) {
+		batch = append([]obs.Event(nil), l.events[off:]...)
 	}
+	return batch, from + len(batch), dropped, l.closed, l.changed
 }
 
-// Snapshot returns the events recorded so far.
+// Snapshot returns the events still buffered (the full history for any
+// job within the ring capacity).
 func (l *eventLog) Snapshot() []obs.Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]obs.Event(nil), l.events...)
+}
+
+// Len returns base+len: the total number of events ever appended.
+func (l *eventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + len(l.events)
 }

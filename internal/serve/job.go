@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/hsgraph"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -104,6 +105,17 @@ type job struct {
 	log *eventLog
 	// doneCh closes when the job reaches done or failed.
 	doneCh chan struct{}
+
+	// The job's causal trace (span events land in log). root is the
+	// "job" span opened at submit and ended when the job finishes;
+	// waitSpan/runSpan are the currently open queue.wait / run episode
+	// (both guarded by the scheduler lock; runSpan is set before the
+	// engine goroutine launches and read by it).
+	tracer   *obs.Tracer
+	root     *obs.Span
+	waitSpan *obs.Span
+	runSpan  *obs.Span
+	queuedAt time.Time // start of the current queue episode
 }
 
 // status snapshots the job for JSON. Caller holds the scheduler lock.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -16,16 +17,17 @@ import (
 
 // execute runs j's engine to completion (or to its interrupt) and
 // returns the marshaled result. It holds no scheduler locks: the only
-// shared state it touches is the job's event log (internally locked)
-// and the interrupt flag.
+// shared state it touches is the job's event log (internally locked),
+// the run-episode span (set before this goroutine launched) and the
+// interrupt flag.
 func (s *scheduler) execute(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 	switch j.spec.Type {
 	case TypeEval:
 		return executeEval(j)
 	case TypeAnneal:
-		return executeAnneal(j, intr)
+		return s.executeAnneal(j, intr)
 	case TypeSweep:
-		return executeSweep(j, intr)
+		return s.executeSweep(j, intr)
 	}
 	return nil, fmt.Errorf("serve: unknown job type %q", j.spec.Type) // unreachable after normalize
 }
@@ -43,40 +45,101 @@ func concreteGraph(j *job) (*hsgraph.Graph, error) {
 	return g, nil
 }
 
+// encodeResult marshals v under an "encode" child of the run span, so
+// the trace separates engine time from serialization time.
+func encodeResult(j *job, v any) (json.RawMessage, error) {
+	esp := j.runSpan.Child("encode")
+	b, err := marshalResult(v)
+	esp.SetF("bytes", float64(len(b)))
+	esp.Fail(err)
+	return b, err
+}
+
 func executeEval(j *job) (json.RawMessage, error) {
 	g, err := concreteGraph(j)
 	if err != nil {
 		return nil, err
 	}
 	met := g.EvaluateParallel(j.workers)
-	return marshalResult(EvalResult{
+	return encodeResult(j, EvalResult{
 		Graph:       fault.NewGraphReport(g, met),
 		Fingerprint: g.Fingerprint().String(),
 	})
 }
 
 // logObserver streams anneal telemetry into the job's event log, with
-// the same field keys cmd/orpcli writes to -trace-out files.
-type logObserver struct{ log *eventLog }
+// the same field keys cmd/orpcli writes to -trace-out files, and
+// forwards the evaluation-ladder counters to the orpd_* instruments.
+//
+// The engine's EvalStats are cumulative per restart; the observer keeps
+// the previous snapshot per restart and adds only the delta, so the
+// service counters stay monotone across concurrent jobs and restarts.
+// A snapshot that runs backwards means the engine's counters restarted
+// (a preempted job resumed: the ladder state is not checkpointed) — the
+// whole new snapshot is fresh work then.
+type logObserver struct {
+	log *eventLog
+	met *metrics // nil in tests that only want the event stream
 
-func (o logObserver) ObserveAnneal(sm opt.AnnealSample) {
-	o.log.Append(obs.Event{
-		T:    sm.Elapsed,
-		Kind: obs.KindAnnealSample,
-		F: map[string]float64{
-			"iter":        float64(sm.Iter),
-			"temp":        sm.Temp,
-			"current":     float64(sm.Current),
-			"best":        float64(sm.Best),
-			"accepted":    float64(sm.Accepted),
-			"proposed":    float64(sm.Proposed),
-			"movesPerSec": sm.MovesPerSec,
-			"restart":     float64(sm.Restart),
-		},
-	})
+	mu   sync.Mutex
+	last map[int]opt.EvalStats // per restart
 }
 
-func executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, error) {
+func newLogObserver(log *eventLog, met *metrics) *logObserver {
+	return &logObserver{log: log, met: met, last: make(map[int]opt.EvalStats)}
+}
+
+func (o *logObserver) ObserveAnneal(sm opt.AnnealSample) {
+	f := map[string]float64{
+		"iter":        float64(sm.Iter),
+		"temp":        sm.Temp,
+		"current":     float64(sm.Current),
+		"best":        float64(sm.Best),
+		"accepted":    float64(sm.Accepted),
+		"proposed":    float64(sm.Proposed),
+		"movesPerSec": sm.MovesPerSec,
+		"restart":     float64(sm.Restart),
+	}
+	if ev := sm.Eval; ev != (opt.EvalStats{}) {
+		f["boundDecided"] = float64(ev.BoundDecided)
+		f["escalated"] = float64(ev.Escalated)
+		f["unbounded"] = float64(ev.Unbounded)
+		f["incSyncs"] = float64(ev.Inc.Syncs)
+		f["incFullRebuilds"] = float64(ev.Inc.FullRebuilds)
+		f["incPeeks"] = float64(ev.Inc.Peeks)
+		f["incEstimates"] = float64(ev.Inc.Estimates)
+	}
+	o.log.Append(obs.Event{T: sm.Elapsed, Kind: obs.KindAnnealSample, F: f})
+
+	if o.met == nil {
+		return
+	}
+	o.mu.Lock()
+	prev := o.last[sm.Restart]
+	o.last[sm.Restart] = sm.Eval
+	o.mu.Unlock()
+	ev, pv := sm.Eval, prev
+	addDelta(o.met.ladderBound, ev.BoundDecided, pv.BoundDecided)
+	addDelta(o.met.ladderEscalated, ev.Escalated, pv.Escalated)
+	addDelta(o.met.ladderUnbounded, ev.Unbounded, pv.Unbounded)
+	addDelta(o.met.incSyncs, ev.Inc.Syncs, pv.Inc.Syncs)
+	addDelta(o.met.incRebuilds, ev.Inc.FullRebuilds, pv.Inc.FullRebuilds)
+	addDelta(o.met.incPeekReuses, ev.Inc.StoredPeekReuses, pv.Inc.StoredPeekReuses)
+	addDelta(o.met.incSwept, ev.Inc.SweptSources, pv.Inc.SweptSources)
+	addDelta(o.met.incDirty, ev.Inc.DirtySources, pv.Inc.DirtySources)
+}
+
+// addDelta advances a monotone counter from a cumulative snapshot pair.
+func addDelta(c *obs.Counter, cur, prev int64) {
+	switch {
+	case cur > prev:
+		c.Add(cur - prev)
+	case cur < prev:
+		c.Add(cur) // source counters restarted; the snapshot is all new work
+	}
+}
+
+func (s *scheduler) executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 	res := AnnealResult{Method: "annealed"}
 	var g *hsgraph.Graph
 
@@ -88,10 +151,11 @@ func executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 			Seed:           j.spec.Seed,
 			Workers:        j.workers,
 			Eval:           j.evalMode,
-			Observer:       logObserver{j.log},
+			Observer:       newLogObserver(j.log, s.met),
 			CheckpointPath: j.ckptPath,
 			Resume:         j.resume,
 			Interrupt:      intr,
+			Span:           j.runSpan,
 		}
 		var annealRes opt.Result
 		var err error
@@ -113,10 +177,11 @@ func executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 			FixedM:         j.spec.M,
 			Workers:        j.workers,
 			Eval:           j.evalMode,
-			Observer:       logObserver{j.log},
+			Observer:       newLogObserver(j.log, s.met),
 			CheckpointPath: j.ckptPath,
 			Resume:         j.resume,
 			Interrupt:      intr,
+			Span:           j.runSpan,
 		})
 		if err != nil {
 			return nil, err
@@ -140,10 +205,10 @@ func executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 		return nil, err
 	}
 	res.GraphText = buf.String()
-	return marshalResult(res)
+	return encodeResult(j, res)
 }
 
-func executeSweep(j *job, intr *atomic.Bool) (json.RawMessage, error) {
+func (s *scheduler) executeSweep(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 	g, err := concreteGraph(j)
 	if err != nil {
 		return nil, err
@@ -157,6 +222,7 @@ func executeSweep(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 		CheckpointPath: j.ckptPath,
 		Resume:         j.resume,
 		Interrupt:      intr,
+		Span:           j.runSpan,
 		OnTrial: func(p fault.TrialProgress) {
 			j.log.Append(obs.Event{T: p.Seconds, Kind: obs.KindSweepTrial, F: map[string]float64{
 				"fraction":       p.Fraction,
@@ -176,7 +242,7 @@ func executeSweep(j *job, intr *atomic.Bool) (json.RawMessage, error) {
 	if err != nil {
 		return nil, err
 	}
-	return marshalResult(SweepResult{
+	return encodeResult(j, SweepResult{
 		Graph:       fault.NewGraphReport(g, g.EvaluateParallel(j.workers)),
 		Fingerprint: g.Fingerprint().String(),
 		Model:       j.model.String(),

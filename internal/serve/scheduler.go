@@ -51,37 +51,45 @@ func (h *jobHeap) Pop() any {
 // highest-priority queued job waits for workers, nothing behind it
 // starts. That forfeits some utilisation but makes latency of the
 // urgent job independent of the queue behind it.
+//
+// Every job carries its own obs.Tracer writing into its event log: the
+// scheduler opens the root "job" span at submit and one child per phase
+// (admission, cache.lookup, then alternating queue.wait and run
+// episodes), so a job's event stream decomposes its wall time into
+// disjoint intervals — including across preemptions.
 type scheduler struct {
-	mu      sync.Mutex
-	cond    *sync.Cond // broadcast on every running-set change (drain waits on it)
-	budget  int
-	free    int
-	seq     uint64
-	jobs    map[string]*job
-	order   []*job // submission order, for listing
-	queue   jobHeap
-	running map[*job]*atomic.Bool // job -> its current interrupt flag
-	cache   *resultCache
-	dataDir string
-	met     *metrics
-	drained bool
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on every running-set change (drain waits on it)
+	budget    int
+	free      int
+	seq       uint64
+	jobs      map[string]*job
+	order     []*job // submission order, for listing
+	queue     jobHeap
+	running   map[*job]*atomic.Bool // job -> its current interrupt flag
+	cache     *resultCache
+	dataDir   string
+	met       *metrics
+	retention time.Duration // 0 = keep finished jobs forever
+	drained   bool
 
 	clock func() time.Time // test hook; time.Now in production
 }
 
-func newScheduler(budget int, cache *resultCache, dataDir string, met *metrics) *scheduler {
+func newScheduler(budget int, cache *resultCache, dataDir string, met *metrics, retention time.Duration) *scheduler {
 	if budget < 1 {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	s := &scheduler{
-		budget:  budget,
-		free:    budget,
-		jobs:    make(map[string]*job),
-		running: make(map[*job]*atomic.Bool),
-		cache:   cache,
-		dataDir: dataDir,
-		met:     met,
-		clock:   time.Now,
+		budget:    budget,
+		free:      budget,
+		jobs:      make(map[string]*job),
+		running:   make(map[*job]*atomic.Bool),
+		cache:     cache,
+		dataDir:   dataDir,
+		met:       met,
+		retention: retention,
+		clock:     time.Now,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -90,6 +98,7 @@ func newScheduler(budget int, cache *resultCache, dataDir string, met *metrics) 
 // Submit validates the spec, answers it from the result cache when the
 // canonical job identity is already known, and otherwise queues it.
 func (s *scheduler) Submit(spec JobSpec) (JobStatus, error) {
+	accepted := time.Now() // admission span starts at arrival, before parsing
 	g, mode, model, err := spec.normalize()
 	if err != nil {
 		return JobStatus{}, err
@@ -98,6 +107,7 @@ func (s *scheduler) Submit(spec JobSpec) (JobStatus, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcLocked()
 	if s.drained {
 		return JobStatus{}, ErrDraining
 	}
@@ -123,12 +133,33 @@ func (s *scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	s.order = append(s.order, j)
 	s.met.submitted.Inc()
 
-	if cached, ok := s.cache.Get(key); ok {
+	// The job's trace: one tracer per job (trace ID = job ID, epoch =
+	// arrival), emitting span events into the job's own log. The root
+	// "job" span is backdated to arrival so admission work done before
+	// the record existed is still inside it.
+	j.tracer = obs.NewTracer(j.id, accepted, j.log.Append)
+	j.root = j.tracer.Root("job")
+	j.root.SetS("type", spec.Type)
+	j.root.SetF("priority", float64(spec.Priority))
+	adm := j.root.Child("admission")
+	adm.SetF("workers", float64(j.workers))
+	backdate(j.root, accepted)
+	backdate(adm, accepted)
+	adm.End()
+
+	lsp := j.root.Child("cache.lookup")
+	cached, hit := s.cache.Get(key)
+	lsp.SetF("hit", b2f(hit))
+	lsp.End()
+	if hit {
 		now := s.clock()
 		j.state, j.cached, j.result = StateDone, true, cached
 		j.started, j.finished = &now, &now
 		s.met.hits.Inc()
 		s.met.done.Inc()
+		j.root.SetS("outcome", "done")
+		j.root.SetF("cached", 1)
+		j.root.End()
 		j.log.Close(jobDoneEvent(j, 0))
 		close(j.doneCh)
 		return j.status(), nil
@@ -136,13 +167,33 @@ func (s *scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	s.met.misses.Inc()
 
 	j.state = StateQueued
+	s.enqueueLocked(j)
+	s.schedule()
+	return j.status(), nil
+}
+
+// backdate is a deliberate narrow hack: spans record their start at
+// Child() time, but the job record (and so the tracer) only exists
+// after spec parsing. Resetting the start to the request's arrival
+// keeps the admission span honest about parse cost.
+func backdate(sp *obs.Span, to time.Time) {
+	if sp == nil {
+		return
+	}
+	sp.Backdate(to)
+}
+
+// enqueueLocked pushes j onto the queue and opens its queue.wait span
+// episode. Caller holds s.mu.
+func (s *scheduler) enqueueLocked(j *job) {
+	j.queuedAt = s.clock()
+	j.waitSpan = j.root.Child("queue.wait")
+	j.waitSpan.SetF("episode", float64(j.preemptions))
 	heap.Push(&s.queue, j)
 	s.met.queueDepth.Set(float64(s.queue.Len()))
 	j.log.Append(obs.Event{Kind: KindJobQueued, F: map[string]float64{
-		"priority": float64(spec.Priority), "workers": float64(j.workers),
+		"priority": float64(j.spec.Priority), "workers": float64(j.workers),
 	}})
-	s.schedule()
-	return j.status(), nil
 }
 
 // ErrDraining rejects submissions while the server shuts down.
@@ -192,6 +243,19 @@ func (s *scheduler) start(j *job) {
 	s.running[j] = intr
 	s.met.workersBusy.Set(float64(s.budget - s.free))
 	s.cond.Broadcast()
+
+	// Close this queue-wait episode: span + per-priority histogram.
+	j.waitSpan.End()
+	j.waitSpan = nil
+	s.met.queueWait(j.spec.Priority).Observe(now.Sub(j.queuedAt).Seconds())
+
+	// Open the run episode; the engine goroutine owns it until it ends
+	// it (done, failed or preempted).
+	j.runSpan = j.root.Child("run")
+	j.runSpan.SetF("episode", float64(j.preemptions))
+	j.runSpan.SetF("workers", float64(j.workers))
+	j.runSpan.SetF("resume", b2f(j.resume))
+
 	j.log.Append(obs.Event{Kind: KindJobRunning, F: map[string]float64{
 		"priority": float64(j.spec.Priority), "workers": float64(j.workers),
 		"resume": b2f(j.resume),
@@ -267,11 +331,13 @@ func (s *scheduler) run(j *job, intr *atomic.Bool) {
 		j.preempting = false
 		j.resume = true
 		j.preemptions++
+		j.runSpan.SetS("outcome", "preempted")
+		j.runSpan.End()
+		j.runSpan = nil
 		j.log.Append(obs.Event{T: elapsed, Kind: KindJobPreempted, F: map[string]float64{
 			"preemptions": float64(j.preemptions),
 		}})
-		heap.Push(&s.queue, j)
-		s.met.queueDepth.Set(float64(s.queue.Len()))
+		s.enqueueLocked(j)
 		s.schedule()
 		return
 	}
@@ -282,16 +348,28 @@ func (s *scheduler) run(j *job, intr *atomic.Bool) {
 		j.state = StateFailed
 		j.err = err
 		s.met.failed.Inc()
+		j.runSpan.SetS("outcome", "failed")
+		j.runSpan.Fail(err)
 	} else {
 		j.state = StateDone
 		j.result = result
 		s.cache.Put(j.key, result)
 		s.met.done.Inc()
+		j.runSpan.SetS("outcome", "done")
+		j.runSpan.End()
 	}
+	j.runSpan = nil
 	if j.ckptPath != "" {
 		removeCheckpoints(j.ckptPath, j.spec.Restarts)
 	}
 	s.met.jobSeconds.Observe(elapsed)
+	j.root.SetF("preemptions", float64(j.preemptions))
+	if j.err != nil {
+		j.root.SetS("outcome", "failed")
+	} else {
+		j.root.SetS("outcome", "done")
+	}
+	j.root.End()
 	j.log.Close(jobDoneEvent(j, elapsed))
 	close(j.doneCh)
 	s.schedule()
@@ -319,10 +397,36 @@ func removeCheckpoints(path string, restarts int) {
 	}
 }
 
+// gcLocked drops finished job records older than the retention window.
+// Queued and running jobs are never touched; the result cache keeps its
+// own (LRU-bounded) copy of the payload, so a resubmission after
+// eviction is still a cache hit. Caller holds s.mu.
+func (s *scheduler) gcLocked() {
+	if s.retention <= 0 || len(s.order) == 0 {
+		return
+	}
+	cutoff := s.clock().Add(-s.retention)
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if (j.state == StateDone || j.state == StateFailed) &&
+			j.finished != nil && j.finished.Before(cutoff) {
+			delete(s.jobs, j.id)
+			s.met.evicted.Inc()
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil // release the evicted records
+	}
+	s.order = kept
+}
+
 // Get returns a job's status.
 func (s *scheduler) Get(id string) (JobStatus, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcLocked()
 	j, ok := s.jobs[id]
 	if !ok {
 		return JobStatus{}, false
@@ -330,12 +434,18 @@ func (s *scheduler) Get(id string) (JobStatus, bool) {
 	return j.status(), true
 }
 
-// List returns every job in submission order.
-func (s *scheduler) List() []JobStatus {
+// List returns jobs in submission order (a stable order: evictions only
+// remove elements, never reorder them). A non-empty state keeps only
+// jobs currently in that state.
+func (s *scheduler) List(state string) []JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcLocked()
 	out := make([]JobStatus, 0, len(s.order))
 	for _, j := range s.order {
+		if state != "" && j.state != state {
+			continue
+		}
 		out = append(out, j.status())
 	}
 	return out
@@ -345,6 +455,7 @@ func (s *scheduler) List() []JobStatus {
 func (s *scheduler) Events(id string) (*eventLog, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcLocked()
 	j, ok := s.jobs[id]
 	if !ok {
 		return nil, false
@@ -362,11 +473,19 @@ func (s *scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
 	}
 	select {
 	case <-j.doneCh:
-		st, _ := s.Get(id)
-		return st, nil
+		return j.statusLocked(s), nil
 	case <-ctx.Done():
 		return JobStatus{}, ctx.Err()
 	}
+}
+
+// statusLocked takes the scheduler lock and snapshots j. Unlike Get it
+// holds the job pointer, so it works even after retention GC dropped
+// the record from the index.
+func (j *job) statusLocked(s *scheduler) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.status()
 }
 
 // Drain stops the scheduler: new submissions are rejected, queued jobs

@@ -191,25 +191,44 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
-// TestEventLogOverrunEviction pins that a wedged subscriber is evicted
-// instead of blocking appends.
+// TestEventLogOverrunEviction pins the ring-buffer contract: appends
+// never block or fail when a reader falls behind — the oldest events are
+// trimmed, and the lagging reader is told exactly how many it lost.
 func TestEventLogOverrunEviction(t *testing.T) {
-	l := newEventLog()
-	_, follow, unsub := l.Subscribe()
-	defer unsub()
-	// Never read: the 4096-buffer fills, then the subscriber is dropped.
+	l := newEventLogCap(64)
 	for i := 0; i < 5000; i++ {
-		l.Append(obs.Event{Kind: "x"})
+		l.Append(obs.Event{Kind: "x", T: float64(i)})
 	}
-	drained := 0
-	for range follow {
-		drained++
-		if drained > 4200 {
-			t.Fatal("follow channel never closed after overrun")
-		}
+	if got := l.Len(); got != 5001 { // header + 5000, counting trimmed ones
+		t.Fatalf("Len() = %d, want 5001", got)
 	}
-	if len(l.Snapshot()) != 5001 { // header + 5000
-		t.Fatalf("log lost events: %d", len(l.Snapshot()))
+	if got := len(l.Snapshot()); got != 64 {
+		t.Fatalf("buffered %d events, want the 64-cap window", got)
+	}
+
+	// A reader that never consumed anything resumes at the window start
+	// and learns the exact number of trimmed events.
+	batch, next, dropped, closed, _ := l.ReadFrom(0)
+	if dropped != 5001-64 {
+		t.Fatalf("dropped = %d, want %d", dropped, 5001-64)
+	}
+	if len(batch) != 64 || next != 5001 || closed {
+		t.Fatalf("batch=%d next=%d closed=%v", len(batch), next, closed)
+	}
+	// The window is the most recent suffix, in order.
+	if batch[len(batch)-1].T != 4999 {
+		t.Fatalf("window does not end at the newest event: T=%v", batch[len(batch)-1].T)
+	}
+
+	// A caught-up reader sees nothing new and no drop; after Close it
+	// drains the final event and observes the end of stream.
+	l.Close(obs.Event{Kind: "done"})
+	batch, next, dropped, closed, _ = l.ReadFrom(next)
+	if dropped != 0 || !closed || len(batch) != 1 || batch[0].Kind != "done" {
+		t.Fatalf("post-close read: batch=%v dropped=%d closed=%v", batch, dropped, closed)
+	}
+	if batch, _, _, closed, _ = l.ReadFrom(next); len(batch) != 0 || !closed {
+		t.Fatalf("stream did not terminate: batch=%d closed=%v", len(batch), closed)
 	}
 }
 

@@ -29,19 +29,42 @@ type Config struct {
 	// Registry receives the orpd_* instruments and is served at
 	// /metrics. Nil builds a private one.
 	Registry *obs.Registry
+	// Retention bounds how long finished jobs (done or failed) stay
+	// queryable after they finish. Zero keeps them forever (the
+	// pre-retention behaviour). Expired records are garbage-collected
+	// lazily on API access and scheduling activity and counted by
+	// orpd_jobs_evicted_total; queued and running jobs are never
+	// collected. Cached results outlive the job record — the result
+	// cache has its own LRU bound.
+	Retention time.Duration
 }
+
+// Endpoint labels of the RED instrument set.
+var apiEndpoints = []string{"submit", "list", "get", "events"}
 
 // metrics is the orpd instrument set.
 type metrics struct {
 	reg                                   *obs.Registry
 	submitted, done, failed, hits, misses *obs.Counter
-	preemptions                           *obs.Counter
+	preemptions, evicted                  *obs.Counter
 	queueDepth, workersBusy               *obs.Gauge
 	jobSeconds, httpSeconds               *obs.Histogram
+
+	// RED per endpoint: request counters by status class and latency
+	// histograms, exposed as labeled children of
+	// orpd_http_requests_total / orpd_http_request_seconds.
+	httpReq map[string]map[string]*obs.Counter // endpoint -> class -> counter
+	httpSec map[string]*obs.Histogram          // endpoint -> latency histogram
+
+	// Evaluation-ladder introspection, aggregated across jobs from the
+	// per-restart EvalStats deltas (see evalStatsSink).
+	ladderBound, ladderEscalated, ladderUnbounded  *obs.Counter
+	incSyncs, incRebuilds, incPeekReuses, incSwept *obs.Counter
+	incDirty                                       *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
-	return &metrics{
+	m := &metrics{
 		reg:         reg,
 		submitted:   reg.Counter("orpd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
 		done:        reg.Counter("orpd_jobs_done_total", "Jobs finished successfully (cache hits included)."),
@@ -49,11 +72,62 @@ func newMetrics(reg *obs.Registry) *metrics {
 		hits:        reg.Counter("orpd_cache_hits_total", "Submissions answered from the result cache."),
 		misses:      reg.Counter("orpd_cache_misses_total", "Submissions that had to run an engine."),
 		preemptions: reg.Counter("orpd_preemptions_total", "Checkpoint preemptions of running jobs."),
+		evicted:     reg.Counter("orpd_jobs_evicted_total", "Finished job records dropped by retention GC."),
 		queueDepth:  reg.Gauge("orpd_queue_depth", "Jobs waiting for workers."),
 		workersBusy: reg.Gauge("orpd_workers_busy", "Workers currently granted to running jobs."),
 		jobSeconds:  reg.Histogram("orpd_job_seconds", "Wall-clock of one engine run.", obs.ExpBuckets(1e-4, 2, 24)),
 		httpSeconds: reg.Histogram("orpd_http_request_seconds", "Wall-clock of one API request.", obs.ExpBuckets(1e-5, 2, 22)),
+
+		ladderBound:     reg.Counter("orpd_ladder_bound_decided_total", "Anneal candidates settled by the sampled bound alone."),
+		ladderEscalated: reg.Counter("orpd_ladder_escalated_total", "Anneal candidates escalated to the exact evaluation rung."),
+		ladderUnbounded: reg.Counter("orpd_ladder_unbounded_total", "Delta estimates the incremental cache refused to bound."),
+		incSyncs:        reg.Counter("orpd_inc_syncs_total", "Incremental-cache commits with pending work."),
+		incRebuilds:     reg.Counter("orpd_inc_full_rebuilds_total", "Incremental-cache commits that fell back to a full rebuild."),
+		incPeekReuses:   reg.Counter("orpd_inc_stored_peek_reuses_total", "Incremental-cache commits satisfied by stored peek rows."),
+		incSwept:        reg.Counter("orpd_inc_swept_sources_total", "Source rows swept into the incremental cache."),
+		incDirty:        reg.Counter("orpd_inc_dirty_sources_total", "Dirty sources seen at incremental-cache commits."),
+
+		httpReq: make(map[string]map[string]*obs.Counter),
+		httpSec: make(map[string]*obs.Histogram),
 	}
+	for _, ep := range apiEndpoints {
+		m.httpReq[ep] = make(map[string]*obs.Counter)
+		for _, class := range []string{"2xx", "4xx", "5xx"} {
+			m.httpReq[ep][class] = reg.Counter(
+				fmt.Sprintf(`orpd_http_requests_total{endpoint=%q,code=%q}`, ep, class),
+				"API requests by endpoint and status class.")
+		}
+		m.httpSec[ep] = reg.Histogram(
+			fmt.Sprintf(`orpd_http_request_seconds{endpoint=%q}`, ep),
+			"Wall-clock of one API request.", obs.ExpBuckets(1e-5, 2, 22))
+	}
+	return m
+}
+
+// httpObserve records one finished API request in the RED set. The
+// events endpoint passes seconds < 0: its duration is the client's
+// follow-session length, which would poison the latency histograms.
+func (m *metrics) httpObserve(endpoint string, code int, seconds float64) {
+	class := fmt.Sprintf("%dxx", code/100)
+	byClass, ok := m.httpReq[endpoint]
+	if !ok {
+		return
+	}
+	if c, ok := byClass[class]; ok {
+		c.Inc()
+	}
+	if seconds >= 0 {
+		m.httpSec[endpoint].Observe(seconds)
+		m.httpSeconds.Observe(seconds)
+	}
+}
+
+// queueWait returns the per-priority queue-wait histogram, registering
+// the labeled child on first use (priorities are client-chosen ints).
+func (m *metrics) queueWait(priority int) *obs.Histogram {
+	return m.reg.Histogram(
+		fmt.Sprintf(`orpd_queue_wait_seconds{priority="%d"}`, priority),
+		"Queue wait before each run episode, by job priority.", obs.ExpBuckets(1e-4, 2, 24))
 }
 
 // Server is the orpd service core: scheduler + cache + HTTP API. Wire
@@ -91,7 +165,7 @@ func New(cfg Config) (*Server, error) {
 	met := newMetrics(reg)
 	cache := newResultCache(size)
 	s := &Server{
-		sched:   newScheduler(cfg.Workers, cache, dataDir, met),
+		sched:   newScheduler(cfg.Workers, cache, dataDir, met, cfg.Retention),
 		cache:   cache,
 		met:     met,
 		dataDir: dataDir,
@@ -104,9 +178,9 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the API handler (Go 1.22 pattern routes):
 //
 //	POST /v1/jobs             submit a JobSpec
-//	GET  /v1/jobs             list jobs (submission order)
+//	GET  /v1/jobs             list jobs (submission order; ?state= filters)
 //	GET  /v1/jobs/{id}        job status + result
-//	GET  /v1/jobs/{id}/events replay + follow the job's JSONL events
+//	GET  /v1/jobs/{id}/events replay + follow the job's JSONL events (?follow=0 for replay only)
 //	GET  /metrics             Prometheus exposition
 //	GET  /healthz             liveness
 //	GET  /debug/pprof/...     standard profiles
@@ -114,10 +188,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.timed(s.handleSubmit))
-	mux.HandleFunc("GET /v1/jobs", s.timed(s.handleList))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.timed(s.handleGet))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // long-lived: not in the latency histogram
+	mux.HandleFunc("POST /v1/jobs", s.timed("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.timed("list", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed("get", s.handleGet))
+	// Long-lived: counted in the RED request counters but kept out of
+	// the latency histograms (a follow session lasts as long as its job).
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.counted("events", s.handleEvents))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = obs.WritePrometheus(w, s.met.reg)
@@ -130,11 +206,47 @@ func (s *Server) buildMux() *http.ServeMux {
 	return mux
 }
 
-func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+// statusWriter captures the response code for the RED counters. It
+// forwards Flush so the events stream keeps its incremental delivery.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK // implicit 200 on first Write
+	}
+	return w.code
+}
+
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
-		s.met.httpSeconds.Observe(time.Since(start).Seconds())
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.met.httpObserve(endpoint, sw.status(), time.Since(start).Seconds())
+	}
+}
+
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.met.httpObserve(endpoint, sw.status(), -1)
 	}
 }
 
@@ -197,8 +309,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.List())
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed:
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf(
+			"unknown state %q (want %s, %s, %s or %s)",
+			state, StateQueued, StateRunning, StateDone, StateFailed)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sched.List(state))
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -211,17 +332,22 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's event log as JSONL: full replay first,
-// then live follow until the job finishes or the client goes away. The
-// stream is exactly the schema of the CLIs' -trace-out files, starting
-// with the versioned obs header.
+// then live follow until the job finishes or the client goes away
+// (?follow=0 stops after the replay). The stream is exactly the schema
+// of the CLIs' -trace-out files, starting with the versioned obs header.
+//
+// The log is ring-buffered; a reader that falls more than the buffer
+// capacity behind receives a stream.gap event naming how many events
+// were dropped and then continues from the live window. The stream is
+// therefore always well-formed JSONL and always terminates once the job
+// is done — never a hang, never a torn record.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	log, ok := s.sched.Events(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
 		return
 	}
-	replay, follow, unsubscribe := log.Subscribe()
-	defer unsubscribe()
+	follow := r.URL.Query().Get("follow") != "0"
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
@@ -232,24 +358,36 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	for _, e := range replay {
-		if enc.Encode(e) != nil {
-			return
-		}
-	}
-	flush()
+	next := 0
 	for {
-		select {
-		case e, open := <-follow:
-			if !open {
-				return // job finished (or this subscriber overran)
+		batch, n, dropped, closed, changed := log.ReadFrom(next)
+		if dropped > 0 {
+			if enc.Encode(obs.Event{Kind: KindStreamGap,
+				F: map[string]float64{"dropped": float64(dropped)}}) != nil {
+				return
 			}
+		}
+		for _, e := range batch {
 			if enc.Encode(e) != nil {
 				return
 			}
+		}
+		if len(batch) > 0 || dropped > 0 {
 			flush()
-		case <-r.Context().Done():
-			return
+		}
+		next = n
+		if closed && len(batch) == 0 {
+			return // drained past the final event
+		}
+		if !follow && len(batch) == 0 {
+			return // replay-only mode: caught up with the live window
+		}
+		if !closed && len(batch) == 0 {
+			select {
+			case <-changed:
+			case <-r.Context().Done():
+				return
+			}
 		}
 	}
 }

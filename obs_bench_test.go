@@ -19,3 +19,7 @@ func BenchmarkAnneal(b *testing.B) {
 func BenchmarkAnnealObserved(b *testing.B) {
 	benchWorkload(b, "anneal/observed/n=96,iters=1000")
 }
+
+func BenchmarkAnnealObservedSpans(b *testing.B) {
+	benchWorkload(b, "anneal/observed-spans/n=96,iters=1000")
+}
