@@ -29,7 +29,8 @@ func main() {
 		schedule = flag.String("schedule", "geometric", "geometric | linear | hillclimb")
 		out      = flag.String("o", "", "write the edge list here (default stdout)")
 		evalFile = flag.String("eval", "", "evaluate an existing edge-list file instead of solving")
-		evalMode = flag.String("eval-mode", "exact", "evaluation ladder rung: exact, incremental or ladder (same result, increasing moves/s)")
+		evalMode = flag.String("eval-mode", "exact", "evaluation ladder rung: exact, incremental, ladder or symmetric (same result, increasing moves/s)")
+		symmetry = flag.Int("symmetry", 0, "search only graphs closed under a cyclic group action of this order (0 = off; must divide n)")
 	)
 	version := cliutil.VersionFlag()
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := odp.Solve(*n, *d, odp.Options{Iterations: *iters, Seed: *seed, Schedule: sched, Workers: *workers, Eval: eval})
+	res, err := odp.Solve(*n, *d, odp.Options{Iterations: *iters, Seed: *seed, Schedule: sched, Workers: *workers, Eval: eval, Symmetry: *symmetry})
 	if err != nil {
 		fatal(err)
 	}

@@ -43,7 +43,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		fixedM   = flag.Int("m", 0, "force the switch count (0 = continuous-Moore prediction)")
 		moves    = flag.String("moves", "2ns", "move set: 2ns, swap or swing")
-		evalMode = flag.String("eval-mode", "exact", "evaluation ladder rung: exact, incremental or ladder (same result, increasing moves/s)")
+		evalMode = flag.String("eval-mode", "exact", "evaluation ladder rung: exact, incremental, ladder or symmetric (same result, increasing moves/s)")
+		symmetry = flag.Int("symmetry", 0, "search only graphs closed under a cyclic group action of this order (0 = off; pair with -eval-mode symmetric to quotient evaluation)")
 		out      = flag.String("o", "", "output file for the graph (default stdout)")
 		dfs      = flag.Bool("dfs", true, "relabel hosts in depth-first order (paper §6.2.1)")
 		verbose  = flag.Bool("v", false, "print annealing progress")
@@ -122,6 +123,7 @@ func main() {
 		Moves:           moveSet,
 		Workers:         *workers,
 		Eval:            eval,
+		Symmetry:        *symmetry,
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		Resume:          *resume,
@@ -219,6 +221,13 @@ func main() {
 			"acceptRate":    rate,
 			"seconds":       secs,
 		}})
+	}
+	// The incremental evaluator's one silent performance downgrade: peek
+	// sweeps too large for the row store fall back to recomputation on
+	// accept. Surface it so nobody wonders where the moves/s went.
+	if skips := top.Anneal.Eval.Inc.PeekStoreSkips; skips > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d peek sweeps exceeded the %d-entry row store and were recomputed on accept (larger graphs than the cache expects; -eval-mode exact avoids the cache)\n",
+			skips, hsgraph.MaxPeekRowEntries)
 	}
 	g := top.Graph
 	if *dfs {

@@ -7,6 +7,7 @@
 //	orptopo -kind dragonfly -a 8 -n 1024
 //	orptopo -kind fattree -k 16 -n 1024
 //	orptopo -kind hypercube -dims 4 -r 8 -n 32
+//	orptopo -kind symmetric -n 1024 -m 64 -r 24 -symmetry 4 -seed 1
 package main
 
 import (
@@ -21,14 +22,16 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "torus", "torus | dragonfly | fattree | hypercube | fullmesh")
-		n     = flag.Int("n", 0, "hosts to attach (0 = full capacity)")
-		r     = flag.Int("r", 15, "radix (torus/hypercube/fullmesh)")
+		kind  = flag.String("kind", "torus", "torus | dragonfly | fattree | hypercube | fullmesh | symmetric")
+		n     = flag.Int("n", 0, "hosts to attach (0 = full capacity; required for symmetric)")
+		r     = flag.Int("r", 15, "radix (torus/hypercube/fullmesh/symmetric)")
 		dims  = flag.Int("dims", 5, "dimensions (torus/hypercube)")
 		base  = flag.Int("base", 3, "base (torus)")
 		a     = flag.Int("a", 8, "group size (dragonfly)")
 		k     = flag.Int("k", 16, "arity (fattree)")
-		m     = flag.Int("m", 8, "switches (fullmesh)")
+		m     = flag.Int("m", 8, "switches (fullmesh/symmetric)")
+		sym   = flag.Int("symmetry", 2, "cyclic group order (symmetric; must divide m and n mod m)")
+		seed  = flag.Uint64("seed", 1, "random seed (symmetric)")
 		rr    = flag.Bool("roundrobin", false, "attach hosts round-robin instead of sequentially")
 		out   = flag.String("o", "", "output file (default stdout)")
 		quiet = flag.Bool("q", false, "suppress the stats header on stderr")
@@ -36,6 +39,21 @@ func main() {
 	version := cliutil.VersionFlag()
 	flag.Parse()
 	cliutil.ExitIfVersion("orptopo", version)
+
+	if *kind == "symmetric" {
+		// Random generator, not a structured Spec: build the graph directly.
+		if *n == 0 {
+			fmt.Fprintln(os.Stderr, "orptopo: -kind symmetric needs -n")
+			os.Exit(2)
+		}
+		g, err := topo.RandomSymmetric(*n, *m, *r, *sym, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
+			os.Exit(1)
+		}
+		emit(g, fmt.Sprintf("symmetric(g=%d)", *sym), *quiet, *out)
+		return
+	}
 
 	var spec *topo.Spec
 	var err error
@@ -71,14 +89,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
 		os.Exit(1)
 	}
-	if !*quiet {
+	emit(g, spec.Name, *quiet, *out)
+}
+
+// emit prints the stats header (unless quiet) and writes the graph to out
+// (stdout when empty).
+func emit(g *hsgraph.Graph, name string, quiet bool, out string) {
+	if !quiet {
 		met := g.Evaluate()
 		fmt.Fprintf(os.Stderr, "%s: n=%d m=%d r=%d links=%d h-ASPL=%.4f diameter=%d\n",
-			spec.Name, g.Order(), g.Switches(), g.Radix(), g.NumEdges(), met.HASPL, met.Diameter)
+			name, g.Order(), g.Switches(), g.Radix(), g.NumEdges(), met.HASPL, met.Diameter)
 	}
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orptopo: %v\n", err)
 			os.Exit(1)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/topo"
 )
 
 // Method records which of the three regimes produced a topology.
@@ -71,8 +72,18 @@ type Options struct {
 	// cores between restarts and shards. Results are worker-invariant.
 	Workers int
 	// Eval selects the annealer's evaluation ladder rung (exact,
-	// incremental or ladder; see opt.EvalMode). Default exact.
+	// incremental, ladder or symmetric; see opt.EvalMode). Default exact.
 	Eval opt.EvalMode
+	// Symmetry, when >= 2, makes the annealed regime search only graphs
+	// closed under a cyclic group action of order Symmetry: the start is
+	// a symmetric random graph (topo.RandomSymmetric) and every move is a
+	// symmetry-preserving operator. Unless FixedM pins it, the predicted
+	// switch count is adjusted to the nearest value compatible with the
+	// group action. Pair with Eval = opt.EvalSymmetric to also quotient
+	// the evaluation (~Symmetry× fewer BFS sweeps per decision). The
+	// single-switch and clique regimes are already provably optimal and
+	// ignore this field.
+	Symmetry int
 	// OnProgress is forwarded to the annealer (single-restart runs only).
 	OnProgress func(iter int, current, best int64)
 	// Observer receives per-interval anneal telemetry (every ReportEvery
@@ -175,11 +186,23 @@ func Solve(n, r int, o Options) (*Topology, error) {
 	m := o.FixedM
 	if m == 0 {
 		m = mOpt
+		if o.Symmetry > 1 {
+			var err error
+			if m, err = adjustSymmetricM(n, mOpt, r, o.Symmetry); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if !hsgraph.Feasible(n, m, r) {
 		return nil, fmt.Errorf("core: no host-switch graph with n=%d m=%d r=%d exists", n, m, r)
 	}
-	start, err := hsgraph.RandomConnected(n, m, r, rng.New(o.Seed))
+	var start *hsgraph.Graph
+	var err error
+	if o.Symmetry > 1 {
+		start, err = topo.RandomSymmetric(n, m, r, o.Symmetry, o.Seed)
+	} else {
+		start, err = hsgraph.RandomConnected(n, m, r, rng.New(o.Seed))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +212,7 @@ func Solve(n, r int, o Options) (*Topology, error) {
 		Seed:            o.Seed + 1,
 		Workers:         o.Workers,
 		Eval:            o.Eval,
+		Symmetry:        o.Symmetry,
 		OnProgress:      o.OnProgress,
 		Observer:        o.Observer,
 		ReportEvery:     o.ReportEvery,
@@ -223,6 +247,27 @@ func Solve(n, r int, o Options) (*Topology, error) {
 	}
 	top.Graph, top.Method, top.Anneal = g, Annealed, res
 	return finish(top, n, r)
+}
+
+// adjustSymmetricM finds the switch count nearest the Moore-bound
+// prediction mOpt that admits an order-sym symmetric layout: a multiple
+// of sym (>= 3) whose host remainder n mod m is also a multiple of sym
+// (host counts must be constant on every orbit) and that stays feasible
+// for (n, r). Ties at equal distance prefer the smaller count, where the
+// continuous Moore bound is flat anyway.
+func adjustSymmetricM(n, mOpt, r, sym int) (int, error) {
+	ok := func(m int) bool {
+		return m >= 3 && m >= sym && m%sym == 0 && (n%m)%sym == 0 && hsgraph.Feasible(n, m, r)
+	}
+	for d := 0; d <= mOpt+4*sym; d++ {
+		if m := mOpt - d; m > 0 && ok(m) {
+			return m, nil
+		}
+		if ok(mOpt + d) {
+			return mOpt + d, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no switch count near m_opt=%d supports symmetry %d for n=%d r=%d", mOpt, sym, n, r)
 }
 
 func finish(top *Topology, n, r int) (*Topology, error) {

@@ -138,7 +138,7 @@ func (e *Evaluator) Energy(g *Graph) (int64, bool) {
 		}
 		return total, allAttached
 	}
-	if !allAttached || !e.connectedQuick(g) {
+	if !allAttached || !e.connectedQuick(g, len(e.srcs)) {
 		return 0, false
 	}
 	met := e.apsp(g, total, pairs, diam, allAttached)
@@ -167,9 +167,10 @@ func (e *Evaluator) gather(g *Graph) (total, pairs int64, diam int, allAttached,
 	return total, pairs, diam, attached == int64(g.n), len(e.srcs) <= 1
 }
 
-// connectedQuick reports whether every host-bearing switch is reachable
-// from the first one, with a single serial BFS over reused scratch.
-func (e *Evaluator) connectedQuick(g *Graph) bool {
+// connectedQuick reports whether want host-bearing switches (the total
+// count in g) are reachable from the first gathered source, with a single
+// serial BFS over reused scratch.
+func (e *Evaluator) connectedQuick(g *Graph, want int) bool {
 	m := len(g.adj)
 	if cap(e.dist) < m {
 		e.dist = make([]int32, m)
@@ -197,13 +198,33 @@ func (e *Evaluator) connectedQuick(g *Graph) bool {
 		}
 	}
 	e.queue = queue[:0]
-	return bearing == len(e.srcs)
+	return bearing == want
 }
 
 // apsp runs the sharded bit-parallel all-pairs sweep and finishes the
 // metrics. total, pairs and diam carry the intra-switch contribution from
 // gather.
 func (e *Evaluator) apsp(g *Graph, total, pairs int64, diam int, allAttached bool) Metrics {
+	n := len(e.srcs)
+	orderedSum, reachablePairs, orderedWeighted, sweepDiam := e.runSweep(g)
+	if sweepDiam > diam {
+		diam = sweepDiam
+	}
+	// Every distinct reachable host-bearing pair is counted once per
+	// direction across all shards; halve the ordered sums and compare the
+	// ordered pair count against n(n-1).
+	connected := reachablePairs == int64(n)*int64(n-1) && allAttached
+	total += orderedSum / 2
+	pairs += orderedWeighted / 2
+	return g.finishMetrics(total, pairs, diam, connected)
+}
+
+// runSweep runs the sharded bit-parallel sweep from the sources currently
+// in e.srcs and merges the per-shard partials: the ordered weighted path
+// sum, the ordered reachable (source, target) pair count, the ordered
+// host-pair count and the sweep diameter. The OrbitEvaluator reuses it
+// with orbit-representative sources only.
+func (e *Evaluator) runSweep(g *Graph) (orderedSum, reachablePairs, orderedWeighted int64, diam int) {
 	n := len(e.srcs)
 	// Chunks hold at most 64 sources (one machine word); when the pool is
 	// wider than the word count, shrink chunks so every worker gets a shard.
@@ -236,7 +257,6 @@ func (e *Evaluator) apsp(g *Graph, total, pairs int64, diam int, allAttached boo
 		}
 	}
 	e.g = nil
-	var orderedSum, reachablePairs, orderedWeighted int64
 	for i := range e.shards {
 		orderedSum += e.shards[i].total
 		reachablePairs += e.shards[i].reached
@@ -245,13 +265,7 @@ func (e *Evaluator) apsp(g *Graph, total, pairs int64, diam int, allAttached boo
 			diam = e.shards[i].diam
 		}
 	}
-	// Every distinct reachable host-bearing pair is counted once per
-	// direction across all shards; halve the ordered sums and compare the
-	// ordered pair count against n(n-1).
-	connected := reachablePairs == int64(n)*int64(n-1) && allAttached
-	total += orderedSum / 2
-	pairs += orderedWeighted / 2
-	return g.finishMetrics(total, pairs, diam, connected)
+	return orderedSum, reachablePairs, orderedWeighted, diam
 }
 
 // runShards claims shards off the shared cursor until none remain,

@@ -39,9 +39,21 @@ import (
 // An IncrementalEvaluator is not safe for concurrent use, and at most one
 // may be attached to a graph at a time (attaching a second one invalidates
 // the first, which then falls back to a full rebuild). Memory cost is one
-// m x m distance matrix of int16, so m is capped at maxIncrementalSwitches.
+// m x m distance matrix of int16, so m is capped at MaxIncrementalSwitches.
+//
+// Orbit mode (NewOrbitIncrementalEvaluator with sym >= 2) caches and
+// sweeps only the m/sym orbit-representative rows of a sym-symmetric
+// graph and scales the fold-up by the orbit size, for bit-identical
+// results at ~sym× less sweep work. The attached graph must stay in the
+// symmetric subspace: attach verifies the whole graph, every sync/peek
+// verifies the pending mutations, and a violation panics — a quotient
+// evaluation of an asymmetric graph would silently mis-evaluate, so the
+// contract is fail-loud (use opt's symmetric move operators, which cannot
+// leave the subspace).
 type IncrementalEvaluator struct {
 	workers int
+	sym     int // symmetry order; 1 = generic mode
+	q       int // representative rows cached: m/sym (== m when sym == 1)
 
 	g      *Graph
 	epoch  uint64  // g.opEpoch this evaluator armed
@@ -119,6 +131,12 @@ type IncStats struct {
 	// exact delta).
 	Estimates      int64
 	ExactEstimates int64
+	// PeekStoreSkips counts peek sweeps whose dirty set exceeded
+	// MaxPeekRowEntries, so no candidate rows were stored and the commit
+	// of an accepted move had to re-sweep. Results are unaffected — this
+	// is the one silent performance downgrade in the evaluator, surfaced
+	// here so CLIs can warn about it.
+	PeekStoreSkips int64
 }
 
 // Stats returns the evaluator's cumulative decision counters.
@@ -129,11 +147,13 @@ type sweepScratch struct {
 	_                    [16]byte
 }
 
-// maxIncrementalSwitches bounds the cached distance matrix (int16
+// MaxIncrementalSwitches bounds the cached distance matrix (int16
 // distances, m^2 entries). 20000 switches cost ~800 MB; beyond that the
 // incremental cache is the wrong tool and the constructor-free fallback
-// (plain Evaluator) should be used.
-const maxIncrementalSwitches = 20000
+// (plain Evaluator) should be used. Exported so callers selecting an
+// evaluation mode can refuse oversized instances up front instead of
+// hitting the attach-time panic.
+const MaxIncrementalSwitches = 20000
 
 // Fallback threshold: when more than fallbackNum/fallbackDen of all
 // sources are dirty, a full rebuild re-sweeps everything in one pass
@@ -150,26 +170,46 @@ const (
 // still fits one 64-lane batch).
 const minExtrapolateSample = 16
 
-// maxPeekRowEntries bounds the stored-peek row buffer (int16 entries, so
+// MaxPeekRowEntries bounds the stored-peek row buffer (int16 entries, so
 // 8M entries = 16 MiB). Peeks whose dirty set would exceed it still
-// compute exact aggregates — the commit just re-sweeps as before.
-const maxPeekRowEntries = 8 << 20
+// compute exact aggregates — the commit just re-sweeps as before, and
+// IncStats.PeekStoreSkips counts the skips.
+const MaxPeekRowEntries = 8 << 20
 
 // NewIncrementalEvaluator returns an evaluator with the given number of
 // sweep workers (values below 1 mean 1). Workers only affect throughput,
 // never results.
 func NewIncrementalEvaluator(workers int) *IncrementalEvaluator {
+	return NewOrbitIncrementalEvaluator(workers, 1)
+}
+
+// NewOrbitIncrementalEvaluator returns an evaluator in orbit mode: it is
+// restricted to graphs closed under the cyclic group action of order sym
+// (see VerifySymmetric) and caches only the orbit-representative distance
+// rows, ~sym× less sweep work and memory for the same bit-identical
+// results. sym values below 2 mean the generic evaluator. Mutating the
+// attached graph out of the symmetric subspace panics at the next
+// sync/peek (see the type comment).
+func NewOrbitIncrementalEvaluator(workers, sym int) *IncrementalEvaluator {
 	if workers < 1 {
 		workers = 1
 	}
+	if sym < 1 {
+		sym = 1
+	}
 	return &IncrementalEvaluator{
 		workers: workers,
+		sym:     sym,
 		sweep:   make([]sweepScratch, workers),
 	}
 }
 
 // Workers returns the configured sweep worker count.
 func (ie *IncrementalEvaluator) Workers() int { return ie.workers }
+
+// Symmetry returns the group order the evaluator quotients by (1 in
+// generic mode).
+func (ie *IncrementalEvaluator) Symmetry() int { return ie.sym }
 
 // row returns the cached distance row of source s.
 func (ie *IncrementalEvaluator) row(s int) []int16 {
@@ -179,28 +219,35 @@ func (ie *IncrementalEvaluator) row(s int) []int16 {
 // attach arms the op log on g and rebuilds the full cache.
 func (ie *IncrementalEvaluator) attach(g *Graph) {
 	m := len(g.adj)
-	if m > maxIncrementalSwitches {
-		panic(fmt.Sprintf("hsgraph: IncrementalEvaluator supports at most %d switches, got %d", maxIncrementalSwitches, m))
+	if m > MaxIncrementalSwitches {
+		panic(fmt.Sprintf("hsgraph: IncrementalEvaluator supports at most %d switches, got %d", MaxIncrementalSwitches, m))
+	}
+	if ie.sym > 1 {
+		if err := VerifySymmetric(g, ie.sym); err != nil {
+			panic("hsgraph: orbit-mode IncrementalEvaluator attached to an asymmetric graph: " + err.Error())
+		}
 	}
 	ie.g = g
 	ie.epoch = g.startOpLog()
 	ie.m = m
-	if cap(ie.dist) < m*m {
-		ie.dist = make([]int16, m*m)
+	ie.q = m / ie.sym
+	q := ie.q
+	if cap(ie.dist) < q*m {
+		ie.dist = make([]int16, q*m)
 	}
-	ie.dist = ie.dist[:m*m]
-	ie.rowSum = growI64(ie.rowSum, m)
-	ie.rowW = growI64(ie.rowW, m)
-	ie.rowRch = growI64(ie.rowRch, m)
-	ie.peekSum = growI64(ie.peekSum, m)
-	ie.peekW = growI64(ie.peekW, m)
-	ie.peekRch = growI64(ie.peekRch, m)
+	ie.dist = ie.dist[:q*m]
+	ie.rowSum = growI64(ie.rowSum, q)
+	ie.rowW = growI64(ie.rowW, q)
+	ie.rowRch = growI64(ie.rowRch, q)
+	ie.peekSum = growI64(ie.peekSum, q)
+	ie.peekW = growI64(ie.peekW, q)
+	ie.peekRch = growI64(ie.peekRch, q)
 	ie.hosts = append(ie.hosts[:0], g.hosts...)
-	if cap(ie.dirtyAt) < m {
-		ie.dirtyAt = make([]uint32, m)
+	if cap(ie.dirtyAt) < q {
+		ie.dirtyAt = make([]uint32, q)
 		ie.dirtyGen = 0
 	}
-	ie.dirtyAt = ie.dirtyAt[:m]
+	ie.dirtyAt = ie.dirtyAt[:q]
 	if cap(ie.negRow) < m {
 		ie.negRow = make([]int16, m)
 		for i := range ie.negRow {
@@ -252,12 +299,13 @@ func (ie *IncrementalEvaluator) sync(g *Graph) {
 		return
 	}
 	ie.netDiff(g.oplog)
+	ie.checkSymmetryPending(g)
 	ie.markDirty()
 	usePeek := ie.peekApplicable(g)
 	ie.peekValid = false
 	g.oplog = g.oplog[:0]
 	ie.stats.DirtySources += int64(len(ie.dirty))
-	if len(ie.dirty)*fallbackDen > ie.m*fallbackNum {
+	if len(ie.dirty)*fallbackDen > ie.q*fallbackNum {
 		ie.stats.FullRebuilds++
 		ie.hosts = append(ie.hosts[:0], g.hosts...)
 		ie.rebuildAll()
@@ -279,7 +327,9 @@ func (ie *IncrementalEvaluator) sync(g *Graph) {
 // ones, so moving delta hosts on switch b shifts rowSum by delta*(d(s,b)+2)
 // and rowW by delta, and a 0 <-> >0 transition of k_b shifts rowRch by one.
 // Re-swept rows (dirtyAt at the current generation) already aggregated
-// against the current host counts.
+// against the current host counts. In orbit mode only the representative
+// rows exist; b still ranges over all switches, since a representative's
+// row aggregates every target.
 func (ie *IncrementalEvaluator) patchHostDeltas(g *Graph) {
 	for b := 0; b < ie.m; b++ {
 		delta := int64(g.hosts[b] - ie.hosts[b])
@@ -287,7 +337,7 @@ func (ie *IncrementalEvaluator) patchHostDeltas(g *Graph) {
 			continue
 		}
 		wasBearing, isBearing := ie.hosts[b] > 0, g.hosts[b] > 0
-		for s := 0; s < ie.m; s++ {
+		for s := 0; s < ie.q; s++ {
 			if s == b || ie.dirtyAt[s] == ie.dirtyGen {
 				continue
 			}
@@ -304,6 +354,45 @@ func (ie *IncrementalEvaluator) patchHostDeltas(g *Graph) {
 					ie.rowRch[s]--
 				}
 			}
+		}
+	}
+}
+
+// checkSymmetryPending verifies, in orbit mode, that the pending
+// mutations keep the graph inside the symmetric subspace: host counts
+// must stay constant on every orbit and the net edge diff must be closed
+// under the group action with matching deltas (each changed edge changes
+// together with its sym-1 images, in the same direction). Requires
+// ie.netDiff to have just run on g.oplog. A violation panics: the
+// quotient cache cannot represent the asymmetric graph, and evaluating it
+// anyway would silently return wrong energies.
+func (ie *IncrementalEvaluator) checkSymmetryPending(g *Graph) {
+	if ie.sym <= 1 {
+		return
+	}
+	m, q := int32(ie.m), int32(ie.q)
+	for s := int32(0); s < m; s++ {
+		img := (s + q) % m
+		if g.hosts[s] != g.hosts[img] {
+			panic(fmt.Sprintf("hsgraph: orbit-mode IncrementalEvaluator: host move broke the order-%d symmetry: switch %d carries %d hosts but its image %d carries %d",
+				ie.sym, s, g.hosts[s], img, g.hosts[img]))
+		}
+	}
+	for i, key := range ie.netKeys {
+		if ie.netDelta[i] == 0 {
+			continue
+		}
+		img := edgeKey((key[0]+q)%m, (key[1]+q)%m)
+		found := false
+		for j, k2 := range ie.netKeys {
+			if k2 == img {
+				found = ie.netDelta[j] == ie.netDelta[i]
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("hsgraph: orbit-mode IncrementalEvaluator: edge mutation broke the order-%d symmetry: net change %+d on {%d,%d} has no matching change on its image {%d,%d}",
+				ie.sym, ie.netDelta[i], key[0], key[1], img[0], img[1]))
 		}
 	}
 }
@@ -425,8 +514,11 @@ func (ie *IncrementalEvaluator) markDirty() {
 	}
 	// One fused pass over the rows: each 800-byte-ish row is pulled into
 	// cache once and tested against every active key, instead of once per
-	// key. The dirty list comes out in ascending source order.
-	for s := 0; s < ie.m; s++ {
+	// key. The dirty list comes out in ascending source order. In orbit
+	// mode only representative rows exist (and the net diff contains every
+	// image of a changed orbit edge, so a representative affected by any
+	// image is flagged).
+	for s := 0; s < ie.q; s++ {
 		row := ie.row(s)
 		for ki := range ie.keys {
 			k := &ie.keys[ki]
@@ -502,17 +594,18 @@ func containsInt32(s []int32, v int32) bool {
 	return false
 }
 
-// rebuildAll re-sweeps every source. Rows are assigned to workers in
+// rebuildAll re-sweeps every cached source (every switch, or every orbit
+// representative in orbit mode). Rows are assigned to workers in
 // 64-source batches via an atomic cursor; each row is written by exactly
 // one worker and all aggregates are per-row integers, so the result does
 // not depend on scheduling.
 func (ie *IncrementalEvaluator) rebuildAll() {
-	ie.stats.SweptSources += int64(ie.m)
+	ie.stats.SweptSources += int64(ie.q)
 	if cap(ie.queue) < ie.m {
 		ie.queue = make([]int32, 0, ie.m)
 	}
 	all := ie.queue[:0]
-	for s := 0; s < ie.m; s++ {
+	for s := 0; s < ie.q; s++ {
 		all = append(all, int32(s))
 	}
 	ie.resweep(all)
@@ -761,7 +854,10 @@ func (ie *IncrementalEvaluator) sweepRowsWide(sc *sweepScratch, batch []int32) {
 
 // gatherTotals folds the cached rows into the graph-level quantities:
 // intra-switch contributions plus the ordered inter-switch sums (halved by
-// the callers). Mirrors Evaluator.gather + apsp exactly.
+// the callers). Mirrors Evaluator.gather + apsp exactly. In orbit mode
+// the ordered sums fold representative rows only and scale by the orbit
+// size — each image source's row aggregates equal its representative's,
+// so the scaled integers are bit-identical to the generic fold.
 func (ie *IncrementalEvaluator) gatherTotals(g *Graph) (intraTotal, intraPairs, ordered, orderedW, orderedReach, attached int64, bearing int) {
 	for s := 0; s < ie.m; s++ {
 		k := int64(g.hosts[s])
@@ -772,9 +868,17 @@ func (ie *IncrementalEvaluator) gatherTotals(g *Graph) (intraTotal, intraPairs, 
 		attached += k
 		intraTotal += k * (k - 1)
 		intraPairs += k * (k - 1) / 2
-		ordered += k * ie.rowSum[s]
-		orderedW += k * ie.rowW[s]
-		orderedReach += ie.rowRch[s]
+		if s < ie.q {
+			ordered += k * ie.rowSum[s]
+			orderedW += k * ie.rowW[s]
+			orderedReach += ie.rowRch[s]
+		}
+	}
+	if ie.sym > 1 {
+		sym := int64(ie.sym)
+		ordered *= sym
+		orderedW *= sym
+		orderedReach *= sym
 	}
 	return
 }
@@ -812,6 +916,7 @@ func (ie *IncrementalEvaluator) PeekEnergy(g *Graph) (energy int64, connected, o
 	}
 	ie.stats.Peeks++
 	ie.netDiff(g.oplog)
+	ie.checkSymmetryPending(g)
 	ie.compactOpLog(g)
 	ie.markDirty()
 	if len(ie.dirty) > 0 {
@@ -836,6 +941,9 @@ func (ie *IncrementalEvaluator) PeekEnergy(g *Graph) (energy int64, connected, o
 		bearing++
 		attached += k
 		intraTotal += k * (k - 1)
+		if s >= ie.q {
+			continue // orbit mode: images fold via the sym scaling below
+		}
 		var sum, reach int64
 		if ie.dirtyAt[s] == ie.dirtyGen {
 			sum, reach = ie.peekSum[s], ie.peekRch[s]
@@ -865,6 +973,10 @@ func (ie *IncrementalEvaluator) PeekEnergy(g *Graph) (energy int64, connected, o
 		}
 		ordered += k * sum
 		orderedReach += reach
+	}
+	if ie.sym > 1 {
+		ordered *= int64(ie.sym)
+		orderedReach *= int64(ie.sym)
 	}
 	allAttached := attached == int64(g.n)
 	switch {
@@ -935,7 +1047,10 @@ func (ie *IncrementalEvaluator) applyPeek() {
 // When the dirty set fits the row budget the candidate rows are stored
 // alongside, ready for applyPeek; nothing cached is written either way.
 func (ie *IncrementalEvaluator) peekSweep(g *Graph, srcs []int32) {
-	ie.peekStore = len(srcs)*ie.m <= maxPeekRowEntries
+	ie.peekStore = len(srcs)*ie.m <= MaxPeekRowEntries
+	if !ie.peekStore {
+		ie.stats.PeekStoreSkips++
+	}
 	if ie.peekStore {
 		need := len(srcs) * ie.m
 		if cap(ie.peekRows) < need {
@@ -1218,11 +1333,16 @@ func (ie *IncrementalEvaluator) Evaluate(g *Graph) Metrics {
 	}
 	diam := 0
 	for s := 0; s < ie.m; s++ {
+		if g.hosts[s] >= 2 {
+			diam = 2
+			break
+		}
+	}
+	// Distances are symmetric across orbit images, so in orbit mode the
+	// representative rows already contain every distinct distance value.
+	for s := 0; s < ie.q; s++ {
 		if g.hosts[s] == 0 {
 			continue
-		}
-		if g.hosts[s] >= 2 && diam < 2 {
-			diam = 2
 		}
 		row := ie.row(s)
 		for t, d := range row {
@@ -1249,7 +1369,12 @@ func (ie *IncrementalEvaluator) CachedEnergy() int64 {
 			continue
 		}
 		intra += k * (k - 1)
-		ordered += k * ie.rowSum[s]
+		if s < ie.q {
+			ordered += k * ie.rowSum[s]
+		}
+	}
+	if ie.sym > 1 {
+		ordered *= int64(ie.sym)
 	}
 	return intra + ordered/2
 }
@@ -1263,7 +1388,12 @@ func (ie *IncrementalEvaluator) cachedBearingConnected() bool {
 			continue
 		}
 		bearing++
-		reach += ie.rowRch[s]
+		if s < ie.q {
+			reach += ie.rowRch[s]
+		}
+	}
+	if ie.sym > 1 {
+		reach *= int64(ie.sym)
 	}
 	return reach == bearing*(bearing-1)
 }
@@ -1373,6 +1503,14 @@ func (ie *IncrementalEvaluator) EstimateDelta(g *Graph, maxSample int, conf floa
 
 func (ie *IncrementalEvaluator) estimateDelta(g *Graph, maxSample int, conf float64, rnd *rng.Rand) DeltaEstimate {
 	if !ie.synced(g) {
+		connected, _ := ie.bearingConnectedNow(g)
+		return DeltaEstimate{Connected: connected}
+	}
+	if ie.sym > 1 {
+		// Orbit mode caches only representative rows, but the exact
+		// host-delta fold below reads arbitrary rows via matrix symmetry.
+		// Refuse to estimate; callers escalate to PeekEnergy, which is
+		// orbit-aware (and already ~sym× cheaper than a generic peek).
 		connected, _ := ie.bearingConnectedNow(g)
 		return DeltaEstimate{Connected: connected}
 	}

@@ -584,3 +584,59 @@ func pickTarget(t *testing.T, g *Graph) int {
 	t.Fatal("no legal host move")
 	return -1
 }
+
+// TestPeekStoreSkipAtRowBudget pins the evaluator's one silent
+// performance downgrade: a peek whose dirty set exceeds MaxPeekRowEntries
+// stores no candidate rows — the commit re-sweeps — but still computes
+// exact aggregates, and IncStats.PeekStoreSkips counts the event so CLIs
+// can warn. The graph is a hub-plus-ring sized so that removing one spoke
+// dirties essentially every source: with m=3000 host-bearing switches,
+// dirty*m ≈ 9M > 8M entries.
+func TestPeekStoreSkipAtRowBudget(t *testing.T) {
+	const m = 3000
+	g := New(m, m, m)
+	for s := 0; s < m; s++ {
+		if err := g.AttachHost(s, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 1; s < m; s++ {
+		if err := g.Connect(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 1; s < m-1; s++ {
+		if err := g.Connect(s, s+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(m-1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ie := NewIncrementalEvaluator(4)
+	ie.Energy(g) // attach
+	if got := ie.Stats().PeekStoreSkips; got != 0 {
+		t.Fatalf("PeekStoreSkips before any peek: %d", got)
+	}
+	if err := g.Disconnect(0, m/2); err != nil {
+		t.Fatal(err)
+	}
+	e, conn, ok := ie.PeekEnergy(g)
+	if !ok {
+		t.Fatal("PeekEnergy not attached")
+	}
+	if got := ie.Stats().PeekStoreSkips; got != 1 {
+		t.Fatalf("PeekStoreSkips after oversized peek: %d, want 1", got)
+	}
+	// Results are unaffected: the peek and the subsequent commit agree
+	// with from-scratch evaluation.
+	want := g.Evaluate()
+	if conn != want.Connected || e != want.TotalPath {
+		t.Fatalf("oversized peek (%d,%v) != evaluate %+v", e, conn, want)
+	}
+	ce, cok := ie.Energy(g)
+	if cok != want.Connected || ce != want.TotalPath {
+		t.Fatalf("commit after oversized peek (%d,%v) != evaluate %+v", ce, cok, want)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/hsgraph"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/topo"
 )
 
 // Options configures Solve.
@@ -39,6 +40,12 @@ type Options struct {
 	// Eval selects the annealer's evaluation ladder rung (see
 	// opt.EvalMode). Default exact.
 	Eval opt.EvalMode
+	// Symmetry, when >= 2, searches only graphs closed under a cyclic
+	// group action of that order (must divide n): the start is a
+	// symmetric regular graph (topo.RandomRegularSymmetric) and every
+	// move swaps a whole edge orbit. Pair with Eval = opt.EvalSymmetric
+	// to also quotient the evaluation.
+	Symmetry int
 }
 
 // Result is a solved ODP instance.
@@ -71,7 +78,13 @@ func Solve(n, d int, o Options) (*Result, error) {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	// One host per vertex; radix d+1 leaves exactly d switch ports.
-	start, err := hsgraph.RandomRegular(n, n, d+1, d, rng.New(o.Seed))
+	var start *hsgraph.Graph
+	var err error
+	if o.Symmetry > 1 {
+		start, err = topo.RandomRegularSymmetric(n, n, d+1, d, o.Symmetry, o.Seed)
+	} else {
+		start, err = hsgraph.RandomRegular(n, n, d+1, d, rng.New(o.Seed))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -82,6 +95,7 @@ func Solve(n, d int, o Options) (*Result, error) {
 		Seed:       o.Seed + 1,
 		Workers:    o.Workers,
 		Eval:       o.Eval,
+		Symmetry:   o.Symmetry,
 	})
 	if err != nil {
 		return nil, err

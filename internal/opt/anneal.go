@@ -117,10 +117,20 @@ type Options struct {
 	// Eval selects the evaluation ladder rung (see EvalMode). The default
 	// EvalExact evaluates every candidate with the full sweep;
 	// EvalIncremental re-sweeps only dirty sources; EvalLadder adds the
-	// sampled-source bound with escalation. All modes yield the same
-	// accepted-move sequence for a seed (ladder: whenever its confidence
-	// bounds hold, which is all but ~1e-6 of estimates).
+	// sampled-source bound with escalation; EvalSymmetric quotients the
+	// incremental cache by the cyclic group action (requires Symmetry).
+	// All modes yield the same accepted-move sequence for a seed (ladder:
+	// whenever its confidence bounds hold, which is all but ~1e-6 of
+	// estimates).
 	Eval EvalMode
+	// Symmetry, when >= 2, restricts the search to graphs closed under
+	// the cyclic group action σ(s) = (s + m/Symmetry) mod m: the start
+	// graph must verify (see hsgraph.VerifySymmetric) and every move is a
+	// symmetric operator applying the base edit plus its images to a
+	// whole orbit. Works with every Eval mode; EvalSymmetric additionally
+	// exploits it to sweep ~Symmetry× fewer sources. 0 and 1 mean no
+	// symmetry; negative values are rejected.
+	Symmetry int
 
 	// CheckpointPath, when non-empty, makes the annealer write a
 	// crash-safe snapshot of its complete loop state (graphs, energies,
@@ -176,6 +186,15 @@ type Result struct {
 	// iterations (only with Options.TraceEnergy; see EnergyTraceMax).
 	EnergyTrace       []float64
 	EnergyTraceStride int
+	// Eval snapshots the evaluation-ladder counters at the end of the run
+	// (all zero in EvalExact mode, and reset by a resume — see telemetry).
+	// CLIs use it to surface silent performance degradations such as
+	// IncStats.PeekStoreSkips. Excluded from JSON: the counters are
+	// in-process diagnostics, not part of the run's deterministic result
+	// (a resumed run re-attaches the cache and counts differently), so
+	// serializing them would break the bit-identical resume contract that
+	// result payloads carry.
+	Eval EvalStats `json:"-"`
 }
 
 // annealState is the complete loop state of a running anneal — everything
@@ -225,9 +244,15 @@ func validateOptions(o *Options) error {
 		return fmt.Errorf("opt: unknown schedule %v", o.Schedule)
 	}
 	switch o.Eval {
-	case EvalExact, EvalIncremental, EvalLadder:
+	case EvalExact, EvalIncremental, EvalLadder, EvalSymmetric:
 	default:
 		return fmt.Errorf("opt: unknown evaluation mode %v", o.Eval)
+	}
+	if o.Symmetry < 0 {
+		return fmt.Errorf("opt: negative Symmetry %d", o.Symmetry)
+	}
+	if o.Eval == EvalSymmetric && o.Symmetry < 2 {
+		return fmt.Errorf("opt: evaluation mode %v requires Symmetry >= 2, got %d", o.Eval, o.Symmetry)
 	}
 	return nil
 }
@@ -258,6 +283,19 @@ func Anneal(start *hsgraph.Graph, o Options) (*hsgraph.Graph, Result, error) {
 	}
 	if err := validateOptions(&o); err != nil {
 		return nil, Result{}, err
+	}
+	// The cache-backed modes refuse oversized graphs up front with a
+	// documented error — the alternative is an attach-time panic deep in
+	// the loop (and historically a silent fall-through was on the table;
+	// neither is acceptable).
+	if o.Eval != EvalExact && start.Switches() > hsgraph.MaxIncrementalSwitches {
+		return nil, Result{}, fmt.Errorf("opt: evaluation mode %v uses the incremental cache, which supports at most %d switches (graph has %d); use EvalExact for larger graphs",
+			o.Eval, hsgraph.MaxIncrementalSwitches, start.Switches())
+	}
+	if o.Symmetry > 1 {
+		if err := hsgraph.VerifySymmetric(start, o.Symmetry); err != nil {
+			return nil, Result{}, fmt.Errorf("opt: Symmetry=%d start graph: %w", o.Symmetry, err)
+		}
 	}
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 10000
@@ -316,7 +354,7 @@ func newAnnealState(start *hsgraph.Graph, o *Options, ev *hsgraph.Evaluator) (*a
 		o.InitialTemp, o.FinalTemp = hillClimbTemp, hillClimbTemp
 	}
 	if o.InitialTemp == 0 {
-		o.InitialTemp = calibrateTemp(st.g, o.Moves, st.rnd.Split(), ev)
+		o.InitialTemp = calibrateTemp(st.g, o.Moves, o.Symmetry, st.rnd.Split(), ev)
 	}
 	if o.FinalTemp == 0 {
 		o.FinalTemp = o.InitialTemp / 200
@@ -351,7 +389,11 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		if workers < 1 {
 			workers = 1
 		}
-		ladder = &ladderEval{inc: hsgraph.NewIncrementalEvaluator(workers), estRnd: st.estRnd}
+		sym := 1
+		if o.Eval == EvalSymmetric {
+			sym = o.Symmetry
+		}
+		ladder = &ladderEval{inc: hsgraph.NewOrbitIncrementalEvaluator(workers, sym), estRnd: st.estRnd}
 	}
 	st.tel.ladder = ladder
 
@@ -364,7 +406,7 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		if o.Eval == EvalLadder {
 			return ladder.decide(st.g, st.energy, st.temp, st.rnd)
 		}
-		if o.Eval == EvalIncremental {
+		if o.Eval == EvalIncremental || o.Eval == EvalSymmetric {
 			// Peek the exact candidate energy without committing rows;
 			// only accepted candidates pay the cache update, so rejected
 			// ones roll back for free.
@@ -392,16 +434,28 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		switch o.Moves {
 		case TwoNeighborSwing:
 			res.Proposed++
-			if e, moved := twoNeighborSwing(st.g, st.rnd, decide, &res.Moves); moved {
+			var e int64
+			var moved bool
+			if o.Symmetry > 1 {
+				e, moved = symTwoNeighborSwing(st.g, o.Symmetry, st.rnd, decide, &res.Moves)
+			} else {
+				e, moved = twoNeighborSwing(st.g, st.rnd, decide, &res.Moves)
+			}
+			if moved {
 				st.energy = e
 				res.Accepted++
 			}
 		case SwapOnly, SwingOnly:
 			var u undo
 			var ok bool
-			if o.Moves == SwapOnly {
+			switch {
+			case o.Moves == SwapOnly && o.Symmetry > 1:
+				u, ok = trySymSwap(st.g, o.Symmetry, st.rnd)
+			case o.Moves == SwapOnly:
 				u, ok = trySwap(st.g, st.rnd)
-			} else {
+			case o.Symmetry > 1:
+				u, ok = trySymSwing(st.g, o.Symmetry, st.rnd)
+			default:
 				u, ok = trySwing(st.g, st.rnd)
 			}
 			if ok {
@@ -463,6 +517,7 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		}
 		if interrupted && st.iter < o.Iterations {
 			res.Iterations = st.iter
+			res.Eval = ladder.stats()
 			loop.SetF("iter", float64(st.iter))
 			loop.SetS("outcome", "interrupted")
 			loop.End()
@@ -471,6 +526,7 @@ func runAnneal(st *annealState, o Options, ev *hsgraph.Evaluator) (*hsgraph.Grap
 		}
 	}
 	res.Iterations = o.Iterations
+	res.Eval = ladder.stats()
 	st.tel.finish(&o, res)
 	loop.SetF("iter", float64(st.iter))
 	loop.SetS("outcome", "done")
@@ -580,8 +636,10 @@ const hillClimbTemp = 1e-9
 // calibrateTemp estimates a starting temperature as the mean |delta| of a
 // sample of random moves, the classic rule of thumb that yields a high
 // initial acceptance rate. Works on a scratch clone, evaluated through
-// the annealer's evaluator.
-func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand, ev *hsgraph.Evaluator) float64 {
+// the annealer's evaluator. Symmetric runs sample symmetric moves: their
+// deltas are ~sym× a single-image move's, and the temperature must match
+// the scale of the moves the loop will actually propose.
+func calibrateTemp(g *hsgraph.Graph, moves MoveSet, sym int, rnd *rng.Rand, ev *hsgraph.Evaluator) float64 {
 	scratch := g.Clone()
 	base, _ := ev.Energy(scratch)
 	var sum float64
@@ -589,9 +647,14 @@ func calibrateTemp(g *hsgraph.Graph, moves MoveSet, rnd *rng.Rand, ev *hsgraph.E
 	for i := 0; i < 40; i++ {
 		var u undo
 		var ok bool
-		if moves == SwapOnly {
+		switch {
+		case moves == SwapOnly && sym > 1:
+			u, ok = trySymSwap(scratch, sym, rnd)
+		case moves == SwapOnly:
 			u, ok = trySwap(scratch, rnd)
-		} else {
+		case sym > 1:
+			u, ok = trySymSwing(scratch, sym, rnd)
+		default:
 			u, ok = trySwing(scratch, rnd)
 		}
 		if !ok {

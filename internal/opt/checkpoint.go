@@ -12,8 +12,8 @@ import (
 // annealKind names the snapshot payload layout. Bump the suffix when the
 // layout changes; old files are then rejected with a clear error instead
 // of being misparsed. v2 added the evaluation mode and the ladder
-// estimator's RNG stream.
-const annealKind = "orp.anneal.v2"
+// estimator's RNG stream; v3 added the symmetry order.
+const annealKind = "orp.anneal.v3"
 
 // Decode caps. A snapshot that claims more than these is corrupt (or
 // hostile); reject before allocating. They comfortably exceed anything
@@ -40,6 +40,7 @@ type annealSnapshot struct {
 	energyTraceMax int
 	restart        int
 	eval           EvalMode
+	symmetry       int
 
 	iter               int
 	temp               float64
@@ -74,6 +75,13 @@ func writeAnnealCheckpoint(path string, st *annealState, o *Options) error {
 	e.Int(o.EnergyTraceMax)
 	e.Int(o.restart)
 	e.Int(int(o.Eval))
+	// Symmetry is stored normalized (1 = generic): it selects the move
+	// operators, so it is as stream-defining as the move set itself.
+	sym := o.Symmetry
+	if sym < 1 {
+		sym = 1
+	}
+	e.Int(sym)
 
 	e.Int(st.iter)
 	e.F64(st.temp)
@@ -138,6 +146,7 @@ func decodeAnnealSnapshot(payload []byte) (*annealSnapshot, error) {
 	s.energyTraceMax = d.Int()
 	s.restart = d.Int()
 	s.eval = EvalMode(d.Int())
+	s.symmetry = d.Int()
 
 	s.iter = d.Int()
 	s.temp = d.F64()
@@ -200,10 +209,14 @@ func decodeAnnealSnapshot(payload []byte) (*annealSnapshot, error) {
 		return nil, fmt.Errorf("opt: checkpoint: invalid move counts accepted=%d proposed=%d", s.accepted, s.proposed)
 	case s.restart < 0:
 		return nil, fmt.Errorf("opt: checkpoint: negative restart %d", s.restart)
-	case s.eval != EvalExact && s.eval != EvalIncremental && s.eval != EvalLadder:
+	case s.eval != EvalExact && s.eval != EvalIncremental && s.eval != EvalLadder && s.eval != EvalSymmetric:
 		return nil, fmt.Errorf("opt: checkpoint: unknown evaluation mode %d", int(s.eval))
 	case s.eval == EvalLadder && s.estRngState == [4]uint64{}:
 		return nil, fmt.Errorf("opt: checkpoint: ladder mode with empty estimator RNG state")
+	case s.symmetry < 1:
+		return nil, fmt.Errorf("opt: checkpoint: implausible symmetry order %d", s.symmetry)
+	case s.eval == EvalSymmetric && s.symmetry < 2:
+		return nil, fmt.Errorf("opt: checkpoint: symmetric evaluation mode with symmetry order %d", s.symmetry)
 	}
 	return s, nil
 }
@@ -286,7 +299,14 @@ func loadAnnealState(path string, o *Options, ev *hsgraph.Evaluator) (*annealSta
 		return nil, mismatch("restart", s.restart, o.restart)
 	case o.Eval != s.eval:
 		return nil, mismatch("Eval", s.eval, o.Eval)
+	case o.Symmetry > 1 && o.Symmetry != s.symmetry:
+		return nil, mismatch("Symmetry", s.symmetry, o.Symmetry)
+	case o.Symmetry <= 1 && o.Symmetry != 0 && s.symmetry > 1:
+		// An explicit "no symmetry" request cannot resume a symmetric
+		// stream; only the zero sentinel adopts the stored order.
+		return nil, mismatch("Symmetry", s.symmetry, o.Symmetry)
 	}
+	o.Symmetry = s.symmetry
 	o.Iterations = s.iterations
 	o.InitialTemp, o.FinalTemp = s.initialTemp, s.finalTemp
 	o.ReportEvery = s.reportEvery
@@ -299,6 +319,14 @@ func loadAnnealState(path string, o *Options, ev *hsgraph.Evaluator) (*annealSta
 	best, err := readCheckpointGraph(s.bestText, "best", ev, s.bestEnergy)
 	if err != nil {
 		return nil, fmt.Errorf("opt: resume %s: %w", path, err)
+	}
+	if o.Symmetry > 1 {
+		if err := hsgraph.VerifySymmetric(g, o.Symmetry); err != nil {
+			return nil, fmt.Errorf("opt: resume %s: current graph: %w", path, err)
+		}
+		if err := hsgraph.VerifySymmetric(best, o.Symmetry); err != nil {
+			return nil, fmt.Errorf("opt: resume %s: best graph: %w", path, err)
+		}
 	}
 	rnd, err := rng.FromState(s.rngState)
 	if err != nil {

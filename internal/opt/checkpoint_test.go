@@ -45,11 +45,16 @@ func graphBytes(t *testing.T, g *hsgraph.Graph) []byte {
 
 // requireIdentical asserts the headline invariant: same serialized best
 // graph, same Result down to the last field (energy trace included).
+// Result.Eval is diagnostics, not part of the determinism contract — the
+// counters depend on the evaluation mode and restart on resume — so it is
+// zeroed before comparing.
 func requireIdentical(t *testing.T, wantG, gotG *hsgraph.Graph, wantRes, gotRes Result) {
 	t.Helper()
 	if !bytes.Equal(graphBytes(t, wantG), graphBytes(t, gotG)) {
 		t.Fatal("best graphs differ")
 	}
+	wantRes.Eval = EvalStats{}
+	gotRes.Eval = EvalStats{}
 	if !reflect.DeepEqual(wantRes, gotRes) {
 		t.Fatalf("results differ:\nwant %+v\ngot  %+v", wantRes, gotRes)
 	}

@@ -31,6 +31,14 @@ const (
 	// hold, which the configured confidence makes overwhelmingly likely
 	// (see ladderConf).
 	EvalLadder
+	// EvalSymmetric evaluates through the orbit-quotient incremental
+	// cache (hsgraph.NewOrbitIncrementalEvaluator): only orbit-
+	// representative sources are cached and re-swept, ~Symmetry× fewer
+	// than EvalIncremental, with the fold scaled by the orbit size for
+	// bit-identical energies. Requires Options.Symmetry >= 2 and a start
+	// graph closed under the group action; the symmetric move operators
+	// (enabled by Options.Symmetry with any mode) keep it closed.
+	EvalSymmetric
 )
 
 func (e EvalMode) String() string {
@@ -41,6 +49,8 @@ func (e EvalMode) String() string {
 		return "incremental"
 	case EvalLadder:
 		return "ladder"
+	case EvalSymmetric:
+		return "symmetric"
 	}
 	return fmt.Sprintf("EvalMode(%d)", int(e))
 }
@@ -54,8 +64,10 @@ func ParseEvalMode(s string) (EvalMode, error) {
 		return EvalIncremental, nil
 	case "ladder":
 		return EvalLadder, nil
+	case "symmetric":
+		return EvalSymmetric, nil
 	}
-	return 0, fmt.Errorf("opt: unknown evaluation mode %q (want exact, incremental or ladder)", s)
+	return 0, fmt.Errorf("opt: unknown evaluation mode %q (want exact, incremental, ladder or symmetric)", s)
 }
 
 // Ladder tuning. The estimator samples up to 64 bit-parallel batches of

@@ -186,7 +186,7 @@ func Repair(degraded *hsgraph.Graph, down []int32, o RepairOptions) (*hsgraph.Gr
 
 	temp := o.InitialTemp
 	if temp == 0 {
-		temp = calibrateTemp(g, SwapOnly, rnd.Split(), ev) / 10
+		temp = calibrateTemp(g, SwapOnly, 1, rnd.Split(), ev) / 10
 	}
 	if temp <= 0 {
 		temp = 1

@@ -18,6 +18,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/simnet"
+	"repro/internal/topo"
 )
 
 // The canonical workload set. Sizes are fixed per workload (they are part
@@ -43,6 +44,8 @@ func init() {
 	registerAnnealObservedSpans()
 	registerAnnealSharded()
 	registerAnnealLadder()
+	registerEvalOrbit()
+	registerAnnealSymmetric()
 	registerSimnet("CG")
 	registerSimnet("MG")
 	registerFaultSweep()
@@ -449,4 +452,109 @@ func registerCkpt() {
 			}}, nil
 		},
 	})
+}
+
+// registerEvalOrbit pits the orbit-quotient evaluator against the plain
+// bit-parallel sweep on the same 4-symmetric graph at n=4096. Both run a
+// single worker, so the throughput ratio is the quotient speedup itself:
+// the orbit evaluator sweeps one source per orbit (m/g of them) and
+// scales the aggregates by g for bit-identical totals.
+func registerEvalOrbit() {
+	const n, m, r, sym = 4096, 1024, 12, 4
+	pairs := float64(n) * float64(n-1) / 2
+	suffix := fmt.Sprintf("n=%d,g=%d", n, sym)
+	Register(Workload{
+		Name:   "eval/orbit/" + suffix,
+		Family: "eval",
+		Doc:    "h-ASPL of a symmetric graph via one sweep per source orbit",
+		Unit:   "pairs",
+		Setup: func(Config) (*Instance, error) {
+			g, err := topo.RandomSymmetric(n, m, r, sym, 1)
+			if err != nil {
+				return nil, err
+			}
+			want := g.Evaluate().TotalPath
+			oe := hsgraph.NewOrbitEvaluator(1, sym)
+			return &Instance{
+				Run: func() (float64, error) {
+					met, err := oe.Evaluate(g)
+					if err != nil {
+						return 0, err
+					}
+					if met.TotalPath != want {
+						return 0, fmt.Errorf("orbit evaluation diverged: %d vs %d", met.TotalPath, want)
+					}
+					return pairs, nil
+				},
+				Close: oe.Close,
+			}, nil
+		},
+	})
+	Register(Workload{
+		Name:   "eval/orbit-generic/" + suffix,
+		Family: "eval",
+		Doc:    "generic single-worker sweep of the eval/orbit graph (the comparator)",
+		Unit:   "pairs",
+		Setup: func(Config) (*Instance, error) {
+			g, err := topo.RandomSymmetric(n, m, r, sym, 1)
+			if err != nil {
+				return nil, err
+			}
+			want := g.Evaluate().TotalPath
+			ev := hsgraph.NewEvaluator(1)
+			return &Instance{
+				Run: func() (float64, error) {
+					if met := ev.Evaluate(g); met.TotalPath != want {
+						return 0, fmt.Errorf("generic evaluation diverged: %d vs %d", met.TotalPath, want)
+					}
+					return pairs, nil
+				},
+				Close: ev.Close,
+			}, nil
+		},
+	})
+}
+
+// registerAnnealSymmetric is the tentpole's headline measurement: the SA
+// move loop on a 4-symmetric n=4096 instance, symmetric move operators in
+// both workloads, differing only in the evaluation rung — the generic
+// ladder versus the orbit-quotient symmetric mode. Both produce the
+// identical accepted-move sequence (the eval-equivalence property), so
+// the moves/s ratio is exactly the orbit-quotient speedup; the issue's
+// acceptance bar is >= 3x at this size. Explicit temperatures skip the
+// calibration phase and a single worker keeps it a straight
+// single-thread comparison, as in registerAnnealLadder.
+func registerAnnealSymmetric() {
+	const n, m, r, iters, sym = 4096, 1024, 12, 600, 4
+	for _, w := range []struct {
+		name string
+		doc  string
+		mode opt.EvalMode
+	}{
+		{"anneal/symmetric-ladder", "symmetric SA moves on the generic ladder rung (the comparator)", opt.EvalLadder},
+		{"anneal/symmetric", "symmetric SA moves on the orbit-quotient rung", opt.EvalSymmetric},
+	} {
+		w := w
+		Register(Workload{
+			Name:   fmt.Sprintf("%s/n=%d,g=%d,iters=%d", w.name, n, sym, iters),
+			Family: "anneal",
+			Doc:    w.doc,
+			Unit:   "moves",
+			Setup: func(Config) (*Instance, error) {
+				start, err := topo.RandomSymmetric(n, m, r, sym, 1)
+				if err != nil {
+					return nil, err
+				}
+				o := opt.Options{Iterations: iters, Seed: 2, Workers: 1,
+					Moves: opt.SwingOnly, Eval: w.mode, Symmetry: sym,
+					InitialTemp: 2000, FinalTemp: 10}
+				return &Instance{Run: func() (float64, error) {
+					if _, _, err := opt.Anneal(start, o); err != nil {
+						return 0, err
+					}
+					return float64(iters), nil
+				}}, nil
+			},
+		})
+	}
 }

@@ -73,12 +73,28 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Percentile returns the p-th percentile of the sample.
+// Percentile returns the p-th percentile (0..100) of the sample by linear
+// interpolation. Edge cases are defined rather than left to panic or
+// propagate, mirroring obs.HistogramSnapshot.Quantile: p is clamped to
+// [0, 100] (NaN counts as 0), NaN elements are ignored, and a sample with
+// no finite-or-infinite values — including the empty sample — reports 0,
+// so text surfaces rendering percentiles never print NaN or crash.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: empty sample")
+	switch {
+	case math.IsNaN(p) || p < 0:
+		p = 0
+	case p > 100:
+		p = 100
 	}
-	sorted := append([]float64(nil), xs...)
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
 	sort.Float64s(sorted)
 	return percentileSorted(sorted, p)
 }

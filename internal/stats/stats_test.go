@@ -100,3 +100,40 @@ func TestPropertySummaryOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPercentileEdgeCases pins the defined behaviour on the inputs that
+// used to panic (empty sample, p outside [0, 100]) or return NaN (NaN
+// elements), mirroring the obs.Quantile fix: p is clamped, NaN elements
+// are ignored, and a sample with nothing usable reports 0.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty-out-of-range", []float64{}, 200, 0},
+		{"all-nan", []float64{nan, nan}, 50, 0},
+		{"p-below-clamps-to-min", []float64{3, 1, 2}, -10, 1},
+		{"p-above-clamps-to-max", []float64{3, 1, 2}, 150, 3},
+		{"p-nan-clamps-to-min", []float64{3, 1, 2}, nan, 1},
+		{"nan-elements-ignored", []float64{nan, 1, nan, 3}, 100, 3},
+		{"nan-elements-ignored-median", []float64{nan, 1, 3}, 50, 2},
+		{"single", []float64{7}, 99, 7},
+		{"median-interpolates", []float64{0, 10}, 50, 5},
+		{"p0", []float64{5, 2, 9}, 0, 2},
+		{"p100", []float64{5, 2, 9}, 100, 9},
+	}
+	for _, tc := range cases {
+		got := Percentile(tc.xs, tc.p)
+		if math.IsNaN(got) {
+			t.Errorf("%s: Percentile returned NaN", tc.name)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Percentile = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}

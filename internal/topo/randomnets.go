@@ -60,7 +60,11 @@ func CyclePlusMatching(n, m, r int, seed uint64) (*hsgraph.Graph, error) {
 // lattice edge is rewired to a random endpoint with probability beta
 // (in [0, 1]). Degree bounds are enforced; rewirings that would violate
 // them are skipped (keeping the original edge), as in common
-// implementations.
+// implementations. Disconnected samples — likely only at adversarial
+// parameters such as k=1 with beta=1, where the rewire pass can shred the
+// ring — are retried over derived seeds up to a bounded attempt budget
+// (mirroring CyclePlusMatching), after which an error is returned instead
+// of recursing forever.
 func WattsStrogatz(n, m, r, k int, beta float64, seed uint64) (*hsgraph.Graph, error) {
 	if m < 2*k+2 {
 		return nil, fmt.Errorf("topo: Watts-Strogatz needs m > 2k+1 (m=%d, k=%d)", m, k)
@@ -75,6 +79,22 @@ func WattsStrogatz(n, m, r, k int, beta float64, seed uint64) (*hsgraph.Graph, e
 	if perSwitch+2*k > r {
 		return nil, fmt.Errorf("topo: radix %d too small for %d hosts plus 2k=%d links", r, perSwitch, 2*k)
 	}
+	const maxAttempts = 500
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, err := wattsStrogatzOnce(n, m, r, k, beta, seed+uint64(attempt)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		if g.HostsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topo: Watts-Strogatz produced no connected graph in %d attempts (m=%d, k=%d, beta=%v)", maxAttempts, m, k, beta)
+}
+
+// wattsStrogatzOnce draws one (possibly disconnected) Watts-Strogatz
+// sample; parameters are pre-validated by WattsStrogatz.
+func wattsStrogatzOnce(n, m, r, k int, beta float64, seed uint64) (*hsgraph.Graph, error) {
 	rnd := rng.New(seed)
 	g := hsgraph.New(n, m, r)
 	if err := hsgraph.DistributeHostsEvenly(g); err != nil {
@@ -116,10 +136,6 @@ func WattsStrogatz(n, m, r, k int, beta float64, seed uint64) (*hsgraph.Graph, e
 				}
 			}
 		}
-	}
-	if !g.HostsConnected() {
-		// Rare at sensible beta; retry with a derived seed.
-		return WattsStrogatz(n, m, r, k, beta, seed+0x9e3779b97f4a7c15)
 	}
 	return g, nil
 }

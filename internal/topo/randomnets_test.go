@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/hsgraph"
@@ -100,5 +101,52 @@ func TestRandomModelsDeterministic(t *testing.T) {
 	}
 	if !hsgraph.Equal(c, d) {
 		t.Fatal("Watts-Strogatz not deterministic")
+	}
+}
+
+// TestWattsStrogatzAdversarialBounded is the regression test for the
+// unbounded retry: at k=1 with beta=1 on a small ring, the rewire pass
+// routinely shreds connectivity, and the old implementation recursed on
+// itself once per disconnected sample — a stack overflow when the seed
+// neighbourhood was unlucky. The bounded loop must terminate for every
+// seed with either a valid connected graph or the budget error.
+func TestWattsStrogatzAdversarialBounded(t *testing.T) {
+	errs := 0
+	for seed := uint64(1); seed <= 60; seed++ {
+		g, err := WattsStrogatz(12, 6, 6, 1, 1.0, seed)
+		if err != nil {
+			if !strings.Contains(err.Error(), "attempts") {
+				t.Fatalf("seed %d: unexpected error kind: %v", seed, err)
+			}
+			errs++
+			continue
+		}
+		if !g.HostsConnected() {
+			t.Fatalf("seed %d: returned graph is disconnected", seed)
+		}
+		for s := 0; s < g.Switches(); s++ {
+			if g.Degree(s) > g.Radix() {
+				t.Fatalf("seed %d: switch %d over radix", seed, s)
+			}
+		}
+	}
+	t.Logf("60 adversarial seeds: %d exhausted the attempt budget", errs)
+}
+
+// TestWattsStrogatzOnceDisconnectedSamplesExist documents why the bound
+// matters: single samples at the adversarial parameters do disconnect.
+func TestWattsStrogatzOnceDisconnectedSamplesExist(t *testing.T) {
+	disconnected := 0
+	for seed := uint64(1); seed <= 200; seed++ {
+		g, err := wattsStrogatzOnce(12, 6, 6, 1, 1.0, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !g.HostsConnected() {
+			disconnected++
+		}
+	}
+	if disconnected == 0 {
+		t.Fatal("adversarial parameters produced no disconnected sample in 200 draws; the regression scenario has drifted")
 	}
 }
