@@ -71,8 +71,18 @@ func TestCommittedBenchBaseline(t *testing.T) {
 	}
 	// Every registered workload should be tracked by the newest baseline;
 	// a workload added without re-recording the trajectory is flagged
-	// here rather than surfacing as MissingInOld forever.
-	last, err := perf.ReadReportFile(paths[len(paths)-1])
+	// here rather than surfacing as MissingInOld forever. Newest is the
+	// highest numeric index, not the lexically-last glob entry
+	// (BENCH_10 sorts before BENCH_9).
+	newest := paths[len(paths)-1]
+	best := -1
+	for _, p := range paths {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(p), "BENCH_%d.json", &idx); err == nil && idx > best {
+			best, newest = idx, p
+		}
+	}
+	last, err := perf.ReadReportFile(newest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +93,7 @@ func TestCommittedBenchBaseline(t *testing.T) {
 	for _, w := range perf.Workloads() {
 		if !inBaseline[w.Name] {
 			t.Errorf("workload %s is registered but absent from %s — regenerate the baseline with `go run ./cmd/orpbench -out %s`",
-				w.Name, paths[len(paths)-1], paths[len(paths)-1])
+				w.Name, newest, newest)
 		}
 	}
 }

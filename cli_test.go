@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/runstore"
 )
 
 // CLI integration tests: build every command once, then drive the
@@ -28,7 +30,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap", "orpfault", "orptrace", "orpbench"} {
+	for _, tool := range []string{"orpsolve", "orpeval", "orptopo", "orpsim", "orpgolf", "orptraffic", "orpfigures", "orpmap", "orpfault", "orptrace", "orpbench", "orphist"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -37,6 +39,33 @@ func TestMain(m *testing.M) {
 		}
 	}
 	os.Exit(m.Run())
+}
+
+// seedBetterRecord appends a synthetic eligible record with the given
+// h-ASPL into the (n, r) cell — a "prior best" for orphist check to
+// regress against.
+func seedBetterRecord(t *testing.T, dir string, n, r int, haspl float64) {
+	t.Helper()
+	st, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(&runstore.Record{
+		Unix: time.Now().UnixNano(),
+		Tool: "orpsolve",
+		Kind: "anneal",
+		Seed: 99,
+		N:    n,
+		R:    r,
+		M:    n,
+		Metrics: runstore.Metrics{
+			HASPL: haspl, Diameter: 3, Connected: true,
+			TotalPath: 1, ReachablePairs: 1,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // runTool executes a built binary and returns stdout, stderr.
@@ -483,6 +512,101 @@ func TestCLIFaultSweepInterruptAndResume(t *testing.T) {
 		append([]string{"-checkpoint", ledger, "-resume"}, args...)...)
 	if out != refOut {
 		t.Fatalf("resumed sweep output differs from the uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", out, refOut)
+	}
+}
+
+// TestCLIRunStoreHistory drives the persistent run history end to end:
+// orpsolve and orpfault write records with -store, orphist queries them
+// (list, best, show, check), a seeded better record turns check into an
+// exit-3 regression, and a torn log tail is skipped with a warning that
+// compact clears.
+func TestCLIRunStoreHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "runs")
+	graphFile := filepath.Join(dir, "g.hsg")
+
+	runTool(t, "orpsolve", nil, "-n", "32", "-r", "5", "-iters", "1500", "-seed", "3",
+		"-store", storeDir, "-o", graphFile)
+	graph, err := os.ReadFile(graphFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, "orpfault", graph, "-model", "links", "-frac", "0.05", "-seed", "7",
+		"-store", storeDir, "-")
+
+	list, _ := runTool(t, "orphist", nil, "-store", storeDir, "list")
+	for _, want := range []string{"r00000001", "r00000002", "orpsolve", "orpfault", "anneal", "eval"} {
+		if !strings.Contains(list, want) {
+			t.Fatalf("orphist list missing %q:\n%s", want, list)
+		}
+	}
+
+	best, _ := runTool(t, "orphist", nil, "-store", storeDir, "best")
+	if !strings.Contains(best, "n=32 r=5") {
+		t.Fatalf("orphist best has no leaderboard row:\n%s", best)
+	}
+
+	show, _ := runTool(t, "orphist", nil, "-store", storeDir, "show", "r00000001")
+	for _, want := range []string{"orpsolve/anneal", "h-ASPL", "fingerprint", "energy trace"} {
+		if !strings.Contains(show, want) {
+			t.Fatalf("orphist show missing %q:\n%s", want, show)
+		}
+	}
+	resJSON, _ := runTool(t, "orphist", nil, "-store", storeDir, "show", "-result", "r00000001")
+	var solved struct {
+		Method string  `json:"method"`
+		HASPL  float64 `json:"haspl"`
+	}
+	if err := json.Unmarshal([]byte(resJSON), &solved); err != nil {
+		t.Fatalf("show -result is not JSON: %v\n%s", err, resJSON)
+	}
+	if solved.Method != "annealed" || solved.HASPL <= 0 {
+		t.Fatalf("stored result wrong: %+v", solved)
+	}
+
+	// The fresh store checks clean (the anneal record is the cell's best
+	// or first; either way, no regression).
+	out, _ := runTool(t, "orphist", nil, "-store", storeDir, "check", "r00000001")
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("orphist check on a fresh store: %s", out)
+	}
+
+	// Seed a better record into the cell: now the anneal regresses on it
+	// and check must exit 3 (the CI-gate contract).
+	seedBetterRecord(t, storeDir, 32, 5, solved.HASPL/2)
+	cmd := exec.Command(filepath.Join(binDir, "orphist"), "-store", storeDir, "check", "r00000001")
+	var checkOut bytes.Buffer
+	cmd.Stdout = &checkOut
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("orphist check on a regression: err %v, want exit 3\n%s", err, checkOut.String())
+	}
+	if !strings.Contains(checkOut.String(), "REGRESSION") {
+		t.Fatalf("orphist check verdict wrong:\n%s", checkOut.String())
+	}
+
+	// Tear the log tail (a crash mid-append): queries keep working and
+	// warn; compact drops the torn region and clears the warning.
+	logPath := filepath.Join(storeDir, "runs.orplog")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr := runTool(t, "orphist", nil, "-store", storeDir, "list")
+	if !strings.Contains(stderr, "skipped 1 unreadable region") {
+		t.Fatalf("torn tail not warned about: %s", stderr)
+	}
+	runTool(t, "orphist", nil, "-store", storeDir, "compact")
+	_, stderr = runTool(t, "orphist", nil, "-store", storeDir, "list")
+	if strings.Contains(stderr, "skipped") {
+		t.Fatalf("warning survived compact: %s", stderr)
 	}
 }
 

@@ -14,7 +14,14 @@
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        status + result (GraphReport schema inside)
 //	GET  /v1/jobs/{id}/events replay + follow the job's JSONL telemetry
+//	GET  /v1/history          persistent run records (with -store)
 //	GET  /metrics             Prometheus exposition (orpd_* instruments)
+//	GET  /healthz             liveness JSON (version, uptime, workers, store)
+//
+// With -store DIR every completed job is appended to a durable run
+// store (internal/runstore) and the result cache survives restarts: a
+// previously-served query is answered byte-identically by a fresh
+// process, and `orphist` queries the same directory offline.
 //
 // On SIGINT/SIGTERM the server drains gracefully: new submissions get
 // 503, running anneals and sweeps checkpoint and unwind, in-flight HTTP
@@ -44,6 +51,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "global worker budget shared by all jobs (0 = all cores)")
 		cacheSize    = flag.Int("cache-size", 1024, "result cache capacity in entries")
 		dataDir      = flag.String("data-dir", "", "checkpoint directory (default: a fresh temp dir)")
+		storeDir     = flag.String("store", "", "persistent run-store directory (empty = no persistence)")
 		retention    = flag.Duration("retention", 0, "drop finished job records this long after completion (0 = keep forever; cached results keep their own LRU bound)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	)
@@ -63,6 +71,7 @@ func main() {
 		Workers:   w,
 		CacheSize: *cacheSize,
 		DataDir:   *dataDir,
+		StoreDir:  *storeDir,
 		Registry:  obs.NewRegistry(),
 		Retention: *retention,
 	})
@@ -102,6 +111,12 @@ func main() {
 	}
 	if err := hs.Shutdown(ctx); err != nil {
 		hs.Close()
+	}
+	// Close releases the run store's append handle and removes an owned
+	// temp data dir (the drain above already unwound every job, so the
+	// embedded re-drain is a no-op).
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "orpd: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "orpd: drained")
 }

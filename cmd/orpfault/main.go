@@ -12,6 +12,12 @@
 //	orpfault -sweep -trials 200 -checkpoint sweep.ckpt [-resume] graph.hsg
 //	orpfault -model switches -frac 0.1 -repair -o repaired.hsg graph.hsg
 //	orpfault -frac 0.05 -svg degraded.svg graph.hsg
+//	orpfault -sweep -store runs/ graph.hsg
+//
+// With -store every completed run appends one record to the run store in
+// that directory (scenario runs as kind "eval", sweeps as kind "sweep",
+// both carrying the pristine graph's metrics and the full result JSON);
+// query it later with orphist. orpd and orpsolve can share the directory.
 package main
 
 import (
@@ -25,12 +31,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/ckpt"
 	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/hsgraph"
 	"repro/internal/obs"
 	"repro/internal/opt"
+	"repro/internal/runstore"
 	"repro/internal/vis"
 )
 
@@ -60,6 +68,8 @@ func main() {
 		checkpoint      = flag.String("checkpoint", "", "write a crash-safe sweep trial ledger to this file (-sweep only)")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "flush the ledger every this many completed trials (0 = every trial)")
 		resume          = flag.Bool("resume", false, "continue from the -checkpoint ledger, re-running only unfinished trials")
+
+		storeDir = flag.String("store", "", "append one run record per completed run to the run store in this directory (query with orphist)")
 	)
 	version := cliutil.VersionFlag()
 	flag.Parse()
@@ -101,23 +111,32 @@ func main() {
 		fatal(fmt.Errorf("invalid graph: %w", err))
 	}
 
+	var store *runstore.Store
+	if *storeDir != "" {
+		store, err = runstore.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
 	if *sweep {
 		runSweep(g, m, *fracs, *trials, *seed, *workers, *jsonOut,
 			*progress, *traceOut, *metricsAddr,
-			*checkpoint, *checkpointEvery, *resume)
+			*checkpoint, *checkpointEvery, *resume, store)
 		return
 	}
 	mode, err := opt.ParseEvalMode(*evalMode)
 	if err != nil {
 		fatal(err)
 	}
-	runScenario(g, m, *frac, *seed, *workers, *jsonOut, *repair, *repairIters, mode, *svgOut, *out)
+	runScenario(g, m, *frac, *seed, *workers, *jsonOut, *repair, *repairIters, mode, *svgOut, *out, store)
 }
 
 // runSweep prints the Monte-Carlo degradation curve.
 func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed uint64, workers int, jsonOut bool,
 	progress bool, traceOut, metricsAddr string,
-	checkpoint string, checkpointEvery int, resume bool) {
+	checkpoint string, checkpointEvery int, resume bool, store *runstore.Store) {
 	fractions := fault.DefaultFractions()
 	if fracSpec != "" {
 		fractions = fractions[:0]
@@ -162,8 +181,13 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 	}
 	defer sink.Close()
 	// Stage-span trace of the sweep (pristine-eval, trials, aggregate)
-	// into the same -trace-out file as the per-trial events.
-	root := cliutil.SinkTracer("orpfault", sink).Root("sweep")
+	// into the same -trace-out file as the per-trial events; the in-memory
+	// collector feeds the run-store record's wall-time decomposition.
+	var spans *cliutil.SpanCollector
+	if store != nil {
+		spans = &cliutil.SpanCollector{}
+	}
+	root := cliutil.TeeTracer("orpfault", sink, spans).Root("sweep")
 	so.Span = root
 	if progress || sink != nil {
 		so.OnTrial = func(p fault.TrialProgress) {
@@ -202,21 +226,47 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 		"trials":  float64(len(fractions) * so.Trials),
 		"seconds": time.Since(sweepStart).Seconds(),
 	}})
+	pristine := g.EvaluateParallel(workers)
+	report := sweepReport{
+		Graph:  fault.NewGraphReport(g, pristine),
+		Model:  m.String(),
+		Trials: trials,
+		Seed:   seed,
+		Points: points,
+	}
+	// The record keys the sweep by the pristine graph (its cell and
+	// metrics); the degradation curve itself rides in the result JSON.
+	if err := store.AppendRun(func() runstore.Record {
+		res, _ := json.Marshal(report)
+		return runstore.Record{
+			Unix:        time.Now().UnixNano(),
+			Tool:        "orpfault",
+			Kind:        "sweep",
+			Build:       buildinfo.Get().String(),
+			Fingerprint: g.Fingerprint().String(),
+			Seed:        seed,
+			N:           g.Order(),
+			M:           g.Switches(),
+			R:           g.Radix(),
+			Workers:     workers,
+			Metrics: runstore.MetricsOf(pristine.HASPL, pristine.Diameter,
+				pristine.Connected, pristine.TotalPath, pristine.ReachablePairs),
+			Phases:      runstore.PhasesFromDurations(obs.PhaseDurations(spans.Events())),
+			WallSeconds: time.Since(sweepStart).Seconds(),
+			CPUSeconds:  cliutil.CPUSeconds(),
+			Result:      res,
+		}
+	}); err != nil {
+		fatal(err)
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			Graph  fault.GraphReport  `json:"graph"`
-			Model  string             `json:"model"`
-			Trials int                `json:"trials"`
-			Seed   uint64             `json:"seed"`
-			Points []fault.SweepPoint `json:"points"`
-		}{fault.NewGraphReport(g, g.EvaluateParallel(workers)), m.String(), trials, seed, points}); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	pristine := g.EvaluateParallel(workers)
 	fmt.Printf("resilience sweep: n=%d m=%d r=%d, model=%s, %d trials/point, seed %d\n",
 		g.Order(), g.Switches(), g.Radix(), m, trials, seed)
 	fmt.Printf("pristine h-ASPL %.6f, diameter %d\n\n", pristine.HASPL, pristine.Diameter)
@@ -230,10 +280,38 @@ func runSweep(g *hsgraph.Graph, m fault.Model, fracSpec string, trials int, seed
 	}
 }
 
+// scenarioReport is the single-scenario result schema: what -json prints
+// and what a -store record carries as its result bytes.
+type scenarioReport struct {
+	Model             string            `json:"model"`
+	Fraction          float64           `json:"fraction"`
+	Seed              uint64            `json:"seed"`
+	Pristine          fault.GraphReport `json:"pristine"`
+	Degraded          fault.GraphReport `json:"degraded"`
+	FailedLinks       int               `json:"failedLinks"`
+	FailedSwitches    int               `json:"failedSwitches"`
+	DetachedHosts     int               `json:"detachedHosts"`
+	DisconnectedHosts int               `json:"disconnectedHosts"`
+	Stretch           float64           `json:"stretch"`
+
+	Repaired *fault.GraphReport `json:"repaired,omitempty"`
+}
+
+// sweepReport is the sweep result schema (-json and -store).
+type sweepReport struct {
+	Graph  fault.GraphReport  `json:"graph"`
+	Model  string             `json:"model"`
+	Trials int                `json:"trials"`
+	Seed   uint64             `json:"seed"`
+	Points []fault.SweepPoint `json:"points"`
+}
+
 // runScenario samples one failure scenario, measures it, and optionally
 // repairs the degraded graph and/or writes renderings.
 func runScenario(g *hsgraph.Graph, m fault.Model, frac float64, seed uint64, workers int,
-	jsonOut, doRepair bool, repairIters int, evalMode opt.EvalMode, svgOut, out string) {
+	jsonOut, doRepair bool, repairIters int, evalMode opt.EvalMode, svgOut, out string,
+	store *runstore.Store) {
+	start, cpu0 := time.Now(), cliutil.CPUSeconds()
 	sc, err := fault.Sample(g, m, frac, seed)
 	if err != nil {
 		fatal(err)
@@ -262,36 +340,48 @@ func runScenario(g *hsgraph.Graph, m fault.Model, frac float64, seed uint64, wor
 		}
 	}
 
-	if jsonOut {
-		rep := struct {
-			Model             string            `json:"model"`
-			Fraction          float64           `json:"fraction"`
-			Seed              uint64            `json:"seed"`
-			Pristine          fault.GraphReport `json:"pristine"`
-			Degraded          fault.GraphReport `json:"degraded"`
-			FailedLinks       int               `json:"failedLinks"`
-			FailedSwitches    int               `json:"failedSwitches"`
-			DetachedHosts     int               `json:"detachedHosts"`
-			DisconnectedHosts int               `json:"disconnectedHosts"`
-			Stretch           float64           `json:"stretch"`
+	rep := scenarioReport{
+		Model:             m.String(),
+		Fraction:          frac,
+		Seed:              seed,
+		Pristine:          fault.NewGraphReport(g, pristine),
+		Degraded:          fault.NewGraphReport(d.Graph, res.Degraded),
+		FailedLinks:       res.FailedLinks,
+		FailedSwitches:    res.FailedSwitches,
+		DetachedHosts:     res.DetachedHosts,
+		DisconnectedHosts: res.DisconnectedHosts,
+		Stretch:           res.Stretch,
+	}
+	if doRepair {
+		rr := fault.NewGraphReport(repaired, repRes.After)
+		rep.Repaired = &rr
+	}
+	// Like the sweep record: keyed by the pristine graph, with the full
+	// degradation report in the result bytes.
+	if err := store.AppendRun(func() runstore.Record {
+		resJSON, _ := json.Marshal(rep)
+		return runstore.Record{
+			Unix:        time.Now().UnixNano(),
+			Tool:        "orpfault",
+			Kind:        "eval",
+			Build:       buildinfo.Get().String(),
+			Fingerprint: g.Fingerprint().String(),
+			Seed:        seed,
+			N:           g.Order(),
+			M:           g.Switches(),
+			R:           g.Radix(),
+			Workers:     workers,
+			Metrics: runstore.MetricsOf(pristine.HASPL, pristine.Diameter,
+				pristine.Connected, pristine.TotalPath, pristine.ReachablePairs),
+			WallSeconds: time.Since(start).Seconds(),
+			CPUSeconds:  cliutil.CPUSeconds() - cpu0,
+			Result:      resJSON,
+		}
+	}); err != nil {
+		fatal(err)
+	}
 
-			Repaired *fault.GraphReport `json:"repaired,omitempty"`
-		}{
-			Model:             m.String(),
-			Fraction:          frac,
-			Seed:              seed,
-			Pristine:          fault.NewGraphReport(g, pristine),
-			Degraded:          fault.NewGraphReport(d.Graph, res.Degraded),
-			FailedLinks:       res.FailedLinks,
-			FailedSwitches:    res.FailedSwitches,
-			DetachedHosts:     res.DetachedHosts,
-			DisconnectedHosts: res.DisconnectedHosts,
-			Stretch:           res.Stretch,
-		}
-		if doRepair {
-			rr := fault.NewGraphReport(repaired, repRes.After)
-			rep.Repaired = &rr
-		}
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {

@@ -10,25 +10,34 @@
 //	         [-seed 1] [-m 0] [-moves 2ns|swap|swing] [-o graph.hsg] [-v]
 //	         [-progress] [-trace-out anneal.jsonl] [-metrics-addr 127.0.0.1:0]
 //	         [-checkpoint run.ckpt] [-checkpoint-every 10000] [-resume]
+//	         [-store runs/]
 //
 // With -checkpoint the anneal periodically persists a crash-safe snapshot
 // (and a final one on SIGINT/SIGTERM); -resume continues such a run and
 // produces the bit-identical result the uninterrupted run would have.
+//
+// With -store every completed solve appends one record (configuration,
+// final metrics, convergence trace, wall-time decomposition) to the run
+// store in that directory; query it later with orphist. orpd and orpfault
+// can share the same directory.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/ckpt"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hsgraph"
 	"repro/internal/obs"
 	"repro/internal/opt"
+	"repro/internal/runstore"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -57,6 +66,8 @@ func main() {
 		checkpoint      = flag.String("checkpoint", "", "write crash-safe anneal snapshots to this file (one per restart when -restarts > 1)")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "snapshot interval in iterations (0 = annealer default, 10000)")
 		resume          = flag.Bool("resume", false, "continue from the -checkpoint snapshot; the result is bit-identical to an uninterrupted run")
+
+		storeDir = flag.String("store", "", "append one run record per completed solve to the run store in this directory (query with orphist)")
 	)
 	version := cliutil.VersionFlag()
 	flag.Parse()
@@ -114,6 +125,22 @@ func main() {
 		os.Exit(1)
 	}
 	defer sink.Close()
+	var store *runstore.Store
+	if *storeDir != "" {
+		store, err = runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
+	// Run-store records keep the run's wall-time decomposition, so spans
+	// are collected in memory whenever a store is configured — with or
+	// without a -trace-out file.
+	var spans *cliutil.SpanCollector
+	if store != nil {
+		spans = &cliutil.SpanCollector{}
+	}
 
 	o := core.Options{
 		Iterations:      *iters,
@@ -124,6 +151,7 @@ func main() {
 		Workers:         *workers,
 		Eval:            eval,
 		Symmetry:        *symmetry,
+		TraceEnergy:     store != nil, // stored records carry the convergence trace
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		Resume:          *resume,
@@ -156,7 +184,7 @@ func main() {
 	}
 	// With -trace-out the run carries a stage-span trace alongside the
 	// samples: orptrace renders the waterfall from the same file.
-	root := cliutil.SinkTracer("orpsolve", sink).Root("solve")
+	root := cliutil.TeeTracer("orpsolve", sink, spans).Root("solve")
 	o.Span = root
 	if *verbose && *restarts <= 1 {
 		o.OnProgress = func(iter int, cur, best int64) {
@@ -172,9 +200,20 @@ func main() {
 			oi := o
 			oi.Seed = o.Seed + uint64(i)
 			oi.OnProgress = nil
+			seedStart, seedCPU := time.Now(), cliutil.CPUSeconds()
 			ti, err := core.Solve(*n, *r, oi)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "orpsolve: seed %d: %v\n", oi.Seed, err)
+				os.Exit(1)
+			}
+			// One record per seed; the shared root span covers all seeds,
+			// so per-seed records carry wall/CPU deltas and no phase
+			// decomposition.
+			if err := store.AppendRun(func() runstore.Record {
+				return solveRecord(ti, *n, *r, oi.Seed, *symmetry, *evalMode, *workers,
+					time.Since(seedStart).Seconds(), cliutil.CPUSeconds()-seedCPU, nil)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "orpsolve: store: %v\n", err)
 				os.Exit(1)
 			}
 			haspls = append(haspls, ti.Metrics.HASPL)
@@ -207,6 +246,18 @@ func main() {
 		}
 	}
 	root.End()
+	if *repeat <= 1 {
+		// Single solve: the ended root span yields the run's wall-time
+		// decomposition (repeat mode already recorded per seed above).
+		if err := store.AppendRun(func() runstore.Record {
+			return solveRecord(top, *n, *r, o.Seed, *symmetry, *evalMode, *workers,
+				time.Since(solveStart).Seconds(), cliutil.CPUSeconds(),
+				runstore.PhasesFromDurations(obs.PhaseDurations(spans.Events())))
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "orpsolve: store: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if sink != nil && top.Method == core.Annealed {
 		res := top.Anneal
 		rate := 0.0
@@ -256,4 +307,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orpsolve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// solveResult is the result-JSON schema stored with orpsolve records: a
+// compact summary of what the solve produced (the graph itself goes to
+// stdout/-o, not the store). Deliberately distinct from orpd's result
+// schema — that is why CLI records carry no cache key.
+type solveResult struct {
+	Method          string  `json:"method"`
+	N               int     `json:"n"`
+	R               int     `json:"r"`
+	MUsed           int     `json:"mUsed"`
+	MPredicted      int     `json:"mPredicted"`
+	HASPL           float64 `json:"haspl"`
+	Diameter        int     `json:"diameter"`
+	TotalPath       int64   `json:"totalPath"`
+	LowerBound      float64 `json:"lowerBound"`
+	ContinuousMoore float64 `json:"continuousMoore"`
+	Fingerprint     string  `json:"fingerprint"`
+}
+
+// solveRecord builds the run-store record for one completed solve. Only
+// called via Store.AppendRun, so it never runs when -store is off.
+func solveRecord(ti *core.Topology, n, r int, seed uint64, symmetry int, evalMode string, workers int, wall, cpu float64, phases []runstore.Phase) runstore.Record {
+	res, _ := json.Marshal(solveResult{
+		Method:          fmt.Sprint(ti.Method),
+		N:               n,
+		R:               r,
+		MUsed:           ti.MUsed,
+		MPredicted:      ti.MPredicted,
+		HASPL:           ti.Metrics.HASPL,
+		Diameter:        ti.Metrics.Diameter,
+		TotalPath:       ti.Metrics.TotalPath,
+		LowerBound:      ti.LowerBound,
+		ContinuousMoore: ti.ContinuousMoore,
+		Fingerprint:     ti.Graph.Fingerprint().String(),
+	})
+	rec := runstore.Record{
+		Unix:        time.Now().UnixNano(),
+		Tool:        "orpsolve",
+		Kind:        "anneal",
+		Build:       buildinfo.Get().String(),
+		Fingerprint: ti.Graph.Fingerprint().String(),
+		Seed:        seed,
+		N:           n,
+		M:           ti.MUsed,
+		R:           r,
+		Symmetry:    symmetry,
+		EvalMode:    evalMode,
+		Workers:     workers,
+		Metrics: runstore.MetricsOf(ti.Metrics.HASPL, ti.Metrics.Diameter,
+			ti.Metrics.Connected, ti.Metrics.TotalPath, ti.Metrics.ReachablePairs),
+		Phases:      phases,
+		WallSeconds: wall,
+		CPUSeconds:  cpu,
+		Result:      res,
+	}
+	if ti.Method == core.Annealed {
+		rec.EnergyTrace = ti.Anneal.EnergyTrace
+		rec.EnergyTraceStride = ti.Anneal.EnergyTraceStride
+	}
+	return rec
 }

@@ -112,16 +112,20 @@ type SinkFile struct {
 	f    *os.File
 }
 
-// Close flushes the sink and closes the file.
+// Close flushes the sink and closes the file. The sink's Close flushes
+// buffered events even when a mid-stream write error poisoned it (the
+// intact prefix reaches the file; the sticky error is returned), and
+// the file is always closed.
 func (s *SinkFile) Close() error {
 	if s == nil {
 		return nil
 	}
-	if err := s.Sink.Flush(); err != nil {
-		s.f.Close()
-		return err
+	serr := s.Sink.Close()
+	ferr := s.f.Close()
+	if serr != nil {
+		return serr
 	}
-	return s.f.Close()
+	return ferr
 }
 
 // Emit writes one event (no-op on a nil SinkFile).
@@ -143,6 +147,52 @@ func SinkTracer(id string, sink *SinkFile) *obs.Tracer {
 		return nil
 	}
 	return obs.NewTracer(id, time.Time{}, func(e obs.Event) { sink.Emit(e) })
+}
+
+// SpanCollector buffers span events in memory so a CLI can compute its
+// run's wall-time decomposition (obs.PhaseDurations) for a run-store
+// record, independently of whether a -trace-out sink is also writing
+// them to disk. Safe for concurrent use (ParallelAnneal restarts end
+// spans concurrently).
+type SpanCollector struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+// Add records one event (only span events are kept).
+func (c *SpanCollector) Add(e obs.Event) {
+	if c == nil || e.Kind != obs.KindSpan {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns the collected span events.
+func (c *SpanCollector) Events() []obs.Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.events...)
+}
+
+// TeeTracer returns a tracer emitting to the sink (when non-nil) and
+// the collector (when non-nil). With both nil it returns a nil tracer,
+// keeping every span call on the zero-cost nil path — the tracer only
+// exists when at least one consumer does.
+func TeeTracer(id string, sink *SinkFile, col *SpanCollector) *obs.Tracer {
+	if sink == nil && col == nil {
+		return nil
+	}
+	return obs.NewTracer(id, time.Time{}, func(e obs.Event) {
+		if sink != nil {
+			sink.Emit(e)
+		}
+		col.Add(e)
+	})
 }
 
 // AnnealObserver adapts anneal telemetry to the CLI surfaces: optional

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package cliutil
+
+// CPUSeconds reports 0 on platforms without rusage accounting; records
+// written there simply omit the CPU column.
+func CPUSeconds() float64 { return 0 }

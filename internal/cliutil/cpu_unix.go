@@ -1,0 +1,18 @@
+//go:build unix
+
+package cliutil
+
+import "syscall"
+
+// CPUSeconds returns the process's cumulative user+system CPU time, for
+// the wall/CPU pair in run-store records (CPU ≫ wall means the workers
+// actually parallelised; CPU ≈ wall means a serial bottleneck). Returns
+// 0 when the platform cannot report it.
+func CPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) float64 { return float64(t.Sec) + float64(t.Usec)/1e6 }
+	return tv(ru.Utime) + tv(ru.Stime)
+}

@@ -56,6 +56,26 @@ func (s *JSONLSink) Flush() error {
 	return s.err
 }
 
+// Close flushes whatever the buffer holds — even after a mid-stream
+// write error — and returns the sticky error (or the flush error when
+// the stream was clean). Flush refuses to run once the sink is poisoned
+// so a partial object is never extended; Close is the terminal call
+// where that protection no longer helps: the events buffered *before*
+// the failure are intact JSONL lines, and dropping them would turn one
+// bad event into silent truncation of the whole tail. A json.Encoder
+// failure happens before any bytes reach the buffer (Encode marshals to
+// a scratch buffer first), so flushing after it cannot emit a torn line.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.bw.Flush()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = ferr
+	return ferr
+}
+
 // ReadJSONL parses a JSONL event stream, skipping blank lines. Unknown
 // kinds are returned as-is (the schema contract: consumers tolerate
 // growth).

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSinkCloseFlushesAfterWriteError is the no-silent-truncation
+// contract: events buffered before a mid-stream encode failure still
+// reach the writer on Close, and the sticky error is preserved — not
+// swallowed, not allowed to discard the intact prefix.
+func TestSinkCloseFlushesAfterWriteError(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for i := 0; i < 3; i++ {
+		if err := s.Emit(Event{Kind: "test.ok", F: map[string]float64{"i": float64(i)}}); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	// NaN is unrepresentable in JSON: the encoder fails before writing
+	// any bytes, poisoning the sink mid-stream.
+	bad := s.Emit(Event{Kind: "test.bad", F: map[string]float64{"x": math.NaN()}})
+	if bad == nil {
+		t.Fatal("NaN event did not fail")
+	}
+	if err := s.Emit(Event{Kind: "test.late"}); err == nil {
+		t.Fatal("emit after poisoning did not return the sticky error")
+	}
+	// Flush keeps refusing (the pre-Close behaviour, unchanged)...
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush after poisoning did not return the sticky error")
+	}
+	if buf.Len() != 0 {
+		// (bufio default buffer is far larger than four small events, so
+		// nothing should have reached the writer yet.)
+		t.Fatalf("events reached the writer before Close: %q", buf.String())
+	}
+	// ...but Close flushes the intact prefix and reports the error.
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "json") {
+		t.Fatalf("Close error = %v, want the sticky encode error", err)
+	}
+
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("flushed stream is not well-formed JSONL: %v", err)
+	}
+	if len(events) != 4 { // header + 3 good events
+		t.Fatalf("got %d events, want 4 (header + 3)", len(events))
+	}
+	if events[0].Kind != KindHeader {
+		t.Fatalf("first event %q, want schema header", events[0].Kind)
+	}
+	for i, e := range events[1:] {
+		if e.Kind != "test.ok" || e.F["i"] != float64(i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+// TestSinkCloseCleanStream: Close on a healthy sink is flush + nil.
+func TestSinkCloseCleanStream(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Emit(Event{Kind: "test.ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close on clean sink: %v", err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil || len(events) != 2 {
+		t.Fatalf("events = %d err = %v, want 2 nil", len(events), err)
+	}
+}

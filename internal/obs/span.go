@@ -311,6 +311,23 @@ func BuildSpanTrees(events []Event) []*SpanNode {
 	return roots
 }
 
+// PhaseDurations sums the direct children of a stream's first root span
+// by name: the run's wall-time decomposition ("queue.wait" → 1.4s,
+// "run" → 12.3s, …), with repeated episodes of the same phase (a
+// preempted job's queue.wait/run alternation) accumulated into one
+// entry. Returns nil when the stream holds no spans.
+func PhaseDurations(events []Event) map[string]float64 {
+	roots := BuildSpanTrees(events)
+	if len(roots) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(roots[0].Children))
+	for _, c := range roots[0].Children {
+		out[c.Name] += c.Dur
+	}
+	return out
+}
+
 // CoveredFraction reports how much of the root's wall time its direct
 // children decompose into, counting overlap between siblings only once
 // and clipping children to the root's own interval. 1.0 means the

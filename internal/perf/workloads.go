@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/runstore"
 	"repro/internal/simnet"
 	"repro/internal/topo"
 )
@@ -42,6 +44,7 @@ func init() {
 	}
 	registerAnnealObserved()
 	registerAnnealObservedSpans()
+	registerAnnealStored()
 	registerAnnealSharded()
 	registerAnnealLadder()
 	registerEvalOrbit()
@@ -264,6 +267,94 @@ func registerAnnealObservedSpans() {
 				root.End()
 				return float64(annealIters), nil
 			}}, nil
+		},
+	})
+}
+
+// registerAnnealStored layers the run store on top of
+// anneal/observed-spans: each rep runs the same traced anneal and then
+// persists one full record — metrics, energy trace, span-derived phase
+// decomposition, graph fingerprint, result bytes — to a real on-disk
+// store, fsync included. The delta against anneal/observed-spans is the
+// entire persistence cost, which must stay inside the <3% telemetry
+// overhead budget (the store writes once per completed run, never per
+// iteration).
+func registerAnnealStored() {
+	Register(Workload{
+		Name:   fmt.Sprintf("anneal/stored/n=96,iters=%d", annealIters),
+		Family: "anneal",
+		Doc:    "anneal/observed-spans plus one durable run-store record append per run",
+		Unit:   "moves",
+		Setup: func(Config) (*Instance, error) {
+			start, err := annealStart()
+			if err != nil {
+				return nil, err
+			}
+			dir, err := os.MkdirTemp("", "orp-perf-store-*")
+			if err != nil {
+				return nil, err
+			}
+			st, err := runstore.Open(dir)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			reg := obs.NewRegistry()
+			var spans []obs.Event
+			emit := func(e obs.Event) {
+				json.NewEncoder(io.Discard).Encode(e)
+				if e.Kind == obs.KindSpan {
+					spans = append(spans, e)
+				}
+			}
+			return &Instance{
+				Run: func() (float64, error) {
+					spans = spans[:0]
+					runStart := time.Now()
+					root := obs.NewTracer("perf", time.Time{}, emit).Root("solve")
+					o := opt.Options{
+						Iterations:  annealIters,
+						Moves:       opt.TwoNeighborSwing,
+						Seed:        2,
+						ReportEvery: 250,
+						TraceEnergy: true,
+						Observer:    cliutil.NewAnnealObserver(reg, nil, false),
+						Span:        root,
+					}
+					g, res, err := opt.Anneal(start, o)
+					if err != nil {
+						return 0, err
+					}
+					root.End()
+					if err := st.AppendRun(func() runstore.Record {
+						result, _ := json.Marshal(res.Best)
+						return runstore.Record{
+							Unix:        time.Now().UnixNano(),
+							Tool:        "orpbench",
+							Kind:        "anneal",
+							Fingerprint: g.Fingerprint().String(),
+							Seed:        2,
+							N:           96,
+							M:           24,
+							R:           8,
+							Metrics: runstore.MetricsOf(res.Best.HASPL, res.Best.Diameter,
+								res.Best.Connected, res.Best.TotalPath, res.Best.ReachablePairs),
+							EnergyTrace:       res.EnergyTrace,
+							EnergyTraceStride: res.EnergyTraceStride,
+							Phases:            runstore.PhasesFromDurations(obs.PhaseDurations(spans)),
+							WallSeconds:       time.Since(runStart).Seconds(),
+							Result:            result,
+						}
+					}); err != nil {
+						return 0, err
+					}
+					return float64(annealIters), nil
+				},
+				Close: func() {
+					st.Close()
+					os.RemoveAll(dir)
+				},
+			}, nil
 		},
 	})
 }

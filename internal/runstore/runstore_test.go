@@ -1,0 +1,477 @@
+package runstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Unix:        int64(1700000000_000000000 + i),
+		Tool:        "orpsolve",
+		Kind:        "anneal",
+		Build:       "repro test",
+		Key:         fmt.Sprintf("key-%d", i),
+		Fingerprint: fmt.Sprintf("fp-%04x", i),
+		Seed:        uint64(100 + i),
+		N:           64, M: 16, R: 8,
+		Symmetry: 1,
+		EvalMode: "exact",
+		Workers:  4,
+		Metrics: Metrics{
+			HASPL: 3.5 - float64(i)*0.01, Diameter: 4, Connected: true,
+			TotalPath: 14000 + int64(i), ReachablePairs: 4032,
+		},
+		EnergyTrace:       []float64{5, 4, 3.5},
+		EnergyTraceStride: 10,
+		Phases:            []Phase{{Name: "anneal", Seconds: 1.25}, {Name: "eval", Seconds: 0.5}},
+		WallSeconds:       1.75,
+		CPUSeconds:        6.8,
+		Result:            []byte(fmt.Sprintf(`{"i":%d}`, i)),
+	}
+}
+
+func mustAppend(t *testing.T, s *Store, rec Record) Record {
+	t.Helper()
+	if err := s.Append(&rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return rec
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var want []Record
+	for i := 0; i < 5; i++ {
+		want = append(want, mustAppend(t, s, testRecord(i)))
+	}
+	if want[0].ID != "r00000001" {
+		t.Fatalf("first ID = %q, want r00000001", want[0].ID)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatalf("OpenRead: %v", err)
+	}
+	got := r.Records()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records after reopen differ:\n got %+v\nwant %+v", got, want)
+	}
+	if st := r.Stats(); st.Records != 5 || st.SkippedRecords != 0 {
+		t.Fatalf("stats = %+v, want 5 records, 0 skipped", st)
+	}
+	// ID sequence continues where it left off.
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen for write: %v", err)
+	}
+	defer w.Close()
+	rec := mustAppend(t, w, testRecord(5))
+	if rec.ID != "r00000006" {
+		t.Fatalf("ID after reopen = %q, want r00000006", rec.ID)
+	}
+}
+
+func TestLookupResultByteIdentityAndLatestWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	first := testRecord(1)
+	first.Key = "shared"
+	first.Result = []byte(`{"v":1}`)
+	mustAppend(t, s, first)
+	second := testRecord(2)
+	second.Key = "shared"
+	second.Result = []byte(`{"v":2}`)
+	mustAppend(t, s, second)
+
+	if got := s.LookupResult("shared"); !bytes.Equal(got, second.Result) {
+		t.Fatalf("LookupResult = %q, want latest %q", got, second.Result)
+	}
+	if got := s.LookupResult("absent"); got != nil {
+		t.Fatalf("LookupResult(absent) = %q, want nil", got)
+	}
+
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatalf("OpenRead: %v", err)
+	}
+	if got := r.LookupResult("shared"); !bytes.Equal(got, second.Result) {
+		t.Fatalf("after reopen LookupResult = %q, want %q", got, second.Result)
+	}
+}
+
+func TestOpenReadMissingIsEmpty(t *testing.T) {
+	s, err := OpenRead(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil {
+		t.Fatalf("OpenRead on missing dir: %v", err)
+	}
+	if s.Len() != 0 || len(s.Records()) != 0 {
+		t.Fatalf("missing store not empty: %+v", s.Stats())
+	}
+}
+
+func TestTruncatedTailSkippedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		mustAppend(t, s, testRecord(i))
+	}
+	s.Close()
+
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 10 bytes (simulates a crash
+	// mid-append).
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatalf("OpenRead after truncation: %v", err)
+	}
+	st := r.Stats()
+	if st.Records != 2 {
+		t.Fatalf("records after truncation = %d, want 2", st.Records)
+	}
+	if st.SkippedRecords == 0 || st.SkippedBytes == 0 {
+		t.Fatalf("truncation not counted: %+v", st)
+	}
+	// The sequence must not reuse the torn record's ID slot... appending
+	// after a torn tail may reuse it (the torn record was never
+	// acknowledged), but it must not collide with a live one.
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := mustAppend(t, w, testRecord(9))
+	if _, ok := parseID(rec.ID); !ok {
+		t.Fatalf("bad ID %q", rec.ID)
+	}
+	for _, live := range w.Records()[:2] {
+		if live.ID == rec.ID {
+			t.Fatalf("new ID %q collides with live record", rec.ID)
+		}
+	}
+}
+
+func TestFlippedCRCMiddleRecordSkippedOthersSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var sizes []int
+	for i := 0; i < 3; i++ {
+		before := s.Stats().Bytes
+		mustAppend(t, s, testRecord(i))
+		sizes = append(sizes, int(s.Stats().Bytes-before))
+	}
+	s.Close()
+
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle record; its CRC now fails but
+	// its header (and so its extent) still parses, and the scan must
+	// skip exactly it.
+	data[sizes[0]+sizes[1]/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatalf("OpenRead: %v", err)
+	}
+	st := r.Stats()
+	if st.Records != 2 || st.SkippedRecords != 1 || st.SkippedBytes != int64(sizes[1]) {
+		t.Fatalf("stats = %+v, want 2 live, 1 skipped of %d bytes", st, sizes[1])
+	}
+	recs := r.Records()
+	if recs[0].ID != "r00000001" || recs[1].ID != "r00000003" {
+		t.Fatalf("surviving IDs = %q, %q", recs[0].ID, recs[1].ID)
+	}
+}
+
+func TestCorruptMagicResyncs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, testRecord(0))
+	mustAppend(t, s, testRecord(1))
+	s.Close()
+
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the first record's magic: the scanner cannot even size the
+	// envelope and must resync forward to the second record's magic.
+	data[0] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Records != 1 || st.SkippedRecords == 0 {
+		t.Fatalf("stats = %+v, want 1 live record and a counted skip", st)
+	}
+	if got := r.Records()[0].ID; got != "r00000002" {
+		t.Fatalf("surviving record = %q, want r00000002", got)
+	}
+}
+
+func TestForeignKindSkippedWithCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, testRecord(0))
+	s.Close()
+
+	// Splice in an envelope of a future record version between two valid
+	// records, as a mixed-version file after a partial upgrade would have.
+	path := filepath.Join(dir, LogName)
+	foreign := ckpt.Seal("orp.run.v999", []byte("from the future"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(foreign); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, testRecord(1))
+	w.Close()
+
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Records != 2 || st.SkippedRecords != 1 || st.SkippedBytes != int64(len(foreign)) {
+		t.Fatalf("stats = %+v, want 2 live + 1 foreign skip of %d bytes", st, len(foreign))
+	}
+}
+
+func TestCompactDropsCorruptionKeepsRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, testRecord(0))
+	s.Close()
+	// Corrupt the tail, then append two more records around the damage.
+	path := filepath.Join(dir, LogName)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("garbage bytes not an envelope"))
+	f.Close()
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, testRecord(1))
+	want := s.Records()
+	if st := s.Stats(); st.SkippedRecords == 0 {
+		t.Fatalf("expected skipped garbage before compaction, got %+v", st)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st := s.Stats(); st.SkippedRecords != 0 || st.SkippedBytes != 0 {
+		t.Fatalf("skips survive compaction: %+v", st)
+	}
+	// Post-compaction appends land in the new file and everything
+	// round-trips.
+	want = append(want, mustAppend(t, s, testRecord(2)))
+	s.Close()
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after compact+reopen:\n got %+v\nwant %+v", got, want)
+	}
+	if st := r.Stats(); st.SkippedRecords != 0 {
+		t.Fatalf("compacted file still has skips: %+v", st)
+	}
+}
+
+func TestBestLeaderboard(t *testing.T) {
+	var recs []Record
+	add := func(id string, n, r, m int, haspl float64, connected bool) {
+		recs = append(recs, Record{
+			ID: id, N: n, R: r, M: m,
+			Metrics: Metrics{HASPL: haspl, Connected: connected},
+		})
+	}
+	add("r00000001", 64, 8, 16, 3.50, true)
+	add("r00000002", 64, 8, 16, 3.40, true)  // best of n=64,r=8
+	add("r00000003", 64, 8, 20, 3.45, true)  // worse, different m
+	add("r00000004", 64, 8, 16, 3.10, false) // disconnected: ineligible
+	add("r00000005", 128, 8, 32, 4.20, true)
+	add("r00000006", 64, 8, 16, 3.40, true) // tie: first achiever keeps it
+
+	best := Best(recs, false)
+	if len(best) != 2 {
+		t.Fatalf("got %d cells, want 2: %+v", len(best), best)
+	}
+	if best[0].Cell != (Cell{N: 64, R: 8}) || best[0].Record.ID != "r00000002" {
+		t.Fatalf("n=64 best = %+v, want r00000002", best[0])
+	}
+	if best[1].Cell != (Cell{N: 128, R: 8}) || best[1].Record.ID != "r00000005" {
+		t.Fatalf("n=128 best = %+v", best[1])
+	}
+
+	byM := Best(recs, true)
+	if len(byM) != 3 {
+		t.Fatalf("by-m split: got %d cells, want 3: %+v", len(byM), byM)
+	}
+	if byM[1].Cell != (Cell{N: 64, R: 8, M: 20}) || byM[1].Record.ID != "r00000003" {
+		t.Fatalf("by-m n=64,m=20 = %+v", byM[1])
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := Record{ID: "r00000001", N: 64, R: 8, M: 16,
+		Metrics: Metrics{HASPL: 3.40, Connected: true}}
+	worse := Record{ID: "r00000002", N: 64, R: 8, M: 16,
+		Metrics: Metrics{HASPL: 3.55, Connected: true}}
+	better := Record{ID: "r00000003", N: 64, R: 8, M: 16,
+		Metrics: Metrics{HASPL: 3.30, Connected: true}}
+	firstCell := Record{ID: "r00000004", N: 256, R: 12,
+		Metrics: Metrics{HASPL: 5.0, Connected: true}}
+	disconnected := Record{ID: "r00000005", N: 64, R: 8,
+		Metrics: Metrics{HASPL: 0, Connected: false}}
+	recs := []Record{base, worse, better, firstCell, disconnected}
+
+	if res := Check(recs, worse, false); !res.Regressed || res.Best == nil || res.Best.ID != "r00000003" {
+		t.Fatalf("worse candidate: %+v, want regression vs r00000003", res)
+	}
+	if res := Check(recs, better, false); res.Regressed {
+		t.Fatalf("better candidate flagged as regression: %+v", res)
+	}
+	if res := Check(recs, firstCell, false); res.Regressed || res.Best != nil {
+		t.Fatalf("first-in-cell candidate: %+v, want clean pass with no best", res)
+	}
+	if res := Check(recs, disconnected, false); !res.Regressed {
+		t.Fatalf("disconnected candidate must regress when a prior best exists: %+v", res)
+	}
+}
+
+func TestNilStoreIsInertAndAllocFree(t *testing.T) {
+	var s *Store
+	if err := s.Append(&Record{}); err != nil {
+		t.Fatalf("nil Append: %v", err)
+	}
+	built := false
+	if err := s.AppendRun(func() Record { built = true; return Record{} }); err != nil {
+		t.Fatalf("nil AppendRun: %v", err)
+	}
+	if built {
+		t.Fatal("AppendRun called build on a nil store")
+	}
+	if s.Len() != 0 || s.Records() != nil || s.LookupResult("k") != nil || s.Dir() != "" {
+		t.Fatal("nil store reads not inert")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	// The disabled path must cost nothing: no allocations per append.
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.AppendRun(func() Record { return testRecord(0) })
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-store AppendRun allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentAppendAndLookup(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				rec := testRecord(w*25 + i)
+				if err := s.Append(&rec); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				s.LookupResult(rec.Key)
+				s.Len()
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	seen := map[string]bool{}
+	for _, r := range s.Records() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestSortByUnix(t *testing.T) {
+	recs := []Record{
+		{ID: "r00000001", Unix: 10},
+		{ID: "r00000003", Unix: 30},
+		{ID: "r00000002", Unix: 30},
+	}
+	sortByUnix(recs)
+	if recs[0].ID != "r00000003" || recs[1].ID != "r00000002" || recs[2].ID != "r00000001" {
+		t.Fatalf("order = %q %q %q", recs[0].ID, recs[1].ID, recs[2].ID)
+	}
+}

@@ -151,6 +151,7 @@ func (s *scheduler) executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, e
 			Seed:           j.spec.Seed,
 			Workers:        j.workers,
 			Eval:           j.evalMode,
+			TraceEnergy:    true, // results carry their convergence trace (run-store records reuse it)
 			Observer:       newLogObserver(j.log, s.met),
 			CheckpointPath: j.ckptPath,
 			Resume:         j.resume,
@@ -177,6 +178,7 @@ func (s *scheduler) executeAnneal(j *job, intr *atomic.Bool) (json.RawMessage, e
 			FixedM:         j.spec.M,
 			Workers:        j.workers,
 			Eval:           j.evalMode,
+			TraceEnergy:    true,
 			Observer:       newLogObserver(j.log, s.met),
 			CheckpointPath: j.ckptPath,
 			Resume:         j.resume,

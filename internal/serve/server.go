@@ -8,9 +8,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
+	"repro/internal/runstore"
 )
 
 // Config configures a Server. The zero value is usable: GOMAXPROCS
@@ -26,6 +29,13 @@ type Config struct {
 	// DataDir holds per-job checkpoint files. "" creates a temp dir
 	// owned by the server (removed on Close).
 	DataDir string
+	// StoreDir, when non-empty, enables the persistent run store
+	// (internal/runstore): every completed job is appended as a durable
+	// record, and result-cache misses fall through to the store — so a
+	// previously-served query gets a byte-identical reply even after an
+	// LRU eviction or a process restart. "" disables persistence (the
+	// cache is memory-only, the pre-store behaviour).
+	StoreDir string
 	// Registry receives the orpd_* instruments and is served at
 	// /metrics. Nil builds a private one.
 	Registry *obs.Registry
@@ -40,7 +50,7 @@ type Config struct {
 }
 
 // Endpoint labels of the RED instrument set.
-var apiEndpoints = []string{"submit", "list", "get", "events"}
+var apiEndpoints = []string{"submit", "list", "get", "events", "history"}
 
 // metrics is the orpd instrument set.
 type metrics struct {
@@ -61,6 +71,10 @@ type metrics struct {
 	ladderBound, ladderEscalated, ladderUnbounded  *obs.Counter
 	incSyncs, incRebuilds, incPeekReuses, incSwept *obs.Counter
 	incDirty                                       *obs.Counter
+
+	// Persistent run store (all zero while no -store dir is configured).
+	storeAppends, storeLookups, storeHits, storeErrors *obs.Counter
+	storeRecords, storeSkipped                         *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -86,6 +100,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 		incPeekReuses:   reg.Counter("orpd_inc_stored_peek_reuses_total", "Incremental-cache commits satisfied by stored peek rows."),
 		incSwept:        reg.Counter("orpd_inc_swept_sources_total", "Source rows swept into the incremental cache."),
 		incDirty:        reg.Counter("orpd_inc_dirty_sources_total", "Dirty sources seen at incremental-cache commits."),
+
+		storeAppends: reg.Counter("orpd_store_appends_total", "Run records appended to the persistent store."),
+		storeLookups: reg.Counter("orpd_store_lookups_total", "Result-cache misses that consulted the persistent store."),
+		storeHits:    reg.Counter("orpd_store_hits_total", "Submissions answered from the persistent store (and re-promoted into the cache)."),
+		storeErrors:  reg.Counter("orpd_store_append_errors_total", "Failed appends to the persistent run store."),
+		storeRecords: reg.Gauge("orpd_store_records", "Live records in the persistent run store."),
+		storeSkipped: reg.Gauge("orpd_store_skipped_records", "Corrupt or foreign regions skipped when the store was opened."),
 
 		httpReq: make(map[string]map[string]*obs.Counter),
 		httpSec: make(map[string]*obs.Histogram),
@@ -136,10 +157,12 @@ func (m *metrics) queueWait(priority int) *obs.Histogram {
 type Server struct {
 	sched   *scheduler
 	cache   *resultCache
+	store   *runstore.Store // nil without Config.StoreDir
 	met     *metrics
 	mux     *http.ServeMux
 	dataDir string
 	ownsDir bool
+	started time.Time
 }
 
 // New builds a Server from cfg.
@@ -164,12 +187,28 @@ func New(cfg Config) (*Server, error) {
 	}
 	met := newMetrics(reg)
 	cache := newResultCache(size)
+	var store *runstore.Store
+	if cfg.StoreDir != "" {
+		var err error
+		store, err = runstore.Open(cfg.StoreDir)
+		if err != nil {
+			if ownsDir {
+				os.RemoveAll(dataDir)
+			}
+			return nil, fmt.Errorf("serve: run store: %w", err)
+		}
+		st := store.Stats()
+		met.storeRecords.Set(float64(st.Records))
+		met.storeSkipped.Set(float64(st.SkippedRecords))
+	}
 	s := &Server{
-		sched:   newScheduler(cfg.Workers, cache, dataDir, met, cfg.Retention),
+		sched:   newScheduler(cfg.Workers, cache, store, dataDir, met, cfg.Retention),
 		cache:   cache,
+		store:   store,
 		met:     met,
 		dataDir: dataDir,
 		ownsDir: ownsDir,
+		started: time.Now(),
 	}
 	s.mux = s.buildMux()
 	return s, nil
@@ -181,8 +220,9 @@ func New(cfg Config) (*Server, error) {
 //	GET  /v1/jobs             list jobs (submission order; ?state= filters)
 //	GET  /v1/jobs/{id}        job status + result
 //	GET  /v1/jobs/{id}/events replay + follow the job's JSONL events (?follow=0 for replay only)
+//	GET  /v1/history          persistent run records, newest first (?n= limits)
 //	GET  /metrics             Prometheus exposition
-//	GET  /healthz             liveness
+//	GET  /healthz             liveness (JSON: version, uptime, workers, store)
 //	GET  /debug/pprof/...     standard profiles
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -198,9 +238,8 @@ func (s *Server) buildMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = obs.WritePrometheus(w, s.met.reg)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/history", s.timed("history", s.handleHistory))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	return mux
@@ -267,6 +306,9 @@ func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := s.Drain(ctx)
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
 	if s.ownsDir {
 		os.RemoveAll(s.dataDir)
 	}
@@ -283,6 +325,65 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// HealthStatus is the GET /healthz payload: liveness plus enough
+// identity to tell which build is serving and whether its history
+// survives restarts.
+type HealthStatus struct {
+	Status        string  `json:"status"` // always "ok" when the process can answer
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Workers       int     `json:"workers"` // global worker budget
+
+	Store StoreStatus `json:"store"`
+}
+
+// StoreStatus describes the persistent run store in /healthz.
+type StoreStatus struct {
+	Enabled        bool   `json:"enabled"`
+	Path           string `json:"path,omitempty"`
+	Records        int    `json:"records,omitempty"`
+	SkippedRecords int    `json:"skippedRecords,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := HealthStatus{
+		Status:        "ok",
+		Version:       buildinfo.Get().Version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.sched.budget,
+	}
+	if s.store != nil {
+		stats := s.store.Stats()
+		st.Store = StoreStatus{
+			Enabled:        true,
+			Path:           s.store.Dir(),
+			Records:        stats.Records,
+			SkippedRecords: stats.SkippedRecords,
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleHistory serves the persistent run history, newest first (?n=
+// limits the count). Without a configured store it returns an empty
+// list — the endpoint shape does not depend on deployment flags.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad n %q", q)})
+			return
+		}
+		limit = n
+	}
+	recs := s.store.Recent(limit)
+	if recs == nil {
+		recs = []runstore.Record{}
+	}
+	writeJSON(w, http.StatusOK, recs)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -154,8 +154,12 @@ func (sp *JobSpec) normalize() (g *hsgraph.Graph, mode opt.EvalMode, model fault
 
 // cacheKeyDomain seeds the job-identity hash; bump the suffix whenever a
 // result-defining field is added to JobSpec or a result schema changes,
-// so stale entries can never masquerade as current ones.
-const cacheKeyDomain = "orp.serve.job.v1"
+// so stale entries can never masquerade as current ones. This matters
+// more now that keys outlive the process: the persistent run store
+// serves old bytes under their recorded key, and a domain bump is what
+// keeps a schema change from replaying them. (v1 → v2: anneal results
+// gained the always-on energy trace.)
+const cacheKeyDomain = "orp.serve.job.v2"
 
 // cacheKey is the content address of a job's result: a hash over the
 // canonical identity of the query. Every result-defining field goes in —

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+// submitDone submits spec and waits for completion.
+func submitDone(t *testing.T, s *Server, spec JobSpec) JobStatus {
+	t.Helper()
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s: state %s err %q", st.ID, st.State, st.Error)
+	}
+	return st
+}
+
+// TestRestartWarmCache is the restart-warm invariant: a query served by
+// one process is answered byte-identically by a fresh process pointed at
+// the same -store dir, without re-running the engine.
+func TestRestartWarmCache(t *testing.T) {
+	storeDir := t.TempDir()
+	spec := JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 7}
+	anneal := JobSpec{Type: TypeAnneal, N: 32, R: 4, Iterations: 300, Seed: 11}
+
+	s1 := testServer(t, Config{Workers: 2, StoreDir: storeDir})
+	cold := submitDone(t, s1, spec)
+	coldAnneal := submitDone(t, s1, anneal)
+	if cold.Cached || coldAnneal.Cached {
+		t.Fatal("first submissions claim cache hits")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close first server: %v", err)
+	}
+
+	s2 := testServer(t, Config{Workers: 2, StoreDir: storeDir})
+	warm := submitDone(t, s2, spec)
+	if !warm.Cached {
+		t.Fatal("restart-warm submission was not served from the store")
+	}
+	if !bytes.Equal(warm.Result, cold.Result) {
+		t.Fatalf("restart-warm reply differs:\n cold %s\n warm %s", cold.Result, warm.Result)
+	}
+	warmAnneal := submitDone(t, s2, anneal)
+	if !warmAnneal.Cached || !bytes.Equal(warmAnneal.Result, coldAnneal.Result) {
+		t.Fatal("anneal result not byte-identical across restart")
+	}
+
+	// The warm hit was re-promoted into the in-memory LRU: the next
+	// lookup hits memory, not the store.
+	if hits := s2.met.storeHits.Value(); hits != 2 {
+		t.Fatalf("store hits = %v, want 2", hits)
+	}
+	again := submitDone(t, s2, spec)
+	if !again.Cached || !bytes.Equal(again.Result, cold.Result) {
+		t.Fatal("re-promoted entry not served from memory cache")
+	}
+	if hits := s2.met.storeHits.Value(); hits != 2 {
+		t.Fatalf("store consulted again after re-promotion: hits = %v", hits)
+	}
+}
+
+// TestEvictionThenStoreReServe covers the cache-eviction × persistence
+// interaction: a result evicted from the 1-entry LRU is re-served
+// byte-identically from the store and re-promoted.
+func TestEvictionThenStoreReServe(t *testing.T) {
+	s := testServer(t, Config{Workers: 2, CacheSize: 1, StoreDir: t.TempDir()})
+	specA := JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 1}
+	specB := JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 2}
+
+	a1 := submitDone(t, s, specA)
+	submitDone(t, s, specB) // evicts A from the 1-entry LRU
+
+	a2 := submitDone(t, s, specA)
+	if !a2.Cached {
+		t.Fatal("evicted-but-stored result not served as a hit")
+	}
+	if !bytes.Equal(a2.Result, a1.Result) {
+		t.Fatalf("evicted result not byte-identical:\n first %s\n again %s", a1.Result, a2.Result)
+	}
+	if hits := s.met.storeHits.Value(); hits != 1 {
+		t.Fatalf("store hits = %v, want 1", hits)
+	}
+	// Re-promotion: A is back in the LRU, so an immediate repeat stays
+	// in memory.
+	a3 := submitDone(t, s, specA)
+	if !a3.Cached || !bytes.Equal(a3.Result, a1.Result) {
+		t.Fatal("re-promoted result wrong")
+	}
+	if hits := s.met.storeHits.Value(); hits != 1 {
+		t.Fatalf("re-promoted lookup went to the store: hits = %v", hits)
+	}
+}
+
+// TestEvictionStoreReServeConcurrent drives the eviction/fall-through
+// path from many goroutines so -race can see into it.
+func TestEvictionStoreReServeConcurrent(t *testing.T) {
+	s := testServer(t, Config{Workers: 4, CacheSize: 1, StoreDir: t.TempDir()})
+	specs := []JobSpec{
+		{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 1},
+		{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 2},
+		{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 3},
+	}
+	want := make([][]byte, len(specs))
+	for i, sp := range specs {
+		want[i] = submitDone(t, s, sp).Result
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k := (w + i) % len(specs)
+				st, err := s.Submit(specs[k])
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if !st.Cached || !bytes.Equal(st.Result, want[k]) {
+					t.Errorf("spec %d: cached=%v, byte-identity=%v",
+						k, st.Cached, bytes.Equal(st.Result, want[k]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRecordsWrittenForCompletedJobs(t *testing.T) {
+	storeDir := t.TempDir()
+	s := testServer(t, Config{Workers: 2, StoreDir: storeDir})
+	submitDone(t, s, JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 7})
+	// >= opt's default ReportEvery (1000) so the energy trace has samples.
+	submitDone(t, s, JobSpec{Type: TypeAnneal, N: 32, R: 4, Iterations: 2000, Seed: 5})
+	submitDone(t, s, JobSpec{Type: TypeSweep, N: 48, M: 16, R: 6, GraphSeed: 7,
+		Trials: 2, Fractions: []float64{0.05}})
+	// A cache hit is not a new run and must not append a record.
+	hit := submitDone(t, s, JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 7})
+	if !hit.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	s.Close()
+
+	store, err := runstore.OpenRead(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := store.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	kinds := map[string]runstore.Record{}
+	for _, r := range recs {
+		kinds[r.Kind] = r
+		if r.Tool != "orpd" {
+			t.Errorf("record %s: tool %q", r.ID, r.Tool)
+		}
+		if r.Key == "" || r.Fingerprint == "" {
+			t.Errorf("record %s: missing key/fingerprint", r.ID)
+		}
+		if r.N != 48 && r.N != 32 {
+			t.Errorf("record %s: n = %d", r.ID, r.N)
+		}
+		if !r.Metrics.Connected || r.Metrics.HASPL <= 0 {
+			t.Errorf("record %s: implausible metrics %+v", r.ID, r.Metrics)
+		}
+		if r.WallSeconds <= 0 {
+			t.Errorf("record %s: wall %v", r.ID, r.WallSeconds)
+		}
+		if len(r.Result) == 0 {
+			t.Errorf("record %s: no result bytes", r.ID)
+		}
+		if len(r.Phases) == 0 {
+			t.Errorf("record %s: no phase decomposition", r.ID)
+		}
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v, want eval/anneal/sweep", kinds)
+	}
+	if len(kinds["anneal"].EnergyTrace) == 0 {
+		t.Error("anneal record has no energy trace")
+	}
+	// Phases come from the job's span tree: queue.wait and run must be
+	// among them.
+	names := map[string]bool{}
+	for _, p := range kinds["eval"].Phases {
+		names[p.Name] = true
+	}
+	if !names["run"] || !names["queue.wait"] {
+		t.Errorf("eval phases missing run/queue.wait: %+v", kinds["eval"].Phases)
+	}
+}
+
+func TestHealthzJSON(t *testing.T) {
+	s := testServer(t, Config{Workers: 3, StoreDir: t.TempDir()})
+	submitDone(t, s, JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 7})
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rr.Code)
+	}
+	var hs HealthStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &hs); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if hs.Status != "ok" {
+		t.Fatalf("status = %q", hs.Status)
+	}
+	if hs.Workers != 3 {
+		t.Fatalf("workers = %d, want 3", hs.Workers)
+	}
+	if hs.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %v", hs.UptimeSeconds)
+	}
+	if !hs.Store.Enabled || hs.Store.Records != 1 {
+		t.Fatalf("store status = %+v, want enabled with 1 record", hs.Store)
+	}
+
+	// Without a store the endpoint keeps its shape, store disabled.
+	s2 := testServer(t, Config{Workers: 1})
+	rr2 := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rr2, httptest.NewRequest("GET", "/healthz", nil))
+	var hs2 HealthStatus
+	if err := json.Unmarshal(rr2.Body.Bytes(), &hs2); err != nil {
+		t.Fatal(err)
+	}
+	if hs2.Status != "ok" || hs2.Store.Enabled {
+		t.Fatalf("no-store healthz = %+v", hs2)
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	s := testServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	for seed := uint64(1); seed <= 3; seed++ {
+		submitDone(t, s, JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: seed})
+	}
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/history", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("history status %d: %s", rr.Code, rr.Body.String())
+	}
+	var recs []runstore.Record
+	if err := json.Unmarshal(rr.Body.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("history has %d records, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Unix < recs[i].Unix {
+			t.Fatal("history not newest-first")
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/history?n=1", nil))
+	recs = nil
+	if err := json.Unmarshal(rr.Body.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("?n=1 returned %d records", len(recs))
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/history?n=bogus", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad n: status %d", rr.Code)
+	}
+
+	// No store: empty list, not an error.
+	s2 := testServer(t, Config{Workers: 1})
+	rr = httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/history", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() == "null\n" {
+		t.Fatalf("no-store history: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestStoreSurvivesAbruptStop simulates a crash (no Close, no drain) and
+// checks every acknowledged record is readable afterwards — the
+// append-path fsync contract.
+func TestStoreSurvivesAbruptStop(t *testing.T) {
+	storeDir := t.TempDir()
+	s := testServer(t, Config{Workers: 2, StoreDir: storeDir})
+	done := submitDone(t, s, JobSpec{Type: TypeEval, N: 48, M: 16, R: 6, GraphSeed: 7})
+	// No Close: read the store out from under the live server (crash
+	// equivalence for file contents; the OS page cache serves reads).
+	store, err := runstore.OpenRead(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d records, want 1", store.Len())
+	}
+	rec := store.Records()[0]
+	if !bytes.Equal(rec.Result, done.Result) {
+		t.Fatal("stored result differs from the served reply")
+	}
+}

@@ -23,3 +23,13 @@ func BenchmarkAnnealObserved(b *testing.B) {
 func BenchmarkAnnealObservedSpans(b *testing.B) {
 	benchWorkload(b, "anneal/observed-spans/n=96,iters=1000")
 }
+
+// BenchmarkAnnealStored adds the run-store append on top of the span
+// trace: the same anneal persisted as one durable record (fsync
+// included) per run. The delta against BenchmarkAnnealObservedSpans is
+// the whole persistence cost; the disabled (-store absent) path is
+// separately guarded alloc-free by runstore's
+// TestNilStoreIsInertAndAllocFree.
+func BenchmarkAnnealStored(b *testing.B) {
+	benchWorkload(b, "anneal/stored/n=96,iters=1000")
+}
